@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for §4.7's overhead claims:
+//! gSB creation (< 1 µs on the paper's device), admission-control batches
+//! (0.8 ms per 1 000 actions), RL inference (1.1 ms per decision window),
+//! and the PPO fine-tuning step (51.2 ms per 10 windows).
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fleetio::agent::{ppo_config, PretrainedModel};
+use fleetio::{FleetIoAgent, FleetIoConfig, StateVector};
+use fleetio_flash::addr::ChannelId;
+use fleetio_rl::{PpoPolicy, PpoTrainer, RolloutBuffer, Transition};
+use fleetio_vssd::admission::{AdmissionControl, HarvestAction};
+use fleetio_vssd::engine::{Engine, EngineConfig};
+use fleetio_vssd::vssd::{VssdConfig, VssdId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn engine() -> Engine {
+    let cfg = EngineConfig::default();
+    let a: Vec<ChannelId> = (0..8).map(ChannelId).collect();
+    let b: Vec<ChannelId> = (8..16).map(ChannelId).collect();
+    Engine::new(
+        cfg,
+        vec![VssdConfig::hardware(VssdId(0), a), VssdConfig::hardware(VssdId(1), b)],
+    )
+}
+
+fn model() -> PretrainedModel {
+    let cfg = FleetIoConfig::default();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let policy = PpoPolicy::new(cfg.obs_dim(), &cfg.action_dims(), &cfg.hidden_layers, &mut rng);
+    PretrainedModel {
+        policy,
+        normalizer: fleetio_rl::ObsNormalizer::new(cfg.obs_dim(), 10.0),
+    }
+}
+
+/// gSB creation/reclamation cycle (§4.7: creation is metadata-only, <1 µs
+/// on the paper's platform).
+fn bench_gsb_create(c: &mut Criterion) {
+    let mut e = engine();
+    let mut offer = 0usize;
+    c.bench_function("overhead_gsb_create_reclaim", |b| {
+        b.iter(|| {
+            offer = if offer == 0 { 4 } else { 0 };
+            e.set_harvestable_target(VssdId(0), offer);
+        })
+    });
+}
+
+/// Admission control processing a 1 000-action batch (§4.7: 0.8 ms).
+fn bench_admission_batch(c: &mut Criterion) {
+    let ch_bw = 64.0 * 1024.0 * 1024.0;
+    c.bench_function("overhead_admission_1000_actions", |b| {
+        b.iter(|| {
+            let mut ac = AdmissionControl::new();
+            for i in 0..1000u32 {
+                let v = VssdId(i % 8);
+                if i % 2 == 0 {
+                    ac.submit(HarvestAction::MakeHarvestable { vssd: v, bytes_per_sec: ch_bw });
+                } else {
+                    ac.submit(HarvestAction::Harvest { vssd: v, bytes_per_sec: ch_bw });
+                }
+            }
+            ac.drain_batch(8, &HashMap::new(), ch_bw)
+        })
+    });
+}
+
+/// One greedy inference decision (§4.7: 1.1 ms per 2 s window in Python;
+/// the from-scratch Rust MLP is far below that).
+fn bench_inference(c: &mut Criterion) {
+    let cfg = FleetIoConfig::default();
+    let m = model();
+    let mut agent = FleetIoAgent::new(&m, cfg.history_windows);
+    let state = StateVector::zero();
+    c.bench_function("overhead_inference_decision", |b| b.iter(|| agent.decide(state)));
+}
+
+/// One PPO update over ten windows of experience (§4.7: 51.2 ms per ten
+/// windows of fine-tuning).
+fn bench_finetune_step(c: &mut Criterion) {
+    let cfg = FleetIoConfig::default();
+    let m = model();
+    let obs_dim = cfg.obs_dim();
+    let make_buffer = || {
+        let mut buf = RolloutBuffer::new();
+        for i in 0..10 {
+            buf.push(Transition {
+                obs: vec![0.1; obs_dim],
+                action: vec![0, 0, 1],
+                logp: -1.0,
+                reward: 0.5 + 0.01 * i as f64,
+                value: 0.4,
+                done: i == 9,
+                advantage: 0.0,
+                ret: 0.0,
+            });
+        }
+        buf
+    };
+    c.bench_function("overhead_finetune_10_windows", |b| {
+        b.iter_batched(
+            || (PpoTrainer::new(m.policy.clone(), obs_dim, ppo_config(&cfg), 3), make_buffer()),
+            |(mut trainer, buf)| trainer.update(buf),
+            criterion::BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group! {
+    name = overheads;
+    config = Criterion::default().without_plots();
+    targets = bench_gsb_create, bench_admission_batch, bench_inference, bench_finetune_step,
+}
+criterion_main!(overheads);

@@ -1,0 +1,89 @@
+//! Mechanism check: a hand-scripted optimal policy. If this doesn't beat
+//! hardware isolation, harvesting itself is broken (not the learner).
+
+use fleetio::baselines::{StaticPolicy, WindowPolicy};
+use fleetio::driver::Colocation;
+use fleetio::experiment::*;
+use fleetio::FleetIoConfig;
+use fleetio_des::window::WindowSummary;
+use fleetio_vssd::admission::HarvestAction;
+use fleetio_vssd::request::Priority;
+use fleetio_vssd::vssd::VssdId;
+use fleetio_workloads::WorkloadKind;
+
+const OFFER: f64 = 4.0;
+
+#[derive(Debug)]
+struct Oracle {
+    last: Vec<u64>,
+}
+
+impl WindowPolicy for Oracle {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+    fn on_window(&mut self, coloc: &mut Colocation, s: &[(VssdId, WindowSummary)]) {
+        let snap0 = coloc.engine().snapshot(VssdId(0));
+        let snap1 = coloc.engine().snapshot(VssdId(1));
+        if false { eprintln!(
+            "  w: lc bw {:5.1} p99 {} | bi bw {:6.1} | lc offers {} | bi holds {} | gc_runs {}",
+            s[0].1.avg_bandwidth / 1e6,
+            s[0].1.p99_latency,
+            s[1].1.avg_bandwidth / 1e6,
+            snap0.harvestable_channels,
+            snap1.harvested_channels,
+            coloc.engine().device().stats().gc_runs,
+        ); }
+        let moved: Vec<u64> = (0..16)
+            .map(|c| coloc.engine().device().channel(fleetio_flash::addr::ChannelId(c)).bytes_moved())
+            .collect();
+        if false && self.last.len() == 16 {
+            let delta: Vec<u64> = moved.iter().zip(&self.last).map(|(a, b)| (a - b) / 1_000_000).collect();
+            eprintln!("    ch MB: lc{:?} bi{:?}", &delta[..8], &delta[8..]);
+        }
+        self.last = moved;
+        let ch_bw = coloc.engine().channel_peak_bytes_per_sec();
+        let e = coloc.engine_mut();
+        // Tenant 0 = LC: offer 4 channels, high priority.
+        e.set_priority(VssdId(0), Priority::High);
+        e.submit_action(HarvestAction::MakeHarvestable { vssd: VssdId(0), bytes_per_sec: OFFER * ch_bw });
+        // Tenant 1 = BI: harvest 4 channels, low priority for its bulk.
+        e.set_priority(VssdId(1), Priority::Low);
+        e.submit_action(HarvestAction::Harvest { vssd: VssdId(1), bytes_per_sec: OFFER * ch_bw });
+    }
+}
+
+fn main() {
+    let cfg = FleetIoConfig::default();
+    let opts = ExperimentOptions {
+        cfg: cfg.clone(),
+        measure_windows: 30,
+        ramp_windows: 2,
+        warm_fraction: 0.5,
+        seed: 42,
+    };
+    let peak = measure_device_peak(&cfg, 1);
+    let lc = WorkloadKind::VdiWeb;
+    let bi = WorkloadKind::TeraSort;
+    let slo = calibrate_slo(&cfg, lc, 8, 6, 7);
+    println!("peak {:.0} MB/s, slo {slo}", peak / 1e6);
+    for mode in ["hw", "oracle", "sw"] {
+        let tenants = if mode == "sw" {
+            software_layout(&opts.cfg, &[lc, bi], &[Some(slo), None], opts.seed)
+        } else {
+            hardware_layout(&opts.cfg, &[lc, bi], &[Some(slo), None], opts.seed)
+        };
+        let m = match mode {
+            "oracle" => run_collocation(&mut Oracle { last: vec![] }, tenants, &opts, peak, None),
+            "hw" => run_collocation(&mut StaticPolicy::hardware(), tenants, &opts, peak, None),
+            _ => run_collocation(&mut StaticPolicy::software(), tenants, &opts, peak, None),
+        };
+        println!(
+            "{mode:8}: util {:5.1}% | bi bw {:6.1} MB/s | lc p99 {} vio {:.2}%",
+            m.avg_utilization * 100.0,
+            m.bi_bandwidth().unwrap() / 1e6,
+            m.lc_p99().unwrap(),
+            m.tenants[0].slo_violation_rate * 100.0,
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Calibration: does a briefly pre-trained FleetIO policy land between
+//! hardware and software isolation (Figure 10's trade-off)?
+
+use fleetio::agent::{pretrain, PretrainOptions};
+use fleetio::baselines::{FleetIoPolicy, StaticPolicy};
+use fleetio::experiment::*;
+use fleetio::{FleetIoConfig, TenantSpec};
+use fleetio_workloads::WorkloadKind;
+
+fn main() {
+    let cfg = FleetIoConfig::default();
+    let opts = ExperimentOptions {
+        cfg: cfg.clone(),
+        measure_windows: 10,
+        ramp_windows: 2,
+        warm_fraction: 0.5,
+        seed: 42,
+    };
+    let peak = measure_device_peak(&cfg, 1);
+    let lc = WorkloadKind::VdiWeb;
+    let bi = WorkloadKind::TeraSort;
+    let slo = calibrate_slo(&cfg, lc, 8, 6, 7);
+    println!("peak {:.0} MB/s, slo {slo}", peak / 1e6);
+
+    // Pre-train on the PRETRAINING workloads (paper §3.8), evaluate on the
+    // evaluation pair.
+    let t0 = std::time::Instant::now();
+    let slo_pre = calibrate_slo(&cfg, WorkloadKind::Tpce, 8, 4, 8);
+    let scen = |lc_k: WorkloadKind, bi_k: WorkloadKind, s: u64| -> Vec<TenantSpec> {
+        let mut t = hardware_layout(&cfg, &[lc_k, bi_k], &[Some(slo_pre), None], s);
+        t[0].config.slo = Some(slo_pre);
+        t
+    };
+    let scenarios = vec![
+        scen(WorkloadKind::Tpce, WorkloadKind::BatchAnalytics, 11),
+        scen(WorkloadKind::LiveMaps, WorkloadKind::BatchAnalytics, 12),
+        scen(WorkloadKind::SearchEngine, WorkloadKind::BatchAnalytics, 13),
+        scen(WorkloadKind::Tpce, WorkloadKind::BatchAnalytics, 14),
+    ];
+    let popts = PretrainOptions {
+        iterations: std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20),
+        windows_per_rollout: 16,
+        warmup_iterations: 2,
+        parallel: true,
+        lr_override: Some(3e-4),
+        bc_rounds: 6,
+        bc_epsilon: 0.15,
+        progress: Some(|it, r| {
+            if it % 5 == 0 {
+                eprintln!("  iter {it}: mean reward {r:.3}");
+            }
+        }),
+    };
+    let model = pretrain(&cfg, &scenarios, 0.5, popts, 99);
+    println!("pretrain took {:?}", t0.elapsed());
+
+    for mode in ["hw", "fleetio", "sw"] {
+        let t = std::time::Instant::now();
+        let tenants = if mode == "sw" {
+            software_layout(&opts.cfg, &[lc, bi], &[Some(slo), None], opts.seed)
+        } else {
+            hardware_layout(&opts.cfg, &[lc, bi], &[Some(slo), None], opts.seed)
+        };
+        let mut m = match mode {
+            "fleetio" => {
+                let mut pol = FleetIoPolicy::new(cfg.clone(), &model, 2);
+                run_collocation(&mut pol, tenants, &opts, peak, None)
+            }
+            "hw" => run_collocation(&mut StaticPolicy::hardware(), tenants, &opts, peak, None),
+            _ => run_collocation(&mut StaticPolicy::software(), tenants, &opts, peak, None),
+        };
+        m.policy = mode.to_string();
+        println!(
+            "{mode:8}: util {:5.1}% | bi bw {:6.1} MB/s | lc p99 {} vio {:.2}% [{:?}]",
+            m.avg_utilization * 100.0,
+            m.bi_bandwidth().unwrap() / 1e6,
+            m.lc_p99().unwrap(),
+            m.tenants[0].slo_violation_rate * 100.0,
+            t.elapsed()
+        );
+    }
+}

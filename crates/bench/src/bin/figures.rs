@@ -1,0 +1,67 @@
+//! Regenerates the FleetIO paper's tables and figures.
+//!
+//! ```text
+//! figures <target> [--full|--tiny] [--json]
+//!   target: fig2 fig3 fig6 fig10 fig11 fig12 fig13 fig14 fig15 fig16
+//!           fig17 overheads tables all
+//! ```
+//!
+//! Default scale is `quick` (minutes, preserves orderings/crossovers);
+//! `--full` runs paper-length spans and a larger training budget.
+
+use std::time::Instant;
+
+use fleetio_bench::figures;
+use fleetio_bench::report::FigureReport;
+use fleetio_bench::{Scale, SharedContext};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let scale = Scale::from_args(&args);
+    let json = args.iter().any(|a| a == "--json");
+    let mut ctx = SharedContext::new(scale, 0xF1EE710);
+
+    let t0 = Instant::now();
+    let reports: Vec<FigureReport> = match target.as_str() {
+        "fig2" | "fig3" => figures::fig2_3(&mut ctx),
+        "fig6" => vec![figures::fig6(&mut ctx)],
+        "fig10" | "fig11" | "fig12" | "fig13" => figures::fig10_13(&mut ctx),
+        "fig14" => figures::fig14(&mut ctx),
+        "fig15" => figures::fig15(&mut ctx),
+        "fig16" => vec![figures::fig16(&mut ctx)],
+        "fig17" => vec![figures::fig17(&mut ctx)],
+        "overheads" => vec![figures::overheads(&mut ctx)],
+        "tables" => vec![figures::tables(&mut ctx)],
+        "all" => {
+            let mut all = Vec::new();
+            all.push(figures::tables(&mut ctx));
+            all.extend(figures::fig2_3(&mut ctx));
+            all.push(figures::fig6(&mut ctx));
+            all.extend(figures::fig10_13(&mut ctx));
+            all.extend(figures::fig14(&mut ctx));
+            all.extend(figures::fig15(&mut ctx));
+            all.push(figures::fig16(&mut ctx));
+            all.push(figures::fig17(&mut ctx));
+            all.push(figures::overheads(&mut ctx));
+            all
+        }
+        other => {
+            eprintln!("unknown target '{other}'");
+            eprintln!("targets: fig2 fig3 fig6 fig10..fig13 fig14 fig15 fig16 fig17 overheads tables all");
+            std::process::exit(2);
+        }
+    };
+    for r in &reports {
+        if json {
+            println!("{}", r.to_json());
+        } else {
+            println!("{}", r.to_text());
+        }
+    }
+    eprintln!("[{} report(s) at {:?} scale in {:?}]", reports.len(), scale, t0.elapsed());
+}

@@ -1,0 +1,17 @@
+//! Benchmark harness regenerating every table and figure of the FleetIO
+//! paper's evaluation (§4).
+//!
+//! The [`figures`] module contains one entry point per paper figure; the
+//! `figures` binary drives them from the command line and the Criterion
+//! benches reuse them at reduced scale. [`context::SharedContext`] caches
+//! the expensive shared artifacts — device-peak calibration, per-workload
+//! SLOs, the pre-trained RL models, the SSDKeeper planner — so a full
+//! `figures all` run trains once and reuses everywhere.
+
+pub mod context;
+pub mod figures;
+pub mod report;
+pub mod scale;
+
+pub use context::SharedContext;
+pub use scale::Scale;

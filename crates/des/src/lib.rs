@@ -1,0 +1,39 @@
+//! Discrete-event simulation kernel for the FleetIO reproduction.
+//!
+//! This crate provides the small, deterministic foundation every simulated
+//! component builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulation
+//!   timestamps with saturating arithmetic,
+//! * [`EventQueue`] — a deterministic time-ordered event queue (FIFO among
+//!   simultaneous events),
+//! * [`rng`] — reproducible seed derivation for experiments that fan out into
+//!   many independent random streams,
+//! * [`hist::LatencyHistogram`] — a log-bucketed histogram with percentile
+//!   queries, used for P95/P99/P99.9 tail-latency reporting,
+//! * [`window`] — per-decision-window counters (bandwidth, IOPS, SLO
+//!   violations) matching the paper's 2-second RL state windows,
+//! * [`summary`] — small numeric summaries (mean/std, exact percentiles).
+//!
+//! # Example
+//!
+//! ```
+//! use fleetio_des::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::ZERO + SimDuration::from_micros(5), "later");
+//! q.push(SimTime::ZERO, "now");
+//! assert_eq!(q.pop().map(|e| e.payload), Some("now"));
+//! ```
+
+pub mod hist;
+pub mod queue;
+pub mod rng;
+pub mod summary;
+pub mod time;
+pub mod window;
+
+pub use hist::LatencyHistogram;
+pub use queue::{Event, EventQueue};
+pub use time::{SimDuration, SimTime};
+pub use window::WindowStats;

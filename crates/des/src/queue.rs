@@ -1,0 +1,218 @@
+//! Deterministic time-ordered event queue.
+//!
+//! The queue orders events by timestamp; events scheduled for the same
+//! instant pop in insertion (FIFO) order, which makes whole simulations
+//! reproducible bit-for-bit across runs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event scheduled on an [`EventQueue`].
+#[derive(Debug, Clone)]
+pub struct Event<T> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Tie-break sequence number: among equal timestamps, lower pops first.
+    pub seq: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+struct HeapEntry<T>(Event<T>);
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .0
+            .at
+            .cmp(&self.0.at)
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+///
+/// # Example
+///
+/// ```
+/// use fleetio_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_micros(10), 'b');
+/// q.push(SimTime::from_micros(10), 'c'); // same instant: FIFO order
+/// q.push(SimTime::from_micros(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_seq: u64,
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+    }
+
+    /// Schedules `payload` to fire at `at`. Returns the event's sequence
+    /// number (useful for cancellation bookkeeping by the caller).
+    pub fn push(&mut self, at: SimTime, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Event { at, seq, payload }));
+        seq
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `deadline`.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<Event<T>> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), 3);
+        q.push(SimTime::from_micros(10), 1);
+        q.push(SimTime::from_micros(20), 2);
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        let want: Vec<i32> = (0..100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10), "early");
+        q.push(SimTime::from_micros(100), "late");
+        assert_eq!(q.pop_before(SimTime::from_micros(50)).map(|e| e.payload), Some("early"));
+        assert!(q.pop_before(SimTime::from_micros(50)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_micros(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop().map(|e| e.payload), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pops_are_sorted_and_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(SimTime::from_micros(*t), i);
+            }
+            let mut popped = Vec::new();
+            while let Some(e) = q.pop() {
+                popped.push((e.at, e.payload));
+            }
+            // Sorted by time.
+            for w in popped.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+                // FIFO among equal timestamps: insertion index increases.
+                if w[0].0 == w[1].0 {
+                    prop_assert!(w[0].1 < w[1].1);
+                }
+            }
+            prop_assert_eq!(popped.len(), times.len());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Reproducible random-stream derivation.
+//!
+//! Experiments fan out into many stochastic components (one per vSSD, per
+//! workload generator, per rollout worker). Deriving each component's seed
+//! from a root seed plus a stable label keeps runs reproducible while keeping
+//! the streams statistically independent.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Derives a child seed from a root seed and a stream label.
+///
+/// Uses the SplitMix64 finalizer, which is a strong 64-bit mixer; distinct
+/// `(root, label)` pairs produce well-separated seeds.
+///
+/// # Example
+///
+/// ```
+/// use fleetio_des::rng::derive_seed;
+///
+/// let a = derive_seed(42, "vssd-0");
+/// let b = derive_seed(42, "vssd-1");
+/// assert_ne!(a, b);
+/// assert_eq!(a, derive_seed(42, "vssd-0")); // stable
+/// ```
+pub fn derive_seed(root: u64, label: &str) -> u64 {
+    let mut h = root ^ 0x9e37_79b9_7f4a_7c15;
+    for &b in label.as_bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    splitmix64(h)
+}
+
+/// Derives a child seed from a root seed and a numeric stream index.
+pub fn derive_seed_indexed(root: u64, label: &str, index: u64) -> u64 {
+    splitmix64(derive_seed(root, label) ^ splitmix64(index.wrapping_add(0xabcd_ef01)))
+}
+
+/// Constructs a [`SmallRng`] from a root seed and label.
+pub fn stream(root: u64, label: &str) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(root, label))
+}
+
+/// Constructs a [`SmallRng`] from a root seed, label and index.
+pub fn stream_indexed(root: u64, label: &str, index: u64) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed_indexed(root, label, index))
+}
+
+/// The SplitMix64 output mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn derive_seed_is_stable_and_distinct() {
+        assert_eq!(derive_seed(1, "a"), derive_seed(1, "a"));
+        assert_ne!(derive_seed(1, "a"), derive_seed(1, "b"));
+        assert_ne!(derive_seed(1, "a"), derive_seed(2, "a"));
+    }
+
+    #[test]
+    fn indexed_seeds_do_not_collide_over_small_range() {
+        let mut seen = HashSet::new();
+        for root in 0..8u64 {
+            for idx in 0..64u64 {
+                assert!(seen.insert(derive_seed_indexed(root, "worker", idx)));
+            }
+        }
+    }
+
+    #[test]
+    fn streams_reproduce() {
+        let mut a = stream(7, "x");
+        let mut b = stream(7, "x");
+        let xs: Vec<u32> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn label_prefixes_do_not_alias() {
+        // "ab" + root vs "a" then continuing must differ.
+        assert_ne!(derive_seed(0, "ab"), derive_seed(0, "ba"));
+        assert_ne!(derive_seed(0, ""), derive_seed(0, "\0"));
+    }
+}

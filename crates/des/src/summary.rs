@@ -1,0 +1,177 @@
+//! Small numeric summaries used throughout the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use fleetio_des::summary::Running;
+///
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     r.push(x);
+/// }
+/// assert_eq!(r.mean(), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// Exact percentile of a slice using linear interpolation between ranks.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `pct` is outside `[0, 100]` or any value is NaN.
+pub fn percentile(values: &[f64], pct: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&pct), "percentile out of range: {pct}");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Geometric mean of strictly positive values; `None` when empty or any
+/// value is non-positive.
+pub fn geo_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn running_mean_and_std() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.push(x);
+        }
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        assert!((r.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(9.0));
+        assert_eq!(r.count(), 8);
+    }
+
+    #[test]
+    fn empty_running_is_safe() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.min(), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), Some(10.0));
+        assert_eq!(percentile(&v, 100.0), Some(40.0));
+        assert_eq!(percentile(&v, 50.0), Some(25.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert_eq!(geo_mean(&[2.0, 8.0]), Some(4.0));
+        assert_eq!(geo_mean(&[]), None);
+        assert_eq!(geo_mean(&[1.0, 0.0]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_running_mean_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let mut r = Running::new();
+            for x in &xs {
+                r.push(*x);
+            }
+            let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((r.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+        }
+
+        #[test]
+        fn prop_percentile_within_range(xs in proptest::collection::vec(-1e3f64..1e3, 1..50), p in 0.0f64..100.0) {
+            let v = percentile(&xs, p).unwrap();
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-decision-window I/O statistics.
+//!
+//! FleetIO's RL agents observe the storage state over fixed time windows
+//! (2 seconds by default, §3.3.1 of the paper). [`WindowStats`] accumulates
+//! the raw counters for one window; [`WindowSummary`] is the frozen snapshot
+//! the state extractor turns into RL features.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::LatencyHistogram;
+use crate::time::{SimDuration, SimTime};
+
+/// Running counters for the current observation window.
+#[derive(Debug, Clone, Default)]
+pub struct WindowStats {
+    read_bytes: u64,
+    write_bytes: u64,
+    read_ops: u64,
+    write_ops: u64,
+    slo_violations: u64,
+    queue_delay_sum: SimDuration,
+    latency: LatencyHistogram,
+    gc_events: u64,
+    gc_busy: SimDuration,
+}
+
+/// A frozen summary of one completed window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowSummary {
+    /// Window start time.
+    pub start: SimTime,
+    /// Window length.
+    pub len: SimDuration,
+    /// Average read+write bandwidth over the window, bytes/s.
+    pub avg_bandwidth: f64,
+    /// Average I/O operations per second.
+    pub avg_iops: f64,
+    /// Average request latency (completion − arrival), or zero if idle.
+    pub avg_latency: SimDuration,
+    /// P99 request latency, or zero if idle.
+    pub p99_latency: SimDuration,
+    /// Fraction of requests violating the SLO, `[0, 1]`.
+    pub slo_violation_rate: f64,
+    /// Mean queueing delay per request.
+    pub avg_queue_delay: SimDuration,
+    /// Read fraction of all operations, `[0, 1]` (1 = all reads).
+    pub read_ratio: f64,
+    /// Number of GC events that started in the window.
+    pub gc_events: u64,
+    /// Fraction of the window spent with GC active on any owned channel.
+    pub gc_busy_frac: f64,
+    /// Total bytes moved (reads + writes).
+    pub total_bytes: u64,
+    /// Total operations completed.
+    pub total_ops: u64,
+}
+
+impl WindowSummary {
+    /// An all-zero summary for an idle window.
+    pub fn idle(start: SimTime, len: SimDuration) -> Self {
+        WindowSummary {
+            start,
+            len,
+            avg_bandwidth: 0.0,
+            avg_iops: 0.0,
+            avg_latency: SimDuration::ZERO,
+            p99_latency: SimDuration::ZERO,
+            slo_violation_rate: 0.0,
+            avg_queue_delay: SimDuration::ZERO,
+            read_ratio: 0.0,
+            gc_events: 0,
+            gc_busy_frac: 0.0,
+            total_bytes: 0,
+            total_ops: 0,
+        }
+    }
+}
+
+impl WindowStats {
+    /// Creates an empty window accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request.
+    ///
+    /// `queue_delay` is the time the request waited before service began;
+    /// `latency` is its full arrival-to-completion time.
+    pub fn record_request(
+        &mut self,
+        is_read: bool,
+        bytes: u64,
+        latency: SimDuration,
+        queue_delay: SimDuration,
+        violated_slo: bool,
+    ) {
+        if is_read {
+            self.read_bytes += bytes;
+            self.read_ops += 1;
+        } else {
+            self.write_bytes += bytes;
+            self.write_ops += 1;
+        }
+        if violated_slo {
+            self.slo_violations += 1;
+        }
+        self.queue_delay_sum += queue_delay;
+        self.latency.record(latency);
+    }
+
+    /// Records a garbage-collection event that occupied `busy` of the window.
+    pub fn record_gc(&mut self, busy: SimDuration) {
+        self.gc_events += 1;
+        self.gc_busy += busy;
+    }
+
+    /// Total operations recorded so far in this window.
+    pub fn ops(&self) -> u64 {
+        self.read_ops + self.write_ops
+    }
+
+    /// Total bytes recorded so far in this window.
+    pub fn bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Access to the in-window latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Freezes the window into a summary and resets the accumulator for the
+    /// next window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn finish(&mut self, start: SimTime, len: SimDuration) -> WindowSummary {
+        assert!(!len.is_zero(), "window length must be positive");
+        let secs = len.as_secs_f64();
+        let ops = self.ops();
+        let summary = WindowSummary {
+            start,
+            len,
+            avg_bandwidth: self.bytes() as f64 / secs,
+            avg_iops: ops as f64 / secs,
+            avg_latency: self.latency.mean().unwrap_or(SimDuration::ZERO),
+            p99_latency: self.latency.percentile(99.0).unwrap_or(SimDuration::ZERO),
+            slo_violation_rate: if ops == 0 { 0.0 } else { self.slo_violations as f64 / ops as f64 },
+            avg_queue_delay: if ops == 0 { SimDuration::ZERO } else { self.queue_delay_sum / ops },
+            read_ratio: if ops == 0 { 0.0 } else { self.read_ops as f64 / ops as f64 },
+            gc_events: self.gc_events,
+            gc_busy_frac: (self.gc_busy.as_secs_f64() / secs).min(1.0),
+            total_bytes: self.bytes(),
+            total_ops: ops,
+        };
+        *self = WindowStats::new();
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn idle_window_is_all_zero() {
+        let mut w = WindowStats::new();
+        let s = w.finish(SimTime::ZERO, SimDuration::from_secs(2));
+        assert_eq!(s, WindowSummary::idle(SimTime::ZERO, SimDuration::from_secs(2)));
+    }
+
+    #[test]
+    fn bandwidth_and_iops_are_rates() {
+        let mut w = WindowStats::new();
+        w.record_request(true, 1_000_000, us(100), us(10), false);
+        w.record_request(false, 3_000_000, us(200), us(20), false);
+        let s = w.finish(SimTime::ZERO, SimDuration::from_secs(2));
+        assert_eq!(s.avg_bandwidth, 2_000_000.0); // 4 MB over 2 s
+        assert_eq!(s.avg_iops, 1.0);
+        assert_eq!(s.read_ratio, 0.5);
+        assert_eq!(s.avg_queue_delay, us(15));
+        assert_eq!(s.total_bytes, 4_000_000);
+        assert_eq!(s.total_ops, 2);
+    }
+
+    #[test]
+    fn slo_violation_rate_counts_flagged_requests() {
+        let mut w = WindowStats::new();
+        for i in 0..10 {
+            w.record_request(true, 4096, us(50), SimDuration::ZERO, i < 3);
+        }
+        let s = w.finish(SimTime::ZERO, SimDuration::from_secs(1));
+        assert!((s.slo_violation_rate - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gc_busy_fraction_clamps_to_one() {
+        let mut w = WindowStats::new();
+        w.record_gc(SimDuration::from_secs(5));
+        let s = w.finish(SimTime::ZERO, SimDuration::from_secs(2));
+        assert_eq!(s.gc_events, 1);
+        assert_eq!(s.gc_busy_frac, 1.0);
+    }
+
+    #[test]
+    fn finish_resets_accumulator() {
+        let mut w = WindowStats::new();
+        w.record_request(true, 4096, us(10), SimDuration::ZERO, false);
+        let _ = w.finish(SimTime::ZERO, SimDuration::from_secs(1));
+        let s2 = w.finish(SimTime::from_secs(1), SimDuration::from_secs(1));
+        assert_eq!(s2.total_ops, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length must be positive")]
+    fn zero_length_window_panics() {
+        let mut w = WindowStats::new();
+        let _ = w.finish(SimTime::ZERO, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,108 @@
+//! Typed flash addresses.
+//!
+//! Logical page addresses ([`Lpa`]) are what tenants see; physical page
+//! addresses ([`Ppa`]) name a page on a specific chip of a specific channel.
+//! The newtypes keep the two address spaces from being mixed up at compile
+//! time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A flash channel index on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(pub u16);
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// A logical page address within one tenant's (vSSD's) address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Lpa(pub u64);
+
+impl fmt::Display for Lpa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lpa:{}", self.0)
+    }
+}
+
+/// The address of a physical flash block: `(channel, chip, block)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockAddr {
+    /// Channel the block lives on.
+    pub channel: ChannelId,
+    /// Chip within the channel.
+    pub chip: u16,
+    /// Block within the chip.
+    pub block: u32,
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:chip{}:blk{}", self.channel, self.chip, self.block)
+    }
+}
+
+/// A physical page address: a [`BlockAddr`] plus the page within the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ppa {
+    /// The block containing this page.
+    pub block: BlockAddr,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+impl Ppa {
+    /// Builds a physical page address.
+    pub fn new(channel: ChannelId, chip: u16, block: u32, page: u32) -> Self {
+        Ppa { block: BlockAddr { channel, chip, block }, page }
+    }
+
+    /// The channel this page lives on.
+    pub fn channel(&self) -> ChannelId {
+        self.block.channel
+    }
+
+    /// The chip within the channel.
+    pub fn chip(&self) -> u16 {
+        self.block.chip
+    }
+}
+
+impl fmt::Display for Ppa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:pg{}", self.block, self.page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppa_accessors() {
+        let p = Ppa::new(ChannelId(3), 1, 42, 7);
+        assert_eq!(p.channel(), ChannelId(3));
+        assert_eq!(p.chip(), 1);
+        assert_eq!(p.block.block, 42);
+        assert_eq!(p.page, 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Ppa::new(ChannelId(2), 0, 5, 9);
+        assert_eq!(p.to_string(), "ch2:chip0:blk5:pg9");
+        assert_eq!(Lpa(12).to_string(), "lpa:12");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Ppa::new(ChannelId(0), 0, 0, 1);
+        let b = Ppa::new(ChannelId(0), 0, 1, 0);
+        let c = Ppa::new(ChannelId(1), 0, 0, 0);
+        assert!(a < b && b < c);
+    }
+}

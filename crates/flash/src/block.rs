@@ -1,0 +1,408 @@
+//! Flash block state: valid-page bitmaps, append points, free lists.
+//!
+//! Flash writes are out-of-place: a page is programmed once per erase cycle,
+//! overwrites invalidate the old physical page, and whole blocks are erased
+//! to reclaim space. [`BlockState`] tracks one block's lifecycle;
+//! [`ChipBlocks`] tracks every block on one chip plus its free list.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Lpa;
+
+/// Lifecycle state of a single flash block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockPhase {
+    /// Erased and on the free list.
+    Free,
+    /// Allocated with unwritten pages remaining.
+    Open,
+    /// Every page written.
+    Full,
+}
+
+/// State of one physical flash block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockState {
+    phase: BlockPhase,
+    /// Next unwritten page (append point).
+    next_page: u32,
+    /// Which written pages still hold live data.
+    valid: Vec<bool>,
+    /// LPA stored in each written page (for GC migration).
+    page_lpa: Vec<Option<Lpa>>,
+    valid_count: u32,
+    erase_count: u32,
+    pages: u32,
+}
+
+impl BlockState {
+    /// Creates a fresh (never-programmed) block with `pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn new(pages: u32) -> Self {
+        assert!(pages > 0, "a block needs at least one page");
+        BlockState {
+            phase: BlockPhase::Free,
+            next_page: 0,
+            valid: vec![false; pages as usize],
+            page_lpa: vec![None; pages as usize],
+            valid_count: 0,
+            erase_count: 0,
+            pages,
+        }
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> BlockPhase {
+        self.phase
+    }
+
+    /// Number of live pages.
+    pub fn valid_count(&self) -> u32 {
+        self.valid_count
+    }
+
+    /// Number of pages written so far this erase cycle.
+    pub fn written_count(&self) -> u32 {
+        self.next_page
+    }
+
+    /// Pages still available for appending.
+    pub fn free_pages(&self) -> u32 {
+        self.pages - self.next_page
+    }
+
+    /// Times this block has been erased.
+    pub fn erase_count(&self) -> u32 {
+        self.erase_count
+    }
+
+    /// Marks the block as allocated (taken off the free list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not free.
+    pub fn open(&mut self) {
+        assert_eq!(self.phase, BlockPhase::Free, "opening a non-free block");
+        self.phase = BlockPhase::Open;
+    }
+
+    /// Appends one page holding `lpa`, returning the page index written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is full or not open.
+    pub fn append(&mut self, lpa: Lpa) -> u32 {
+        assert_eq!(self.phase, BlockPhase::Open, "appending to a non-open block");
+        let page = self.next_page;
+        self.valid[page as usize] = true;
+        self.page_lpa[page as usize] = Some(lpa);
+        self.valid_count += 1;
+        self.next_page += 1;
+        if self.next_page == self.pages {
+            self.phase = BlockPhase::Full;
+        }
+        page
+    }
+
+    /// Invalidates the page at `page` (its LPA was overwritten or trimmed).
+    ///
+    /// Idempotent: invalidating an already-invalid page is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` was never written.
+    pub fn invalidate(&mut self, page: u32) {
+        assert!(page < self.next_page, "invalidating an unwritten page");
+        let p = page as usize;
+        if self.valid[p] {
+            self.valid[p] = false;
+            self.page_lpa[p] = None;
+            self.valid_count -= 1;
+        }
+    }
+
+    /// Whether the page at `page` currently holds live data.
+    pub fn is_valid(&self, page: u32) -> bool {
+        self.valid.get(page as usize).copied().unwrap_or(false)
+    }
+
+    /// Iterates over `(page, lpa)` pairs of all live pages.
+    pub fn valid_pages(&self) -> impl Iterator<Item = (u32, Lpa)> + '_ {
+        self.page_lpa
+            .iter()
+            .enumerate()
+            .take(self.next_page as usize)
+            .filter_map(|(i, lpa)| lpa.map(|l| (i as u32, l)))
+    }
+
+    /// Erases the block, returning it to the free phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if live pages remain (callers must migrate them first).
+    pub fn erase(&mut self) {
+        assert_eq!(self.valid_count, 0, "erasing a block with live pages");
+        self.phase = BlockPhase::Free;
+        self.next_page = 0;
+        self.valid.fill(false);
+        self.page_lpa.fill(None);
+        self.erase_count += 1;
+    }
+}
+
+/// All blocks on one chip, with a free list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChipBlocks {
+    blocks: Vec<BlockState>,
+    free: Vec<u32>,
+}
+
+impl ChipBlocks {
+    /// Creates `count` fresh blocks of `pages` pages each.
+    pub fn new(count: u32, pages: u32) -> Self {
+        ChipBlocks {
+            blocks: (0..count).map(|_| BlockState::new(pages)).collect(),
+            // Pop from the back: allocate low block ids first.
+            free: (0..count).rev().collect(),
+        }
+    }
+
+    /// Number of blocks on the chip.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the chip has no blocks (never true for a real geometry).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Number of free (erased) blocks.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Fraction of the chip's blocks that are free.
+    pub fn free_fraction(&self) -> f64 {
+        if self.blocks.is_empty() {
+            0.0
+        } else {
+            self.free.len() as f64 / self.blocks.len() as f64
+        }
+    }
+
+    /// Allocates a free block and opens it, or `None` when exhausted.
+    pub fn allocate(&mut self) -> Option<u32> {
+        self.allocate_with_reserve(0)
+    }
+
+    /// Allocates a free block unless doing so would leave fewer than
+    /// `reserve` free blocks (the GC reserve that guarantees emergency
+    /// collection always has a migration destination).
+    pub fn allocate_with_reserve(&mut self, reserve: usize) -> Option<u32> {
+        if self.free.len() <= reserve {
+            return None;
+        }
+        let id = self.free.pop()?;
+        self.blocks[id as usize].open();
+        Some(id)
+    }
+
+    /// Returns an erased block to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block still has live pages (erase first).
+    pub fn release(&mut self, block: u32) {
+        self.blocks[block as usize].erase();
+        self.free.push(block);
+    }
+
+    /// Immutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn block(&self, block: u32) -> &BlockState {
+        &self.blocks[block as usize]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn block_mut(&mut self, block: u32) -> &mut BlockState {
+        &mut self.blocks[block as usize]
+    }
+
+    /// The non-free block with the fewest live pages among `candidates`,
+    /// preferring lower ids on ties. Returns `None` when no candidate is
+    /// eligible (free blocks and fully-valid open blocks are skipped only
+    /// if `skip_open` is set).
+    pub fn greedy_victim<I>(&self, candidates: I, skip_open: bool) -> Option<u32>
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        let mut best: Option<(u32, u32)> = None;
+        for id in candidates {
+            let b = &self.blocks[id as usize];
+            if b.phase() == BlockPhase::Free {
+                continue;
+            }
+            if skip_open && b.phase() == BlockPhase::Open {
+                continue;
+            }
+            let key = b.valid_count();
+            match best {
+                Some((_, k)) if k <= key => {}
+                _ => best = Some((id, key)),
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn block_lifecycle() {
+        let mut b = BlockState::new(4);
+        assert_eq!(b.phase(), BlockPhase::Free);
+        b.open();
+        assert_eq!(b.append(Lpa(10)), 0);
+        assert_eq!(b.append(Lpa(11)), 1);
+        assert_eq!(b.valid_count(), 2);
+        assert_eq!(b.free_pages(), 2);
+        b.invalidate(0);
+        assert_eq!(b.valid_count(), 1);
+        assert!(!b.is_valid(0));
+        assert!(b.is_valid(1));
+        b.append(Lpa(12));
+        b.append(Lpa(13));
+        assert_eq!(b.phase(), BlockPhase::Full);
+        let live: Vec<_> = b.valid_pages().collect();
+        assert_eq!(live, vec![(1, Lpa(11)), (2, Lpa(12)), (3, Lpa(13))]);
+    }
+
+    #[test]
+    fn invalidate_is_idempotent() {
+        let mut b = BlockState::new(2);
+        b.open();
+        b.append(Lpa(1));
+        b.invalidate(0);
+        b.invalidate(0);
+        assert_eq!(b.valid_count(), 0);
+    }
+
+    #[test]
+    fn erase_resets_and_counts() {
+        let mut b = BlockState::new(2);
+        b.open();
+        b.append(Lpa(1));
+        b.invalidate(0);
+        b.erase();
+        assert_eq!(b.phase(), BlockPhase::Free);
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.free_pages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "live pages")]
+    fn erase_with_live_pages_panics() {
+        let mut b = BlockState::new(2);
+        b.open();
+        b.append(Lpa(1));
+        b.erase();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-open block")]
+    fn append_to_full_block_panics() {
+        let mut b = BlockState::new(1);
+        b.open();
+        b.append(Lpa(1));
+        b.append(Lpa(2));
+    }
+
+    #[test]
+    fn chip_allocation_and_release() {
+        let mut c = ChipBlocks::new(4, 2);
+        assert_eq!(c.free_count(), 4);
+        let a = c.allocate().unwrap();
+        assert_eq!(a, 0); // low ids first
+        assert_eq!(c.free_count(), 3);
+        assert_eq!(c.block(a).phase(), BlockPhase::Open);
+        c.block_mut(a).append(Lpa(1));
+        c.block_mut(a).invalidate(0);
+        c.release(a);
+        assert_eq!(c.free_count(), 4);
+        assert!((c.free_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chip_exhaustion_returns_none() {
+        let mut c = ChipBlocks::new(1, 1);
+        assert!(c.allocate().is_some());
+        assert!(c.allocate().is_none());
+    }
+
+    #[test]
+    fn greedy_victim_prefers_fewest_valid() {
+        let mut c = ChipBlocks::new(3, 4);
+        for _ in 0..3 {
+            c.allocate();
+        }
+        // Block 0: 4 valid; block 1: 1 valid; block 2: 2 valid.
+        for i in 0..4 {
+            c.block_mut(0).append(Lpa(i));
+        }
+        for i in 0..4 {
+            c.block_mut(1).append(Lpa(10 + i));
+        }
+        for p in 0..3 {
+            c.block_mut(1).invalidate(p as u32);
+        }
+        for i in 0..4 {
+            c.block_mut(2).append(Lpa(20 + i));
+        }
+        for p in 0..2 {
+            c.block_mut(2).invalidate(p as u32);
+        }
+        assert_eq!(c.greedy_victim(0..3, false), Some(1));
+    }
+
+    #[test]
+    fn greedy_victim_skips_free_blocks() {
+        let c = ChipBlocks::new(3, 4);
+        assert_eq!(c.greedy_victim(0..3, false), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_valid_count_matches_bitmap(ops in proptest::collection::vec(0u32..8, 1..64)) {
+            let mut b = BlockState::new(64);
+            b.open();
+            let mut written = 0u32;
+            for op in ops {
+                if op < 6 {
+                    if b.free_pages() > 0 {
+                        b.append(Lpa(u64::from(written)));
+                        written += 1;
+                    }
+                } else if written > 0 {
+                    b.invalidate(op % written);
+                }
+            }
+            let bitmap_count = (0..b.written_count()).filter(|p| b.is_valid(*p)).count() as u32;
+            prop_assert_eq!(bitmap_count, b.valid_count());
+            prop_assert_eq!(b.valid_pages().count() as u32, b.valid_count());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Device-level accounting: utilization and write amplification.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative device counters.
+///
+/// `host_*` counts bytes the host asked to move; `flash_write_bytes` counts
+/// bytes physically programmed (host writes plus GC migrations), so the
+/// write-amplification factor is `flash_write_bytes / host_write_bytes`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Bytes read on behalf of the host.
+    pub host_read_bytes: u64,
+    /// Bytes written on behalf of the host.
+    pub host_write_bytes: u64,
+    /// Bytes physically programmed (host + GC).
+    pub flash_write_bytes: u64,
+    /// Bytes migrated by garbage collection.
+    pub gc_migrated_bytes: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// GC invocations.
+    pub gc_runs: u64,
+}
+
+impl DeviceStats {
+    /// Write-amplification factor, or `None` before any host write.
+    pub fn waf(&self) -> Option<f64> {
+        (self.host_write_bytes > 0)
+            .then(|| self.flash_write_bytes as f64 / self.host_write_bytes as f64)
+    }
+
+    /// Total host bytes moved in both directions.
+    pub fn host_bytes(&self) -> u64 {
+        self.host_read_bytes + self.host_write_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waf_requires_host_writes() {
+        let mut s = DeviceStats::default();
+        assert_eq!(s.waf(), None);
+        s.host_write_bytes = 100;
+        s.flash_write_bytes = 150;
+        assert_eq!(s.waf(), Some(1.5));
+    }
+
+    #[test]
+    fn host_bytes_sums_directions() {
+        let s = DeviceStats { host_read_bytes: 3, host_write_bytes: 4, ..Default::default() };
+        assert_eq!(s.host_bytes(), 7);
+    }
+}

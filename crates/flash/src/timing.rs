@@ -1,0 +1,103 @@
+//! NAND and channel-bus timing model.
+
+use fleetio_des::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Service-time parameters of the simulated NAND and channel bus.
+///
+/// The defaults are typical MLC/TLC NAND figures and give each channel a
+/// ~64 MB/s bus — the per-channel bandwidth the paper uses when translating
+/// harvest bandwidth into ghost-superblock channel counts (§3.6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlashTiming {
+    /// Cell array read latency (tR) per page.
+    pub read_latency: SimDuration,
+    /// Page program latency (tPROG).
+    pub program_latency: SimDuration,
+    /// Block erase latency (tBERS).
+    pub erase_latency: SimDuration,
+    /// Channel bus transfer time per byte, in nanoseconds (fixed point:
+    /// nanoseconds × 1024 per byte to keep sub-ns precision).
+    bus_ns_per_kib: u64,
+}
+
+impl FlashTiming {
+    /// Builds a timing model from explicit parameters.
+    ///
+    /// `bus_bytes_per_sec` is the one-direction channel bus bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bus_bytes_per_sec` is not strictly positive.
+    pub fn new(
+        read_latency: SimDuration,
+        program_latency: SimDuration,
+        erase_latency: SimDuration,
+        bus_bytes_per_sec: f64,
+    ) -> Self {
+        assert!(bus_bytes_per_sec > 0.0, "bus bandwidth must be positive");
+        let bus_ns_per_kib = (1024.0 * 1e9 / bus_bytes_per_sec).round() as u64;
+        FlashTiming { read_latency, program_latency, erase_latency, bus_ns_per_kib }
+    }
+
+    /// Bus transfer duration for `bytes` of data.
+    pub fn transfer(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos(bytes * self.bus_ns_per_kib / 1024)
+    }
+
+    /// The bus bandwidth implied by the transfer cost, bytes/second.
+    pub fn bus_bytes_per_sec(&self) -> f64 {
+        1024.0 * 1e9 / self.bus_ns_per_kib as f64
+    }
+}
+
+impl Default for FlashTiming {
+    /// tR = 50 µs, tPROG = 400 µs, tBERS = 3 ms, bus = 64 MB/s.
+    fn default() -> Self {
+        FlashTiming::new(
+            SimDuration::from_micros(50),
+            SimDuration::from_micros(400),
+            SimDuration::from_millis(3),
+            64.0 * 1024.0 * 1024.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bus_is_64_mb_per_sec() {
+        let t = FlashTiming::default();
+        let got = t.bus_bytes_per_sec();
+        let want = 64.0 * 1024.0 * 1024.0;
+        assert!((got - want).abs() / want < 1e-3, "got {got}");
+    }
+
+    #[test]
+    fn transfer_scales_linearly() {
+        let t = FlashTiming::default();
+        let one = t.transfer(16 * 1024).as_nanos();
+        let four = t.transfer(64 * 1024).as_nanos();
+        assert_eq!(four, one * 4);
+        // 16 KiB over 64 MiB/s = 244.14 µs.
+        assert!((one as f64 / 1000.0 - 244.1).abs() < 1.0, "one={one}");
+    }
+
+    #[test]
+    fn zero_bytes_transfer_is_free() {
+        assert_eq!(FlashTiming::default().transfer(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bus bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = FlashTiming::new(
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1),
+            0.0,
+        );
+    }
+}

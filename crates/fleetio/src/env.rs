@@ -1,0 +1,329 @@
+//! The RL environment over a collocation.
+//!
+//! One step = one 2-second decision window: actions are applied (priority
+//! immediately, harvest actions through admission control), the window
+//! runs, Table 1 states are extracted per agent, and rewards follow
+//! Equation 1 mixed by Equation 2.
+
+use fleetio_des::SimDuration;
+use fleetio_rl::env::{MultiAgentEnv, StepResult};
+use fleetio_rl::reward::mix_rewards;
+use fleetio_vssd::engine::EngineConfig;
+
+use crate::actions::AgentAction;
+use crate::config::FleetIoConfig;
+use crate::driver::{Colocation, TenantSpec};
+use crate::reward::RewardParams;
+use crate::states::{StateHistory, StateVector};
+
+/// A FleetIO training/evaluation environment.
+#[derive(Debug)]
+pub struct FleetIoEnv {
+    cfg: FleetIoConfig,
+    tenants: Vec<TenantSpec>,
+    warm_fraction: f64,
+    horizon_windows: usize,
+    coloc: Colocation,
+    histories: Vec<StateHistory>,
+    rewards: Vec<RewardParams>,
+    windows_done: usize,
+    episode: u64,
+    seed: u64,
+    /// Keep the engine running across episodes (the storage system is a
+    /// continuing task; rebuilding + re-warming per episode is both
+    /// unrealistic and expensive). Set false to get fresh devices.
+    persistent: bool,
+}
+
+impl FleetIoEnv {
+    /// Builds an environment over `tenants` with per-tenant reward
+    /// parameters (α per workload type).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configurations or if `rewards` does not match
+    /// `tenants`.
+    pub fn new(
+        cfg: FleetIoConfig,
+        tenants: Vec<TenantSpec>,
+        rewards: Vec<RewardParams>,
+        warm_fraction: f64,
+        horizon_windows: usize,
+        seed: u64,
+    ) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid FleetIO config: {e}");
+        }
+        assert_eq!(tenants.len(), rewards.len(), "one RewardParams per tenant");
+        assert!(horizon_windows > 0, "horizon must be positive");
+        let coloc = Self::build(&cfg.engine, &tenants, cfg.decision_interval, warm_fraction, seed, 0);
+        let histories = tenants.iter().map(|_| StateHistory::new(cfg.history_windows)).collect();
+        FleetIoEnv {
+            cfg,
+            tenants,
+            warm_fraction,
+            horizon_windows,
+            coloc,
+            histories,
+            rewards,
+            windows_done: 0,
+            episode: 0,
+            seed,
+            persistent: true,
+        }
+    }
+
+    /// Makes every `reset` rebuild a fresh, re-warmed device instead of
+    /// continuing the running one (builder style).
+    pub fn with_fresh_episodes(mut self) -> Self {
+        self.persistent = false;
+        self
+    }
+
+    /// Default reward parameters for a tenant list: α from each workload's
+    /// category using the paper's fine-tuned values.
+    pub fn default_rewards(cfg: &FleetIoConfig, tenants: &[TenantSpec]) -> Vec<RewardParams> {
+        tenants
+            .iter()
+            .map(|t| {
+                let alpha = crate::typing::alpha_for_kind(cfg, t.kind);
+                RewardParams::new(
+                    alpha.max(0.0),
+                    t.config.channels.len(),
+                    cfg.engine.flash.channel_peak_bytes_per_sec(),
+                    cfg.slo_violation_guarantee,
+                )
+            })
+            .collect()
+    }
+
+    fn build(
+        engine_cfg: &EngineConfig,
+        tenants: &[TenantSpec],
+        window: SimDuration,
+        warm_fraction: f64,
+        seed: u64,
+        episode: u64,
+    ) -> Colocation {
+        let respawned: Vec<TenantSpec> = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut t = t.clone();
+                t.seed = fleetio_des::rng::derive_seed_indexed(
+                    seed ^ t.seed,
+                    "env-tenant",
+                    episode * 64 + i as u64,
+                );
+                t
+            })
+            .collect();
+        let mut coloc = Colocation::new(engine_cfg.clone(), respawned, window);
+        if warm_fraction > 0.0 {
+            coloc.warm_up(warm_fraction);
+        }
+        coloc
+    }
+
+    /// The underlying collocation (e.g. for metric collection).
+    pub fn colocation(&self) -> &Colocation {
+        &self.coloc
+    }
+
+    /// Mutable access to the collocation.
+    pub fn colocation_mut(&mut self) -> &mut Colocation {
+        &mut self.coloc
+    }
+
+    /// Overrides one tenant's reward parameters (for α fine-tuning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_reward_params(&mut self, idx: usize, params: RewardParams) {
+        self.rewards[idx] = params;
+    }
+
+    /// Applies decoded actions and advances one window, returning the raw
+    /// per-agent states alongside the step result (for deployment loops
+    /// that need the un-normalized states).
+    pub fn step_decoded(&mut self, actions: &[AgentAction]) -> (Vec<StateVector>, StepResult) {
+        assert_eq!(actions.len(), self.tenants.len(), "one action per agent");
+        let ids = self.coloc.tenant_ids();
+        let ch_bw = self.coloc.engine().channel_peak_bytes_per_sec();
+        for (id, action) in ids.iter().zip(actions) {
+            let engine = self.coloc.engine_mut();
+            engine.set_priority(*id, action.priority);
+            engine.submit_action(action.make_harvestable_action(*id, ch_bw));
+            engine.submit_action(action.harvest_action(*id, ch_bw));
+        }
+        let summaries = self.coloc.run_window();
+        self.windows_done += 1;
+
+        // Shared states: sums across collocated agents (§3.3.1).
+        let total_iops: f64 = summaries.iter().map(|(_, w)| w.avg_iops).sum();
+        let total_vio: f64 = summaries.iter().map(|(_, w)| w.slo_violation_rate).sum();
+
+        let mut states = Vec::with_capacity(ids.len());
+        let mut rewards = Vec::with_capacity(ids.len());
+        for (i, (id, window)) in summaries.iter().enumerate() {
+            let snap = self.coloc.engine().snapshot(*id);
+            let state = StateVector::from_window(
+                window,
+                &snap,
+                total_iops - window.avg_iops,
+                total_vio - window.slo_violation_rate,
+            );
+            self.histories[i].push(state);
+            states.push(state);
+            rewards.push(self.rewards[i].reward(window.avg_bandwidth, window.slo_violation_rate));
+        }
+        let mixed = mix_rewards(&rewards, self.cfg.beta);
+        let observations = self.histories.iter().map(StateHistory::observation).collect();
+        let done = self.windows_done >= self.horizon_windows;
+        (states, StepResult { observations, rewards: mixed, done })
+    }
+}
+
+impl MultiAgentEnv for FleetIoEnv {
+    fn n_agents(&self) -> usize {
+        self.tenants.len()
+    }
+
+    fn obs_dim(&self) -> usize {
+        self.cfg.obs_dim()
+    }
+
+    fn action_dims(&self) -> Vec<usize> {
+        self.cfg.action_dims()
+    }
+
+    fn reset(&mut self) -> Vec<Vec<f32>> {
+        self.episode += 1;
+        if !self.persistent || self.episode == 1 {
+            self.coloc = Self::build(
+                &self.cfg.engine,
+                &self.tenants,
+                self.cfg.decision_interval,
+                self.warm_fraction,
+                self.seed,
+                self.episode,
+            );
+        }
+        self.windows_done = 0;
+        for h in &mut self.histories {
+            h.reset();
+        }
+        // One throwaway window seeds the history with real traffic.
+        let idle: Vec<AgentAction> = self.tenants.iter().map(|_| AgentAction::idle()).collect();
+        let (_, step) = self.step_decoded(&idle);
+        self.windows_done = 0;
+        step.observations
+    }
+
+    fn step(&mut self, actions: &[Vec<usize>]) -> StepResult {
+        let decoded: Vec<AgentAction> =
+            actions.iter().map(|heads| AgentAction::from_heads(heads)).collect();
+        self.step_decoded(&decoded).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleetio_flash::addr::ChannelId;
+    use fleetio_flash::config::FlashConfig;
+    use fleetio_vssd::request::Priority;
+    use fleetio_vssd::vssd::{VssdConfig, VssdId};
+    use fleetio_workloads::WorkloadKind;
+
+    fn tiny_cfg() -> FleetIoConfig {
+        let mut cfg = FleetIoConfig::default();
+        cfg.engine.flash = FlashConfig::training_test();
+        cfg.decision_interval = SimDuration::from_millis(500);
+        cfg
+    }
+
+    fn tenants() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec::new(
+                VssdConfig::hardware(VssdId(0), vec![ChannelId(0), ChannelId(1)])
+                    .with_slo(SimDuration::from_millis(2)),
+                WorkloadKind::Ycsb,
+                1,
+            ),
+            TenantSpec::new(
+                VssdConfig::hardware(VssdId(1), vec![ChannelId(2), ChannelId(3)]),
+                WorkloadKind::TeraSort,
+                2,
+            ),
+        ]
+    }
+
+    fn env() -> FleetIoEnv {
+        let cfg = tiny_cfg();
+        let t = tenants();
+        let rewards = FleetIoEnv::default_rewards(&cfg, &t);
+        FleetIoEnv::new(cfg, t, rewards, 0.0, 4, 99)
+    }
+
+    #[test]
+    fn reset_produces_observations() {
+        let mut e = env();
+        let obs = e.reset();
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].len(), 33);
+        // The seeded window put real traffic into the newest slice.
+        let newest = &obs[0][22..33];
+        assert!(newest.iter().any(|v| *v != 0.0), "observation all zero");
+    }
+
+    #[test]
+    fn step_applies_priority_and_returns_rewards() {
+        let mut e = env();
+        e.reset();
+        let actions = vec![
+            vec![0usize, 0, 2], // YCSB: high priority
+            vec![2, 0, 1],      // TeraSort: harvest 2 channels
+        ];
+        let result = e.step(&actions);
+        assert_eq!(result.rewards.len(), 2);
+        assert!(!result.done);
+        assert_eq!(e.colocation().engine().snapshot(VssdId(0)).priority, Priority::High);
+        // Rewards are finite and the BI tenant earns bandwidth reward.
+        assert!(result.rewards.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn episode_terminates_at_horizon() {
+        let mut e = env();
+        e.reset();
+        let idle = vec![vec![0usize, 0, 1], vec![0, 0, 1]];
+        for i in 0..4 {
+            let r = e.step(&idle);
+            assert_eq!(r.done, i == 3, "window {i}");
+        }
+    }
+
+    #[test]
+    fn harvest_actions_take_effect_after_admission() {
+        let mut e = env();
+        e.reset();
+        // Tenant 0 offers 2 channels, tenant 1 harvests 2.
+        let actions = vec![vec![0usize, 2, 1], vec![2, 0, 1]];
+        e.step(&actions);
+        // After one 500 ms window the 50 ms admission batch has long run.
+        let snap = e.colocation().engine().snapshot(VssdId(1));
+        assert_eq!(snap.harvested_channels, 2);
+    }
+
+    #[test]
+    fn default_rewards_use_category_alphas() {
+        let cfg = tiny_cfg();
+        let t = tenants();
+        let r = FleetIoEnv::default_rewards(&cfg, &t);
+        // YCSB is LC-2 → α = 5e-3; TeraSort is BI → α = 0.
+        assert!((r[0].alpha - cfg.alpha_lc2).abs() < 1e-12);
+        assert_eq!(r[1].alpha, 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Table 5: workload combinations for the scalability experiments.
+
+use fleetio_workloads::WorkloadKind;
+use serde::{Deserialize, Serialize};
+
+/// One Table 5 mix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mix {
+    /// The paper's label (mix1 … mix5).
+    pub label: &'static str,
+    /// The collocated workloads, one per vSSD.
+    pub workloads: Vec<WorkloadKind>,
+}
+
+impl Mix {
+    /// Number of vSSDs in the mix.
+    pub fn n_vssds(&self) -> usize {
+        self.workloads.len()
+    }
+}
+
+/// All five Table 5 mixes.
+///
+/// # Example
+///
+/// ```
+/// let mixes = fleetio::mixes::table5_mixes();
+/// assert_eq!(mixes.len(), 5);
+/// assert_eq!(mixes[4].n_vssds(), 8); // mix5
+/// ```
+pub fn table5_mixes() -> Vec<Mix> {
+    use WorkloadKind::*;
+    vec![
+        Mix { label: "mix1", workloads: vec![VdiWeb, TeraSort] },
+        Mix { label: "mix2", workloads: vec![Ycsb, PageRank] },
+        Mix { label: "mix3", workloads: vec![VdiWeb, VdiWeb, TeraSort, TeraSort] },
+        Mix { label: "mix4", workloads: vec![VdiWeb, Ycsb, TeraSort, PageRank] },
+        Mix {
+            label: "mix5",
+            workloads: vec![
+                VdiWeb, VdiWeb, VdiWeb, VdiWeb, TeraSort, TeraSort, PageRank, MlPrep,
+            ],
+        },
+    ]
+}
+
+/// The six §4.2 evaluation pairs: every latency-sensitive × bandwidth-
+/// intensive combination of Table 4.
+pub fn evaluation_pairs() -> Vec<(WorkloadKind, WorkloadKind)> {
+    use WorkloadKind::*;
+    let lc = [VdiWeb, Ycsb];
+    let bi = [TeraSort, MlPrep, PageRank];
+    lc.iter().flat_map(|l| bi.iter().map(move |b| (*l, *b))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleetio_workloads::WorkloadCategory;
+
+    #[test]
+    fn table5_shapes_match_paper() {
+        let mixes = table5_mixes();
+        assert_eq!(mixes.len(), 5);
+        let sizes: Vec<usize> = mixes.iter().map(Mix::n_vssds).collect();
+        assert_eq!(sizes, vec![2, 2, 4, 4, 8]);
+        assert_eq!(mixes[0].label, "mix1");
+        // mix5: 4 VDI-Web, 2 TeraSort, PageRank, ML Prep.
+        let m5 = &mixes[4];
+        let vdi = m5.workloads.iter().filter(|w| **w == WorkloadKind::VdiWeb).count();
+        let tera = m5.workloads.iter().filter(|w| **w == WorkloadKind::TeraSort).count();
+        assert_eq!((vdi, tera), (4, 2));
+    }
+
+    #[test]
+    fn evaluation_pairs_cover_all_six() {
+        let pairs = evaluation_pairs();
+        assert_eq!(pairs.len(), 6);
+        for (lc, bi) in pairs {
+            assert_eq!(lc.category(), WorkloadCategory::LatencySensitive);
+            assert_eq!(bi.category(), WorkloadCategory::BandwidthIntensive);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Reward functions (Equations 1 and 2 of the paper).
+//!
+//! Equation 1 rewards a vSSD for utilizing its guaranteed bandwidth while
+//! penalizing SLO violations relative to the provider's guarantee:
+//!
+//! `R = (1 − α) · Avg_BW / BW_guar − α · SLO_Vio / SLO_Vio_guar`
+//!
+//! The trade-off coefficient α is fine-tuned per workload type (§3.4);
+//! Equation 2's mixing across agents lives in
+//! [`fleetio_rl::reward::mix_rewards`].
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the per-vSSD reward (Equation 1).
+///
+/// # Example
+///
+/// ```
+/// use fleetio::RewardParams;
+///
+/// // 8 channels at 64 MiB/s, 1 % violation guarantee, LC-1's α.
+/// let p = RewardParams::new(2.5e-2, 8, 64.0 * 1024.0 * 1024.0, 0.01);
+/// // Full guaranteed bandwidth with no violations scores ≈ 1 − α.
+/// let r = p.reward(p.bw_guarantee, 0.0);
+/// assert!((r - 0.975).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardParams {
+    /// Trade-off coefficient α; small values prioritize utilization, large
+    /// values prioritize isolation.
+    pub alpha: f64,
+    /// Guaranteed bandwidth of the vSSD's allocated resources,
+    /// bytes/second (`N channels × bandwidth_per_channel`, §3.3.3).
+    pub bw_guarantee: f64,
+    /// Guaranteed SLO-violation fraction (paper default: 1 %).
+    pub slo_vio_guarantee: f64,
+}
+
+impl RewardParams {
+    /// Builds parameters for a vSSD with `channels` allocated channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every argument is positive/valid.
+    pub fn new(alpha: f64, channels: usize, channel_bw: f64, slo_vio_guarantee: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        assert!(channels > 0, "channels must be positive");
+        assert!(channel_bw > 0.0, "channel bandwidth must be positive");
+        assert!(slo_vio_guarantee > 0.0, "SLO guarantee must be positive");
+        RewardParams {
+            alpha,
+            bw_guarantee: channels as f64 * channel_bw,
+            slo_vio_guarantee,
+        }
+    }
+
+    /// Equation 1: the reward for one window.
+    ///
+    /// `avg_bw` is the measured bandwidth (bytes/second) and `slo_vio` the
+    /// measured violation fraction in `[0, 1]`.
+    pub fn reward(&self, avg_bw: f64, slo_vio: f64) -> f64 {
+        (1.0 - self.alpha) * (avg_bw / self.bw_guarantee)
+            - self.alpha * (slo_vio / self.slo_vio_guarantee)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CH_BW: f64 = 64.0 * 1024.0 * 1024.0;
+
+    #[test]
+    fn reward_rewards_bandwidth() {
+        let p = RewardParams::new(0.0, 8, CH_BW, 0.01);
+        // Full guaranteed bandwidth, no violations → 1.0.
+        assert!((p.reward(8.0 * CH_BW, 0.0) - 1.0).abs() < 1e-12);
+        // Harvested extra bandwidth can exceed 1.
+        assert!(p.reward(12.0 * CH_BW, 0.0) > 1.0);
+        // α = 0 ignores violations entirely.
+        assert_eq!(p.reward(8.0 * CH_BW, 1.0), p.reward(8.0 * CH_BW, 0.0));
+    }
+
+    #[test]
+    fn reward_penalizes_violations() {
+        let p = RewardParams::new(0.025, 8, CH_BW, 0.01);
+        let clean = p.reward(4.0 * CH_BW, 0.0);
+        let dirty = p.reward(4.0 * CH_BW, 0.05);
+        assert!(dirty < clean);
+        // 5 % violations against a 1 % guarantee costs α × 5.
+        assert!((clean - dirty - 0.025 * 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_trades_off_the_two_terms() {
+        let lo = RewardParams::new(0.005, 8, CH_BW, 0.01);
+        let hi = RewardParams::new(0.1, 8, CH_BW, 0.01);
+        let bw = 6.0 * CH_BW;
+        let vio = 0.03;
+        // Higher α → same situation scores worse when violating.
+        assert!(hi.reward(bw, vio) < lo.reward(bw, vio));
+    }
+
+    #[test]
+    fn guarantee_scales_with_channels() {
+        let p4 = RewardParams::new(0.01, 4, CH_BW, 0.01);
+        let p8 = RewardParams::new(0.01, 8, CH_BW, 0.01);
+        assert_eq!(p8.bw_guarantee, 2.0 * p4.bw_guarantee);
+        // Same absolute bandwidth looks better against a smaller guarantee.
+        assert!(p4.reward(2.0 * CH_BW, 0.0) > p8.reward(2.0 * CH_BW, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn bad_alpha_panics() {
+        let _ = RewardParams::new(1.5, 8, CH_BW, 0.01);
+    }
+}

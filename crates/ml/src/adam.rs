@@ -1,0 +1,154 @@
+//! The Adam optimizer (Kingma & Ba, 2015).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mlp::{Mlp, MlpGrads};
+
+/// Adam state for one network's parameters.
+///
+/// # Example
+///
+/// ```
+/// use fleetio_ml::{Activation, Adam, Mlp};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Linear, &mut rng);
+/// let mut opt = Adam::new(net.n_params(), 1e-2);
+/// // Minimize (out − 1)² at a fixed input.
+/// for _ in 0..300 {
+///     let cache = net.forward_cached(&[0.5, -0.5]);
+///     let err = cache.output()[0] - 1.0;
+///     let mut grads = net.zero_grads();
+///     net.backward(&cache, &[2.0 * err], &mut grads);
+///     opt.step(&mut net, &grads);
+/// }
+/// assert!((net.forward(&[0.5, -0.5])[0] - 1.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam state for `n_params` parameters with learning rate
+    /// `lr` and the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr` is strictly positive and finite.
+    pub fn new(n_params: usize, lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; n_params],
+            v: vec![0.0; n_params],
+            t: 0,
+        }
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (e.g. for schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr` is strictly positive and finite.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one Adam step to `net` using accumulated `grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape does not match the network this
+    /// optimizer was sized for.
+    pub fn step(&mut self, net: &mut Mlp, grads: &MlpGrads) {
+        assert_eq!(self.m.len(), net.n_params(), "optimizer/network size mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        // First pass: update moments from gradients.
+        let (beta1, beta2) = (self.beta1, self.beta2);
+        let (m, v) = (&mut self.m, &mut self.v);
+        Mlp::visit_grads(grads, |i, g| {
+            m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+            v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+        });
+        // Second pass: apply bias-corrected update.
+        let (lr, eps) = (self.lr, self.eps);
+        let (m, v) = (&self.m, &self.v);
+        net.visit_params_mut(|i, p| {
+            let m_hat = m[i] / b1t;
+            let v_hat = v[i] / b2t;
+            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::Activation;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn converges_on_regression_task() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut net = Mlp::new(&[1, 8, 1], Activation::Tanh, Activation::Linear, &mut rng);
+        let mut opt = Adam::new(net.n_params(), 5e-3);
+        // Fit y = 2x on x ∈ {-1, -0.5, 0, 0.5, 1}.
+        let data: Vec<(f32, f32)> =
+            [-1.0f32, -0.5, 0.0, 0.5, 1.0].iter().map(|x| (*x, 2.0 * x)).collect();
+        for _ in 0..2000 {
+            let mut grads = net.zero_grads();
+            for (x, y) in &data {
+                let cache = net.forward_cached(&[*x]);
+                let err = cache.output()[0] - y;
+                net.backward(&cache, &[2.0 * err], &mut grads);
+            }
+            grads.scale(1.0 / data.len() as f32);
+            opt.step(&mut net, &grads);
+        }
+        let mse: f32 = data
+            .iter()
+            .map(|(x, y)| {
+                let p = net.forward(&[*x])[0];
+                (p - y) * (p - y)
+            })
+            .sum::<f32>()
+            / data.len() as f32;
+        assert!(mse < 0.01, "mse {mse}");
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_size_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut net = Mlp::new(&[2, 2], Activation::Tanh, Activation::Linear, &mut rng);
+        let grads = net.zero_grads();
+        let mut opt = Adam::new(3, 1e-3);
+        opt.step(&mut net, &grads);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn bad_lr_panics() {
+        let _ = Adam::new(10, -1.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Deterministic dataset utilities.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits indices `0..n` into a shuffled (train, test) partition with the
+/// given train fraction, as the paper's 70/30 split for clustering (§3.4).
+///
+/// # Panics
+///
+/// Panics unless `train_frac` is in `(0, 1)`.
+pub fn train_test_split<R: Rng>(
+    n: usize,
+    train_frac: f64,
+    rng: &mut R,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(train_frac > 0.0 && train_frac < 1.0, "train_frac must be in (0, 1)");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let cut = ((n as f64) * train_frac).round() as usize;
+    let cut = cut.clamp(1.min(n), n.saturating_sub(1).max(1));
+    let test = idx.split_off(cut.min(idx.len()));
+    (idx, test)
+}
+
+/// Selects rows of `data` by `indices`.
+pub fn take<T: Clone>(data: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| data[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_partitions_everything() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (train, test) = train_test_split(100, 0.7, &mut rng);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let a = train_test_split(50, 0.7, &mut SmallRng::seed_from_u64(1));
+        let b = train_test_split(50, 0.7, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn take_selects_rows() {
+        let data = vec!["a", "b", "c"];
+        assert_eq!(take(&data, &[2, 0]), vec!["c", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_frac")]
+    fn bad_fraction_panics() {
+        let _ = train_test_split(10, 1.5, &mut SmallRng::seed_from_u64(0));
+    }
+}

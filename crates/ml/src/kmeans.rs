@@ -1,0 +1,237 @@
+//! K-means clustering with k-means++ initialization.
+//!
+//! FleetIO clusters 10 K-request trace windows by four I/O features to
+//! learn workload types (§3.4, Figure 6). K-means with k-means++ seeding
+//! and Lloyd iterations is exactly what the paper uses.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Fits `k` clusters to `data` with at most `max_iters` Lloyd
+    /// iterations (stops early on convergence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, has fewer points than `k`, `k` is zero,
+    /// or rows have inconsistent dimensions.
+    pub fn fit<R: Rng>(data: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut R) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(data.len() >= k, "need at least k points");
+        let dim = data[0].len();
+        assert!(data.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(data[rng.gen_range(0..data.len())].clone());
+        while centroids.len() < k {
+            let dists: Vec<f64> = data
+                .iter()
+                .map(|p| {
+                    centroids.iter().map(|c| sq_dist(p, c)).fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = dists.iter().sum();
+            if total <= 0.0 {
+                // All points coincide with centroids; duplicate one.
+                centroids.push(data[rng.gen_range(0..data.len())].clone());
+                continue;
+            }
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = data.len() - 1;
+            for (i, d) in dists.iter().enumerate() {
+                if target < *d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            centroids.push(data[chosen].clone());
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; data.len()];
+        for _ in 0..max_iters {
+            let mut changed = false;
+            for (i, p) in data.iter().enumerate() {
+                let best = (0..k)
+                    .min_by(|&a, &b| {
+                        sq_dist(p, &centroids[a])
+                            .partial_cmp(&sq_dist(p, &centroids[b]))
+                            .expect("finite distances")
+                    })
+                    .expect("k > 0");
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            let mut sums = vec![vec![0.0f64; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (p, &a) in data.iter().zip(&assignment) {
+                counts[a] += 1;
+                for (s, x) in sums[a].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if *count > 0 {
+                    for (cv, s) in c.iter_mut().zip(sum) {
+                        *cv = s / *count as f64;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        KMeans { centroids }
+    }
+
+    /// Fits `k` clusters with `restarts` independent k-means++ seedings,
+    /// keeping the fit with the lowest inertia. Small feature sets cluster
+    /// much more reliably this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`KMeans::fit`], or when
+    /// `restarts` is zero.
+    pub fn fit_restarts<R: Rng>(
+        data: &[Vec<f64>],
+        k: usize,
+        max_iters: usize,
+        restarts: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(restarts > 0, "need at least one restart");
+        let mut best: Option<(f64, KMeans)> = None;
+        for _ in 0..restarts {
+            let m = KMeans::fit(data, k, max_iters, rng);
+            let inertia = m.inertia(data);
+            if best.as_ref().is_none_or(|(i, _)| inertia < *i) {
+                best = Some((inertia, m));
+            }
+        }
+        best.expect("at least one fit").1
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The fitted centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Index of the nearest centroid to `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension does not match.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        assert_eq!(point.len(), self.centroids[0].len(), "dimension mismatch");
+        (0..self.centroids.len())
+            .min_by(|&a, &b| {
+                sq_dist(point, &self.centroids[a])
+                    .partial_cmp(&sq_dist(point, &self.centroids[b]))
+                    .expect("finite distances")
+            })
+            .expect("non-empty centroids")
+    }
+
+    /// Squared distance from `point` to its nearest centroid.
+    pub fn distance_to_nearest(&self, point: &[f64]) -> f64 {
+        let c = self.predict(point);
+        sq_dist(point, &self.centroids[c])
+    }
+
+    /// Sum of squared distances of all points to their centroids.
+    pub fn inertia(&self, data: &[Vec<f64>]) -> f64 {
+        data.iter().map(|p| self.distance_to_nearest(p)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn blob<R: Rng>(center: &[f64], n: usize, spread: f64, rng: &mut R) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                center
+                    .iter()
+                    .map(|c| c + rng.gen_range(-spread..spread))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_well_spaced_blobs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut data = blob(&[0.0, 0.0], 50, 0.5, &mut rng);
+        data.extend(blob(&[10.0, 10.0], 50, 0.5, &mut rng));
+        data.extend(blob(&[-10.0, 10.0], 50, 0.5, &mut rng));
+        let km = KMeans::fit(&data, 3, 50, &mut rng);
+        // All points of a blob share a label; blobs get distinct labels.
+        let l0 = km.predict(&data[0]);
+        let l1 = km.predict(&data[50]);
+        let l2 = km.predict(&data[100]);
+        assert!(l0 != l1 && l1 != l2 && l0 != l2);
+        for (i, p) in data.iter().enumerate() {
+            let want = [l0, l1, l2][i / 50];
+            assert_eq!(km.predict(p), want, "point {i}");
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut data = blob(&[0.0, 0.0], 40, 1.0, &mut rng);
+        data.extend(blob(&[5.0, 5.0], 40, 1.0, &mut rng));
+        let k1 = KMeans::fit(&data, 1, 30, &mut rng).inertia(&data);
+        let k2 = KMeans::fit(&data, 2, 30, &mut rng).inertia(&data);
+        assert!(k2 < k1 * 0.5, "k1 {k1}, k2 {k2}");
+    }
+
+    #[test]
+    fn restarts_pick_lowest_inertia() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut data = blob(&[0.0, 0.0], 30, 1.0, &mut rng);
+        data.extend(blob(&[8.0, 0.0], 30, 1.0, &mut rng));
+        data.extend(blob(&[0.0, 8.0], 30, 1.0, &mut rng));
+        let single = KMeans::fit(&data, 3, 30, &mut SmallRng::seed_from_u64(1));
+        let multi = KMeans::fit_restarts(&data, 3, 30, 10, &mut SmallRng::seed_from_u64(1));
+        assert!(multi.inertia(&data) <= single.inertia(&data) + 1e-9);
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let data = vec![vec![1.0, 1.0]; 10];
+        let km = KMeans::fit(&data, 2, 10, &mut rng);
+        assert_eq!(km.k(), 2);
+        assert_eq!(km.inertia(&data), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least k points")]
+    fn too_few_points_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = KMeans::fit(&[vec![0.0]], 2, 5, &mut rng);
+    }
+}

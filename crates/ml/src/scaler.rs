@@ -1,0 +1,96 @@
+//! Feature standardization (zero mean, unit variance per feature).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted standard scaler.
+///
+/// Features with zero variance transform to zero rather than dividing by
+/// zero.
+///
+/// # Example
+///
+/// ```
+/// use fleetio_ml::StandardScaler;
+///
+/// let data = vec![vec![1.0, 10.0], vec![3.0, 10.0]];
+/// let s = StandardScaler::fit(&data);
+/// assert_eq!(s.transform(&[2.0, 10.0]), vec![0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits per-feature mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or rows have inconsistent dimensions.
+    pub fn fit(data: &[Vec<f64>]) -> Self {
+        assert!(!data.is_empty(), "scaler needs data");
+        let dim = data[0].len();
+        assert!(data.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+        let n = data.len() as f64;
+        let mean: Vec<f64> =
+            (0..dim).map(|j| data.iter().map(|p| p[j]).sum::<f64>() / n).collect();
+        let std: Vec<f64> = (0..dim)
+            .map(|j| {
+                let var = data.iter().map(|p| (p[j] - mean[j]).powi(2)).sum::<f64>() / n;
+                var.sqrt()
+            })
+            .collect();
+        StandardScaler { mean, std }
+    }
+
+    /// Standardizes one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension does not match.
+    pub fn transform(&self, point: &[f64]) -> Vec<f64> {
+        assert_eq!(point.len(), self.mean.len(), "dimension mismatch");
+        point
+            .iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(x, (m, s))| if *s > 1e-12 { (x - m) / s } else { 0.0 })
+            .collect()
+    }
+
+    /// Standardizes a whole dataset.
+    pub fn transform_all(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter().map(|p| self.transform(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_mean_and_variance() {
+        let data = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        let s = StandardScaler::fit(&data);
+        let t = s.transform_all(&data);
+        let mean: f64 = t.iter().map(|p| p[0]).sum::<f64>() / 4.0;
+        let var: f64 = t.iter().map(|p| p[0] * p[0]).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_features_map_to_zero() {
+        let data = vec![vec![5.0], vec![5.0]];
+        let s = StandardScaler::fit(&data);
+        assert_eq!(s.transform(&[5.0]), vec![0.0]);
+        assert_eq!(s.transform(&[99.0]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let s = StandardScaler::fit(&[vec![1.0, 2.0]]);
+        let _ = s.transform(&[1.0]);
+    }
+}

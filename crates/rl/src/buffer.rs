@@ -1,0 +1,192 @@
+//! Rollout storage and Generalized Advantage Estimation.
+
+use serde::{Deserialize, Serialize};
+
+/// One agent-step of experience.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Observation at decision time.
+    pub obs: Vec<f32>,
+    /// Multi-discrete action taken.
+    pub action: Vec<usize>,
+    /// Log-probability of the action under the behaviour policy.
+    pub logp: f64,
+    /// Reward received.
+    pub reward: f64,
+    /// Critic value estimate at decision time.
+    pub value: f64,
+    /// Whether the episode terminated after this step.
+    pub done: bool,
+    /// Filled by [`RolloutBuffer::compute_gae`]: advantage estimate.
+    pub advantage: f64,
+    /// Filled by [`RolloutBuffer::compute_gae`]: discounted return target.
+    pub ret: f64,
+}
+
+/// A flat buffer of transitions; episodes are delimited by `done`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RolloutBuffer {
+    transitions: Vec<Transition>,
+}
+
+impl RolloutBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one transition.
+    pub fn push(&mut self, t: Transition) {
+        self.transitions.push(t);
+    }
+
+    /// Appends every transition from another buffer.
+    pub fn extend(&mut self, other: RolloutBuffer) {
+        self.transitions.extend(other.transitions);
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Read access to the transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.transitions.clear();
+    }
+
+    /// Computes GAE(γ, λ) advantages and return targets in place.
+    ///
+    /// Episodes must be stored contiguously; a `done` flag (or the buffer
+    /// end) truncates bootstrapping. After this call every transition's
+    /// `advantage` and `ret` are filled, and advantages are normalized to
+    /// zero mean / unit variance across the buffer (standard PPO practice).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `gamma` and `lambda` are in `[0, 1]`.
+    pub fn compute_gae(&mut self, gamma: f64, lambda: f64) {
+        assert!((0.0..=1.0).contains(&gamma), "gamma out of range");
+        assert!((0.0..=1.0).contains(&lambda), "lambda out of range");
+        let n = self.transitions.len();
+        let mut gae = 0.0f64;
+        for i in (0..n).rev() {
+            let (next_value, next_nonterminal) = if self.transitions[i].done || i + 1 == n {
+                (0.0, 0.0)
+            } else {
+                (self.transitions[i + 1].value, 1.0)
+            };
+            let (reward, value) = (self.transitions[i].reward, self.transitions[i].value);
+            let delta = reward + gamma * next_value * next_nonterminal - value;
+            gae = delta + gamma * lambda * next_nonterminal * gae;
+            self.transitions[i].advantage = gae;
+            self.transitions[i].ret = gae + value;
+        }
+        // Normalize advantages.
+        if n > 1 {
+            let mean: f64 = self.transitions.iter().map(|t| t.advantage).sum::<f64>() / n as f64;
+            let var: f64 = self
+                .transitions
+                .iter()
+                .map(|t| (t.advantage - mean).powi(2))
+                .sum::<f64>()
+                / n as f64;
+            let std = var.sqrt().max(1e-8);
+            for t in &mut self.transitions {
+                t.advantage = (t.advantage - mean) / std;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(reward: f64, value: f64, done: bool) -> Transition {
+        Transition {
+            obs: vec![0.0],
+            action: vec![0],
+            logp: 0.0,
+            reward,
+            value,
+            done,
+            advantage: 0.0,
+            ret: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_step_episode_advantage_is_td_error() {
+        let mut b = RolloutBuffer::new();
+        b.push(t(1.0, 0.4, true));
+        b.compute_gae(0.9, 0.95);
+        // Only one sample → normalization skipped; adv = r − V = 0.6.
+        assert!((b.transitions()[0].advantage - 0.6).abs() < 1e-12);
+        assert!((b.transitions()[0].ret - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn returns_discount_correctly_with_lambda_one() {
+        let mut b = RolloutBuffer::new();
+        // Two-step episode, V = 0 everywhere, λ=1: ret[0] = r0 + γ r1.
+        b.push(t(1.0, 0.0, false));
+        b.push(t(1.0, 0.0, true));
+        b.compute_gae(0.5, 1.0);
+        assert!((b.transitions()[0].ret - 1.5).abs() < 1e-12);
+        assert!((b.transitions()[1].ret - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn done_stops_bootstrapping() {
+        let mut b = RolloutBuffer::new();
+        b.push(t(0.0, 0.0, true));
+        b.push(t(100.0, 0.0, true));
+        b.compute_gae(0.99, 0.95);
+        // First episode must not see the second's reward: its raw return
+        // is 0 (check via ret, which is unnormalized).
+        assert!((b.transitions()[0].ret - 0.0).abs() < 1e-12);
+        assert!((b.transitions()[1].ret - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advantages_are_normalized() {
+        let mut b = RolloutBuffer::new();
+        for i in 0..10 {
+            b.push(t(i as f64, 0.0, i == 9));
+        }
+        b.compute_gae(0.9, 0.95);
+        let mean: f64 =
+            b.transitions().iter().map(|t| t.advantage).sum::<f64>() / b.len() as f64;
+        let var: f64 = b
+            .transitions()
+            .iter()
+            .map(|t| (t.advantage - mean).powi(2))
+            .sum::<f64>()
+            / b.len() as f64;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extend_and_clear() {
+        let mut a = RolloutBuffer::new();
+        let mut b = RolloutBuffer::new();
+        a.push(t(1.0, 0.0, true));
+        b.push(t(2.0, 0.0, true));
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! The multi-agent environment interface.
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Next observation per agent.
+    pub observations: Vec<Vec<f32>>,
+    /// Reward per agent (already mixed if the env applies Equation 2).
+    pub rewards: Vec<f64>,
+    /// Whether the episode ended.
+    pub done: bool,
+}
+
+/// A multi-agent environment with homogeneous observation and
+/// multi-discrete action spaces (every agent shares the same spaces, as
+/// FleetIO's per-vSSD agents do).
+pub trait MultiAgentEnv {
+    /// Number of agents (vSSDs).
+    fn n_agents(&self) -> usize;
+
+    /// Observation vector length per agent.
+    fn obs_dim(&self) -> usize;
+
+    /// Sizes of each discrete action head (e.g. `[5, 5, 3]` for harvest
+    /// level, make-harvestable level, priority).
+    fn action_dims(&self) -> Vec<usize>;
+
+    /// Resets the environment, returning the initial per-agent
+    /// observations.
+    fn reset(&mut self) -> Vec<Vec<f32>>;
+
+    /// Advances one decision window with `actions[agent][head]` chosen per
+    /// agent.
+    fn step(&mut self, actions: &[Vec<usize>]) -> StepResult;
+}
+
+#[cfg(test)]
+pub(crate) mod test_env {
+    use super::*;
+
+    /// A tiny two-agent bandit-style env for trainer tests: each agent has
+    /// one 3-way action head; reward is 1.0 for picking its own id, 0
+    /// otherwise; observations are constant. PPO must learn agent-specific
+    /// behaviour from a shared policy conditioned on the observation.
+    pub struct BanditEnv {
+        pub steps: usize,
+        pub horizon: usize,
+    }
+
+    impl MultiAgentEnv for BanditEnv {
+        fn n_agents(&self) -> usize {
+            2
+        }
+
+        fn obs_dim(&self) -> usize {
+            2
+        }
+
+        fn action_dims(&self) -> Vec<usize> {
+            vec![3]
+        }
+
+        fn reset(&mut self) -> Vec<Vec<f32>> {
+            self.steps = 0;
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]]
+        }
+
+        fn step(&mut self, actions: &[Vec<usize>]) -> StepResult {
+            self.steps += 1;
+            let rewards = actions
+                .iter()
+                .enumerate()
+                .map(|(i, a)| if a[0] == i { 1.0 } else { 0.0 })
+                .collect();
+            StepResult {
+                observations: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+                rewards,
+                done: self.steps >= self.horizon,
+            }
+        }
+    }
+}

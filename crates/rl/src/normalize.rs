@@ -1,0 +1,149 @@
+//! Running observation normalization.
+//!
+//! Raw FleetIO states mix scales wildly (bytes/second against booleans and
+//! percentages), which stalls MLP training. The normalizer tracks a running
+//! mean/variance per feature and standardizes observations; it can be
+//! frozen at deployment so inference is stationary.
+
+use serde::{Deserialize, Serialize};
+
+/// Running per-feature mean/variance normalizer (Welford).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObsNormalizer {
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+    count: u64,
+    frozen: bool,
+    clip: f64,
+}
+
+impl ObsNormalizer {
+    /// Creates a normalizer for `dim` features, clipping outputs to
+    /// ±`clip` standard deviations (10 by default in callers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or `clip` is not positive.
+    pub fn new(dim: usize, clip: f64) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(clip > 0.0, "clip must be positive");
+        ObsNormalizer { mean: vec![0.0; dim], m2: vec![0.0; dim], count: 0, frozen: false, clip }
+    }
+
+    /// Number of features.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Stops further statistics updates (deployment mode).
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Whether statistics are frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Updates statistics with one raw observation (no-op when frozen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension does not match.
+    pub fn update(&mut self, obs: &[f32]) {
+        assert_eq!(obs.len(), self.mean.len(), "dimension mismatch");
+        if self.frozen {
+            return;
+        }
+        self.count += 1;
+        for (i, &x) in obs.iter().enumerate() {
+            let x = f64::from(x);
+            let delta = x - self.mean[i];
+            self.mean[i] += delta / self.count as f64;
+            self.m2[i] += delta * (x - self.mean[i]);
+        }
+    }
+
+    /// Standardizes one observation using the current statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension does not match.
+    pub fn normalize(&self, obs: &[f32]) -> Vec<f32> {
+        assert_eq!(obs.len(), self.mean.len(), "dimension mismatch");
+        if self.count < 2 {
+            return obs.to_vec();
+        }
+        obs.iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let var = self.m2[i] / self.count as f64;
+                let std = var.sqrt().max(1e-8);
+                let z = (f64::from(x) - self.mean[i]) / std;
+                z.clamp(-self.clip, self.clip) as f32
+            })
+            .collect()
+    }
+
+    /// Convenience: update then normalize.
+    pub fn observe(&mut self, obs: &[f32]) -> Vec<f32> {
+        self.update(obs);
+        self.normalize(obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_stream() {
+        let mut n = ObsNormalizer::new(1, 10.0);
+        for i in 0..1000 {
+            n.update(&[i as f32]);
+        }
+        // Values near the mean map near zero.
+        let z = n.normalize(&[499.5]);
+        assert!(z[0].abs() < 0.01, "z {z:?}");
+        // One std above mean maps near 1.
+        let z = n.normalize(&[499.5 + 288.7]);
+        assert!((z[0] - 1.0).abs() < 0.05, "z {z:?}");
+    }
+
+    #[test]
+    fn clipping_bounds_output() {
+        let mut n = ObsNormalizer::new(1, 5.0);
+        for i in 0..100 {
+            n.update(&[i as f32]);
+        }
+        let z = n.normalize(&[1e9]);
+        assert_eq!(z[0], 5.0);
+    }
+
+    #[test]
+    fn freeze_stops_updates() {
+        let mut n = ObsNormalizer::new(1, 10.0);
+        n.update(&[0.0]);
+        n.update(&[1.0]);
+        n.freeze();
+        let before = n.normalize(&[0.5]);
+        for _ in 0..100 {
+            n.update(&[100.0]);
+        }
+        assert_eq!(n.normalize(&[0.5]), before);
+        assert_eq!(n.count(), 2);
+    }
+
+    #[test]
+    fn passthrough_until_two_samples() {
+        let mut n = ObsNormalizer::new(2, 10.0);
+        assert_eq!(n.normalize(&[3.0, 4.0]), vec![3.0, 4.0]);
+        n.update(&[1.0, 1.0]);
+        assert_eq!(n.normalize(&[3.0, 4.0]), vec![3.0, 4.0]);
+    }
+}

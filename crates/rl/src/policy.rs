@@ -1,0 +1,326 @@
+//! Categorical multi-head PPO policy with a separate value network.
+
+use fleetio_ml::mlp::{log_softmax, softmax};
+use fleetio_ml::{Activation, Mlp};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A PPO actor-critic: one MLP produces the concatenated logits of every
+/// discrete action head, a second MLP estimates the state value.
+///
+/// # Example
+///
+/// ```
+/// use fleetio_rl::PpoPolicy;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let policy = PpoPolicy::new(4, &[5, 3], &[50, 50], &mut rng);
+/// let obs = [0.1, 0.2, -0.1, 0.0];
+/// let (action, logp) = policy.sample(&obs, &mut rng);
+/// assert_eq!(action.len(), 2);
+/// assert!(logp < 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpoPolicy {
+    pub(crate) actor: Mlp,
+    pub(crate) critic: Mlp,
+    action_dims: Vec<usize>,
+}
+
+impl PpoPolicy {
+    /// Builds a policy for `obs_dim` observations, `action_dims` discrete
+    /// heads and the given hidden layer sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `action_dims` is empty.
+    pub fn new<R: Rng>(
+        obs_dim: usize,
+        action_dims: &[usize],
+        hidden: &[usize],
+        rng: &mut R,
+    ) -> Self {
+        assert!(!action_dims.is_empty(), "need at least one action head");
+        let logits: usize = action_dims.iter().sum();
+        let mut actor_dims = vec![obs_dim];
+        actor_dims.extend_from_slice(hidden);
+        actor_dims.push(logits);
+        let mut critic_dims = vec![obs_dim];
+        critic_dims.extend_from_slice(hidden);
+        critic_dims.push(1);
+        PpoPolicy {
+            actor: Mlp::new(&actor_dims, Activation::Tanh, Activation::Linear, rng),
+            critic: Mlp::new(&critic_dims, Activation::Tanh, Activation::Linear, rng),
+            action_dims: action_dims.to_vec(),
+        }
+    }
+
+    /// Sizes of the discrete action heads.
+    pub fn action_dims(&self) -> &[usize] {
+        &self.action_dims
+    }
+
+    /// Total trainable parameters (actor + critic).
+    pub fn n_params(&self) -> usize {
+        self.actor.n_params() + self.critic.n_params()
+    }
+
+    /// Splits concatenated logits into per-head slices.
+    pub(crate) fn split_heads<'a>(&self, logits: &'a [f32]) -> Vec<&'a [f32]> {
+        let mut out = Vec::with_capacity(self.action_dims.len());
+        let mut off = 0;
+        for d in &self.action_dims {
+            out.push(&logits[off..off + d]);
+            off += d;
+        }
+        out
+    }
+
+    /// Samples an action per head; returns `(action, log_prob)`.
+    pub fn sample<R: Rng>(&self, obs: &[f32], rng: &mut R) -> (Vec<usize>, f64) {
+        let logits = self.actor.forward(obs);
+        let mut action = Vec::with_capacity(self.action_dims.len());
+        let mut logp = 0.0f64;
+        for head in self.split_heads(&logits) {
+            let probs = softmax(head);
+            let mut u: f32 = rng.gen_range(0.0..1.0);
+            let mut chosen = probs.len() - 1;
+            for (i, p) in probs.iter().enumerate() {
+                if u < *p {
+                    chosen = i;
+                    break;
+                }
+                u -= p;
+            }
+            let lp = log_softmax(head);
+            logp += f64::from(lp[chosen]);
+            action.push(chosen);
+        }
+        (action, logp)
+    }
+
+    /// Greedy (argmax) action, used at deployment time.
+    pub fn act_greedy(&self, obs: &[f32]) -> Vec<usize> {
+        let logits = self.actor.forward(obs);
+        self.split_heads(&logits)
+            .into_iter()
+            .map(|head| {
+                head.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty head")
+            })
+            .collect()
+    }
+
+    /// Log-probability of `action` under the current policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action shape or indices are invalid.
+    pub fn log_prob(&self, obs: &[f32], action: &[usize]) -> f64 {
+        assert_eq!(action.len(), self.action_dims.len(), "action head mismatch");
+        let logits = self.actor.forward(obs);
+        self.split_heads(&logits)
+            .iter()
+            .zip(action)
+            .map(|(head, &a)| f64::from(log_softmax(head)[a]))
+            .sum()
+    }
+
+    /// Mean entropy across heads for `obs`.
+    pub fn entropy(&self, obs: &[f32]) -> f64 {
+        let logits = self.actor.forward(obs);
+        let heads = self.split_heads(&logits);
+        let n = heads.len() as f64;
+        heads
+            .into_iter()
+            .map(|head| {
+                let p = softmax(head);
+                -p.iter().filter(|x| **x > 0.0).map(|x| f64::from(*x * x.ln())).sum::<f64>()
+            })
+            .sum::<f64>()
+            / n
+    }
+
+    /// Critic value estimate for `obs`.
+    pub fn value(&self, obs: &[f32]) -> f64 {
+        f64::from(self.critic.forward(obs)[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn policy() -> (PpoPolicy, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let p = PpoPolicy::new(3, &[4, 2], &[8], &mut rng);
+        (p, rng)
+    }
+
+    #[test]
+    fn sample_respects_head_sizes() {
+        let (p, mut rng) = policy();
+        for _ in 0..50 {
+            let (a, logp) = p.sample(&[0.1, 0.2, 0.3], &mut rng);
+            assert!(a[0] < 4 && a[1] < 2);
+            assert!(logp <= 0.0);
+        }
+    }
+
+    #[test]
+    fn log_prob_matches_sampling_distribution() {
+        let (p, mut rng) = policy();
+        let obs = [0.5, -0.5, 0.0];
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            let (a, _) = p.sample(&obs, &mut rng);
+            counts[a[0]] += 1;
+        }
+        for a0 in 0..4 {
+            // Marginal of head 0: sum over head 1.
+            let lp0 = p.log_prob(&obs, &[a0, 0]);
+            let lp1 = p.log_prob(&obs, &[a0, 1]);
+            // p(head0 = a0) = exp(lp(a0,0)) / p(head1=0|...) — heads are
+            // independent, so marginal is exp(lp0) + exp(lp1) over head 1.
+            let marginal = lp0.exp() + lp1.exp();
+            let freq = counts[a0] as f64 / n as f64;
+            assert!(
+                (marginal - freq).abs() < 0.02,
+                "head0={a0}: analytic {marginal:.3} vs empirical {freq:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_picks_max_probability_action() {
+        let (p, mut rng) = policy();
+        let obs = [0.2, 0.8, -0.3];
+        let greedy = p.act_greedy(&obs);
+        // The greedy action must have the highest log-prob among all.
+        let mut best = f64::NEG_INFINITY;
+        let mut best_a = vec![0, 0];
+        for a0 in 0..4 {
+            for a1 in 0..2 {
+                let lp = p.log_prob(&obs, &[a0, a1]);
+                if lp > best {
+                    best = lp;
+                    best_a = vec![a0, a1];
+                }
+            }
+        }
+        assert_eq!(greedy, best_a);
+        let _ = &mut rng;
+    }
+
+    #[test]
+    fn entropy_is_positive_and_bounded() {
+        let (p, _) = policy();
+        let h = p.entropy(&[0.0, 0.0, 0.0]);
+        // Max mean entropy = (ln 4 + ln 2) / 2 ≈ 1.04.
+        assert!(h > 0.0 && h <= 1.05, "entropy {h}");
+    }
+
+    #[test]
+    fn value_is_finite() {
+        let (p, _) = policy();
+        assert!(p.value(&[1.0, -1.0, 0.5]).is_finite());
+    }
+
+    #[test]
+    fn imitate_learns_state_conditional_mapping() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut p = PpoPolicy::new(2, &[3, 2], &[16], &mut rng);
+        // Teach: obs [1,0] → (2, 0); obs [0,1] → (0, 1).
+        let samples = vec![
+            (vec![1.0, 0.0], vec![2usize, 0]),
+            (vec![0.0, 1.0], vec![0usize, 1]),
+        ];
+        let ce = p.imitate(&samples, 300, 2, 1e-2, 5);
+        assert!(ce < 0.1, "final cross-entropy {ce}");
+        assert_eq!(p.act_greedy(&[1.0, 0.0]), vec![2, 0]);
+        assert_eq!(p.act_greedy(&[0.0, 1.0]), vec![0, 1]);
+    }
+
+    #[test]
+    fn param_count_matches_paper_scale() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        // FleetIO: 33 obs (11 states × 3 windows), [50, 50] hidden,
+        // heads [5, 5, 3] → ~9 K parameters.
+        let p = PpoPolicy::new(33, &[5, 5, 3], &[50, 50], &mut rng);
+        assert!((7_000..12_000).contains(&p.n_params()), "{}", p.n_params());
+    }
+}
+
+impl PpoPolicy {
+    /// Behaviour cloning: fits the actor to `(observation, action)` pairs
+    /// by cross-entropy over every head. Observations must already be
+    /// normalized the same way later inference will normalize them.
+    /// Returns the mean cross-entropy of the final epoch.
+    ///
+    /// Used to warm-start PPO from a scripted reference policy when the
+    /// training budget is too small to discover long-horizon behaviours
+    /// from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or shapes mismatch the policy.
+    pub fn imitate(
+        &mut self,
+        samples: &[(Vec<f32>, Vec<usize>)],
+        epochs: usize,
+        minibatch: usize,
+        lr: f32,
+        seed: u64,
+    ) -> f64 {
+        use fleetio_ml::mlp::{log_softmax, softmax};
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+
+        assert!(!samples.is_empty(), "behaviour cloning needs samples");
+        assert!(epochs > 0 && minibatch > 0, "epochs/minibatch must be positive");
+        let mut opt = fleetio_ml::Adam::new(self.actor.n_params(), lr);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let dims = self.action_dims.clone();
+        let mut indices: Vec<usize> = (0..samples.len()).collect();
+        let mut last_ce = 0.0;
+        for _ in 0..epochs {
+            indices.shuffle(&mut rng);
+            let mut epoch_ce = 0.0;
+            for chunk in indices.chunks(minibatch) {
+                let mut grads = self.actor.zero_grads();
+                for &i in chunk {
+                    let (obs, action) = &samples[i];
+                    let cache = self.actor.forward_cached(obs);
+                    let logits = cache.output().to_vec();
+                    let mut dlogits = vec![0.0f32; logits.len()];
+                    let mut off = 0;
+                    for (h, d) in dims.iter().enumerate() {
+                        let head = &logits[off..off + d];
+                        let p = softmax(head);
+                        let lp = log_softmax(head);
+                        let a = action[h];
+                        epoch_ce -= f64::from(lp[a]);
+                        for (j, pj) in p.iter().enumerate() {
+                            let onehot = if j == a { 1.0 } else { 0.0 };
+                            dlogits[off + j] = pj - onehot;
+                        }
+                        off += d;
+                    }
+                    self.actor.backward(&cache, &dlogits, &mut grads);
+                }
+                grads.scale(1.0 / chunk.len() as f32);
+                grads.clip_norm(1.0);
+                opt.step(&mut self.actor, &grads);
+            }
+            last_ce = epoch_ce / samples.len() as f64;
+        }
+        last_ce
+    }
+}

@@ -1,0 +1,83 @@
+//! Multi-agent reward mixing (Equation 2 of the paper).
+
+/// Mixes per-agent rewards with coefficient `beta` (Equation 2):
+///
+/// `R_i = β · R_i + (1 − β) · mean(R_v for v ≠ i)`
+///
+/// With larger `beta` each agent cares more about its own reward; the
+/// paper's default is 0.6. Single-agent inputs pass through unchanged.
+///
+/// # Panics
+///
+/// Panics unless `beta` is in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use fleetio_rl::reward::mix_rewards;
+///
+/// let mixed = mix_rewards(&[1.0, 0.0], 0.6);
+/// assert!((mixed[0] - 0.6).abs() < 1e-12);
+/// assert!((mixed[1] - 0.4).abs() < 1e-12);
+/// ```
+pub fn mix_rewards(rewards: &[f64], beta: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let n = rewards.len();
+    if n <= 1 {
+        return rewards.to_vec();
+    }
+    let total: f64 = rewards.iter().sum();
+    rewards
+        .iter()
+        .map(|&r| {
+            let others = (total - r) / (n - 1) as f64;
+            beta * r + (1.0 - beta) * others
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_one_is_selfish() {
+        assert_eq!(mix_rewards(&[3.0, 1.0, 2.0], 1.0), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn beta_zero_is_fully_altruistic() {
+        let mixed = mix_rewards(&[4.0, 0.0], 0.0);
+        assert_eq!(mixed, vec![0.0, 4.0]);
+    }
+
+    #[test]
+    fn paper_default_beta() {
+        let mixed = mix_rewards(&[1.0, 0.0, 0.5], 0.6);
+        // Agent 0: 0.6·1 + 0.4·(0.25) = 0.7.
+        assert!((mixed[0] - 0.7).abs() < 1e-12);
+        // Agent 1: 0.6·0 + 0.4·(0.75) = 0.3.
+        assert!((mixed[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_agent_passthrough() {
+        assert_eq!(mix_rewards(&[2.5], 0.6), vec![2.5]);
+        assert_eq!(mix_rewards(&[], 0.6), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn mixing_preserves_total() {
+        let r = [1.0, 2.0, 3.0, 4.0];
+        let mixed = mix_rewards(&r, 0.37);
+        let a: f64 = r.iter().sum();
+        let b: f64 = mixed.iter().sum();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in [0, 1]")]
+    fn bad_beta_panics() {
+        let _ = mix_rewards(&[1.0], 1.5);
+    }
+}

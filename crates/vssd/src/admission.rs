@@ -1,0 +1,302 @@
+//! Admission control for RL actions (§3.5 of the paper).
+//!
+//! RL agents act independently, but their `Harvest()` and
+//! `Make_Harvestable()` actions execute on the shared SSD through an
+//! admission-control stage that:
+//!
+//! 1. filters actions against provider-set per-vSSD permissions (e.g. spot
+//!    VMs may be forbidden from harvesting),
+//! 2. batches actions (50 ms batches by default) and reorders each batch to
+//!    run `Make_Harvestable()` before `Harvest()`, maximizing harvestable
+//!    supply and avoiding immediate reclamation,
+//! 3. when harvest demand exceeds supply, ranks harvesters so vSSDs with
+//!    fewer already-harvested resources go first (the paper's default
+//!    fairness rule on top of FCFS).
+
+use std::collections::HashMap;
+
+use fleetio_des::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::vssd::VssdId;
+
+/// A harvest-related action submitted by an RL agent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HarvestAction {
+    /// Harvest `bytes_per_sec` of bandwidth from collocated vSSDs.
+    Harvest {
+        /// The acting vSSD.
+        vssd: VssdId,
+        /// Desired extra bandwidth (read + write combined, §3.3.2).
+        bytes_per_sec: f64,
+    },
+    /// Make `bytes_per_sec` of this vSSD's bandwidth harvestable.
+    MakeHarvestable {
+        /// The acting vSSD.
+        vssd: VssdId,
+        /// Bandwidth offered to others; lowering it triggers reclamation.
+        bytes_per_sec: f64,
+    },
+}
+
+impl HarvestAction {
+    /// The vSSD issuing the action.
+    pub fn vssd(&self) -> VssdId {
+        match *self {
+            HarvestAction::Harvest { vssd, .. } | HarvestAction::MakeHarvestable { vssd, .. } => {
+                vssd
+            }
+        }
+    }
+
+    /// The bandwidth argument.
+    pub fn bytes_per_sec(&self) -> f64 {
+        match *self {
+            HarvestAction::Harvest { bytes_per_sec, .. }
+            | HarvestAction::MakeHarvestable { bytes_per_sec, .. } => bytes_per_sec,
+        }
+    }
+}
+
+/// Per-vSSD provider permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Permissions {
+    /// May this vSSD take `Harvest()` actions?
+    pub allow_harvest: bool,
+    /// May this vSSD take `Make_Harvestable()` actions?
+    pub allow_make_harvestable: bool,
+}
+
+impl Default for Permissions {
+    fn default() -> Self {
+        Permissions { allow_harvest: true, allow_make_harvestable: true }
+    }
+}
+
+/// Contention policy applied when harvest demand exceeds supply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ContentionPolicy {
+    /// First-come-first-serve, breaking contention in favour of vSSDs with
+    /// fewer already-harvested resources (the paper's default).
+    #[default]
+    FcfsFewestHarvestedFirst,
+    /// Strict submission order regardless of current holdings.
+    StrictFcfs,
+}
+
+/// The admission-control stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdmissionControl {
+    batch_interval: SimDuration,
+    policy: ContentionPolicy,
+    default_perms: Permissions,
+    perms: HashMap<VssdId, Permissions>,
+    pending: Vec<HarvestAction>,
+    rejected: u64,
+    admitted: u64,
+}
+
+impl AdmissionControl {
+    /// Creates an admission controller with the paper's 50 ms batches,
+    /// default-allow permissions and the default contention policy.
+    pub fn new() -> Self {
+        AdmissionControl {
+            batch_interval: SimDuration::from_millis(50),
+            policy: ContentionPolicy::default(),
+            default_perms: Permissions::default(),
+            perms: HashMap::new(),
+            pending: Vec::new(),
+            rejected: 0,
+            admitted: 0,
+        }
+    }
+
+    /// Overrides the batch interval (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_batch_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "batch interval must be positive");
+        self.batch_interval = interval;
+        self
+    }
+
+    /// Overrides the contention policy (builder style).
+    pub fn with_policy(mut self, policy: ContentionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets per-vSSD permissions; vSSDs without an entry use default-allow.
+    pub fn set_permissions(&mut self, vssd: VssdId, perms: Permissions) {
+        self.perms.insert(vssd, perms);
+    }
+
+    /// The configured batch interval.
+    pub fn batch_interval(&self) -> SimDuration {
+        self.batch_interval
+    }
+
+    /// Count of actions rejected by permission checks so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Count of actions admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Number of actions waiting for the next batch.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Enqueues an action for the next batch, applying permission checks
+    /// immediately. Returns whether the action was accepted into the batch.
+    pub fn submit(&mut self, action: HarvestAction) -> bool {
+        let perms = self.perms.get(&action.vssd()).copied().unwrap_or(self.default_perms);
+        let allowed = match action {
+            HarvestAction::Harvest { .. } => perms.allow_harvest,
+            HarvestAction::MakeHarvestable { .. } => perms.allow_make_harvestable,
+        };
+        if allowed {
+            self.pending.push(action);
+        } else {
+            self.rejected += 1;
+        }
+        allowed
+    }
+
+    /// Drains the current batch in execution order.
+    ///
+    /// `Make_Harvestable()` actions come first (submission order), then
+    /// `Harvest()` actions ranked per the contention policy;
+    /// `harvested_holdings` maps each vSSD to its currently harvested
+    /// resource count (in gSB channels) and `supply_channels` is the total
+    /// `n_chls` available in the pool *after* this batch's
+    /// `Make_Harvestable()` actions execute (an estimate is fine — ranking
+    /// only changes when demand exceeds it).
+    pub fn drain_batch(
+        &mut self,
+        supply_channels: usize,
+        harvested_holdings: &HashMap<VssdId, usize>,
+        channel_bytes_per_sec: f64,
+    ) -> Vec<HarvestAction> {
+        let pending = std::mem::take(&mut self.pending);
+        let (mut makes, mut harvests): (Vec<_>, Vec<_>) =
+            pending.into_iter().partition(|a| matches!(a, HarvestAction::MakeHarvestable { .. }));
+
+        let demand: usize = harvests
+            .iter()
+            .map(|a| (a.bytes_per_sec() / channel_bytes_per_sec).floor() as usize)
+            .sum();
+        if demand > supply_channels && self.policy == ContentionPolicy::FcfsFewestHarvestedFirst {
+            // Stable sort keeps FCFS order among equal holders.
+            harvests.sort_by_key(|a| harvested_holdings.get(&a.vssd()).copied().unwrap_or(0));
+        }
+        self.admitted += (makes.len() + harvests.len()) as u64;
+        makes.append(&mut harvests);
+        makes
+    }
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harvest(v: u32, bw: f64) -> HarvestAction {
+        HarvestAction::Harvest { vssd: VssdId(v), bytes_per_sec: bw }
+    }
+
+    fn make(v: u32, bw: f64) -> HarvestAction {
+        HarvestAction::MakeHarvestable { vssd: VssdId(v), bytes_per_sec: bw }
+    }
+
+    const CH_BW: f64 = 64.0 * 1024.0 * 1024.0;
+
+    #[test]
+    fn batch_reorders_make_harvestable_first() {
+        let mut ac = AdmissionControl::new();
+        ac.submit(harvest(1, CH_BW));
+        ac.submit(make(2, CH_BW));
+        ac.submit(harvest(3, CH_BW));
+        ac.submit(make(4, CH_BW));
+        let batch = ac.drain_batch(10, &HashMap::new(), CH_BW);
+        assert_eq!(batch.len(), 4);
+        assert!(matches!(batch[0], HarvestAction::MakeHarvestable { vssd: VssdId(2), .. }));
+        assert!(matches!(batch[1], HarvestAction::MakeHarvestable { vssd: VssdId(4), .. }));
+        assert!(matches!(batch[2], HarvestAction::Harvest { vssd: VssdId(1), .. }));
+        assert!(matches!(batch[3], HarvestAction::Harvest { vssd: VssdId(3), .. }));
+        assert_eq!(ac.pending(), 0);
+        assert_eq!(ac.admitted(), 4);
+    }
+
+    #[test]
+    fn permissions_filter_actions() {
+        let mut ac = AdmissionControl::new();
+        ac.set_permissions(
+            VssdId(1),
+            Permissions { allow_harvest: false, allow_make_harvestable: true },
+        );
+        assert!(!ac.submit(harvest(1, CH_BW)));
+        assert!(ac.submit(make(1, CH_BW)));
+        assert_eq!(ac.rejected(), 1);
+        assert_eq!(ac.pending(), 1);
+    }
+
+    #[test]
+    fn contention_ranks_fewest_holdings_first() {
+        let mut ac = AdmissionControl::new();
+        ac.submit(harvest(1, 2.0 * CH_BW));
+        ac.submit(harvest(2, 2.0 * CH_BW));
+        let mut holdings = HashMap::new();
+        holdings.insert(VssdId(1), 3);
+        holdings.insert(VssdId(2), 0);
+        // Demand (4 channels) exceeds supply (2): vssd2 (fewer holdings)
+        // jumps ahead despite later submission.
+        let batch = ac.drain_batch(2, &holdings, CH_BW);
+        assert_eq!(batch[0].vssd(), VssdId(2));
+        assert_eq!(batch[1].vssd(), VssdId(1));
+    }
+
+    #[test]
+    fn no_contention_keeps_fcfs() {
+        let mut ac = AdmissionControl::new();
+        ac.submit(harvest(1, CH_BW));
+        ac.submit(harvest(2, CH_BW));
+        let mut holdings = HashMap::new();
+        holdings.insert(VssdId(1), 5);
+        let batch = ac.drain_batch(10, &holdings, CH_BW);
+        assert_eq!(batch[0].vssd(), VssdId(1));
+    }
+
+    #[test]
+    fn strict_fcfs_ignores_holdings() {
+        let mut ac = AdmissionControl::new().with_policy(ContentionPolicy::StrictFcfs);
+        ac.submit(harvest(1, 2.0 * CH_BW));
+        ac.submit(harvest(2, 2.0 * CH_BW));
+        let mut holdings = HashMap::new();
+        holdings.insert(VssdId(1), 9);
+        let batch = ac.drain_batch(1, &holdings, CH_BW);
+        assert_eq!(batch[0].vssd(), VssdId(1));
+    }
+
+    #[test]
+    fn default_batch_interval_is_50ms() {
+        assert_eq!(AdmissionControl::new().batch_interval(), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn action_accessors() {
+        assert_eq!(harvest(7, 3.0).vssd(), VssdId(7));
+        assert_eq!(make(7, 3.0).bytes_per_sec(), 3.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Request arrival processing: FTL bookkeeping and op enqueueing.
+//!
+//! Address-mapping updates happen at arrival time; the queued page ops only
+//! carry timing. This keeps GC's view of valid data coherent without
+//! tracking in-flight writes, at the cost of treating data as durable the
+//! moment it is accepted — indistinguishable for the bandwidth/latency
+//! metrics this simulation reports.
+
+use fleetio_flash::addr::{BlockAddr, ChannelId, Ppa};
+
+use crate::request::{IoOp, IoRequest};
+
+use super::vstate::BlockMeta;
+use super::{Engine, PageOp};
+
+impl Engine {
+    pub(crate) fn process_arrival(&mut self, req_id: u64, req: IoRequest) {
+        let idx = self.idx(req.vssd);
+        let page_bytes = u64::from(self.cfg.flash.page_bytes);
+        let (first, last) = req.page_span(page_bytes);
+        self.planned.fill(0);
+        let mut ops: Vec<(u16, PageOp)> = Vec::with_capacity((last - first + 1) as usize);
+        for lpa in first..=last {
+            // Bytes of this request that fall inside page `lpa`.
+            let page_start = lpa * page_bytes;
+            let lo = req.offset.max(page_start);
+            let hi = (req.offset + req.len).min(page_start + page_bytes);
+            let portion = hi - lo;
+            match req.op {
+                IoOp::Read => {
+                    let ppa = self.read_page_lookup(idx, lpa);
+                    self.planned[usize::from(ppa.channel().0)] += 1;
+                    ops.push((
+                        ppa.channel().0,
+                        PageOp {
+                            vssd: idx,
+                            read: true,
+                            bytes: portion,
+                            chip: ppa.chip(),
+                            req: Some(req_id),
+                            gc: None,
+                        },
+                    ));
+                }
+                IoOp::Write => {
+                    let ppa = self.write_page_bookkeeping(idx, lpa);
+                    self.planned[usize::from(ppa.channel().0)] += 1;
+                    // Programs always burn a full page on the bus and chip.
+                    ops.push((
+                        ppa.channel().0,
+                        PageOp {
+                            vssd: idx,
+                            read: false,
+                            bytes: page_bytes,
+                            chip: ppa.chip(),
+                            req: Some(req_id),
+                            gc: None,
+                        },
+                    ));
+                }
+            }
+        }
+        if let Some(r) = self.reqs.get_mut(&req_id) {
+            r.remaining = ops.len() as u32;
+        }
+        let prio = self.vssds[idx].priority;
+        let mut touched: Vec<u16> = Vec::new();
+        for (ch, op) in ops {
+            let chan = &mut self.chans[usize::from(ch)];
+            if !chan.stride.contains(&idx) {
+                chan.stride.add_client(idx, self.vssds[idx].cfg.tickets);
+                chan.members.push(idx);
+            }
+            chan.queues[idx][prio.rank()].push_back(op);
+            chan.pending[prio.rank()] += 1;
+            if !touched.contains(&ch) {
+                touched.push(ch);
+            }
+        }
+        for ch in touched {
+            self.try_dispatch(ch);
+        }
+    }
+
+    /// Maps a logical page for reading. Unwritten pages read from a
+    /// deterministic home location (real devices return zeroes but still
+    /// occupy the channel).
+    pub(crate) fn read_page_lookup(&mut self, idx: usize, lpa: u64) -> Ppa {
+        if let Some(ppa) = self.vssds[idx].map.get(&lpa) {
+            return *ppa;
+        }
+        let homes = &self.vssds[idx].cfg.channels;
+        let ch = homes[(lpa as usize) % homes.len()];
+        let chip = ((lpa / homes.len() as u64) % u64::from(self.cfg.flash.chips_per_channel)) as u16;
+        Ppa::new(ch, chip, 0, 0)
+    }
+
+    /// Performs the FTL bookkeeping for writing one logical page: picks the
+    /// next stripe target (home channel or harvested gSB), appends there,
+    /// updates the mapping and triggers GC checks. Returns the physical
+    /// location written.
+    pub(crate) fn write_page_bookkeeping(&mut self, idx: usize, lpa: u64) -> Ppa {
+        // Invalidate the previous version, if any; a loaned (harvested)
+        // block whose last live page dies goes straight back to its home.
+        if let Some(old) = self.vssds[idx].map.get(&lpa).copied() {
+            self.device.invalidate_page(old.block, old.page);
+            self.maybe_reclaim_dead_harvested(old.block);
+        } else {
+            self.vssds[idx].mapped_pages += 1;
+        }
+        let (block, page) = self.append_page_striped(idx, lpa);
+        let ppa = Ppa { block, page };
+        self.vssds[idx].map.insert(lpa, ppa);
+        if !self.warming {
+            self.maybe_trigger_gc(block.channel, block.chip, idx);
+        }
+        ppa
+    }
+
+    /// Appends one page using dynamic (least-loaded-channel) allocation
+    /// over the vSSD's write targets: its home channels plus the channels
+    /// of every harvested gSB. Load-aware placement is what real host FTLs
+    /// do, and it is what makes harvesting *idle-bandwidth* harvesting: a
+    /// busy loaned channel simply attracts no pages, so a straggling
+    /// channel never gates a striped request. Exhausted gSBs are retired
+    /// on encounter so the harvest level frees up for a fresh one.
+    fn append_page_striped(&mut self, idx: usize, lpa: u64) -> (BlockAddr, u32) {
+        loop {
+            // Candidate channels: (channel, via-gSB). Home channels listed
+            // first so ties favour them.
+            let mut candidates: Vec<(ChannelId, Option<crate::gsb::GsbId>)> = self.vssds[idx]
+                .cfg
+                .channels
+                .iter()
+                .map(|&c| (c, None))
+                .collect();
+            for &g in &self.vssds[idx].harvested {
+                if let Some(gsb) = self.pool.get(g) {
+                    for &c in &gsb.channels {
+                        candidates.push((c, Some(g)));
+                    }
+                }
+            }
+            // Rotate the starting point so equal-load ties spread out.
+            let start = self.vssds[idx].stripe_pos % candidates.len();
+            self.vssds[idx].stripe_pos = self.vssds[idx].stripe_pos.wrapping_add(1);
+            let mut best: Option<(u32, usize)> = None;
+            for off in 0..candidates.len() {
+                let i = (start + off) % candidates.len();
+                let load = self.channel_load(candidates[i].0);
+                if best.is_none_or(|(l, _)| load < l) {
+                    best = Some((load, i));
+                }
+            }
+            let (ch, via) = candidates[best.expect("candidates non-empty").1];
+            match via {
+                None => return self.append_home_page(idx, ch, lpa),
+                Some(g) => {
+                    if let Some(out) = self.append_gsb_page_on(idx, g, ch, lpa) {
+                        return out;
+                    }
+                    // No room on that channel: if the whole gSB is
+                    // exhausted retire it, else fall back to any gSB slot.
+                    if let Some(out) = self.append_gsb_page(idx, g, lpa) {
+                        return out;
+                    }
+                    self.retire_gsb_from_stripe(idx, g);
+                }
+            }
+        }
+    }
+
+    /// Queued + in-flight page ops on a channel (the write-placement load
+    /// signal).
+    fn channel_load(&self, ch: ChannelId) -> u32 {
+        let c = &self.chans[usize::from(ch.0)];
+        c.pending.iter().sum::<u32>() + c.in_flight + self.planned[usize::from(ch.0)]
+    }
+
+    /// Appends into a gSB, restricted to its blocks on channel `ch`.
+    fn append_gsb_page_on(
+        &mut self,
+        idx: usize,
+        id: crate::gsb::GsbId,
+        ch: ChannelId,
+        lpa: u64,
+    ) -> Option<(BlockAddr, u32)> {
+        let blk = {
+            let gsb = self.pool.get(id)?;
+            gsb.blocks
+                .iter()
+                .copied()
+                .find(|b| {
+                    b.channel == ch
+                        && self.device.chip(b.channel, b.chip).block(b.block).free_pages() > 0
+                })?
+        };
+        let page = self.device.append_page(blk, fleetio_flash::addr::Lpa(lpa));
+        let harvester = self.vssds[idx].cfg.id;
+        if let Some(meta) = self.block_meta.get_mut(&blk) {
+            meta.data_owner = harvester;
+        }
+        Some((blk, page))
+    }
+
+    /// Appends into a harvested gSB, rotating across its blocks. Returns
+    /// `None` when the gSB has no free pages left.
+    fn append_gsb_page(
+        &mut self,
+        idx: usize,
+        id: crate::gsb::GsbId,
+        lpa: u64,
+    ) -> Option<(BlockAddr, u32)> {
+        let capacity = self.pool.get(id)?.capacity_blocks();
+        for _ in 0..capacity {
+            let blk = self.pool.get_mut(id)?.rotate_block();
+            if self.device.chip(blk.channel, blk.chip).block(blk.block).free_pages() > 0 {
+                let page = self.device.append_page(blk, fleetio_flash::addr::Lpa(lpa));
+                // First write into a gSB block stamps its data owner.
+                let harvester = self.vssds[idx].cfg.id;
+                if let Some(meta) = self.block_meta.get_mut(&blk) {
+                    meta.data_owner = harvester;
+                }
+                return Some((blk, page));
+            }
+        }
+        None
+    }
+
+    /// Removes an exhausted gSB from the vSSD's write stripe (it remains
+    /// harvested for reads until GC reclaims it).
+    pub(crate) fn retire_gsb_from_stripe(&mut self, idx: usize, id: crate::gsb::GsbId) {
+        self.vssds[idx].harvested.retain(|g| *g != id);
+        let pool = &self.pool;
+        let chans = |g| pool.get(g).map_or(0, |x| x.n_chls());
+        self.vssds[idx].rebuild_stripe(chans);
+    }
+
+    /// Appends one page to the vSSD's own blocks on home channel `ch`
+    /// (used by foreground writes and GC migration targets).
+    pub(crate) fn append_home_page(
+        &mut self,
+        idx: usize,
+        ch: ChannelId,
+        lpa: u64,
+    ) -> (BlockAddr, u32) {
+        let chips = self.cfg.flash.chips_per_channel;
+        let start_chip = self.device.channel_mut(ch).rotate_chip();
+        // Try the rotated chip, then the rest of the channel, then the
+        // vSSD's other home channels.
+        let home: Vec<ChannelId> = self.vssds[idx].cfg.channels.clone();
+        let mut candidates: Vec<(ChannelId, u16)> = Vec::new();
+        for off in 0..chips {
+            candidates.push((ch, (start_chip + off) % chips));
+        }
+        for &other in home.iter().filter(|c| **c != ch) {
+            for chip in 0..chips {
+                candidates.push((other, chip));
+            }
+        }
+        for (c, chip) in &candidates {
+            if let Some((blk, page)) = self.try_append_on(idx, *c, *chip, lpa) {
+                return (blk, page);
+            }
+        }
+        // Out of space everywhere: emergency synchronous GC, then retry.
+        if !self.in_emergency {
+            self.in_emergency = true;
+            for (c, chip) in &candidates {
+                if self.run_gc_emergency(*c, *chip) {
+                    if let Some((blk, page)) = self.try_append_on(idx, *c, *chip, lpa) {
+                        self.in_emergency = false;
+                        return (blk, page);
+                    }
+                }
+            }
+            self.in_emergency = false;
+        }
+        panic!(
+            "vssd {} out of flash space: no free block on any home channel. \
+             The device is too small for the offered load — in-flight \
+             writes (closed-loop concurrency x request size) plus the \
+             working set must fit the vSSD's raw capacity",
+            self.vssds[idx].cfg.id
+        );
+    }
+
+    /// Appends on a specific `(channel, chip)`, opening a new block if the
+    /// current one is full. Returns `None` when the chip is out of blocks.
+    fn try_append_on(
+        &mut self,
+        idx: usize,
+        ch: ChannelId,
+        chip: u16,
+        lpa: u64,
+    ) -> Option<(BlockAddr, u32)> {
+        let key = (ch.0, chip);
+        let need_new = match self.vssds[idx].open_blocks.get(&key) {
+            Some(blk) => self.device.chip(ch, chip).block(blk.block).free_pages() == 0,
+            None => true,
+        };
+        if need_new {
+            let blk = if self.in_emergency {
+                self.device.allocate_block_gc(ch, chip)?
+            } else {
+                self.device.allocate_block(ch, chip)?
+            };
+            let id = self.vssds[idx].cfg.id;
+            self.block_meta
+                .insert(blk, BlockMeta { resource_owner: id, data_owner: id, gsb: None });
+            self.chip_blocks.entry(key).or_default().push(blk);
+            self.vssds[idx].open_blocks.insert(key, blk);
+        }
+        let blk = *self.vssds[idx].open_blocks.get(&key).expect("open block exists");
+        let page = self.device.append_page(blk, fleetio_flash::addr::Lpa(lpa));
+        Some((blk, page))
+    }
+}

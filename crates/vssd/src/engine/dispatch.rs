@@ -1,0 +1,278 @@
+//! Per-channel dispatch: priority levels, stride scheduling, token buckets.
+
+use fleetio_des::SimTime;
+use fleetio_flash::addr::ChannelId;
+
+use crate::request::CompletedRequest;
+
+use super::{Engine, Ev, GrantOp, PageOp};
+
+/// High bit of a `PageDone` tag marks a GC op (low bits = GC job id).
+const GC_OP_BIT: u64 = 1 << 63;
+
+/// Bus-grant granularity for time-sliced low-priority transfers. Real
+/// controllers arbitrate the channel bus in sub-page units, which is what
+/// keeps a bulk transfer from head-of-line-blocking a latency-critical
+/// request for a whole page time.
+const GRANT_BYTES: u64 = 4096;
+
+impl Engine {
+    /// Dispatches queued page ops on channel `ch` while in-flight slots
+    /// remain, honouring priority levels, stride shares and token buckets.
+    pub(crate) fn try_dispatch(&mut self, ch: u16) {
+        // When a high-priority tenant is active on this channel, keep one
+        // in-flight slot in reserve for it: combined with time-sliced bus
+        // grants this bounds both the bus wait (one grant) and the number
+        // of concurrent low-priority chip programs a latency-critical read
+        // can collide with.
+        let high_present = self
+            .chans[usize::from(ch)]
+            .stride_members()
+            .any(|idx| self.vssds[idx].priority == crate::request::Priority::High);
+        let low_cap = self.cfg.dispatch_ahead.saturating_sub(1).max(1);
+        loop {
+            if self.chans[usize::from(ch)].in_flight >= self.cfg.dispatch_ahead {
+                return;
+            }
+            match self.select_op(ch) {
+                Some((vssd_idx, rank)) => {
+                    if high_present
+                        && rank > 0
+                        && self.chans[usize::from(ch)].in_flight >= low_cap
+                    {
+                        self.maybe_schedule_token_retry(ch);
+                        return;
+                    }
+                    let op = self.chans[usize::from(ch)].queues[vssd_idx][rank]
+                        .pop_front()
+                        .expect("selected queue is non-empty");
+                    self.chans[usize::from(ch)].pending[rank] -= 1;
+                    self.issue_op(ch, op, rank);
+                }
+                None => {
+                    self.maybe_schedule_token_retry(ch);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Picks the next `(vssd_idx, priority_rank)` to serve on `ch`:
+    /// highest non-empty priority level first, stride scheduling among the
+    /// vSSDs runnable at that level, token buckets gating runnability.
+    fn select_op(&mut self, ch: u16) -> Option<(usize, usize)> {
+        let now = self.now;
+        for rank in 0..3 {
+            if self.chans[usize::from(ch)].pending[rank] == 0 {
+                continue;
+            }
+            let mut runnable: Vec<usize> = Vec::new();
+            for idx in 0..self.vssds.len() {
+                let head_bytes = {
+                    let q = &self.chans[usize::from(ch)].queues[idx][rank];
+                    match q.front() {
+                        Some(op) => op.bytes,
+                        None => continue,
+                    }
+                };
+                // GC ops bypass tenant rate limits (internal traffic).
+                let is_gc = self.chans[usize::from(ch)].queues[idx][rank]
+                    .front()
+                    .is_some_and(|op| op.gc.is_some());
+                let ok = is_gc
+                    || match self.vssds[idx].bucket.as_mut() {
+                        Some(bucket) => bucket.would_allow(now, head_bytes),
+                        None => true,
+                    };
+                if ok {
+                    runnable.push(idx);
+                }
+            }
+            if runnable.is_empty() {
+                // Everyone at this level is token-blocked; lower levels may
+                // still proceed (they are different vSSDs).
+                continue;
+            }
+            let chan = &mut self.chans[usize::from(ch)];
+            let pick = chan.stride.pick(runnable.iter().copied())?;
+            return Some((pick, rank));
+        }
+        None
+    }
+
+    /// Issues one page op on the device and schedules its completion.
+    ///
+    /// Low-priority multi-grant transfers are time-sliced: the bus is
+    /// booked one [`GRANT_BYTES`] grant at a time, so a high-priority op
+    /// arriving mid-transfer waits at most one grant rather than a full
+    /// page time.
+    fn issue_op(&mut self, ch: u16, op: PageOp, rank: usize) {
+        let now = self.now;
+        if op.gc.is_none() {
+            if let Some(bucket) = self.vssds[op.vssd].bucket.as_mut() {
+                // Selection verified affordability; consume now.
+                let _ = bucket.try_take(now, op.bytes);
+            }
+        }
+        let channel = ChannelId(ch);
+        let tag = op.req.or(op.gc.map(|g| GC_OP_BIT | g));
+        self.chans[usize::from(ch)].in_flight += 1;
+        if (rank == crate::request::Priority::Low.rank() || op.gc.is_some())
+            && op.bytes > GRANT_BYTES
+        {
+            // Time-sliced path.
+            if let Some(req_id) = op.req {
+                if let Some(r) = self.reqs.get_mut(&req_id) {
+                    r.first_start = Some(r.first_start.map_or(now, |t| t.min(now)));
+                }
+            }
+            let grant = GrantOp {
+                read: op.read,
+                chip: op.chip,
+                tag,
+                gc: op.gc.is_some(),
+                remaining: op.bytes,
+            };
+            let t0 = if op.read {
+                // Cell read first; transfers start when the data is in the
+                // chip register.
+                self.device.chip_read_occupy(now, channel, op.chip).end
+            } else {
+                now
+            };
+            self.events.push(t0, Ev::Grant { ch, op: grant });
+            return;
+        }
+        let times = match (op.read, op.gc.is_some()) {
+            (true, false) if rank == 0 => {
+                // High-priority reads use program/erase suspend.
+                self.device.read_page_preempting(now, channel, op.chip, op.bytes)
+            }
+            (true, false) => self.device.read_page(now, channel, op.chip, op.bytes),
+            (false, false) => self.device.write_page(now, channel, op.chip, op.bytes),
+            (true, true) => self.device.gc_read_page(now, channel, op.chip, op.bytes),
+            (false, true) => self.device.gc_write_page(now, channel, op.chip, op.bytes),
+        };
+        if let Some(req_id) = op.req {
+            if let Some(r) = self.reqs.get_mut(&req_id) {
+                r.first_start = Some(match r.first_start {
+                    Some(t) => t.min(times.start),
+                    None => times.start,
+                });
+            }
+        }
+        self.events.push(times.end, Ev::PageDone { ch, req: tag });
+    }
+
+    /// Advances a time-sliced transfer by one bus grant; finishes the op
+    /// (program for writes) when the last grant lands.
+    pub(crate) fn process_grant(&mut self, ch: u16, mut op: GrantOp) {
+        let channel = ChannelId(ch);
+        if op.remaining == 0 {
+            if op.read {
+                self.events.push(self.now, Ev::PageDone { ch, req: op.tag });
+            } else {
+                let p = self.device.chip_program_occupy(self.now, channel, op.chip);
+                self.events.push(p.end, Ev::PageDone { ch, req: op.tag });
+            }
+            return;
+        }
+        let bytes = GRANT_BYTES.min(op.remaining);
+        let g = self.device.bus_grant(self.now, channel, bytes, op.read, op.gc);
+        op.remaining -= bytes;
+        self.events.push(g.end, Ev::Grant { ch, op });
+    }
+
+    /// Handles a page-op completion: frees the slot, finishes the request
+    /// if this was its last op, and keeps the channel busy.
+    pub(crate) fn process_page_done(&mut self, ch: u16, req: Option<u64>) {
+        self.chans[usize::from(ch)].in_flight -= 1;
+        if let Some(tag) = req {
+            if tag & GC_OP_BIT != 0 {
+                self.process_gc_op_done(tag & !GC_OP_BIT);
+                self.try_dispatch(ch);
+                return;
+            }
+        }
+        if let Some(req_id) = req {
+            let finished = {
+                let r = self.reqs.get_mut(&req_id).expect("page op for unknown request");
+                r.remaining -= 1;
+                r.remaining == 0
+            };
+            if finished {
+                let r = self.reqs.remove(&req_id).expect("request exists");
+                let completion = self.now;
+                let record = CompletedRequest {
+                    id: crate::request::RequestId(req_id),
+                    vssd: r.vssd,
+                    op: r.op,
+                    offset: r.offset,
+                    len: r.len,
+                    arrival: r.arrival,
+                    service_start: r.first_start.unwrap_or(r.arrival),
+                    completion,
+                };
+                let idx = self.idx(r.vssd);
+                let latency = record.latency();
+                let violated = self.vssds[idx]
+                    .cfg
+                    .slo
+                    .map(|slo| latency > slo)
+                    .unwrap_or(false);
+                self.vssds[idx].window.record_request(
+                    r.op.is_read(),
+                    r.len,
+                    latency,
+                    record.queue_delay(),
+                    violated,
+                );
+                let cum = &mut self.vssds[idx].cumulative;
+                cum.bytes += r.len;
+                cum.requests += 1;
+                if violated {
+                    cum.slo_violations += 1;
+                }
+                cum.latency.record(latency);
+                self.completed.push(record);
+            }
+        }
+        self.try_dispatch(ch);
+    }
+
+    /// If ops are queued but all are token-blocked, schedules a retry at
+    /// the earliest token-availability time.
+    fn maybe_schedule_token_retry(&mut self, ch: u16) {
+        if self.chans[usize::from(ch)].retry_pending {
+            return;
+        }
+        if self.chans[usize::from(ch)].pending.iter().all(|p| *p == 0) {
+            return;
+        }
+        let now = self.now;
+        let mut earliest: Option<SimTime> = None;
+        for idx in 0..self.vssds.len() {
+            let mut head: Option<u64> = None;
+            for rank in 0..3 {
+                if let Some(op) = self.chans[usize::from(ch)].queues[idx][rank].front() {
+                    head = Some(op.bytes);
+                    break;
+                }
+            }
+            let Some(bytes) = head else { continue };
+            if let Some(bucket) = self.vssds[idx].bucket.as_mut() {
+                let at = bucket.ready_at(now, bytes);
+                earliest = Some(match earliest {
+                    Some(t) => t.min(at),
+                    None => at,
+                });
+            }
+        }
+        if let Some(at) = earliest {
+            // Guard against a zero-delay livelock.
+            let at = at.max(now + fleetio_des::SimDuration::from_micros(1));
+            self.chans[usize::from(ch)].retry_pending = true;
+            self.events.push(at, Ev::TokenRetry { ch });
+        }
+    }
+}

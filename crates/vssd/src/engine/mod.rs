@@ -1,0 +1,670 @@
+//! The multi-tenant vSSD simulation engine.
+//!
+//! [`Engine`] composes the flash device, per-channel dispatchers, per-vSSD
+//! FTL state, the gSB pool, the Harvested Block Table, and admission
+//! control into one discrete-event simulation. Drivers (baseline policies or
+//! FleetIO's RL agents) interact with it through four surfaces:
+//!
+//! 1. **I/O**: [`Engine::submit`] requests, [`Engine::run_until`] advances
+//!    simulated time, [`Engine::drain_completed`] collects results.
+//! 2. **Scheduling**: [`Engine::set_priority`] (the `Set_Priority` action).
+//! 3. **Harvesting**: [`Engine::submit_action`] routes `Harvest` /
+//!    `Make_Harvestable` actions through admission control;
+//!    [`Engine::set_harvest_target`] / [`Engine::set_harvestable_target`]
+//!    are the direct (post-admission) forms.
+//! 4. **Observation**: [`Engine::finish_window`] freezes per-vSSD window
+//!    statistics; [`Engine::snapshot`] exposes the remaining RL states.
+
+mod arrival;
+mod dispatch;
+mod gc;
+mod harvest;
+mod vstate;
+
+pub use vstate::VssdCumulative;
+
+use std::collections::{HashMap, HashSet};
+
+use fleetio_des::window::WindowSummary;
+use fleetio_des::{EventQueue, SimDuration, SimTime};
+use fleetio_flash::addr::BlockAddr;
+use fleetio_flash::config::FlashConfig;
+use fleetio_flash::device::FlashDevice;
+use serde::{Deserialize, Serialize};
+
+use crate::admission::{AdmissionControl, HarvestAction};
+use crate::gsb::GsbPool;
+use crate::hbt::HarvestedBlockTable;
+use crate::request::{CompletedRequest, IoOp, IoRequest, Priority, RequestId};
+use crate::stride::StrideScheduler;
+use crate::vssd::{VssdConfig, VssdId};
+
+use self::vstate::{BlockMeta, VssdState};
+
+/// Engine-level configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Flash device configuration.
+    pub flash: FlashConfig,
+    /// Maximum page operations in flight per channel. Small values keep
+    /// priority scheduling responsive; large values maximize pipelining.
+    pub dispatch_ahead: u32,
+    /// GC triggers when a chip's free-block fraction falls below this
+    /// (the paper's lazy GC with a 20 % threshold, §4.1).
+    pub gc_free_threshold: f64,
+    /// No gSB is created on a channel whose least-free chip is below this
+    /// free fraction (§3.6: 25 %).
+    pub gsb_min_free_fraction: f64,
+    /// Blocks harvested per channel per gSB (§3.6: minimum superblock of
+    /// 16 blocks per channel).
+    pub gsb_blocks_per_channel: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            flash: FlashConfig::default(),
+            dispatch_ahead: 3,
+            gc_free_threshold: 0.20,
+            gsb_min_free_fraction: 0.25,
+            gsb_blocks_per_channel: 16,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a field is out of range, including everything
+    /// [`FlashConfig::validate`] rejects.
+    pub fn validate(&self) -> Result<(), String> {
+        self.flash.validate()?;
+        if self.dispatch_ahead == 0 {
+            return Err("dispatch_ahead must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.gc_free_threshold) {
+            return Err("gc_free_threshold must be in [0, 1)".into());
+        }
+        if !(0.0..1.0).contains(&self.gsb_min_free_fraction) {
+            return Err("gsb_min_free_fraction must be in [0, 1)".into());
+        }
+        if self.gsb_blocks_per_channel == 0 {
+            return Err("gsb_blocks_per_channel must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A page-granularity operation queued on a channel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PageOp {
+    pub vssd: usize,
+    pub read: bool,
+    pub bytes: u64,
+    pub chip: u16,
+    /// Host request this op belongs to, if any.
+    pub req: Option<u64>,
+    /// GC job this op belongs to, if any (mutually exclusive with `req`).
+    pub gc: Option<u64>,
+}
+
+/// Per-channel dispatcher state.
+#[derive(Debug)]
+pub(crate) struct ChanState {
+    /// `queues[vssd_idx][priority_rank]`.
+    pub queues: Vec<[std::collections::VecDeque<PageOp>; 3]>,
+    /// Total queued ops per priority rank.
+    pub pending: [u32; 3],
+    pub in_flight: u32,
+    pub stride: StrideScheduler<usize>,
+    pub retry_pending: bool,
+    /// vSSD indices that have ever used this channel.
+    pub members: Vec<usize>,
+}
+
+impl ChanState {
+    /// Iterates the vSSDs registered on this channel.
+    pub(crate) fn stride_members(&self) -> impl Iterator<Item = usize> + '_ {
+        self.members.iter().copied()
+    }
+}
+
+/// Engine events.
+#[derive(Debug, Clone)]
+pub(crate) enum Ev {
+    Arrival { id: u64, req: IoRequest },
+    PageDone { ch: u16, req: Option<u64> },
+    GcDone { vssd: VssdId, ch: u16, chip: u16, busy: SimDuration, job: u64 },
+    AdmissionTick,
+    TokenRetry { ch: u16 },
+    /// Next bus grant of a time-sliced low-priority transfer.
+    Grant { ch: u16, op: GrantOp },
+}
+
+/// State of a time-sliced (grant-by-grant) page operation in flight.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GrantOp {
+    pub read: bool,
+    pub chip: u16,
+    /// PageDone tag (request id, or GC bit | job id).
+    pub tag: Option<u64>,
+    pub gc: bool,
+    pub remaining: u64,
+}
+
+/// One in-flight garbage-collection job.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GcJob {
+    pub owner: VssdId,
+    pub ch: u16,
+    pub chip: u16,
+    pub victim: BlockAddr,
+    pub remaining: u32,
+    pub started: SimTime,
+    /// Whether this job holds the per-chip GC-in-progress slot (erase-only
+    /// reclaims of dead harvested blocks run outside it).
+    pub owns_chip_slot: bool,
+}
+
+/// An in-flight request's progress.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InflightReq {
+    pub vssd: VssdId,
+    pub op: IoOp,
+    pub offset: u64,
+    pub len: u64,
+    pub arrival: SimTime,
+    pub remaining: u32,
+    pub first_start: Option<SimTime>,
+}
+
+/// RL-facing snapshot of a vSSD's non-window states.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VssdSnapshot {
+    /// Free logical capacity in bytes (the paper's `Avail_Capacity`).
+    pub free_capacity_bytes: u64,
+    /// Whether any GC job is running on the vSSD's blocks (`In_GC`).
+    pub in_gc: bool,
+    /// Current request priority (`Cur_Priority`).
+    pub priority: Priority,
+    /// Channels currently harvested *by* this vSSD (sum of gSB `n_chls`).
+    pub harvested_channels: usize,
+    /// This vSSD's gSB channels sitting unharvested in the pool.
+    pub harvestable_channels: usize,
+}
+
+/// The multi-tenant vSSD engine. See the module docs for the API surface.
+#[derive(Debug)]
+pub struct Engine {
+    pub(crate) cfg: EngineConfig,
+    pub(crate) device: FlashDevice,
+    pub(crate) now: SimTime,
+    pub(crate) events: EventQueue<Ev>,
+    pub(crate) vssds: Vec<VssdState>,
+    pub(crate) id_to_idx: HashMap<VssdId, usize>,
+    pub(crate) chans: Vec<ChanState>,
+    pub(crate) pool: GsbPool,
+    pub(crate) hbt: HarvestedBlockTable,
+    pub(crate) admission: AdmissionControl,
+    pub(crate) block_meta: HashMap<BlockAddr, BlockMeta>,
+    /// Allocated blocks per `(channel, chip)` for victim scans.
+    pub(crate) chip_blocks: HashMap<(u16, u16), Vec<BlockAddr>>,
+    pub(crate) reqs: HashMap<u64, InflightReq>,
+    pub(crate) next_req: u64,
+    pub(crate) completed: Vec<CompletedRequest>,
+    pub(crate) gc_running: HashSet<(u16, u16)>,
+    pub(crate) gc_jobs: HashMap<u64, GcJob>,
+    pub(crate) next_gc_job: u64,
+    /// Persistent per-vSSD (harvest, make-harvestable) channel targets,
+    /// reconciled at every admission tick.
+    pub(crate) harvest_targets: HashMap<VssdId, (usize, usize)>,
+    pub(crate) window_start: Vec<SimTime>,
+    /// Suppresses GC and timing during warm-up pre-fill.
+    pub(crate) warming: bool,
+    /// Reentrancy guard for emergency synchronous GC.
+    pub(crate) in_emergency: bool,
+    /// Per-channel page ops planned during the current arrival's
+    /// bookkeeping (they have not reached the queues yet, but write
+    /// placement must see them to spread a multi-page request).
+    pub(crate) planned: Vec<u32>,
+}
+
+impl Engine {
+    /// Builds an engine hosting `vssds` on a device described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine or any vSSD configuration is invalid, a vSSD id
+    /// repeats, or a vSSD references a channel outside the device.
+    pub fn new(cfg: EngineConfig, vssds: Vec<VssdConfig>) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid engine config: {e}");
+        }
+        let device = FlashDevice::new(cfg.flash.clone());
+        let n_channels = usize::from(cfg.flash.channels);
+        let mut states = Vec::with_capacity(vssds.len());
+        let mut id_to_idx = HashMap::new();
+        for (idx, vc) in vssds.into_iter().enumerate() {
+            if let Err(e) = vc.validate() {
+                panic!("invalid vssd config: {e}");
+            }
+            for ch in &vc.channels {
+                assert!(
+                    usize::from(ch.0) < n_channels,
+                    "{} references {} outside the device",
+                    vc.id,
+                    ch
+                );
+            }
+            assert!(id_to_idx.insert(vc.id, idx).is_none(), "duplicate vssd id {}", vc.id);
+            states.push(VssdState::new(vc));
+        }
+        let chans = (0..n_channels)
+            .map(|_| ChanState {
+                queues: (0..states.len()).map(|_| Default::default()).collect(),
+                pending: [0; 3],
+                in_flight: 0,
+                stride: StrideScheduler::new(),
+                retry_pending: false,
+                members: Vec::new(),
+            })
+            .collect();
+        let mut events = EventQueue::new();
+        let admission = AdmissionControl::new();
+        events.push(SimTime::ZERO + admission.batch_interval(), Ev::AdmissionTick);
+        let n_vssds = states.len();
+        Engine {
+            cfg,
+            device,
+            now: SimTime::ZERO,
+            events,
+            vssds: states,
+            id_to_idx,
+            chans,
+            pool: GsbPool::new(n_channels),
+            hbt: HarvestedBlockTable::new(),
+            admission,
+            block_meta: HashMap::new(),
+            chip_blocks: HashMap::new(),
+            reqs: HashMap::new(),
+            next_req: 0,
+            completed: Vec::new(),
+            gc_running: HashSet::new(),
+            gc_jobs: HashMap::new(),
+            next_gc_job: 0,
+            harvest_targets: HashMap::new(),
+            window_start: vec![SimTime::ZERO; n_vssds],
+            warming: false,
+            in_emergency: false,
+            planned: vec![0; n_channels],
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The underlying flash device (read-only).
+    pub fn device(&self) -> &FlashDevice {
+        &self.device
+    }
+
+    /// Admission-control stage (for configuring permissions/policies).
+    pub fn admission_mut(&mut self) -> &mut AdmissionControl {
+        &mut self.admission
+    }
+
+    pub(crate) fn idx(&self, id: VssdId) -> usize {
+        *self.id_to_idx.get(&id).unwrap_or_else(|| panic!("unknown vssd {id}"))
+    }
+
+    /// Ids of all hosted vSSDs in registration order.
+    pub fn vssd_ids(&self) -> Vec<VssdId> {
+        self.vssds.iter().map(|v| v.cfg.id).collect()
+    }
+
+    /// A vSSD's configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn vssd_config(&self, id: VssdId) -> &VssdConfig {
+        &self.vssds[self.idx(id)].cfg
+    }
+
+    /// Logical capacity of a vSSD in pages, derived from its channel share
+    /// after over-provisioning.
+    pub fn logical_capacity_pages(&self, id: VssdId) -> u64 {
+        let v = &self.vssds[self.idx(id)];
+        let f = &self.cfg.flash;
+        let full = v.cfg.channels.len() as u64
+            * u64::from(f.chips_per_channel)
+            * u64::from(f.logical_blocks_per_chip())
+            * u64::from(f.pages_per_block);
+        (full as f64 * v.cfg.capacity_share) as u64
+    }
+
+    /// Logical capacity of a vSSD in bytes.
+    pub fn logical_capacity_bytes(&self, id: VssdId) -> u64 {
+        self.logical_capacity_pages(id) * u64::from(self.cfg.flash.page_bytes)
+    }
+
+    /// Converts a bandwidth to whole gSB channels (rounding down), per §3.6.
+    pub fn channels_for_bandwidth(&self, bytes_per_sec: f64) -> usize {
+        if !bytes_per_sec.is_finite() || bytes_per_sec <= 0.0 {
+            return 0;
+        }
+        (bytes_per_sec / self.cfg.flash.channel_peak_bytes_per_sec()).floor() as usize
+    }
+
+    /// Submits one I/O request. Returns the id its completion will carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's arrival is in the simulated past, its vSSD
+    /// is unknown, or its length is zero.
+    pub fn submit(&mut self, req: IoRequest) -> RequestId {
+        assert!(req.arrival >= self.now, "arrival {} is before now {}", req.arrival, self.now);
+        assert!(req.len > 0, "request length must be positive");
+        let _ = self.idx(req.vssd);
+        let id = self.next_req;
+        self.next_req += 1;
+        self.reqs.insert(
+            id,
+            InflightReq {
+                vssd: req.vssd,
+                op: req.op,
+                offset: req.offset,
+                len: req.len,
+                arrival: req.arrival,
+                remaining: 0,
+                first_start: None,
+            },
+        );
+        self.events.push(req.arrival, Ev::Arrival { id, req });
+        RequestId(id)
+    }
+
+    /// Advances simulated time to `t`, processing every event in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is before the current time.
+    pub fn run_until(&mut self, t: SimTime) {
+        assert!(t >= self.now, "cannot run backwards");
+        while let Some(ev) = self.events.pop_before(t) {
+            self.now = ev.at;
+            match ev.payload {
+                Ev::Arrival { id, req } => self.process_arrival(id, req),
+                Ev::PageDone { ch, req } => self.process_page_done(ch, req),
+                Ev::GcDone { vssd, ch, chip, busy, job } => {
+                    self.process_gc_done(vssd, ch, chip, busy, job)
+                }
+                Ev::AdmissionTick => self.process_admission_tick(),
+                Ev::TokenRetry { ch } => {
+                    self.chans[usize::from(ch)].retry_pending = false;
+                    self.try_dispatch(ch);
+                }
+                Ev::Grant { ch, op } => self.process_grant(ch, op),
+            }
+        }
+        self.now = t;
+    }
+
+    /// Drains all requests completed since the last call.
+    pub fn drain_completed(&mut self) -> Vec<CompletedRequest> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Sets a vSSD's I/O priority (the RL `Set_Priority(level)` action).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn set_priority(&mut self, id: VssdId, priority: Priority) {
+        let idx = self.idx(id);
+        self.vssds[idx].priority = priority;
+    }
+
+    /// Sets (or clears) a vSSD's tail-latency SLO. Experiments measure the
+    /// SLO from a hardware-isolated calibration run (§3.3.1) and install it
+    /// here before the measured run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn set_slo(&mut self, id: VssdId, slo: Option<SimDuration>) {
+        let idx = self.idx(id);
+        self.vssds[idx].cfg.slo = slo;
+    }
+
+    /// Re-weights a vSSD's stride-scheduling tickets on every channel it
+    /// uses (the Adaptive baseline's proportional-share reallocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or `tickets` is zero.
+    pub fn set_tickets(&mut self, id: VssdId, tickets: u32) {
+        assert!(tickets > 0, "tickets must be positive");
+        let idx = self.idx(id);
+        self.vssds[idx].cfg.tickets = tickets;
+        for chan in &mut self.chans {
+            chan.stride.set_tickets(&idx, tickets);
+        }
+    }
+
+    /// Installs or replaces a vSSD's token-bucket rate limit (bytes/second;
+    /// `None` removes throttling). Used by the Adaptive baseline to
+    /// re-provision shares every window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the rate is not positive.
+    pub fn set_rate_limit(&mut self, id: VssdId, bytes_per_sec: Option<f64>) {
+        let idx = self.idx(id);
+        self.vssds[idx].cfg.rate_limit = bytes_per_sec;
+        self.vssds[idx].bucket =
+            bytes_per_sec.map(|rate| crate::token_bucket::TokenBucket::new(rate, rate * 0.05));
+    }
+
+    /// Routes a harvest action through admission control. It executes at
+    /// the next 50 ms admission batch. Returns whether the action passed
+    /// the permission check.
+    pub fn submit_action(&mut self, action: HarvestAction) -> bool {
+        self.admission.submit(action)
+    }
+
+    /// Freezes and returns the vSSD's statistics window covering
+    /// `[last call, now]`, and starts a new window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or no time has passed since the last call.
+    pub fn finish_window(&mut self, id: VssdId) -> WindowSummary {
+        let idx = self.idx(id);
+        let start = self.window_start[idx];
+        let len = self.now.saturating_since(start);
+        self.window_start[idx] = self.now;
+        self.vssds[idx].window.finish(start, len)
+    }
+
+    /// RL-facing snapshot of a vSSD's non-window states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn snapshot(&self, id: VssdId) -> VssdSnapshot {
+        let v = &self.vssds[self.idx(id)];
+        let mapped = v.mapped_pages * u64::from(self.cfg.flash.page_bytes);
+        let harvested_channels =
+            v.harvested.iter().filter_map(|g| self.pool.get(*g)).map(|g| g.n_chls()).sum();
+        let harvestable_channels = self
+            .pool
+            .of_home(id)
+            .iter()
+            .filter_map(|g| self.pool.get(*g))
+            .filter(|g| !g.in_use())
+            .map(|g| g.n_chls())
+            .sum();
+        VssdSnapshot {
+            free_capacity_bytes: self.logical_capacity_bytes(id).saturating_sub(mapped),
+            in_gc: v.in_gc(),
+            priority: v.priority,
+            harvested_channels,
+            harvestable_channels,
+        }
+    }
+
+    /// Clears a vSSD's lifetime-cumulative statistics (used to exclude
+    /// ramp-up windows from measured runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn reset_cumulative(&mut self, id: VssdId) {
+        let idx = self.idx(id);
+        self.vssds[idx].cumulative = vstate::VssdCumulative::default();
+    }
+
+    /// Lifetime-cumulative statistics of a vSSD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn cumulative(&self, id: VssdId) -> &VssdCumulative {
+        &self.vssds[self.idx(id)].cumulative
+    }
+
+    /// Pre-fills `fraction` of the vSSD's logical space (bookkeeping only,
+    /// no simulated time), so GC pressure matches a warmed device as in
+    /// §4.1 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]` or `id` is unknown.
+    pub fn warm_up(&mut self, id: VssdId, fraction: f64) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        let idx = self.idx(id);
+        let pages = (self.logical_capacity_pages(id) as f64 * fraction) as u64;
+        self.warming = true;
+        for lpa in 0..pages {
+            self.write_page_bookkeeping(idx, lpa);
+        }
+        self.warming = false;
+    }
+
+    /// The per-channel peak bandwidth used for bandwidth↔channel
+    /// conversions, bytes/second.
+    pub fn channel_peak_bytes_per_sec(&self) -> f64 {
+        self.cfg.flash.channel_peak_bytes_per_sec()
+    }
+
+    /// Total queued page operations for a vSSD across all channels
+    /// (an instantaneous queue-depth signal).
+    pub fn queued_ops(&self, id: VssdId) -> usize {
+        let idx = self.idx(id);
+        self.chans
+            .iter()
+            .map(|c| c.queues[idx].iter().map(|q| q.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleetio_flash::addr::ChannelId;
+
+    fn engine_2vssd() -> Engine {
+        let cfg = EngineConfig { flash: FlashConfig::small_test(), ..Default::default() };
+        let v0 = VssdConfig::hardware(VssdId(0), vec![ChannelId(0), ChannelId(1)]);
+        let v1 = VssdConfig::hardware(VssdId(1), vec![ChannelId(2), ChannelId(3)]);
+        Engine::new(cfg, vec![v0, v1])
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let e = engine_2vssd();
+        assert_eq!(e.vssd_ids(), vec![VssdId(0), VssdId(1)]);
+        assert_eq!(e.now(), SimTime::ZERO);
+        // 2 channels × 2 chips × logical blocks (80% of 16 = 12) × 32 pages.
+        assert_eq!(e.logical_capacity_pages(VssdId(0)), 2 * 2 * 12 * 32);
+    }
+
+    #[test]
+    fn channels_for_bandwidth_rounds_down() {
+        let e = engine_2vssd();
+        let ch_bw = e.channel_peak_bytes_per_sec();
+        assert_eq!(e.channels_for_bandwidth(0.0), 0);
+        assert_eq!(e.channels_for_bandwidth(ch_bw * 0.9), 0);
+        assert_eq!(e.channels_for_bandwidth(ch_bw * 1.5), 1);
+        assert_eq!(e.channels_for_bandwidth(ch_bw * 3.0), 3);
+        assert_eq!(e.channels_for_bandwidth(f64::NAN), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vssd id")]
+    fn duplicate_ids_panic() {
+        let cfg = EngineConfig { flash: FlashConfig::small_test(), ..Default::default() };
+        let v = VssdConfig::hardware(VssdId(0), vec![ChannelId(0)]);
+        let _ = Engine::new(cfg, vec![v.clone(), v]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the device")]
+    fn out_of_range_channel_panics() {
+        let cfg = EngineConfig { flash: FlashConfig::small_test(), ..Default::default() };
+        let v = VssdConfig::hardware(VssdId(0), vec![ChannelId(99)]);
+        let _ = Engine::new(cfg, vec![v]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run backwards")]
+    fn run_backwards_panics() {
+        let mut e = engine_2vssd();
+        e.run_until(SimTime::from_secs(1));
+        e.run_until(SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn warm_up_consumes_capacity() {
+        let mut e = engine_2vssd();
+        let before = e.snapshot(VssdId(0)).free_capacity_bytes;
+        e.warm_up(VssdId(0), 0.5);
+        let after = e.snapshot(VssdId(0)).free_capacity_bytes;
+        assert!(after < before);
+        assert!((before - after) as f64 / before as f64 > 0.45);
+        // Warm-up must not advance time or consume device bus accounting.
+        assert_eq!(e.now(), SimTime::ZERO);
+        assert_eq!(e.device().stats().host_write_bytes, 0);
+    }
+
+    #[test]
+    fn snapshot_defaults() {
+        let e = engine_2vssd();
+        let s = e.snapshot(VssdId(0));
+        assert!(!s.in_gc);
+        assert_eq!(s.priority, Priority::Medium);
+        assert_eq!(s.harvested_channels, 0);
+        assert_eq!(s.harvestable_channels, 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = EngineConfig::default();
+        assert!(c.validate().is_ok());
+        c.dispatch_ahead = 0;
+        assert!(c.validate().is_err());
+        c = EngineConfig::default();
+        c.gc_free_threshold = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-vSSD runtime state inside the engine.
+
+use std::collections::HashMap;
+
+use fleetio_des::window::WindowStats;
+use fleetio_des::LatencyHistogram;
+use fleetio_flash::addr::{BlockAddr, ChannelId, Ppa};
+
+use crate::gsb::GsbId;
+use crate::request::Priority;
+use crate::token_bucket::TokenBucket;
+use crate::vssd::{VssdConfig, VssdId};
+
+/// One slot of a vSSD's write-striping rotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StripeTarget {
+    /// Append to the vSSD's own blocks on this home channel.
+    Home(ChannelId),
+    /// Append into a harvested ghost superblock (one slot per gSB channel).
+    Gsb(GsbId),
+}
+
+/// Metadata the engine keeps per allocated physical block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BlockMeta {
+    /// The vSSD whose channel resources back the block.
+    pub resource_owner: VssdId,
+    /// The vSSD whose logical data the block holds (differs from
+    /// `resource_owner` for harvested blocks).
+    pub data_owner: VssdId,
+    /// The ghost superblock containing the block, if any.
+    pub gsb: Option<GsbId>,
+}
+
+/// Lifetime-cumulative per-vSSD counters (across all windows).
+#[derive(Debug, Clone, Default)]
+pub struct VssdCumulative {
+    /// Host bytes completed (reads + writes).
+    pub bytes: u64,
+    /// Requests completed.
+    pub requests: u64,
+    /// Requests that violated the SLO.
+    pub slo_violations: u64,
+    /// Latency distribution over the whole run.
+    pub latency: LatencyHistogram,
+}
+
+/// Full runtime state of one vSSD.
+#[derive(Debug)]
+pub(crate) struct VssdState {
+    pub cfg: VssdConfig,
+    /// LPA (page units) → physical page mapping.
+    pub map: HashMap<u64, Ppa>,
+    /// Open append block per `(channel, chip)` on home channels.
+    pub open_blocks: HashMap<(u16, u16), BlockAddr>,
+    /// Write-striping rotation (home channels + harvested gSB slots).
+    pub stripe: Vec<StripeTarget>,
+    pub stripe_pos: usize,
+    /// Ghost superblocks currently harvested and active for writes,
+    /// in acquisition order (released LIFO).
+    pub harvested: Vec<GsbId>,
+    /// Current I/O priority (the `Set_Priority` action's target).
+    pub priority: Priority,
+    /// Software-isolation rate limiter, if configured.
+    pub bucket: Option<TokenBucket>,
+    /// Current observation-window accumulator.
+    pub window: WindowStats,
+    /// Number of GC jobs currently running on this vSSD's blocks.
+    pub gc_active: u32,
+    /// Number of logical pages currently mapped.
+    pub mapped_pages: u64,
+    /// Lifetime counters.
+    pub cumulative: VssdCumulative,
+}
+
+impl VssdState {
+    pub(crate) fn new(cfg: VssdConfig) -> Self {
+        let bucket = cfg.rate_limit.map(|rate| TokenBucket::new(rate, rate * 0.05));
+        let stripe = cfg.channels.iter().map(|&c| StripeTarget::Home(c)).collect();
+        VssdState {
+            cfg,
+            map: HashMap::new(),
+            open_blocks: HashMap::new(),
+            stripe,
+            stripe_pos: 0,
+            harvested: Vec::new(),
+            priority: Priority::default(),
+            bucket,
+            window: WindowStats::new(),
+            gc_active: 0,
+            mapped_pages: 0,
+            cumulative: VssdCumulative::default(),
+        }
+    }
+
+    /// Rebuilds the striping rotation from home channels plus one slot per
+    /// channel of each active harvested gSB.
+    pub(crate) fn rebuild_stripe(&mut self, gsb_channels: impl Fn(GsbId) -> usize) {
+        let mut stripe: Vec<StripeTarget> =
+            self.cfg.channels.iter().map(|&c| StripeTarget::Home(c)).collect();
+        for &id in &self.harvested {
+            for _ in 0..gsb_channels(id) {
+                stripe.push(StripeTarget::Gsb(id));
+            }
+        }
+        self.stripe = stripe;
+        self.stripe_pos = 0;
+    }
+
+    /// Whether this vSSD is in GC (the paper's `In_GC` RL state).
+    pub(crate) fn in_gc(&self) -> bool {
+        self.gc_active > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> VssdConfig {
+        VssdConfig::hardware(VssdId(0), vec![ChannelId(0), ChannelId(1)])
+    }
+
+    #[test]
+    fn stripe_starts_on_home_channels() {
+        let st = VssdState::new(cfg());
+        assert_eq!(
+            st.stripe,
+            vec![StripeTarget::Home(ChannelId(0)), StripeTarget::Home(ChannelId(1))]
+        );
+        assert!(st.bucket.is_none());
+    }
+
+    #[test]
+    fn rate_limit_creates_bucket() {
+        let c = cfg().with_rate_limit(1e6);
+        let st = VssdState::new(c);
+        assert!(st.bucket.is_some());
+    }
+
+    #[test]
+    fn rebuild_stripe_adds_gsb_slots() {
+        let mut st = VssdState::new(cfg());
+        st.harvested.push(GsbId(5));
+        st.rebuild_stripe(|_| 2);
+        assert_eq!(st.stripe.len(), 4);
+        assert_eq!(st.stripe[2], StripeTarget::Gsb(GsbId(5)));
+    }
+
+    #[test]
+    fn in_gc_tracks_counter() {
+        let mut st = VssdState::new(cfg());
+        assert!(!st.in_gc());
+        st.gc_active = 2;
+        assert!(st.in_gc());
+    }
+}

@@ -1,0 +1,113 @@
+//! The Harvested Block Table (HBT, §3.7 of the paper).
+//!
+//! FleetIO's GC prioritizes blocks that were harvested by another vSSD or
+//! reclaimed from a destroyed gSB over a vSSD's regular blocks. The paper
+//! tracks this with one bit per physical block (regular = 0,
+//! harvested/reclaimed = 1), costing at most 0.5 MB for a 1 TB SSD with 4 MB
+//! blocks; the table below stores the same bit keyed by block address.
+
+use std::collections::HashSet;
+
+use fleetio_flash::addr::BlockAddr;
+use serde::{Deserialize, Serialize};
+
+/// Classification of a physical block for GC purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockClass {
+    /// A block in normal vSSD use.
+    Regular,
+    /// A block inside a (possibly reclaimed) ghost superblock; GC migrates
+    /// these first.
+    Harvested,
+}
+
+/// One-bit-per-block table of harvested/reclaimed blocks.
+///
+/// # Example
+///
+/// ```
+/// use fleetio_flash::addr::{BlockAddr, ChannelId};
+/// use fleetio_vssd::hbt::{BlockClass, HarvestedBlockTable};
+///
+/// let mut hbt = HarvestedBlockTable::new();
+/// let blk = BlockAddr { channel: ChannelId(0), chip: 0, block: 7 };
+/// assert_eq!(hbt.class(blk), BlockClass::Regular);
+/// hbt.mark_harvested(blk);
+/// assert_eq!(hbt.class(blk), BlockClass::Harvested);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HarvestedBlockTable {
+    harvested: HashSet<BlockAddr>,
+}
+
+impl HarvestedBlockTable {
+    /// Creates an empty table (all blocks regular).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The class of `block`.
+    pub fn class(&self, block: BlockAddr) -> BlockClass {
+        if self.harvested.contains(&block) {
+            BlockClass::Harvested
+        } else {
+            BlockClass::Regular
+        }
+    }
+
+    /// Marks `block` as harvested/reclaimed. The gSB manager calls this for
+    /// every block of a gSB at creation time.
+    pub fn mark_harvested(&mut self, block: BlockAddr) {
+        self.harvested.insert(block);
+    }
+
+    /// Marks `block` regular again. GC calls this after erasing the block.
+    pub fn mark_regular(&mut self, block: BlockAddr) {
+        self.harvested.remove(&block);
+    }
+
+    /// Number of blocks currently marked harvested/reclaimed.
+    pub fn harvested_count(&self) -> usize {
+        self.harvested.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleetio_flash::addr::ChannelId;
+
+    fn blk(b: u32) -> BlockAddr {
+        BlockAddr { channel: ChannelId(0), chip: 0, block: b }
+    }
+
+    #[test]
+    fn default_class_is_regular() {
+        let hbt = HarvestedBlockTable::new();
+        assert_eq!(hbt.class(blk(0)), BlockClass::Regular);
+        assert_eq!(hbt.harvested_count(), 0);
+    }
+
+    #[test]
+    fn mark_and_clear_roundtrip() {
+        let mut hbt = HarvestedBlockTable::new();
+        hbt.mark_harvested(blk(1));
+        hbt.mark_harvested(blk(2));
+        assert_eq!(hbt.harvested_count(), 2);
+        assert_eq!(hbt.class(blk(1)), BlockClass::Harvested);
+        hbt.mark_regular(blk(1));
+        assert_eq!(hbt.class(blk(1)), BlockClass::Regular);
+        assert_eq!(hbt.class(blk(2)), BlockClass::Harvested);
+    }
+
+    #[test]
+    fn marks_are_idempotent() {
+        let mut hbt = HarvestedBlockTable::new();
+        hbt.mark_harvested(blk(1));
+        hbt.mark_harvested(blk(1));
+        assert_eq!(hbt.harvested_count(), 1);
+        hbt.mark_regular(blk(1));
+        hbt.mark_regular(blk(1));
+        assert_eq!(hbt.harvested_count(), 0);
+    }
+}

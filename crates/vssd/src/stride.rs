@@ -1,0 +1,213 @@
+//! Stride scheduling for proportional sharing among vSSDs.
+//!
+//! Software isolation uses stride scheduling (Waldspurger & Weihl) so that
+//! high-intensity workloads cannot starve low-intensity ones: each client
+//! holds tickets; picking a client advances its *pass* by `stride ∝
+//! 1/tickets`, and the client with the minimum pass is always served next.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Global stride numerator: pass advances by `STRIDE1 / tickets`.
+const STRIDE1: u64 = 1 << 20;
+
+/// A stride scheduler over clients identified by `K`.
+///
+/// # Example
+///
+/// ```
+/// use fleetio_vssd::stride::StrideScheduler;
+///
+/// let mut s = StrideScheduler::new();
+/// s.add_client("a", 100);
+/// s.add_client("b", 100);
+/// // Equal tickets → strict alternation when both are runnable.
+/// let first = s.pick(["a", "b"].into_iter()).unwrap();
+/// let second = s.pick(["a", "b"].into_iter()).unwrap();
+/// assert_ne!(first, second);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StrideScheduler<K: std::hash::Hash + Eq + Clone> {
+    clients: HashMap<K, StrideState>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StrideState {
+    stride: u64,
+    pass: u64,
+}
+
+impl<K: std::hash::Hash + Eq + Clone> StrideScheduler<K> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        StrideScheduler { clients: HashMap::new() }
+    }
+
+    /// Registers a client with `tickets` shares. Re-registering resets its
+    /// pass to the current minimum so it cannot monopolize after absence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tickets` is zero.
+    pub fn add_client(&mut self, key: K, tickets: u32) {
+        assert!(tickets > 0, "tickets must be positive");
+        let min_pass = self.clients.values().map(|c| c.pass).min().unwrap_or(0);
+        self.clients
+            .insert(key, StrideState { stride: STRIDE1 / u64::from(tickets), pass: min_pass });
+    }
+
+    /// Changes a registered client's ticket count while *preserving* its
+    /// pass (its accumulated fairness credit). Unknown keys are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tickets` is zero.
+    pub fn set_tickets(&mut self, key: &K, tickets: u32) {
+        assert!(tickets > 0, "tickets must be positive");
+        if let Some(st) = self.clients.get_mut(key) {
+            st.stride = STRIDE1 / u64::from(tickets);
+        }
+    }
+
+    /// Whether `key` is registered.
+    pub fn contains(&self, key: &K) -> bool {
+        self.clients.contains_key(key)
+    }
+
+    /// Removes a client.
+    pub fn remove_client(&mut self, key: &K) {
+        self.clients.remove(key);
+    }
+
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether no clients are registered.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Picks the runnable client with the minimum pass and charges it one
+    /// quantum. Unregistered keys in `runnable` are ignored. Returns `None`
+    /// when no runnable client is registered.
+    ///
+    /// Ties break on insertion-independent key order is not guaranteed by
+    /// `HashMap`; callers that need determinism should pass `runnable` in a
+    /// stable order — the first minimal client in iteration order of
+    /// `runnable` wins.
+    pub fn pick<I>(&mut self, runnable: I) -> Option<K>
+    where
+        I: IntoIterator<Item = K>,
+    {
+        let mut best: Option<(K, u64)> = None;
+        for key in runnable {
+            if let Some(st) = self.clients.get(&key) {
+                match &best {
+                    Some((_, pass)) if *pass <= st.pass => {}
+                    _ => best = Some((key, st.pass)),
+                }
+            }
+        }
+        let (key, _) = best?;
+        let st = self.clients.get_mut(&key).expect("picked client exists");
+        st.pass = st.pass.saturating_add(st.stride);
+        Some(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_tickets_alternate() {
+        let mut s = StrideScheduler::new();
+        s.add_client(1, 100);
+        s.add_client(2, 100);
+        let mut counts = [0u32; 3];
+        for _ in 0..100 {
+            let k = s.pick([1, 2].into_iter()).unwrap();
+            counts[k as usize] += 1;
+        }
+        assert_eq!(counts[1], 50);
+        assert_eq!(counts[2], 50);
+    }
+
+    #[test]
+    fn proportional_shares() {
+        let mut s = StrideScheduler::new();
+        s.add_client("heavy", 300);
+        s.add_client("light", 100);
+        let mut heavy = 0;
+        for _ in 0..400 {
+            if s.pick(["heavy", "light"].into_iter()).unwrap() == "heavy" {
+                heavy += 1;
+            }
+        }
+        // 3:1 split within rounding.
+        assert!((295..=305).contains(&heavy), "heavy won {heavy}/400");
+    }
+
+    #[test]
+    fn only_runnable_clients_are_picked() {
+        let mut s = StrideScheduler::new();
+        s.add_client(1, 100);
+        s.add_client(2, 100);
+        for _ in 0..10 {
+            assert_eq!(s.pick([2].into_iter()), Some(2));
+        }
+        // Client 1 did not fall behind forever: it wins immediately once
+        // runnable because its pass never advanced.
+        assert_eq!(s.pick([1, 2].into_iter()), Some(1));
+    }
+
+    #[test]
+    fn rejoining_client_does_not_monopolize() {
+        let mut s = StrideScheduler::new();
+        s.add_client(1, 100);
+        for _ in 0..50 {
+            s.pick([1].into_iter());
+        }
+        s.add_client(2, 100);
+        // Client 2 starts at client 1's pass, not zero: near-alternation.
+        let mut twos = 0;
+        for _ in 0..10 {
+            if s.pick([1, 2].into_iter()).unwrap() == 2 {
+                twos += 1;
+            }
+        }
+        assert!((4..=6).contains(&twos), "client 2 won {twos}/10");
+    }
+
+    #[test]
+    fn set_tickets_preserves_pass() {
+        let mut s = StrideScheduler::new();
+        s.add_client(1, 100);
+        s.add_client(2, 100);
+        // Client 2 idles while client 1 runs: client 1's pass grows.
+        for _ in 0..20 {
+            s.pick([1].into_iter());
+        }
+        // Re-weighting client 1 must NOT forgive its accumulated usage:
+        // client 2 must win the next picks.
+        s.set_tickets(&1, 300);
+        for _ in 0..5 {
+            assert_eq!(s.pick([1, 2].into_iter()), Some(2));
+        }
+    }
+
+    #[test]
+    fn empty_and_unknown_runnable() {
+        let mut s: StrideScheduler<u32> = StrideScheduler::new();
+        assert_eq!(s.pick([].into_iter()), None);
+        assert_eq!(s.pick([9].into_iter()), None);
+        assert!(s.is_empty());
+        s.add_client(1, 1);
+        assert_eq!(s.len(), 1);
+        s.remove_client(&1);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Whole-engine invariants under randomized multi-tenant load, with and
+//! without harvesting: block accounting must always balance and every
+//! request must eventually complete.
+
+use fleetio_des::{SimDuration, SimTime};
+use fleetio_flash::addr::ChannelId;
+use fleetio_flash::block::BlockPhase;
+use fleetio_flash::config::FlashConfig;
+use fleetio_vssd::engine::{Engine, EngineConfig};
+use fleetio_vssd::request::{IoOp, IoRequest};
+use fleetio_vssd::vssd::{VssdConfig, VssdId};
+use proptest::prelude::*;
+
+const PAGE: u64 = 16 * 1024;
+
+fn engine() -> Engine {
+    let cfg = EngineConfig { flash: FlashConfig::training_test(), ..Default::default() };
+    Engine::new(
+        cfg,
+        vec![
+            VssdConfig::hardware(VssdId(0), (0..2).map(ChannelId).collect()),
+            VssdConfig::hardware(VssdId(1), (2..4).map(ChannelId).collect()),
+        ],
+    )
+}
+
+/// Counts physical blocks by phase across the device.
+fn block_census(e: &Engine) -> (usize, usize, usize) {
+    let cfg = e.config().flash.clone();
+    let (mut free, mut open, mut full) = (0, 0, 0);
+    for ch in 0..cfg.channels {
+        for chip in 0..cfg.chips_per_channel {
+            let cb = e.device().chip(ChannelId(ch), chip);
+            for b in 0..cb.len() as u32 {
+                match cb.block(b).phase() {
+                    BlockPhase::Free => free += 1,
+                    BlockPhase::Open => open += 1,
+                    BlockPhase::Full => full += 1,
+                }
+            }
+        }
+    }
+    (free, open, full)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized reads/writes with periodic harvest-level changes: all
+    /// requests complete, the block census always covers the device, and
+    /// live-page accounting stays consistent.
+    #[test]
+    fn random_load_preserves_block_accounting(
+        ops in proptest::collection::vec((0u8..4, 0u64..600, 1u64..5), 50..250),
+        harvest_period in 10usize..40,
+    ) {
+        let mut e = engine();
+        e.warm_up(VssdId(0), 0.3);
+        e.warm_up(VssdId(1), 0.3);
+        let total_blocks = e.config().flash.total_blocks() as usize;
+        let mut t = 0u64;
+        let mut submitted = 0u64;
+        for (i, (kind, lpa, pages)) in ops.iter().enumerate() {
+            if i % harvest_period == 0 {
+                let level = (i / harvest_period) % 3;
+                e.set_harvestable_target(VssdId(0), level);
+                e.set_harvest_target(VssdId(1), level);
+            }
+            let vssd = VssdId(u32::from(kind % 2));
+            let op = if *kind < 2 { IoOp::Write } else { IoOp::Read };
+            e.submit(IoRequest {
+                vssd,
+                op,
+                offset: *lpa * PAGE,
+                len: *pages * PAGE,
+                arrival: SimTime::from_micros(t),
+            });
+            submitted += 1;
+            t += 400;
+        }
+        e.run_until(SimTime::from_micros(t) + SimDuration::from_secs(5));
+
+        let done = e.drain_completed();
+        prop_assert_eq!(done.len() as u64, submitted, "lost requests");
+
+        let (free, open, full) = block_census(&e);
+        prop_assert_eq!(free + open + full, total_blocks, "block census mismatch");
+
+        // No channel queue left behind.
+        for id in [VssdId(0), VssdId(1)] {
+            prop_assert_eq!(e.queued_ops(id), 0, "stuck ops for {}", id);
+        }
+    }
+
+    /// Requests never complete before they arrive, and queue delay never
+    /// exceeds total latency.
+    #[test]
+    fn completion_times_are_causal(
+        ops in proptest::collection::vec((0u64..400, 1u64..4), 30..120),
+    ) {
+        let mut e = engine();
+        let mut t = 0u64;
+        for (lpa, pages) in ops {
+            e.submit(IoRequest {
+                vssd: VssdId(0),
+                op: IoOp::Write,
+                offset: lpa * PAGE,
+                len: pages * PAGE,
+                arrival: SimTime::from_micros(t),
+            });
+            t += 250;
+        }
+        e.run_until(SimTime::from_micros(t) + SimDuration::from_secs(3));
+        for c in e.drain_completed() {
+            prop_assert!(c.completion >= c.arrival);
+            prop_assert!(c.service_start >= c.arrival);
+            prop_assert!(c.completion >= c.service_start);
+            prop_assert!(c.queue_delay() <= c.latency());
+        }
+    }
+}
+
+#[test]
+fn harvest_cycle_returns_all_blocks_eventually() {
+    let mut e = engine();
+    // Lend, harvest, write through, release, and let GC/eager reclaim
+    // return everything.
+    e.set_harvestable_target(VssdId(0), 2);
+    e.set_harvest_target(VssdId(1), 2);
+    let mut t = 0u64;
+    for i in 0..800u64 {
+        e.submit(IoRequest {
+            vssd: VssdId(1),
+            op: IoOp::Write,
+            offset: (i % 500) * PAGE,
+            len: PAGE,
+            arrival: SimTime::from_micros(t),
+        });
+        t += 300;
+    }
+    e.run_until(SimTime::from_micros(t) + SimDuration::from_secs(2));
+    e.set_harvest_target(VssdId(1), 0);
+    e.set_harvestable_target(VssdId(0), 0);
+    // Overwrite everything so loaned blocks die and return.
+    for i in 0..800u64 {
+        let at = e.now() + SimDuration::from_micros(300 * (i + 1));
+        e.submit(IoRequest {
+            vssd: VssdId(1),
+            op: IoOp::Write,
+            offset: (i % 500) * PAGE,
+            len: PAGE,
+            arrival: at,
+        });
+    }
+    e.run_until(e.now() + SimDuration::from_secs(10));
+    let _ = e.drain_completed();
+    // The home vSSD's snapshot shows nothing harvestable or harvested.
+    assert_eq!(e.snapshot(VssdId(0)).harvestable_channels, 0);
+    assert_eq!(e.snapshot(VssdId(1)).harvested_channels, 0);
+    let (free, open, full) = block_census(&e);
+    assert_eq!(free + open + full, e.config().flash.total_blocks() as usize);
+}

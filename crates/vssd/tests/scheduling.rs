@@ -1,0 +1,162 @@
+//! Scheduler-level behaviour: time-sliced bus grants for low-priority
+//! bulk, program/erase suspend for high-priority reads, and the in-flight
+//! reservation — the mechanisms that let FleetIO keep tail latency near
+//! hardware isolation while harvesting (Figure 12).
+
+use fleetio_des::{SimDuration, SimTime};
+use fleetio_flash::addr::ChannelId;
+use fleetio_flash::config::FlashConfig;
+use fleetio_vssd::engine::{Engine, EngineConfig};
+use fleetio_vssd::request::{IoOp, IoRequest, Priority};
+use fleetio_vssd::vssd::{VssdConfig, VssdId};
+
+const PAGE: u64 = 16 * 1024;
+
+/// Two tenants sharing one channel; tenant 1 is latency-critical.
+fn shared_engine() -> Engine {
+    let cfg = EngineConfig { flash: FlashConfig::training_test(), ..Default::default() };
+    Engine::new(
+        cfg,
+        vec![
+            VssdConfig::software(VssdId(0), vec![ChannelId(0)]).with_capacity_share(0.5),
+            VssdConfig::software(VssdId(1), vec![ChannelId(0)]).with_capacity_share(0.5),
+        ],
+    )
+}
+
+fn write(vssd: u32, offset_pages: u64, pages: u64, at_us: u64) -> IoRequest {
+    IoRequest {
+        vssd: VssdId(vssd),
+        op: IoOp::Write,
+        offset: offset_pages * PAGE,
+        len: pages * PAGE,
+        arrival: SimTime::from_micros(at_us),
+    }
+}
+
+fn read(vssd: u32, offset_pages: u64, bytes: u64, at_us: u64) -> IoRequest {
+    IoRequest {
+        vssd: VssdId(vssd),
+        op: IoOp::Read,
+        offset: offset_pages * PAGE,
+        len: bytes,
+        arrival: SimTime::from_micros(at_us),
+    }
+}
+
+/// A high-priority read arriving mid-bulk waits at most a bus grant
+/// (~61 µs) plus its own service, not a whole page transfer per committed
+/// low-priority op.
+#[test]
+fn high_priority_read_cuts_through_low_priority_bulk() {
+    let mut e = shared_engine();
+    e.set_priority(VssdId(0), Priority::Low);
+    e.set_priority(VssdId(1), Priority::High);
+    // Seed data for the read on the same channel.
+    e.submit(write(1, 0, 1, 0));
+    e.run_until(SimTime::from_millis(5));
+    e.drain_completed();
+    // 64 pages of low-priority bulk, then a high-priority 4 KiB read
+    // arriving while the bulk is mid-flight.
+    let base = e.now().as_micros();
+    for i in 0..4 {
+        e.submit(write(0, 100 + i * 16, 16, base + 1));
+    }
+    e.submit(read(1, 0, 4096, base + 2_000));
+    e.run_until(SimTime::from_secs(2));
+    let done = e.drain_completed();
+    let r = done
+        .iter()
+        .find(|c| c.vssd == VssdId(1) && c.op == IoOp::Read)
+        .expect("read completed");
+    // Base service ≈ 111 µs; with grants + suspend the wait stays well
+    // under one page transfer + program (~650 µs).
+    assert!(
+        r.latency() < SimDuration::from_micros(500),
+        "high-priority read waited {}",
+        r.latency()
+    );
+}
+
+/// Without priority separation the same read waits longer than with it —
+/// the gap that compounds into the software-isolation tail of Figure 3b.
+/// (Stride credit still protects a sparse tenant somewhat, so the
+/// difference at a single-request scale is bounded but must exist.)
+#[test]
+fn equal_priority_read_waits_longer_than_prioritized() {
+    let run = |prioritized: bool| {
+        let mut e = shared_engine();
+        if prioritized {
+            e.set_priority(VssdId(0), Priority::Low);
+            e.set_priority(VssdId(1), Priority::High);
+        }
+        e.submit(write(1, 0, 1, 0));
+        e.run_until(SimTime::from_millis(5));
+        e.drain_completed();
+        let base = e.now().as_micros();
+        for i in 0..4 {
+            e.submit(write(0, 100 + i * 16, 16, base + 1));
+        }
+        e.submit(read(1, 0, 4096, base + 2_000));
+        e.run_until(SimTime::from_secs(2));
+        let done = e.drain_completed();
+        done.iter()
+            .find(|c| c.vssd == VssdId(1) && c.op == IoOp::Read)
+            .expect("read completed")
+            .latency()
+    };
+    let prioritized = run(true);
+    let flat = run(false);
+    assert!(
+        flat > prioritized,
+        "priorities made no difference: flat {flat} vs prioritized {prioritized}"
+    );
+}
+
+/// Low-priority time-slicing must not cost the bulk tenant meaningful
+/// bandwidth when it runs alone.
+#[test]
+fn time_slicing_preserves_solo_throughput() {
+    let run = |prio: Priority| {
+        let cfg = EngineConfig { flash: FlashConfig::training_test(), ..Default::default() };
+        let mut e = Engine::new(
+            cfg,
+            vec![VssdConfig::hardware(VssdId(0), vec![ChannelId(0), ChannelId(1)])],
+        );
+        e.set_priority(VssdId(0), prio);
+        for i in 0..32 {
+            e.submit(write(0, i * 16, 16, 0));
+        }
+        e.run_until(SimTime::from_secs(5));
+        let done = e.drain_completed();
+        assert_eq!(done.len(), 32);
+        done.iter().map(|c| c.completion).max().expect("non-empty")
+    };
+    let medium = run(Priority::Medium).as_micros() as f64;
+    let low = run(Priority::Low).as_micros() as f64;
+    assert!(
+        low < medium * 1.15,
+        "time-slicing cost too much: low {low}us vs medium {medium}us"
+    );
+}
+
+/// The dispatcher never loses ops when priorities flip mid-stream.
+#[test]
+fn priority_flapping_is_safe() {
+    let mut e = shared_engine();
+    let mut t = 0u64;
+    for i in 0..120u64 {
+        let p = match i % 3 {
+            0 => Priority::Low,
+            1 => Priority::Medium,
+            _ => Priority::High,
+        };
+        e.set_priority(VssdId((i % 2) as u32), p);
+        e.submit(write((i % 2) as u32, i % 64, 2, t));
+        t += 500;
+    }
+    e.run_until(SimTime::from_micros(t) + SimDuration::from_secs(3));
+    assert_eq!(e.drain_completed().len(), 120);
+    assert_eq!(e.queued_ops(VssdId(0)), 0);
+    assert_eq!(e.queued_ops(VssdId(1)), 0);
+}

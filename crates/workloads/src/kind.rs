@@ -1,0 +1,354 @@
+//! The named workloads of Tables 4 and 5.
+//!
+//! Five evaluation workloads (TeraSort, ML Prep, PageRank — bandwidth-
+//! intensive; VDI-Web, YCSB — latency-sensitive) and four pre-training
+//! workloads (LiveMaps, TPCE, SearchEngine, Batch Analytics). Parameters
+//! are calibrated so each synthetic stream reproduces the published I/O
+//! characterization its application is known for: phase-structured
+//! closed-loop bulk transfers for the analytics jobs, small-request Poisson
+//! streams with diurnal bursts for VDI, and zipfian high-locality reads for
+//! YCSB (the locality that isolates YCSB-B in Figure 6).
+
+use fleetio_des::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{AddrPattern, PhaseSpec, SizeDist, WorkloadSpec};
+
+/// The paper's two workload categories (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadCategory {
+    /// Throughput-bound batch/analytics jobs.
+    BandwidthIntensive,
+    /// Tail-latency-bound interactive services.
+    LatencySensitive,
+}
+
+/// A named workload from Table 4 (evaluation) or §3.8 (pre-training).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Hadoop TeraSort: phase-structured sort of large datasets.
+    TeraSort,
+    /// Image preprocessing for ML training (read-dominant bulk).
+    MlPrep,
+    /// GraphChi PageRank: iterative graph scans.
+    PageRank,
+    /// Enterprise virtual-desktop infrastructure web workload.
+    VdiWeb,
+    /// YCSB (workload B-like) over a key-value store.
+    Ycsb,
+    /// Map-tile serving (pre-training).
+    LiveMaps,
+    /// TPC-E-like OLTP (pre-training).
+    Tpce,
+    /// Search-engine index serving (pre-training).
+    SearchEngine,
+    /// Batch analytics scans (pre-training).
+    BatchAnalytics,
+}
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+fn ms(m: u64) -> SimDuration {
+    SimDuration::from_millis(m)
+}
+
+fn closed(duration: SimDuration, concurrency: u32, read: f64, size: SizeDist, addr: AddrPattern) -> PhaseSpec {
+    PhaseSpec { duration, arrival_rate: 0.0, read_fraction: read, size, addr, concurrency }
+}
+
+fn open(duration: SimDuration, rate: f64, read: f64, size: SizeDist, addr: AddrPattern) -> PhaseSpec {
+    PhaseSpec { duration, arrival_rate: rate, read_fraction: read, size, addr, concurrency: 0 }
+}
+
+impl WorkloadKind {
+    /// Every workload.
+    pub const ALL: [WorkloadKind; 9] = [
+        WorkloadKind::TeraSort,
+        WorkloadKind::MlPrep,
+        WorkloadKind::PageRank,
+        WorkloadKind::VdiWeb,
+        WorkloadKind::Ycsb,
+        WorkloadKind::LiveMaps,
+        WorkloadKind::Tpce,
+        WorkloadKind::SearchEngine,
+        WorkloadKind::BatchAnalytics,
+    ];
+
+    /// The five Table 4 evaluation workloads.
+    pub const EVALUATION: [WorkloadKind; 5] = [
+        WorkloadKind::TeraSort,
+        WorkloadKind::MlPrep,
+        WorkloadKind::PageRank,
+        WorkloadKind::VdiWeb,
+        WorkloadKind::Ycsb,
+    ];
+
+    /// The pre-training workloads (§3.8), disjoint from evaluation.
+    pub const PRETRAINING: [WorkloadKind; 4] = [
+        WorkloadKind::LiveMaps,
+        WorkloadKind::Tpce,
+        WorkloadKind::SearchEngine,
+        WorkloadKind::BatchAnalytics,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::TeraSort => "terasort",
+            WorkloadKind::MlPrep => "ml-prep",
+            WorkloadKind::PageRank => "pagerank",
+            WorkloadKind::VdiWeb => "vdi-web",
+            WorkloadKind::Ycsb => "ycsb",
+            WorkloadKind::LiveMaps => "livemaps",
+            WorkloadKind::Tpce => "tpce",
+            WorkloadKind::SearchEngine => "search-engine",
+            WorkloadKind::BatchAnalytics => "batch-analytics",
+        }
+    }
+
+    /// Single-letter label used in Figure 17 of the paper.
+    pub fn short_label(self) -> char {
+        match self {
+            WorkloadKind::TeraSort => 'T',
+            WorkloadKind::MlPrep => 'M',
+            WorkloadKind::PageRank => 'P',
+            WorkloadKind::VdiWeb => 'V',
+            WorkloadKind::Ycsb => 'Y',
+            WorkloadKind::LiveMaps => 'L',
+            WorkloadKind::Tpce => 'E',
+            WorkloadKind::SearchEngine => 'S',
+            WorkloadKind::BatchAnalytics => 'B',
+        }
+    }
+
+    /// The workload's category.
+    pub fn category(self) -> WorkloadCategory {
+        match self {
+            WorkloadKind::TeraSort
+            | WorkloadKind::MlPrep
+            | WorkloadKind::PageRank
+            | WorkloadKind::BatchAnalytics => WorkloadCategory::BandwidthIntensive,
+            WorkloadKind::VdiWeb
+            | WorkloadKind::Ycsb
+            | WorkloadKind::LiveMaps
+            | WorkloadKind::Tpce
+            | WorkloadKind::SearchEngine => WorkloadCategory::LatencySensitive,
+        }
+    }
+
+    /// The synthetic specification of this workload.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fleetio_workloads::WorkloadKind;
+    ///
+    /// let spec = WorkloadKind::TeraSort.spec();
+    /// assert!(spec.is_closed_loop()); // analytics jobs block on I/O
+    /// assert!(spec.validate().is_ok());
+    /// ```
+    pub fn spec(self) -> WorkloadSpec {
+        match self {
+            WorkloadKind::TeraSort => WorkloadSpec {
+                name: "terasort",
+                phases: vec![
+                    // Map: scan the input partition (written by the
+                    // previous job's output phase, so its placement follows
+                    // harvested channels).
+                    closed(secs(2), 16, 1.0, SizeDist::Fixed(MIB), AddrPattern::Sequential { region: 0 }),
+                    // Shuffle out: spill sorted runs.
+                    closed(secs(2), 16, 0.0, SizeDist::Fixed(MIB), AddrPattern::Sequential { region: 1 }),
+                    // Shuffle in + merge: CPU-bound trickle reads of spills.
+                    closed(ms(1500), 2, 0.9, SizeDist::Fixed(256 * KIB), AddrPattern::UniformRandom),
+                    // Reduce: read spills back, write output over region 0.
+                    closed(secs(2), 16, 0.5, SizeDist::Choice(vec![(MIB, 1.0)]), AddrPattern::Sequential { region: 1 }),
+                    closed(ms(1500), 16, 0.0, SizeDist::Fixed(MIB), AddrPattern::Sequential { region: 0 }),
+                    // Job scheduling gap.
+                    closed(ms(1500), 0, 0.5, SizeDist::Fixed(MIB), AddrPattern::UniformRandom),
+                ],
+                footprint: 0.7,
+                regions: 2,
+            },
+            WorkloadKind::MlPrep => WorkloadSpec {
+                name: "ml-prep",
+                phases: vec![
+                    // Bulk image reads (saturating).
+                    closed(ms(2500), 16, 1.0, SizeDist::Choice(vec![(512 * KIB, 3.0), (MIB, 1.0)]), AddrPattern::Sequential { region: 0 }),
+                    // CPU-bound decode/augment with trickle reads.
+                    closed(ms(1500), 2, 0.9, SizeDist::Fixed(256 * KIB), AddrPattern::UniformRandom),
+                    // Write augmented tensors.
+                    closed(ms(1500), 14, 0.05, SizeDist::Fixed(512 * KIB), AddrPattern::Sequential { region: 1 }),
+                    // Re-read augmented tensors for batch packing (follows
+                    // the write placement, including harvested channels).
+                    closed(ms(1500), 16, 1.0, SizeDist::Fixed(512 * KIB), AddrPattern::Sequential { region: 1 }),
+                    // Pipeline stall.
+                    closed(ms(1200), 0, 1.0, SizeDist::Fixed(MIB), AddrPattern::UniformRandom),
+                ],
+                footprint: 0.7,
+                regions: 2,
+            },
+            WorkloadKind::PageRank => WorkloadSpec {
+                name: "pagerank",
+                phases: vec![
+                    // Edge scan (saturating; PageRank has the highest duty
+                    // cycle of the three BI jobs, matching its highest
+                    // absolute bandwidth in Figures 3a/13). GraphChi
+                    // rewrites shards each iteration, so the scan follows
+                    // the previous iteration's write placement.
+                    closed(ms(2200), 18, 1.0, SizeDist::Fixed(MIB), AddrPattern::Sequential { region: 0 }),
+                    // Vertex updates (demand-limited).
+                    closed(ms(800), 3, 0.5, SizeDist::Fixed(128 * KIB), AddrPattern::UniformRandom),
+                    // Shard rewrite.
+                    closed(ms(1800), 16, 0.0, SizeDist::Fixed(MIB), AddrPattern::Sequential { region: 0 }),
+                ],
+                footprint: 0.7,
+                regions: 2,
+            },
+            WorkloadKind::VdiWeb => WorkloadSpec {
+                name: "vdi-web",
+                phases: vec![
+                    // Interactive steady state.
+                    open(secs(6), 1500.0, 0.7,
+                        SizeDist::Choice(vec![(4 * KIB, 5.0), (16 * KIB, 3.0), (64 * KIB, 2.0)]),
+                        AddrPattern::HotSpot { hot_fraction: 0.2, hot_access: 0.6 }),
+                    // Login/boot storm burst.
+                    open(secs(2), 3500.0, 0.6,
+                        SizeDist::Choice(vec![(4 * KIB, 4.0), (16 * KIB, 4.0), (64 * KIB, 2.0)]),
+                        AddrPattern::HotSpot { hot_fraction: 0.2, hot_access: 0.6 }),
+                    // Lull.
+                    open(secs(4), 400.0, 0.75,
+                        SizeDist::Choice(vec![(4 * KIB, 6.0), (16 * KIB, 3.0), (64 * KIB, 1.0)]),
+                        AddrPattern::HotSpot { hot_fraction: 0.2, hot_access: 0.6 }),
+                ],
+                footprint: 0.4,
+                regions: 1,
+            },
+            WorkloadKind::Ycsb => WorkloadSpec {
+                name: "ycsb",
+                phases: vec![
+                    open(secs(8), 5000.0, 0.95,
+                        SizeDist::Choice(vec![(4 * KIB, 7.0), (16 * KIB, 2.5), (64 * KIB, 0.5)]),
+                        AddrPattern::Zipf { theta: 0.99 }),
+                    // Load spike (request storm).
+                    open(secs(2), 9000.0, 0.95,
+                        SizeDist::Choice(vec![(4 * KIB, 7.0), (16 * KIB, 2.5), (64 * KIB, 0.5)]),
+                        AddrPattern::Zipf { theta: 0.99 }),
+                ],
+                footprint: 0.4,
+                regions: 1,
+            },
+            WorkloadKind::LiveMaps => WorkloadSpec {
+                name: "livemaps",
+                phases: vec![
+                    open(secs(5), 1200.0, 0.85, SizeDist::Fixed(64 * KIB),
+                        AddrPattern::HotSpot { hot_fraction: 0.3, hot_access: 0.7 }),
+                    open(secs(5), 500.0, 0.85, SizeDist::Fixed(64 * KIB),
+                        AddrPattern::HotSpot { hot_fraction: 0.3, hot_access: 0.7 }),
+                ],
+                footprint: 0.5,
+                regions: 1,
+            },
+            WorkloadKind::Tpce => WorkloadSpec {
+                name: "tpce",
+                phases: vec![open(
+                    secs(10),
+                    3000.0,
+                    0.9,
+                    SizeDist::Choice(vec![(8 * KIB, 8.0), (16 * KIB, 2.0)]),
+                    AddrPattern::HotSpot { hot_fraction: 0.1, hot_access: 0.5 },
+                )],
+                footprint: 0.5,
+                regions: 1,
+            },
+            WorkloadKind::SearchEngine => WorkloadSpec {
+                name: "search-engine",
+                phases: vec![
+                    open(secs(4), 2000.0, 0.98, SizeDist::Fixed(32 * KIB),
+                        AddrPattern::HotSpot { hot_fraction: 0.25, hot_access: 0.55 }),
+                    open(secs(2), 4000.0, 0.98, SizeDist::Fixed(32 * KIB),
+                        AddrPattern::HotSpot { hot_fraction: 0.25, hot_access: 0.55 }),
+                ],
+                footprint: 0.5,
+                regions: 1,
+            },
+            WorkloadKind::BatchAnalytics => WorkloadSpec {
+                name: "batch-analytics",
+                phases: vec![
+                    closed(ms(2500), 14, 1.0, SizeDist::Fixed(2 * MIB), AddrPattern::Sequential { region: 0 }),
+                    closed(ms(1500), 2, 0.8, SizeDist::Fixed(256 * KIB), AddrPattern::UniformRandom),
+                    closed(secs(2), 12, 0.0, SizeDist::Fixed(MIB), AddrPattern::Sequential { region: 0 }),
+                    closed(ms(1500), 0, 1.0, SizeDist::Fixed(MIB), AddrPattern::UniformRandom),
+                ],
+                footprint: 0.7,
+                regions: 2,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_validate() {
+        for kind in WorkloadKind::ALL {
+            kind.spec().validate().unwrap_or_else(|e| panic!("{kind}: {e}"));
+        }
+    }
+
+    #[test]
+    fn categories_match_table_4() {
+        use WorkloadCategory::*;
+        assert_eq!(WorkloadKind::TeraSort.category(), BandwidthIntensive);
+        assert_eq!(WorkloadKind::MlPrep.category(), BandwidthIntensive);
+        assert_eq!(WorkloadKind::PageRank.category(), BandwidthIntensive);
+        assert_eq!(WorkloadKind::VdiWeb.category(), LatencySensitive);
+        assert_eq!(WorkloadKind::Ycsb.category(), LatencySensitive);
+    }
+
+    #[test]
+    fn bandwidth_intensive_specs_are_closed_loop() {
+        for kind in WorkloadKind::ALL {
+            let closed = kind.spec().is_closed_loop();
+            let bi = kind.category() == WorkloadCategory::BandwidthIntensive;
+            assert_eq!(closed, bi, "{kind}");
+        }
+    }
+
+    #[test]
+    fn evaluation_and_pretraining_are_disjoint() {
+        for e in WorkloadKind::EVALUATION {
+            assert!(!WorkloadKind::PRETRAINING.contains(&e), "{e}");
+        }
+    }
+
+    #[test]
+    fn names_and_labels_are_unique() {
+        let mut names: Vec<&str> = WorkloadKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+        let mut labels: Vec<char> = WorkloadKind::ALL.iter().map(|k| k.short_label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 9);
+    }
+
+    #[test]
+    fn ycsb_uses_zipfian_locality() {
+        let spec = WorkloadKind::Ycsb.spec();
+        assert!(matches!(spec.phases[0].addr, AddrPattern::Zipf { .. }));
+    }
+}

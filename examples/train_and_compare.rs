@@ -1,0 +1,92 @@
+//! End-to-end FleetIO: pre-train the multi-agent PPO policy offline, then
+//! compare it against the paper's baselines on one evaluation pair
+//! (a miniature of Figures 10-13).
+//!
+//! ```sh
+//! cargo run --release --example train_and_compare
+//! ```
+
+use fleetio_suite::fleetio::agent::{pretrain, PretrainOptions};
+use fleetio_suite::fleetio::baselines::{FleetIoPolicy, StaticPolicy};
+use fleetio_suite::fleetio::experiment::{
+    calibrate_slo, hardware_layout, measure_device_peak, run_collocation, software_layout,
+    ExperimentOptions,
+};
+use fleetio_suite::fleetio::FleetIoConfig;
+use fleetio_suite::workloads::WorkloadKind;
+
+fn main() {
+    let cfg = FleetIoConfig::default();
+    let lc = WorkloadKind::VdiWeb;
+    let bi = WorkloadKind::TeraSort;
+
+    println!("calibrating device peak and SLO…");
+    let peak = measure_device_peak(&cfg, 1);
+    let slo = calibrate_slo(&cfg, lc, 8, 5, 2);
+    println!("  peak = {:.0} MB/s, VDI SLO = {slo}", peak / 1e6);
+
+    // Pre-train on the §3.8 pre-training workloads (never the evaluation
+    // pair), behaviour-cloning warm start + PPO fine-tuning.
+    println!("pre-training the shared policy (this takes a couple of minutes)…");
+    let slo_pre = calibrate_slo(&cfg, WorkloadKind::Tpce, 8, 4, 3);
+    let scenarios = vec![
+        hardware_layout(
+            &cfg,
+            &[WorkloadKind::Tpce, WorkloadKind::BatchAnalytics],
+            &[Some(slo_pre), None],
+            11,
+        ),
+        hardware_layout(
+            &cfg,
+            &[WorkloadKind::LiveMaps, WorkloadKind::BatchAnalytics],
+            &[Some(slo_pre), None],
+            12,
+        ),
+    ];
+    let opts = PretrainOptions {
+        iterations: 6,
+        windows_per_rollout: 12,
+        warmup_iterations: 2,
+        bc_rounds: 5,
+        ..Default::default()
+    };
+    let model = pretrain(&cfg, &scenarios, 0.5, opts, 0xF1EE7);
+    println!("  model: {} parameters (~{} KB)", model.policy.n_params(),
+        model.approx_size_bytes() / 1024);
+
+    let run_opts = ExperimentOptions {
+        cfg: cfg.clone(),
+        measure_windows: 10,
+        ramp_windows: 2,
+        warm_fraction: 0.5,
+        seed: 42,
+    };
+    println!("\npolicy            | util%  | TeraSort MB/s | VDI p99    | VDI vio%");
+    let mut hw = StaticPolicy::hardware();
+    let tenants = hardware_layout(&cfg, &[lc, bi], &[Some(slo), None], 42);
+    let m = run_collocation(&mut hw, tenants, &run_opts, peak, None);
+    print_row("hardware-iso", &m);
+
+    let model_policy_tenants = hardware_layout(&cfg, &[lc, bi], &[Some(slo), None], 42);
+    let mut fio = FleetIoPolicy::new(cfg.clone(), &model, 2);
+    let m = run_collocation(&mut fio, model_policy_tenants, &run_opts, peak, None);
+    print_row("fleetio", &m);
+
+    let mut sw = StaticPolicy::software();
+    let tenants = software_layout(&cfg, &[lc, bi], &[Some(slo), None], 42);
+    let m = run_collocation(&mut sw, tenants, &run_opts, peak, None);
+    print_row("software-iso", &m);
+
+    println!("\nexpect: FleetIO between the two baselines on utilization, near");
+    println!("hardware isolation on P99 — the paper's headline trade-off.");
+}
+
+fn print_row(name: &str, m: &fleetio_suite::fleetio::experiment::RunMetrics) {
+    println!(
+        "{name:17} | {:5.1}  | {:13.1} | {:>10} | {:7.2}",
+        m.avg_utilization * 100.0,
+        m.bi_bandwidth().unwrap_or(0.0) / 1e6,
+        format!("{}", m.lc_p99().unwrap_or(fleetio_suite::des::SimDuration::ZERO)),
+        m.tenants[0].slo_violation_rate * 100.0,
+    );
+}

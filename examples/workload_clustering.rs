@@ -1,0 +1,67 @@
+//! Workload typing (§3.4 / Figure 6): cluster per-window I/O features with
+//! k-means, project to 2-D with PCA, and pick reward coefficients.
+//!
+//! ```sh
+//! cargo run --release --example workload_clustering
+//! ```
+
+use fleetio_suite::fleetio::experiment::workload_feature_windows;
+use fleetio_suite::fleetio::typing::TypingModel;
+use fleetio_suite::fleetio::FleetIoConfig;
+use fleetio_suite::ml::Pca;
+use fleetio_suite::workloads::WorkloadKind;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = FleetIoConfig::default();
+    use WorkloadKind::*;
+    let kinds = [MlPrep, PageRank, TeraSort, Ycsb, LiveMaps, SearchEngine, Tpce, VdiWeb];
+
+    println!("collecting solo-run traces (4 windows x 3000 requests each)…");
+    let mut samples = Vec::new();
+    for kind in kinds {
+        let feats = workload_feature_windows(&cfg, kind, 8, 4, 3000, 99);
+        println!(
+            "  {:14} read {:6.1} MB/s  write {:6.1} MB/s  LPA entropy {:4.2}  avg I/O {:6.0} B",
+            kind.name(),
+            feats[0].read_bw / 1e6,
+            feats[0].write_bw / 1e6,
+            feats[0].lpa_entropy,
+            feats[0].avg_io_size,
+        );
+        samples.extend(feats.into_iter().map(|f| (kind, f)));
+    }
+
+    let model = TypingModel::fit(&samples, 6);
+    println!(
+        "\nk-means (k=3, 70/30 split) held-out accuracy: {:.1}%  (paper: 98.4%)",
+        model.test_accuracy() * 100.0
+    );
+
+    // 2-D PCA view, one centroid per workload (the paper's Figure 6).
+    let scaled = model.scaled_features(&samples);
+    let mut rng = SmallRng::seed_from_u64(0xFCA);
+    let pca = Pca::fit(&scaled, 2, &mut rng);
+    println!("\nworkload        |   pc1   |   pc2   | type      | alpha");
+    for kind in kinds {
+        let pts: Vec<Vec<f64>> = samples
+            .iter()
+            .zip(&scaled)
+            .filter(|((k, _), _)| *k == kind)
+            .map(|(_, s)| pca.transform(s))
+            .collect();
+        let n = pts.len() as f64;
+        let (x, y) = pts.iter().fold((0.0, 0.0), |a, p| (a.0 + p[0], a.1 + p[1]));
+        let f = samples.iter().find(|(k, _)| *k == kind).expect("sampled").1;
+        let t = model.classify(f);
+        println!(
+            "{:15} | {:7.2} | {:7.2} | {:9} | {}",
+            kind.name(),
+            x / n,
+            y / n,
+            t.map_or("unknown".to_string(), |t| format!("{t:?}")),
+            model.alpha(&cfg, f),
+        );
+    }
+}
