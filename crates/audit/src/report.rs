@@ -1,0 +1,173 @@
+//! Human and machine-readable output for a check run.
+
+use crate::CheckOutcome;
+
+/// Renders `file:line: [rule] message` diagnostics, grandfathered notes,
+/// and a closing summary line.
+pub fn render_text(outcome: &CheckOutcome) -> String {
+    let mut out = String::new();
+    for d in &outcome.violations {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            d.path, d.line, d.rule, d.message, d.snippet
+        ));
+    }
+    for s in &outcome.stale_allowlist {
+        out.push_str(&format!(
+            "audit.toml: stale [[allow]] entry (rule \"{}\", path \"{}\"): no matching \
+             violations remain — delete it\n",
+            s.rule, s.path
+        ));
+    }
+    for (entry, count) in &outcome.grandfathered {
+        out.push_str(&format!(
+            "note: {}: {} grandfathered `{}` site(s) (cap {}, reason: {})\n",
+            entry.path, count, entry.rule, entry.max, entry.reason
+        ));
+        if *count < entry.max {
+            out.push_str(&format!(
+                "note: {}: cap can ratchet down to {} in audit.toml\n",
+                entry.path, count
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "fleetio-audit: {} file(s) scanned, {} violation(s), {} grandfathered, {} stale \
+         allowlist entr(ies) — {}\n",
+        outcome.files_scanned,
+        outcome.violations.len(),
+        outcome.grandfathered.iter().map(|(_, c)| c).sum::<usize>(),
+        outcome.stale_allowlist.len(),
+        if outcome.is_clean() { "clean" } else { "FAIL" }
+    ));
+    out
+}
+
+/// Renders the outcome as a JSON document (hand-rolled; zero-dep crate).
+pub fn render_json(outcome: &CheckOutcome) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"fleetio-audit/1\",\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n",
+        outcome.files_scanned
+    ));
+    out.push_str(&format!("  \"clean\": {},\n", outcome.is_clean()));
+    out.push_str("  \"violations\": [");
+    for (i, d) in outcome.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_str(d.rule),
+            json_str(&d.path),
+            d.line,
+            json_str(&d.message),
+            json_str(&d.snippet)
+        ));
+    }
+    if !outcome.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"grandfathered\": [");
+    for (i, (e, count)) in outcome.grandfathered.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"count\": {}, \"max\": {}, \"reason\": {}}}",
+            json_str(&e.rule),
+            json_str(&e.path),
+            count,
+            e.max,
+            json_str(&e.reason)
+        ));
+    }
+    if !outcome.grandfathered.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"stale_allowlist\": [");
+    for (i, e) in outcome.stale_allowlist.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}}}",
+            json_str(&e.rule),
+            json_str(&e.path)
+        ));
+    }
+    if !outcome.stale_allowlist.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AllowEntry;
+    use crate::rules::Diagnostic;
+
+    fn outcome() -> CheckOutcome {
+        CheckOutcome {
+            files_scanned: 3,
+            violations: vec![Diagnostic {
+                rule: "no-unwrap",
+                path: "crates/des/src/queue.rs".to_string(),
+                line: 42,
+                message: "unwrap() in simulator core".to_string(),
+                snippet: "x.unwrap()".to_string(),
+            }],
+            grandfathered: vec![(
+                AllowEntry {
+                    rule: "entropy".to_string(),
+                    path: "crates/rl/src/ppo.rs".to_string(),
+                    max: 2,
+                    reason: "r".to_string(),
+                },
+                1,
+            )],
+            stale_allowlist: vec![],
+        }
+    }
+
+    #[test]
+    fn text_has_file_line_rule() {
+        let t = render_text(&outcome());
+        assert!(t.contains("crates/des/src/queue.rs:42: [no-unwrap]"), "{t}");
+        assert!(t.contains("FAIL"), "{t}");
+        assert!(t.contains("ratchet down to 1"), "{t}");
+    }
+
+    #[test]
+    fn json_is_balanced_and_escaped() {
+        let mut o = outcome();
+        o.violations[0].snippet = "say \"hi\"".to_string();
+        let j = render_json(&o);
+        assert!(j.contains("\"rule\": \"no-unwrap\""), "{j}");
+        assert!(j.contains("say \\\"hi\\\""), "{j}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(j.matches(open).count(), j.matches(close).count(), "{j}");
+        }
+    }
+}

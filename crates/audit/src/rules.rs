@@ -1,0 +1,361 @@
+//! The repo-specific lint rules.
+//!
+//! Each rule is a conservative, line-oriented pattern check over a
+//! [`ScannedFile`] (comments/strings masked, test regions excluded). Rules
+//! are scoped by path: the simulator core (`des`, `flash`, `vssd`) carries
+//! the strictest rules; wall-clock crates (`bench`, `audit` itself) are
+//! exempt from the simulated-time and entropy rules because they
+//! legitimately measure host time.
+
+use crate::scan::{identifiers, ScannedFile};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `raw-time-arith`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Stable identifiers for every rule, in reporting order.
+pub const RULE_IDS: [&str; 4] = ["raw-time-arith", "no-unwrap", "hash-iteration", "entropy"];
+
+/// Simulator core: the crates whose sources model the device and must be
+/// deterministic and panic-free.
+fn in_core(path: &str) -> bool {
+    ["crates/des/src/", "crates/flash/src/", "crates/vssd/src/"]
+        .iter()
+        .any(|p| path.starts_with(p))
+}
+
+/// Crates that participate in *simulated* time and seeded randomness.
+/// `bench` (wall-clock harness) and `audit` are exempt.
+fn in_sim(path: &str) -> bool {
+    [
+        "crates/des/src/",
+        "crates/flash/src/",
+        "crates/vssd/src/",
+        "crates/workloads/src/",
+        "crates/ml/src/",
+        "crates/rl/src/",
+        "crates/fleetio/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
+}
+
+/// Runs every rule against one scanned file.
+pub fn check_file(file: &ScannedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    raw_time_arith(file, &mut out);
+    no_unwrap(file, &mut out);
+    hash_iteration(file, &mut out);
+    entropy(file, &mut out);
+    out
+}
+
+/// `raw-time-arith`: nanoseconds-per-second literals used in time
+/// arithmetic outside `crates/des/src/time.rs`. All simulated-time
+/// conversion belongs in `SimTime`/`SimDuration`, so f64-seconds math
+/// cannot silently drift from the canonical nanosecond representation.
+///
+/// A line is flagged when it contains an `1e9`-scale literal *and* a
+/// time-unit identifier (`*_ns`, `secs`, `latency_*`, ...). The identifier
+/// requirement keeps byte-scale literals (`bytes as f64 / 1e9` for GB)
+/// out of scope.
+fn raw_time_arith(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !in_sim(&file.path) || file.path == "crates/des/src/time.rs" {
+        return;
+    }
+    const NS_LITERALS: [&str; 5] = ["1_000_000_000", "1e9", "1E9", "1e+9", "999_999_999"];
+    for (line_no, masked, raw) in file.code_lines() {
+        if !NS_LITERALS.iter().any(|l| masked.contains(l)) {
+            continue;
+        }
+        if identifiers(masked).iter().any(|id| is_time_identifier(id)) {
+            out.push(Diagnostic {
+                rule: "raw-time-arith",
+                path: file.path.clone(),
+                line: line_no,
+                message: "raw f64 seconds/ns arithmetic outside des::time; convert via \
+                          SimTime/SimDuration instead"
+                    .to_string(),
+                snippet: raw.trim().to_string(),
+            });
+        }
+    }
+}
+
+/// Whether an identifier names a time quantity.
+fn is_time_identifier(id: &str) -> bool {
+    const SUBSTRINGS: [&str; 7] = [
+        "nano", "micro", "milli", "time", "duration", "latency", "deadline",
+    ];
+    const SEGMENTS: [&str; 8] = ["ns", "us", "ms", "sec", "secs", "msec", "usec", "nsec"];
+    SUBSTRINGS.iter().any(|s| id.contains(s)) || id.split('_').any(|seg| SEGMENTS.contains(&seg))
+}
+
+/// `no-unwrap`: in the simulator core, `.unwrap()` is banned and
+/// `.expect(...)` must carry an invariant-documenting message (at least
+/// [`MIN_EXPECT_MESSAGE`] characters). A panic in the core aborts a whole
+/// multi-hour training run; any remaining panic site must at minimum say
+/// which invariant broke.
+fn no_unwrap(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !in_core(&file.path) {
+        return;
+    }
+    for (line_no, masked, raw) in file.code_lines() {
+        if masked.contains(".unwrap()") {
+            out.push(Diagnostic {
+                rule: "no-unwrap",
+                path: file.path.clone(),
+                line: line_no,
+                message: "unwrap() in simulator core; return a typed error or use expect() \
+                          with an invariant-documenting message"
+                    .to_string(),
+                snippet: raw.trim().to_string(),
+            });
+        }
+        if let Some(col) = masked.find(".expect(") {
+            match expect_message(file, line_no - 1, col) {
+                Some(msg) if msg.chars().count() >= MIN_EXPECT_MESSAGE => {}
+                Some(msg) => out.push(Diagnostic {
+                    rule: "no-unwrap",
+                    path: file.path.clone(),
+                    line: line_no,
+                    message: format!(
+                        "expect() message \"{msg}\" too short to document an invariant \
+                         (need >= {MIN_EXPECT_MESSAGE} chars)"
+                    ),
+                    snippet: raw.trim().to_string(),
+                }),
+                None => out.push(Diagnostic {
+                    rule: "no-unwrap",
+                    path: file.path.clone(),
+                    line: line_no,
+                    message: "expect() without a literal invariant-documenting message".to_string(),
+                    snippet: raw.trim().to_string(),
+                }),
+            }
+        }
+    }
+}
+
+/// Minimum length of an `.expect(...)` message in the simulator core.
+pub const MIN_EXPECT_MESSAGE: usize = 12;
+
+/// Extracts the string literal following `.expect(` at `(line_idx, col)`,
+/// looking up to two raw lines ahead for rustfmt-wrapped messages.
+fn expect_message(file: &ScannedFile, line_idx: usize, col: usize) -> Option<String> {
+    for (i, raw) in file.raw_lines.iter().enumerate().skip(line_idx).take(3) {
+        let hay = if i == line_idx {
+            raw.get(col..)?
+        } else {
+            raw.as_str()
+        };
+        if let Some(start) = hay.find('"') {
+            let rest = &hay[start + 1..];
+            let mut msg = String::new();
+            let mut chars = rest.chars();
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' => return Some(msg),
+                    '\\' => {
+                        if let Some(esc) = chars.next() {
+                            msg.push(esc);
+                        }
+                    }
+                    c => msg.push(c),
+                }
+            }
+            return Some(msg);
+        }
+    }
+    None
+}
+
+/// `hash-iteration`: `HashMap`/`HashSet` in the simulator core. Their
+/// iteration order varies per process and per instance, so any use risks
+/// feeding a simulation decision; the core must use `BTreeMap`/`BTreeSet`
+/// (or sorted vectors).
+fn hash_iteration(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !in_core(&file.path) {
+        return;
+    }
+    for (line_no, masked, raw) in file.code_lines() {
+        for ty in ["HashMap", "HashSet"] {
+            if contains_identifier(masked, ty) {
+                out.push(Diagnostic {
+                    rule: "hash-iteration",
+                    path: file.path.clone(),
+                    line: line_no,
+                    message: format!(
+                        "{ty} in simulator core: iteration order is nondeterministic; use \
+                         BTree{} or sorted iteration",
+                        &ty[4..]
+                    ),
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `entropy`: ambient randomness or wall-clock reads in simulation crates.
+/// Every random stream must derive from `des::rng` seeds so runs replay
+/// bit-identically; every timestamp must be simulated time.
+fn entropy(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !in_sim(&file.path) || file.path == "crates/des/src/rng.rs" {
+        return;
+    }
+    const SOURCES: [&str; 5] = [
+        "thread_rng",
+        "from_entropy",
+        "SystemTime",
+        "Instant",
+        "getrandom",
+    ];
+    for (line_no, masked, raw) in file.code_lines() {
+        for src in SOURCES {
+            if contains_identifier(masked, src) {
+                out.push(Diagnostic {
+                    rule: "entropy",
+                    path: file.path.clone(),
+                    line: line_no,
+                    message: format!(
+                        "entropy/wall-clock source `{src}` outside des::rng; seed explicitly \
+                         via fleetio_des::rng"
+                    ),
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Whether `needle` occurs in `hay` as a whole identifier (not as part of
+/// a longer identifier).
+fn contains_identifier(hay: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = hay.get(from..).and_then(|h| h.find(needle)) {
+        let start = from + p;
+        let end = start + needle.len();
+        let before_ok = start == 0
+            || !hay[..start]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !hay[end..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScannedFile;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        check_file(&ScannedFile::new(path, src))
+    }
+
+    #[test]
+    fn raw_time_flags_ns_conversion() {
+        let d = diags(
+            "crates/flash/src/timing.rs",
+            "fn f(bps: f64) -> u64 { (1024.0 * 1e9 / bps) as u64 } // no ident\nfn g(bps: f64) -> u64 { let bus_ns = 1e9 / bps; bus_ns as u64 }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "raw-time-arith");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn raw_time_ignores_byte_scale_literals() {
+        let d = diags(
+            "crates/fleetio/src/states.rs",
+            "let gb = free_capacity_bytes as f64 / 1e9;\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn raw_time_exempts_time_rs_and_bench() {
+        assert!(diags("crates/des/src/time.rs", "let ns = secs * 1e9;").is_empty());
+        assert!(diags(
+            "crates/bench/src/harness.rs",
+            "let s = ns / 1_000_000_000.0;"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_in_core_only() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(diags("crates/des/src/queue.rs", src).len(), 1);
+        assert!(diags("crates/rl/src/ppo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_tests_allowed() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(diags("crates/des/src/queue.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_needs_long_message() {
+        let ok = "fn f() { x.expect(\"listed gSB exists in pool\"); }\n";
+        let short = "fn f() { x.expect(\"oops\"); }\n";
+        assert!(diags("crates/vssd/src/gsb.rs", ok).is_empty());
+        assert_eq!(diags("crates/vssd/src/gsb.rs", short).len(), 1);
+    }
+
+    #[test]
+    fn expect_message_found_on_next_line() {
+        let src = "fn f() {\n x.expect(\n   \"event queue nonempty while inflight\",\n ); }\n";
+        assert!(
+            diags("crates/des/src/queue.rs", src).is_empty(),
+            "{:?}",
+            diags("crates/des/src/queue.rs", src)
+        );
+    }
+
+    #[test]
+    fn hashmap_flagged_in_core() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(diags("crates/vssd/src/engine/mod.rs", src).len(), 1);
+        assert!(diags("crates/bench/src/context.rs", src).is_empty());
+    }
+
+    #[test]
+    fn entropy_flagged_outside_rng() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(diags("crates/workloads/src/gen.rs", src).len(), 1);
+        assert!(diags("crates/des/src/rng.rs", src).is_empty());
+        assert!(diags("crates/bench/src/harness.rs", src).is_empty());
+    }
+
+    #[test]
+    fn identifier_match_is_whole_word() {
+        assert!(contains_identifier("let x: HashMap<u8, u8>;", "HashMap"));
+        assert!(!contains_identifier(
+            "let x = MyHashMapLike::new();",
+            "HashMap"
+        ));
+        assert!(!contains_identifier("instantaneous", "Instant"));
+    }
+}

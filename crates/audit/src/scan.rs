@@ -1,0 +1,337 @@
+//! Source-text preprocessing for the lint rules.
+//!
+//! The rules work line-by-line on a *masked* copy of each file: comments and
+//! string/char literals are blanked out (replaced by spaces, newlines kept)
+//! so token searches cannot match prose, and every line is classified as
+//! test or non-test by tracking `#[cfg(test)]` / `#[test]` attribute blocks.
+//! This is deliberately not a full parser — the rules are conservative
+//! pattern checks, and keeping the scanner dumb keeps its behaviour easy to
+//! predict and to grep for.
+
+/// A scanned source file ready for rule evaluation.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Workspace-relative path with forward slashes, e.g. `crates/des/src/time.rs`.
+    pub path: String,
+    /// Raw source lines (for snippets and string-literal inspection).
+    pub raw_lines: Vec<String>,
+    /// Masked source lines (comments and literals blanked).
+    pub masked_lines: Vec<String>,
+    /// `true` for lines inside `#[cfg(test)]` / `#[test]` regions.
+    pub is_test_line: Vec<bool>,
+}
+
+impl ScannedFile {
+    /// Scans a single source text.
+    pub fn new(path: &str, source: &str) -> ScannedFile {
+        let masked = mask_source(source);
+        let raw_lines: Vec<String> = source.lines().map(str::to_string).collect();
+        let masked_lines: Vec<String> = masked.lines().map(str::to_string).collect();
+        let is_test_line = test_line_map(&masked, raw_lines.len());
+        ScannedFile {
+            path: path.to_string(),
+            raw_lines,
+            masked_lines,
+            is_test_line,
+        }
+    }
+
+    /// Iterates `(1-based line number, masked line, raw line)` over non-test lines.
+    pub fn code_lines(&self) -> impl Iterator<Item = (usize, &str, &str)> {
+        self.masked_lines
+            .iter()
+            .zip(&self.raw_lines)
+            .enumerate()
+            .filter(|(i, _)| !self.is_test_line.get(*i).copied().unwrap_or(false))
+            .map(|(i, (m, r))| (i + 1, m.as_str(), r.as_str()))
+    }
+}
+
+/// Replaces comments and string/char literals with spaces, preserving
+/// newlines so line/column positions survive.
+pub fn mask_source(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match st {
+            St::Code => {
+                if c == b'/' && b.get(i + 1) == Some(&b'/') {
+                    st = St::LineComment;
+                    out.push(b' ');
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = St::BlockComment(1);
+                    out.push(b' ');
+                } else if c == b'"' {
+                    st = St::Str;
+                    out.push(b' ');
+                } else if c == b'r' || c == b'b' {
+                    // Possible raw/byte string start: r", r#", br", b"...
+                    let mut j = i + 1;
+                    if c == b'b' && b.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') && (j > i + 1 || c == b'r') {
+                        out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                        i = j;
+                        st = St::RawStr(hashes);
+                    } else if c == b'b' && b.get(i + 1) == Some(&b'"') {
+                        out.push(b' ');
+                    } else {
+                        out.push(c);
+                    }
+                } else if c == b'\'' {
+                    // Char literal vs lifetime: a literal is 'x' or an
+                    // escape; a lifetime has no closing quote right after.
+                    let is_char = match b.get(i + 1) {
+                        Some(b'\\') => true,
+                        Some(_) => b.get(i + 2) == Some(&b'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        st = St::Char;
+                    }
+                    out.push(if is_char { b' ' } else { c });
+                } else {
+                    out.push(c);
+                }
+            }
+            St::LineComment => {
+                if c == b'\n' {
+                    st = St::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 1;
+                } else if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 1;
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                }
+            }
+            St::Str => {
+                if c == b'\\' {
+                    out.push(b' ');
+                    if let Some(&n) = b.get(i + 1) {
+                        out.push(if n == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                } else if c == b'"' {
+                    st = St::Code;
+                    out.push(b' ');
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && b.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        out.extend(std::iter::repeat_n(b' ', j - i));
+                        i = j - 1;
+                        st = St::Code;
+                    } else {
+                        out.push(b' ');
+                    }
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                }
+            }
+            St::Char => {
+                if c == b'\\' {
+                    out.push(b' ');
+                    if b.get(i + 1).is_some() {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                } else if c == b'\'' {
+                    st = St::Code;
+                    out.push(b' ');
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                }
+            }
+        }
+        i += 1;
+    }
+    String::from_utf8(out).expect("masking preserves UTF-8: replaced bytes are ASCII spaces")
+}
+
+/// Marks every line covered by a `#[cfg(test)]` or `#[test]` attribute's
+/// item (attribute line through the item's closing brace, or through the
+/// `;` for brace-less items).
+fn test_line_map(masked: &str, n_lines: usize) -> Vec<bool> {
+    let mut map = vec![false; n_lines];
+    let bytes = masked.as_bytes();
+    for attr in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0;
+        while let Some(pos) = find_from(masked, attr, from) {
+            from = pos + attr.len();
+            let start_line = line_of(bytes, pos);
+            let mut depth = 0i32;
+            let mut started = false;
+            let mut end = bytes.len() - 1;
+            let mut j = pos + attr.len();
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    b'}' => {
+                        depth -= 1;
+                        if started && depth == 0 {
+                            end = j;
+                            break;
+                        }
+                    }
+                    b';' if !started && depth == 0 => {
+                        end = j;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end_line = line_of(bytes, end.min(bytes.len().saturating_sub(1)));
+            let last = end_line.min(n_lines.saturating_sub(1));
+            if start_line <= last {
+                map[start_line..=last].fill(true);
+            }
+        }
+    }
+    map
+}
+
+fn find_from(hay: &str, needle: &str, from: usize) -> Option<usize> {
+    hay.get(from..)
+        .and_then(|h| h.find(needle))
+        .map(|p| p + from)
+}
+
+/// 0-based line index containing byte offset `pos`.
+fn line_of(bytes: &[u8], pos: usize) -> usize {
+    bytes[..pos.min(bytes.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+}
+
+/// Splits a masked line into lowercase identifier tokens.
+pub fn identifiers(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in line.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c.to_ascii_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src =
+            "let x = 1; // HashMap here\nlet s = \"thread_rng\"; /* SystemTime */ let y = 2;\n";
+        let m = mask_source(src);
+        assert!(!m.contains("HashMap"));
+        assert!(!m.contains("thread_rng"));
+        assert!(!m.contains("SystemTime"));
+        assert!(m.contains("let x = 1;"));
+        assert!(m.contains("let y = 2;"));
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let src = "let r = r#\"unwrap() inside\"#; let c = 'x'; let lt: &'static str = id;";
+        let m = mask_source(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("'static"), "lifetime survived: {m}");
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let src = "/* outer /* inner unwrap() */ still comment */ let z = 3;";
+        let m = mask_source(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let z = 3;"));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let src = "fn prod() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn prod2() {}\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(!f.is_test_line[0]);
+        assert!(f.is_test_line[1] && f.is_test_line[2] && f.is_test_line[3] && f.is_test_line[4]);
+        assert!(!f.is_test_line[5]);
+    }
+
+    #[test]
+    fn test_regions_cover_test_fn() {
+        let src = "#[test]\nfn works() {\n    x.unwrap();\n}\nfn prod() {}\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(f.is_test_line[0] && f.is_test_line[1] && f.is_test_line[2] && f.is_test_line[3]);
+        assert!(!f.is_test_line[4]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse crate::rng::SmallRng;\nfn prod() {}\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(f.is_test_line[0] && f.is_test_line[1]);
+        assert!(!f.is_test_line[2]);
+    }
+
+    #[test]
+    fn identifiers_tokenize() {
+        assert_eq!(
+            identifiers("bus_ns_per_kib = x9 + Foo::BAR"),
+            ["bus_ns_per_kib", "x9", "foo", "bar"]
+        );
+    }
+}

@@ -1,20 +1,21 @@
-//! Criterion micro-benchmarks for §4.7's overhead claims:
+//! Micro-benchmarks for §4.7's overhead claims:
 //! gSB creation (< 1 µs on the paper's device), admission-control batches
 //! (0.8 ms per 1 000 actions), RL inference (1.1 ms per decision window),
 //! and the PPO fine-tuning step (51.2 ms per 10 windows).
+//!
+//! Run with `cargo bench -p fleetio-bench --bench overheads`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fleetio::agent::{ppo_config, PretrainedModel};
 use fleetio::{FleetIoAgent, FleetIoConfig, StateVector};
+use fleetio_bench::harness::{bench_function, bench_with_setup};
+use fleetio_des::rng::SmallRng;
 use fleetio_flash::addr::ChannelId;
 use fleetio_rl::{PpoPolicy, PpoTrainer, RolloutBuffer, Transition};
 use fleetio_vssd::admission::{AdmissionControl, HarvestAction};
 use fleetio_vssd::engine::{Engine, EngineConfig};
 use fleetio_vssd::vssd::{VssdConfig, VssdId};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn engine() -> Engine {
     let cfg = EngineConfig::default();
@@ -22,14 +23,22 @@ fn engine() -> Engine {
     let b: Vec<ChannelId> = (8..16).map(ChannelId).collect();
     Engine::new(
         cfg,
-        vec![VssdConfig::hardware(VssdId(0), a), VssdConfig::hardware(VssdId(1), b)],
+        vec![
+            VssdConfig::hardware(VssdId(0), a),
+            VssdConfig::hardware(VssdId(1), b),
+        ],
     )
 }
 
 fn model() -> PretrainedModel {
     let cfg = FleetIoConfig::default();
     let mut rng = SmallRng::seed_from_u64(7);
-    let policy = PpoPolicy::new(cfg.obs_dim(), &cfg.action_dims(), &cfg.hidden_layers, &mut rng);
+    let policy = PpoPolicy::new(
+        cfg.obs_dim(),
+        &cfg.action_dims(),
+        &cfg.hidden_layers,
+        &mut rng,
+    );
     PretrainedModel {
         policy,
         normalizer: fleetio_rl::ObsNormalizer::new(cfg.obs_dim(), 10.0),
@@ -38,49 +47,53 @@ fn model() -> PretrainedModel {
 
 /// gSB creation/reclamation cycle (§4.7: creation is metadata-only, <1 µs
 /// on the paper's platform).
-fn bench_gsb_create(c: &mut Criterion) {
+fn bench_gsb_create() {
     let mut e = engine();
     let mut offer = 0usize;
-    c.bench_function("overhead_gsb_create_reclaim", |b| {
-        b.iter(|| {
-            offer = if offer == 0 { 4 } else { 0 };
-            e.set_harvestable_target(VssdId(0), offer);
-        })
+    bench_function("overhead_gsb_create_reclaim", || {
+        offer = if offer == 0 { 4 } else { 0 };
+        e.set_harvestable_target(VssdId(0), offer);
     });
 }
 
 /// Admission control processing a 1 000-action batch (§4.7: 0.8 ms).
-fn bench_admission_batch(c: &mut Criterion) {
+fn bench_admission_batch() {
     let ch_bw = 64.0 * 1024.0 * 1024.0;
-    c.bench_function("overhead_admission_1000_actions", |b| {
-        b.iter(|| {
-            let mut ac = AdmissionControl::new();
-            for i in 0..1000u32 {
-                let v = VssdId(i % 8);
-                if i % 2 == 0 {
-                    ac.submit(HarvestAction::MakeHarvestable { vssd: v, bytes_per_sec: ch_bw });
-                } else {
-                    ac.submit(HarvestAction::Harvest { vssd: v, bytes_per_sec: ch_bw });
-                }
+    bench_function("overhead_admission_1000_actions", || {
+        let mut ac = AdmissionControl::new();
+        for i in 0..1000u32 {
+            let v = VssdId(i % 8);
+            if i % 2 == 0 {
+                ac.submit(HarvestAction::MakeHarvestable {
+                    vssd: v,
+                    bytes_per_sec: ch_bw,
+                });
+            } else {
+                ac.submit(HarvestAction::Harvest {
+                    vssd: v,
+                    bytes_per_sec: ch_bw,
+                });
             }
-            ac.drain_batch(8, &HashMap::new(), ch_bw)
-        })
+        }
+        std::hint::black_box(ac.drain_batch(8, &BTreeMap::new(), ch_bw));
     });
 }
 
 /// One greedy inference decision (§4.7: 1.1 ms per 2 s window in Python;
 /// the from-scratch Rust MLP is far below that).
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference() {
     let cfg = FleetIoConfig::default();
     let m = model();
     let mut agent = FleetIoAgent::new(&m, cfg.history_windows);
     let state = StateVector::zero();
-    c.bench_function("overhead_inference_decision", |b| b.iter(|| agent.decide(state)));
+    bench_function("overhead_inference_decision", || {
+        std::hint::black_box(agent.decide(state));
+    });
 }
 
 /// One PPO update over ten windows of experience (§4.7: 51.2 ms per ten
 /// windows of fine-tuning).
-fn bench_finetune_step(c: &mut Criterion) {
+fn bench_finetune_step() {
     let cfg = FleetIoConfig::default();
     let m = model();
     let obs_dim = cfg.obs_dim();
@@ -100,18 +113,23 @@ fn bench_finetune_step(c: &mut Criterion) {
         }
         buf
     };
-    c.bench_function("overhead_finetune_10_windows", |b| {
-        b.iter_batched(
-            || (PpoTrainer::new(m.policy.clone(), obs_dim, ppo_config(&cfg), 3), make_buffer()),
-            |(mut trainer, buf)| trainer.update(buf),
-            criterion::BatchSize::PerIteration,
-        )
-    });
+    bench_with_setup(
+        "overhead_finetune_10_windows",
+        || {
+            (
+                PpoTrainer::new(m.policy.clone(), obs_dim, ppo_config(&cfg), 3),
+                make_buffer(),
+            )
+        },
+        |(mut trainer, buf)| {
+            std::hint::black_box(trainer.update(buf));
+        },
+    );
 }
 
-criterion_group! {
-    name = overheads;
-    config = Criterion::default().without_plots();
-    targets = bench_gsb_create, bench_admission_batch, bench_inference, bench_finetune_step,
+fn main() {
+    bench_gsb_create();
+    bench_admission_batch();
+    bench_inference();
+    bench_finetune_step();
 }
-criterion_main!(overheads);

@@ -1,16 +1,18 @@
-//! Criterion benches: one per paper figure, each timing a representative
-//! unit of that figure's regeneration (one pair / one mix / one policy
-//! sweep) at smoke scale.
+//! Benches: one per paper figure, each timing a representative unit of
+//! that figure's regeneration (one pair / one mix / one policy sweep) at
+//! smoke scale.
 //!
 //! The shared context (device calibration, SLOs, the pre-trained model,
 //! the SSDKeeper planner) is built **once per bench** and reused across
 //! iterations, exactly as the `figures` binary amortizes it across a full
 //! run. Full-figure regeneration lives in that binary
 //! (`cargo run -p fleetio-bench --bin figures -- all [--full]`).
+//!
+//! Run with `cargo bench -p fleetio-bench --bench paper_figures`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fleetio_bench::context::ModelVariant;
 use fleetio_bench::figures::{self, run_combo, PolicySpec};
+use fleetio_bench::harness::bench_function;
 use fleetio_bench::{Scale, SharedContext};
 use fleetio_workloads::WorkloadKind::*;
 
@@ -23,95 +25,99 @@ fn warmed_ctx() -> SharedContext {
     ctx
 }
 
-fn bench_fig02_fig03_motivation(c: &mut Criterion) {
+fn bench_fig02_fig03_motivation() {
     let mut ctx = warmed_ctx();
-    c.bench_function("fig02_fig03_motivation_pair", |b| {
-        b.iter(|| {
-            let hw = run_combo(&mut ctx, PolicySpec::Hardware, &[VdiWeb, TeraSort], 1);
-            let sw = run_combo(&mut ctx, PolicySpec::Software, &[VdiWeb, TeraSort], 1);
-            (hw.avg_utilization, sw.avg_utilization)
-        })
+    bench_function("fig02_fig03_motivation_pair", || {
+        let hw = run_combo(&mut ctx, PolicySpec::Hardware, &[VdiWeb, TeraSort], 1);
+        let sw = run_combo(&mut ctx, PolicySpec::Software, &[VdiWeb, TeraSort], 1);
+        std::hint::black_box((hw.avg_utilization, sw.avg_utilization));
     });
 }
 
-fn bench_fig06_clustering(c: &mut Criterion) {
+fn bench_fig06_clustering() {
     let mut ctx = warmed_ctx();
-    c.bench_function("fig06_clustering", |b| b.iter(|| figures::fig6(&mut ctx)));
+    bench_function("fig06_clustering", || {
+        std::hint::black_box(figures::fig6(&mut ctx));
+    });
 }
 
-fn bench_fig10_13_headline(c: &mut Criterion) {
+fn bench_fig10_13_headline() {
     let mut ctx = warmed_ctx();
     let _ = ctx.ssdkeeper();
-    c.bench_function("fig10_13_headline_pair", |b| {
-        b.iter(|| {
-            PolicySpec::headline()
-                .into_iter()
-                .map(|spec| run_combo(&mut ctx, spec, &[Ycsb, TeraSort], 3).avg_utilization)
-                .collect::<Vec<_>>()
-        })
+    bench_function("fig10_13_headline_pair", || {
+        let u: Vec<f64> = PolicySpec::headline()
+            .into_iter()
+            .map(|spec| run_combo(&mut ctx, spec, &[Ycsb, TeraSort], 3).avg_utilization)
+            .collect();
+        std::hint::black_box(u);
     });
 }
 
-fn bench_fig14_scalability(c: &mut Criterion) {
+fn bench_fig14_scalability() {
     let mut ctx = warmed_ctx();
-    c.bench_function("fig14_scalability_mix4", |b| {
-        b.iter(|| {
-            let mix = [VdiWeb, Ycsb, TeraSort, PageRank];
-            run_combo(&mut ctx, PolicySpec::FleetIo(ModelVariant::Full), &mix, 4).avg_utilization
-        })
+    bench_function("fig14_scalability_mix4", || {
+        let mix = [VdiWeb, Ycsb, TeraSort, PageRank];
+        std::hint::black_box(
+            run_combo(&mut ctx, PolicySpec::FleetIo(ModelVariant::Full), &mix, 4).avg_utilization,
+        );
     });
 }
 
-fn bench_fig15_reward_ablation(c: &mut Criterion) {
+fn bench_fig15_reward_ablation() {
     let mut ctx = warmed_ctx();
     let _ = ctx.model(ModelVariant::CustomizedLocal);
-    c.bench_function("fig15_reward_ablation_pair", |b| {
-        b.iter(|| {
+    bench_function("fig15_reward_ablation_pair", || {
+        std::hint::black_box(
             run_combo(
                 &mut ctx,
                 PolicySpec::FleetIo(ModelVariant::CustomizedLocal),
                 &[VdiWeb, TeraSort],
                 5,
             )
-            .avg_utilization
-        })
+            .avg_utilization,
+        );
     });
 }
 
-fn bench_fig16_mixed_isolation(c: &mut Criterion) {
+fn bench_fig16_mixed_isolation() {
     let mut ctx = warmed_ctx();
     let _ = ctx.slo(VdiWeb, 4);
-    c.bench_function("fig16_mixed_isolation", |b| b.iter(|| figures::fig16(&mut ctx)));
-}
-
-fn bench_fig17_transfer(c: &mut Criterion) {
-    let mut ctx = warmed_ctx();
-    c.bench_function("fig17_transfer_eval", |b| {
-        // The transfer evaluation run (the tuning itself is the pretrain
-        // path benched via fig15's variant training).
-        b.iter(|| {
-            run_combo(&mut ctx, PolicySpec::FleetIo(ModelVariant::Full), &[Ycsb, TeraSort], 7)
-                .bi_bandwidth()
-        })
+    bench_function("fig16_mixed_isolation", || {
+        std::hint::black_box(figures::fig16(&mut ctx));
     });
 }
 
-fn bench_tables(c: &mut Criterion) {
+fn bench_fig17_transfer() {
     let mut ctx = warmed_ctx();
-    c.bench_function("tables_sanity", |b| b.iter(|| figures::tables(&mut ctx)));
+    // The transfer evaluation run (the tuning itself is the pretrain path
+    // benched via fig15's variant training).
+    bench_function("fig17_transfer_eval", || {
+        std::hint::black_box(
+            run_combo(
+                &mut ctx,
+                PolicySpec::FleetIo(ModelVariant::Full),
+                &[Ycsb, TeraSort],
+                7,
+            )
+            .bi_bandwidth(),
+        );
+    });
 }
 
-criterion_group! {
-    name = paper_figures;
-    config = Criterion::default().sample_size(10).without_plots();
-    targets =
-        bench_tables,
-        bench_fig02_fig03_motivation,
-        bench_fig06_clustering,
-        bench_fig10_13_headline,
-        bench_fig14_scalability,
-        bench_fig15_reward_ablation,
-        bench_fig16_mixed_isolation,
-        bench_fig17_transfer,
+fn bench_tables() {
+    let mut ctx = warmed_ctx();
+    bench_function("tables_sanity", || {
+        std::hint::black_box(figures::tables(&mut ctx));
+    });
 }
-criterion_main!(paper_figures);
+
+fn main() {
+    bench_tables();
+    bench_fig02_fig03_motivation();
+    bench_fig06_clustering();
+    bench_fig10_13_headline();
+    bench_fig14_scalability();
+    bench_fig15_reward_ablation();
+    bench_fig16_mixed_isolation();
+    bench_fig17_transfer();
+}

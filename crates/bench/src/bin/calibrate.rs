@@ -16,13 +16,23 @@ fn main() {
     };
     let t0 = std::time::Instant::now();
     let peak = measure_device_peak(&cfg, 1);
-    println!("device peak: {:.1} MB/s  (theory {:.1})  [{:?}]",
-        peak / 1e6, cfg.engine.flash.device_peak_bytes_per_sec() / 1e6, t0.elapsed());
+    println!(
+        "device peak: {:.1} MB/s  (theory {:.1})  [{:?}]",
+        peak / 1e6,
+        cfg.engine.flash.device_peak_bytes_per_sec() / 1e6,
+        t0.elapsed()
+    );
 
-    for (lc, bi) in [(WorkloadKind::VdiWeb, WorkloadKind::TeraSort), (WorkloadKind::Ycsb, WorkloadKind::PageRank)] {
+    for (lc, bi) in [
+        (WorkloadKind::VdiWeb, WorkloadKind::TeraSort),
+        (WorkloadKind::Ycsb, WorkloadKind::PageRank),
+    ] {
         let slo_t = std::time::Instant::now();
         let slo = calibrate_slo(&cfg, lc, 8, 6, 7);
-        println!("\n== {lc} + {bi} ==  slo(P99@8ch)={slo} [{:?}]", slo_t.elapsed());
+        println!(
+            "\n== {lc} + {bi} ==  slo(P99@8ch)={slo} [{:?}]",
+            slo_t.elapsed()
+        );
         for mode in ["hw", "sw"] {
             let t = std::time::Instant::now();
             let tenants = if mode == "hw" {
@@ -30,7 +40,11 @@ fn main() {
             } else {
                 software_layout(&opts.cfg, &[lc, bi], &[Some(slo), None], opts.seed)
             };
-            let mut pol = if mode == "hw" { StaticPolicy::hardware() } else { StaticPolicy::software() };
+            let mut pol = if mode == "hw" {
+                StaticPolicy::hardware()
+            } else {
+                StaticPolicy::software()
+            };
             let m = run_collocation(&mut pol, tenants, &opts, peak, None);
             println!(
                 "{mode}: util {:.1}% (p95 {:.1}%) | {} bw {:.1} MB/s | {} p99 {} p95 {} vio {:.2}% [{:?}]",

@@ -25,20 +25,32 @@ impl WindowPolicy for Oracle {
     fn on_window(&mut self, coloc: &mut Colocation, s: &[(VssdId, WindowSummary)]) {
         let snap0 = coloc.engine().snapshot(VssdId(0));
         let snap1 = coloc.engine().snapshot(VssdId(1));
-        if false { eprintln!(
-            "  w: lc bw {:5.1} p99 {} | bi bw {:6.1} | lc offers {} | bi holds {} | gc_runs {}",
-            s[0].1.avg_bandwidth / 1e6,
-            s[0].1.p99_latency,
-            s[1].1.avg_bandwidth / 1e6,
-            snap0.harvestable_channels,
-            snap1.harvested_channels,
-            coloc.engine().device().stats().gc_runs,
-        ); }
+        if false {
+            eprintln!(
+                "  w: lc bw {:5.1} p99 {} | bi bw {:6.1} | lc offers {} | bi holds {} | gc_runs {}",
+                s[0].1.avg_bandwidth / 1e6,
+                s[0].1.p99_latency,
+                s[1].1.avg_bandwidth / 1e6,
+                snap0.harvestable_channels,
+                snap1.harvested_channels,
+                coloc.engine().device().stats().gc_runs,
+            );
+        }
         let moved: Vec<u64> = (0..16)
-            .map(|c| coloc.engine().device().channel(fleetio_flash::addr::ChannelId(c)).bytes_moved())
+            .map(|c| {
+                coloc
+                    .engine()
+                    .device()
+                    .channel(fleetio_flash::addr::ChannelId(c))
+                    .bytes_moved()
+            })
             .collect();
-        if false && self.last.len() == 16 {
-            let delta: Vec<u64> = moved.iter().zip(&self.last).map(|(a, b)| (a - b) / 1_000_000).collect();
+        if std::env::var_os("ORACLE_CH_DELTA").is_some() && self.last.len() == 16 {
+            let delta: Vec<u64> = moved
+                .iter()
+                .zip(&self.last)
+                .map(|(a, b)| (a - b) / 1_000_000)
+                .collect();
             eprintln!("    ch MB: lc{:?} bi{:?}", &delta[..8], &delta[8..]);
         }
         self.last = moved;
@@ -46,10 +58,16 @@ impl WindowPolicy for Oracle {
         let e = coloc.engine_mut();
         // Tenant 0 = LC: offer 4 channels, high priority.
         e.set_priority(VssdId(0), Priority::High);
-        e.submit_action(HarvestAction::MakeHarvestable { vssd: VssdId(0), bytes_per_sec: OFFER * ch_bw });
+        e.submit_action(HarvestAction::MakeHarvestable {
+            vssd: VssdId(0),
+            bytes_per_sec: OFFER * ch_bw,
+        });
         // Tenant 1 = BI: harvest 4 channels, low priority for its bulk.
         e.set_priority(VssdId(1), Priority::Low);
-        e.submit_action(HarvestAction::Harvest { vssd: VssdId(1), bytes_per_sec: OFFER * ch_bw });
+        e.submit_action(HarvestAction::Harvest {
+            vssd: VssdId(1),
+            bytes_per_sec: OFFER * ch_bw,
+        });
     }
 }
 

@@ -38,7 +38,10 @@ fn main() {
         scen(WorkloadKind::Tpce, WorkloadKind::BatchAnalytics, 14),
     ];
     let popts = PretrainOptions {
-        iterations: std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20),
+        iterations: std::env::args()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20),
         windows_per_rollout: 16,
         warmup_iterations: 2,
         parallel: true,

@@ -52,7 +52,9 @@ fn main() {
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("targets: fig2 fig3 fig6 fig10..fig13 fig14 fig15 fig16 fig17 overheads tables all");
+            eprintln!(
+                "targets: fig2 fig3 fig6 fig10..fig13 fig14 fig15 fig16 fig17 overheads tables all"
+            );
             std::process::exit(2);
         }
     };
@@ -63,5 +65,10 @@ fn main() {
             println!("{}", r.to_text());
         }
     }
-    eprintln!("[{} report(s) at {:?} scale in {:?}]", reports.len(), scale, t0.elapsed());
+    eprintln!(
+        "[{} report(s) at {:?} scale in {:?}]",
+        reports.len(),
+        scale,
+        t0.elapsed()
+    );
 }

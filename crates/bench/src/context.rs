@@ -159,7 +159,12 @@ impl SharedContext {
                             .then(|| self.slo(*k, share))
                     })
                     .collect();
-                hardware_layout(&self.cfg, &kinds, &slos, self.seed.wrapping_add(100 + i as u64))
+                hardware_layout(
+                    &self.cfg,
+                    &kinds,
+                    &slos,
+                    self.seed.wrapping_add(100 + i as u64),
+                )
             })
             .collect()
     }

@@ -5,21 +5,18 @@
 //! records paper-vs-measured. Absolute numbers reflect the simulated
 //! device, so the comparisons to track are the *ratios and orderings*.
 
-use fleetio::baselines::{
-    AdaptivePolicy, FleetIoPolicy, StaticPolicy, WindowPolicy,
-};
+use fleetio::baselines::{AdaptivePolicy, FleetIoPolicy, StaticPolicy, WindowPolicy};
 use fleetio::experiment::{
     hardware_layout, mixed_layout, planned_layout, run_collocation, software_layout,
     ExperimentOptions, RunMetrics,
 };
 use fleetio::mixes::{evaluation_pairs, table5_mixes};
 use fleetio::typing::TypingModel;
+use fleetio_des::rng::SmallRng;
 use fleetio_des::{SimDuration, SimTime};
 use fleetio_ml::Pca;
 use fleetio_workloads::features::windowed_features;
 use fleetio_workloads::{WorkloadCategory, WorkloadKind};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use crate::context::{ModelVariant, SharedContext};
 use crate::report::FigureReport;
@@ -81,12 +78,11 @@ pub fn run_combo(
     let share = total / workloads.len();
     let slos: Vec<Option<SimDuration>> = workloads
         .iter()
-        .map(|k| {
-            (k.category() == WorkloadCategory::LatencySensitive).then(|| ctx.slo(*k, share))
-        })
+        .map(|k| (k.category() == WorkloadCategory::LatencySensitive).then(|| ctx.slo(*k, share)))
         .collect();
-    let opts: ExperimentOptions =
-        ctx.scale.experiment_options(&ctx.cfg, ctx.seed.wrapping_add(seed_offset));
+    let opts: ExperimentOptions = ctx
+        .scale
+        .experiment_options(&ctx.cfg, ctx.seed.wrapping_add(seed_offset));
     let peak = ctx.device_peak();
     let seed = opts.seed;
     let tenants = match spec {
@@ -115,9 +111,11 @@ pub fn run_combo(
         }
         PolicySpec::Heuristic => {
             let share = usize::from(ctx.cfg.engine.flash.channels) / workloads.len();
-            let spec: Vec<(usize, WorkloadKind)> =
-                workloads.iter().map(|k| (share, *k)).collect();
-            Box::new(fleetio::baselines::HeuristicPolicy::new(ctx.cfg.clone(), &spec))
+            let spec: Vec<(usize, WorkloadKind)> = workloads.iter().map(|k| (share, *k)).collect();
+            Box::new(fleetio::baselines::HeuristicPolicy::new(
+                ctx.cfg.clone(),
+                &spec,
+            ))
         }
     };
     run_collocation(policy.as_mut(), tenants, &opts, peak, None)
@@ -162,10 +160,16 @@ pub fn fig2_3(ctx: &mut SharedContext) -> Vec<FigureReport> {
         fig3a.row(&format!("{bi}(+{lc})"), vec![hw_bw, sw_bw, sw_bw / hw_bw]);
         let hw_p99 = hw.lc_p99().expect("LC tenant present").as_millis_f64();
         let sw_p99 = sw.lc_p99().expect("LC tenant present").as_millis_f64();
-        fig3b.row(&format!("{lc}(+{bi})"), vec![hw_p99, sw_p99, sw_p99 / hw_p99]);
+        fig3b.row(
+            &format!("{lc}(+{bi})"),
+            vec![hw_p99, sw_p99, sw_p99 / hw_p99],
+        );
     }
-    fig2.note("paper: software isolation improves average utilization up to 1.52x (1.39x avg)".into());
-    fig3a.note("paper: up to 1.84x (1.64x avg) higher BI bandwidth under software isolation".into());
+    fig2.note(
+        "paper: software isolation improves average utilization up to 1.52x (1.39x avg)".into(),
+    );
+    fig3a
+        .note("paper: up to 1.84x (1.64x avg) higher BI bandwidth under software isolation".into());
     fig3b.note("paper: up to 2.02x higher LC tail latency under software isolation".into());
     vec![fig2, fig3a, fig3b]
 }
@@ -175,7 +179,16 @@ pub fn fig2_3(ctx: &mut SharedContext) -> Vec<FigureReport> {
 pub fn fig6(ctx: &mut SharedContext) -> FigureReport {
     // The eight workloads shown in the paper's Figure 6.
     use WorkloadKind::*;
-    let kinds = [MlPrep, PageRank, TeraSort, Ycsb, LiveMaps, SearchEngine, Tpce, VdiWeb];
+    let kinds = [
+        MlPrep,
+        PageRank,
+        TeraSort,
+        Ycsb,
+        LiveMaps,
+        SearchEngine,
+        Tpce,
+        VdiWeb,
+    ];
     let (windows, reqs) = ctx.scale.clustering();
     let mut samples = Vec::new();
     for kind in kinds {
@@ -209,7 +222,9 @@ pub fn fig6(ctx: &mut SharedContext) -> FigureReport {
             .map(|(_, s)| pca.transform(s))
             .collect();
         let n = points.len().max(1) as f64;
-        let (sx, sy) = points.iter().fold((0.0, 0.0), |acc, p| (acc.0 + p[0], acc.1 + p[1]));
+        let (sx, sy) = points
+            .iter()
+            .fold((0.0, 0.0), |acc, p| (acc.0 + p[0], acc.1 + p[1]));
         // Majority cluster assignment for the workload.
         let mut votes = [0usize; 3];
         for (k, f) in &samples {
@@ -282,12 +297,17 @@ pub fn fig10_13(ctx: &mut SharedContext) -> Vec<FigureReport> {
                 .map(|t| t.slo_violation_rate * 100.0)
                 .unwrap_or(0.0);
             fig10.row(&label, vec![m.avg_utilization / hw_util, p99 / hw_p99]);
-            fig11.row(&label, vec![m.avg_utilization * 100.0, m.p95_utilization * 100.0]);
+            fig11.row(
+                &label,
+                vec![m.avg_utilization * 100.0, m.p95_utilization * 100.0],
+            );
             fig12.row(&label, vec![p99 / hw_p99, p99, vio]);
             fig13.row(&label, vec![bw / hw_bw, bw]);
         }
     }
-    fig10.note("paper: FleetIO ~1.30x util improvement at ~1.1-1.2x P99; SW/AD at ~1.76-2.03x P99".into());
+    fig10.note(
+        "paper: FleetIO ~1.30x util improvement at ~1.1-1.2x P99; SW/AD at ~1.76-2.03x P99".into(),
+    );
     fig12.note("paper: FleetIO 1.29-1.89x lower P99 than SW/Adaptive".into());
     fig13.note("paper: FleetIO 1.27-1.61x over HW (1.46x avg), 89% of SW's bandwidth".into());
     vec![fig10, fig11, fig12, fig13]
@@ -322,22 +342,36 @@ pub fn fig14(ctx: &mut SharedContext) -> Vec<FigureReport> {
             .map(|(_, m)| m.clone())
             .expect("hardware run present");
         for (spec, m) in &per_policy {
-            a.row(&format!("{}/{}", mix.label, spec.label()), vec![m.avg_utilization * 100.0]);
+            a.row(
+                &format!("{}/{}", mix.label, spec.label()),
+                vec![m.avg_utilization * 100.0],
+            );
             for (ti, t) in m.tenants.iter().enumerate() {
                 let base = &hw.tenants[ti];
                 match t.kind.category() {
                     WorkloadCategory::LatencySensitive => {
-                        let norm =
-                            t.p99.as_millis_f64() / base.p99.as_millis_f64().max(1e-9);
+                        let norm = t.p99.as_millis_f64() / base.p99.as_millis_f64().max(1e-9);
                         b.row(
-                            &format!("{}/{}/{}{}", mix.label, spec.label(), t.kind.short_label(), ti),
+                            &format!(
+                                "{}/{}/{}{}",
+                                mix.label,
+                                spec.label(),
+                                t.kind.short_label(),
+                                ti
+                            ),
                             vec![norm],
                         );
                     }
                     WorkloadCategory::BandwidthIntensive => {
                         let norm = t.avg_bandwidth / base.avg_bandwidth.max(1.0);
                         c.row(
-                            &format!("{}/{}/{}{}", mix.label, spec.label(), t.kind.short_label(), ti),
+                            &format!(
+                                "{}/{}/{}{}",
+                                mix.label,
+                                spec.label(),
+                                t.kind.short_label(),
+                                ti
+                            ),
                             vec![norm],
                         );
                     }
@@ -405,7 +439,14 @@ pub fn fig16(ctx: &mut SharedContext) -> FigureReport {
     // Mixed Isolation (static), Software Isolation (everything shared),
     // FleetIO on the mixed layout.
     let mk_layout = |ctx: &mut SharedContext| {
-        mixed_layout(&ctx.cfg, &hw_tenants, 4, &sw_tenants, &[Some(slo), Some(slo)], opts.seed)
+        mixed_layout(
+            &ctx.cfg,
+            &hw_tenants,
+            4,
+            &sw_tenants,
+            &[Some(slo), Some(slo)],
+            opts.seed,
+        )
     };
     let summarize = |m: &RunMetrics| {
         let vdi: Vec<f64> = m
@@ -484,12 +525,9 @@ pub fn fig17(ctx: &mut SharedContext) -> FigureReport {
     // Tuning = a short behaviour-cloning + PPO pass on the specific combo.
     let tune = |ctx: &mut SharedContext, a: WorkloadKind, b: WorkloadKind| {
         let share = usize::from(ctx.cfg.engine.flash.channels) / 2;
-        let slo_a = (a.category() == WorkloadCategory::LatencySensitive)
-            .then(|| ctx.slo(a, share));
-        let slo_b = (b.category() == WorkloadCategory::LatencySensitive)
-            .then(|| ctx.slo(b, share));
-        let scenario =
-            hardware_layout(&ctx.cfg, &[a, b], &[slo_a, slo_b], ctx.seed ^ 0x17);
+        let slo_a = (a.category() == WorkloadCategory::LatencySensitive).then(|| ctx.slo(a, share));
+        let slo_b = (b.category() == WorkloadCategory::LatencySensitive).then(|| ctx.slo(b, share));
+        let scenario = hardware_layout(&ctx.cfg, &[a, b], &[slo_a, slo_b], ctx.seed ^ 0x17);
         let mut opts = ctx.scale.pretrain_options();
         opts.iterations = opts.iterations.min(4);
         opts.bc_rounds = opts.bc_rounds.min(3);
@@ -515,12 +553,12 @@ pub fn fig17(ctx: &mut SharedContext) -> FigureReport {
             let slos: Vec<Option<SimDuration>> = eval_combo
                 .iter()
                 .map(|k| {
-                    (k.category() == WorkloadCategory::LatencySensitive)
-                        .then(|| ctx.slo(*k, share))
+                    (k.category() == WorkloadCategory::LatencySensitive).then(|| ctx.slo(*k, share))
                 })
                 .collect();
-            let opts =
-                ctx.scale.experiment_options(&ctx.cfg, ctx.seed.wrapping_add(seed_off));
+            let opts = ctx
+                .scale
+                .experiment_options(&ctx.cfg, ctx.seed.wrapping_add(seed_off));
             let peak = ctx.device_peak();
             let tenants = hardware_layout(&ctx.cfg, &eval_combo, &slos, opts.seed);
             let mut p = FleetIoPolicy::new(ctx.cfg.clone(), model, 2);
@@ -530,7 +568,11 @@ pub fn fig17(ctx: &mut SharedContext) -> FigureReport {
         let p = run_with(ctx, &pretrained_model, 3000 + i as u64);
         // Kept-tenant metric: bandwidth for BI, P99 for LC.
         let metric = |m: &RunMetrics| {
-            let tm = m.tenants.iter().find(|t| t.kind == kept).expect("kept tenant");
+            let tm = m
+                .tenants
+                .iter()
+                .find(|t| t.kind == kept)
+                .expect("kept tenant");
             match kept.category() {
                 WorkloadCategory::BandwidthIntensive => tm.avg_bandwidth,
                 WorkloadCategory::LatencySensitive => tm.p99.as_millis_f64(),
@@ -597,12 +639,18 @@ pub fn overheads(ctx: &mut SharedContext) -> FigureReport {
         for i in 0..1000u32 {
             let v = VssdId(i % 8);
             if i % 2 == 0 {
-                ac.submit(HarvestAction::MakeHarvestable { vssd: v, bytes_per_sec: ch_bw });
+                ac.submit(HarvestAction::MakeHarvestable {
+                    vssd: v,
+                    bytes_per_sec: ch_bw,
+                });
             } else {
-                ac.submit(HarvestAction::Harvest { vssd: v, bytes_per_sec: ch_bw });
+                ac.submit(HarvestAction::Harvest {
+                    vssd: v,
+                    bytes_per_sec: ch_bw,
+                });
             }
         }
-        let _ = ac.drain_batch(8, &std::collections::HashMap::new(), ch_bw);
+        let _ = ac.drain_batch(8, &std::collections::BTreeMap::new(), ch_bw);
     }
     let batch_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(batches);
     report.row("admission_batch_1000_actions", vec![batch_us, 1.0]);
@@ -620,7 +668,10 @@ pub fn overheads(ctx: &mut SharedContext) -> FigureReport {
     report.row("inference_per_decision", vec![infer_us, 1.0]);
 
     // Model footprint (2.2 MB / ~9 K parameters in the paper).
-    report.row("model_parameters", vec![model.policy.n_params() as f64, 0.0]);
+    report.row(
+        "model_parameters",
+        vec![model.policy.n_params() as f64, 0.0],
+    );
     report.row("model_bytes", vec![model.approx_size_bytes() as f64, 0.0]);
     report.note("paper: gSB creation <1us, admission 0.8ms/1000 actions, inference 1.1ms, model 2.2MB/9K params".into());
     report
@@ -634,15 +685,30 @@ pub fn tables(ctx: &mut SharedContext) -> FigureReport {
         "Tables 3-5 sanity: config defaults and workload catalogue",
         &["value"],
     );
-    report.row("decision_interval_s", vec![ctx.cfg.decision_interval.as_secs_f64()]);
+    report.row(
+        "decision_interval_s",
+        vec![ctx.cfg.decision_interval.as_secs_f64()],
+    );
     report.row("beta", vec![ctx.cfg.beta]);
     report.row("gamma", vec![ctx.cfg.gamma]);
     report.row("batch_size", vec![ctx.cfg.batch_size as f64]);
     report.row("channels", vec![f64::from(ctx.cfg.engine.flash.channels)]);
-    report.row("chips_per_channel", vec![f64::from(ctx.cfg.engine.flash.chips_per_channel)]);
-    report.row("page_kb", vec![f64::from(ctx.cfg.engine.flash.page_bytes) / 1024.0]);
-    report.row("overprovisioning", vec![ctx.cfg.engine.flash.overprovisioning]);
-    report.row("eval_workloads", vec![WorkloadKind::EVALUATION.len() as f64]);
+    report.row(
+        "chips_per_channel",
+        vec![f64::from(ctx.cfg.engine.flash.chips_per_channel)],
+    );
+    report.row(
+        "page_kb",
+        vec![f64::from(ctx.cfg.engine.flash.page_bytes) / 1024.0],
+    );
+    report.row(
+        "overprovisioning",
+        vec![ctx.cfg.engine.flash.overprovisioning],
+    );
+    report.row(
+        "eval_workloads",
+        vec![WorkloadKind::EVALUATION.len() as f64],
+    );
     report.row("mixes", vec![table5_mixes().len() as f64]);
     let _ = SimTime::ZERO;
     report

@@ -1,0 +1,120 @@
+//! A minimal wall-clock micro-benchmark harness on pure `std`.
+//!
+//! The workspace builds offline with no external crates, so the bench
+//! targets time themselves with `std::time::Instant` instead of criterion.
+//! Each benchmark auto-calibrates its iteration count to a target budget,
+//! then reports mean / median / p95 nanoseconds per iteration over a fixed
+//! number of samples. Wall-clock use is confined to this crate: simulator
+//! crates must take time from `fleetio_des::SimTime` (enforced by
+//! `fleetio-audit`).
+
+use std::time::Instant;
+
+/// Per-sample measurement budget.
+const SAMPLE_TARGET_NANOS: u128 = 50_000_000; // 50 ms
+/// Samples per benchmark.
+const SAMPLES: usize = 12;
+
+/// Times `f`, printing a one-line summary. Returns median ns/iter.
+pub fn bench_function<F: FnMut()>(name: &str, mut f: F) -> f64 {
+    // Warm up and calibrate the per-sample iteration count.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let spent = t0.elapsed().as_nanos();
+        if spent >= SAMPLE_TARGET_NANOS / 4 || iters >= 1 << 24 {
+            let per = (spent / u128::from(iters)).max(1);
+            iters = ((SAMPLE_TARGET_NANOS / per) as u64).clamp(1, 1 << 24);
+            break;
+        }
+        iters *= 8;
+    }
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let median = per_iter[per_iter.len() / 2];
+    let p95 = per_iter[(per_iter.len() * 95 / 100).min(per_iter.len() - 1)];
+    println!(
+        "{name:<40} {:>14} /iter   (mean {}, p95 {}, {iters} iters x {SAMPLES})",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(p95),
+    );
+    median
+}
+
+/// Times `f` with a fresh `setup()` product per iteration (setup excluded
+/// from the timing), printing a one-line summary. Returns median ns/iter.
+pub fn bench_with_setup<S, T, F: FnMut(T)>(name: &str, mut setup: S, mut f: F) -> f64
+where
+    S: FnMut() -> T,
+{
+    let mut per_iter: Vec<f64> = Vec::with_capacity(SAMPLES * 4);
+    for _ in 0..SAMPLES * 4 {
+        let input = setup();
+        let t0 = Instant::now();
+        f(input);
+        per_iter.push(t0.elapsed().as_nanos() as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let median = per_iter[per_iter.len() / 2];
+    let p95 = per_iter[(per_iter.len() * 95 / 100).min(per_iter.len() - 1)];
+    println!(
+        "{name:<40} {:>14} /iter   (mean {}, p95 {}, {} iters)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(p95),
+        per_iter.len(),
+    );
+    median
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_positive_time() {
+        let mut acc = 0u64;
+        let ns = bench_function("harness_self_test", || {
+            acc = acc.wrapping_add(std::hint::black_box(1));
+        });
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn bench_with_setup_excludes_setup() {
+        let ns = bench_with_setup(
+            "harness_setup_self_test",
+            || 21u64,
+            |x| {
+                std::hint::black_box(x * 2);
+            },
+        );
+        assert!(ns >= 0.0);
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod context;
 pub mod figures;
+pub mod harness;
 pub mod report;
 pub mod scale;
 

@@ -1,9 +1,7 @@
 //! Row-oriented result reporting (text tables + JSON).
 
-use serde::Serialize;
-
 /// One figure's regenerated rows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureReport {
     /// Identifier, e.g. `"fig10"`.
     pub id: String,
@@ -73,9 +71,70 @@ impl FigureReport {
         out
     }
 
-    /// Renders the report as JSON.
+    /// Renders the report as JSON (hand-rolled; the workspace builds with
+    /// no external crates).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str("  \"columns\": [");
+        push_joined(&mut out, self.columns.iter().map(|c| json_str(c)));
+        out.push_str("],\n  \"rows\": [");
+        for (i, (label, values)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"label\": {}, \"values\": [",
+                json_str(label)
+            ));
+            push_joined(&mut out, values.iter().map(|v| json_num(*v)));
+            out.push_str("]}");
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"notes\": [");
+        push_joined(&mut out, self.notes.iter().map(|n| json_str(n)));
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an f64 as a JSON number (JSON has no NaN/Inf — map to null).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_joined(out: &mut String, items: impl Iterator<Item = String>) {
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&item);
     }
 }
 
@@ -96,11 +155,21 @@ mod tests {
     }
 
     #[test]
-    fn json_is_valid() {
-        let mut r = FigureReport::new("figY", "T", &["c"]);
+    fn json_contains_fields_and_escapes() {
+        let mut r = FigureReport::new("figY", "T \"quoted\"", &["c"]);
         r.row("r", vec![0.5]);
-        let parsed: serde_json::Value = serde_json::from_str(&r.to_json()).unwrap();
-        assert_eq!(parsed["id"], "figY");
+        r.row("nan", vec![f64::NAN]);
+        let j = r.to_json();
+        assert!(j.contains("\"id\": \"figY\""), "{j}");
+        assert!(j.contains("\"title\": \"T \\\"quoted\\\"\""), "{j}");
+        assert!(j.contains("\"label\": \"r\", \"values\": [0.5]"), "{j}");
+        assert!(j.contains("\"values\": [null]"), "{j}");
+        // Balanced braces/brackets as a cheap well-formedness check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let o = j.matches(open).count();
+            let c = j.matches(close).count();
+            assert_eq!(o, c, "unbalanced {open}{close} in {j}");
+        }
     }
 
     #[test]

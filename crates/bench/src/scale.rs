@@ -108,7 +108,10 @@ mod tests {
     fn flag_parsing() {
         assert_eq!(Scale::from_args(&[]), Scale::Quick);
         assert_eq!(Scale::from_args(&["--full".into()]), Scale::Full);
-        assert_eq!(Scale::from_args(&["x".into(), "--tiny".into()]), Scale::Tiny);
+        assert_eq!(
+            Scale::from_args(&["x".into(), "--tiny".into()]),
+            Scale::Tiny
+        );
     }
 
     #[test]
@@ -118,6 +121,8 @@ mod tests {
         let q = Scale::Quick.experiment_options(&cfg, 0).measure_windows;
         let f = Scale::Full.experiment_options(&cfg, 0).measure_windows;
         assert!(t < q && q < f);
-        assert!(Scale::Full.pretrain_options().iterations > Scale::Quick.pretrain_options().iterations);
+        assert!(
+            Scale::Full.pretrain_options().iterations > Scale::Quick.pretrain_options().iterations
+        );
     }
 }

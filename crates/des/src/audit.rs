@@ -1,0 +1,116 @@
+//! Runtime invariant auditing (the `audit` cargo feature).
+//!
+//! [`SimAuditor`] is the runtime half of the fleetio-audit layer: while the
+//! static pass (`cargo run -p fleetio-audit -- check`) rejects source
+//! patterns that *could* break determinism, the auditor watches a live
+//! simulation and `debug_assert!`s properties that only show up at run
+//! time — event-time monotonicity here, plus free-block accounting, gSB
+//! conservation and token-bucket bounds in the `flash`/`vssd` hooks that
+//! build on this type.
+//!
+//! The auditor is compiled in only with `--features audit` and its checks
+//! are `debug_assert!`s, so release binaries and default builds pay
+//! nothing. Tests that enable the feature (the determinism regression
+//! suite) run every event through these checks.
+
+use crate::time::SimTime;
+
+/// Watches a stream of simulation events for ordering violations.
+///
+/// # Example
+///
+/// ```
+/// use fleetio_des::audit::SimAuditor;
+/// use fleetio_des::SimTime;
+///
+/// let mut a = SimAuditor::new();
+/// a.observe_event(SimTime::from_micros(1));
+/// a.observe_event(SimTime::from_micros(1)); // equal stamps are fine
+/// a.observe_event(SimTime::from_micros(2));
+/// assert_eq!(a.events_observed(), 3);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SimAuditor {
+    last_event: Option<SimTime>,
+    events: u64,
+    sweeps: u64,
+}
+
+impl SimAuditor {
+    /// Creates an auditor that has seen nothing.
+    pub fn new() -> Self {
+        SimAuditor::default()
+    }
+
+    /// Records one dispatched event and asserts the simulated clock never
+    /// runs backwards (the discrete-event queue must release events in
+    /// non-decreasing time order).
+    pub fn observe_event(&mut self, at: SimTime) {
+        if let Some(prev) = self.last_event {
+            debug_assert!(
+                at >= prev,
+                "event-time monotonicity violated: {at} fired after {prev}"
+            );
+        }
+        self.last_event = Some(at);
+        self.events += 1;
+    }
+
+    /// Number of events observed so far.
+    pub fn events_observed(&self) -> u64 {
+        self.events
+    }
+
+    /// Records one structural-invariant sweep (callers count their own
+    /// sweeps here so tests can assert auditing actually happened).
+    pub fn note_sweep(&mut self) {
+        self.sweeps += 1;
+    }
+
+    /// Number of structural sweeps recorded.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Whether a sweep is due: every `interval` events, so the O(blocks)
+    /// structural checks do not dominate event processing.
+    pub fn sweep_due(&self, interval: u64) -> bool {
+        interval > 0 && self.events.is_multiple_of(interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_events_and_sweeps() {
+        let mut a = SimAuditor::new();
+        a.observe_event(SimTime::from_micros(5));
+        a.observe_event(SimTime::from_micros(5));
+        a.note_sweep();
+        assert_eq!(a.events_observed(), 2);
+        assert_eq!(a.sweeps(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "event-time monotonicity violated")]
+    #[cfg(debug_assertions)]
+    fn backwards_event_panics() {
+        let mut a = SimAuditor::new();
+        a.observe_event(SimTime::from_micros(10));
+        a.observe_event(SimTime::from_micros(9));
+    }
+
+    #[test]
+    fn sweep_due_every_interval() {
+        let mut a = SimAuditor::new();
+        for i in 1..=8u64 {
+            a.observe_event(SimTime::from_micros(i));
+        }
+        assert!(a.sweep_due(4));
+        a.observe_event(SimTime::from_micros(9));
+        assert!(!a.sweep_due(4));
+        assert!(!a.sweep_due(0));
+    }
+}

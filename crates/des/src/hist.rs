@@ -7,8 +7,6 @@
 //! `1 / 2^SUB_BITS` (≈1.6 % with the default 6 sub-bucket bits) at any
 //! percentile.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimDuration;
 
 /// Number of linear sub-buckets per power-of-two range (as a power of two).
@@ -29,7 +27,7 @@ const SUB_COUNT: usize = 1 << SUB_BITS;
 /// let p50 = h.percentile(50.0).unwrap().as_micros();
 /// assert!((480..=520).contains(&p50), "p50 was {p50}");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     /// Flat `range * SUB_COUNT + sub` bucket counts: samples whose
     /// nanosecond value falls in that log range / linear sub-bucket.
@@ -84,7 +82,9 @@ impl LatencyHistogram {
         if self.count == 0 {
             return None;
         }
-        Some(SimDuration::from_nanos((self.sum_nanos / u128::from(self.count)) as u64))
+        Some(SimDuration::from_nanos(
+            (self.sum_nanos / u128::from(self.count)) as u64,
+        ))
     }
 
     /// Largest recorded sample, or `None` when empty.
@@ -107,7 +107,10 @@ impl LatencyHistogram {
     ///
     /// Panics if `pct` is outside `[0, 100]` or not finite.
     pub fn percentile(&self, pct: f64) -> Option<SimDuration> {
-        assert!(pct.is_finite() && (0.0..=100.0).contains(&pct), "percentile out of range: {pct}");
+        assert!(
+            pct.is_finite() && (0.0..=100.0).contains(&pct),
+            "percentile out of range: {pct}"
+        );
         if self.count == 0 {
             return None;
         }
@@ -215,7 +218,7 @@ impl LatencyHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, SmallRng};
 
     #[test]
     fn empty_histogram_reports_none() {
@@ -291,29 +294,40 @@ mod tests {
         assert_eq!(h.mean().unwrap().as_micros(), 200);
     }
 
-    proptest! {
-        #[test]
-        fn prop_bucket_index_brackets_value(v in 0u64..u64::MAX / 2) {
+    /// Property: every value falls inside its own bucket's [low, high].
+    #[test]
+    fn prop_bucket_index_brackets_value() {
+        let mut rng = SmallRng::seed_from_u64(0x8157);
+        for _case in 0..4096 {
+            let v = rng.gen_range(0u64..u64::MAX / 2);
             let (range, sub) = LatencyHistogram::index(v);
             let lo = LatencyHistogram::bucket_low(range, sub);
             let hi = LatencyHistogram::bucket_high(range, sub);
-            prop_assert!(lo <= v && v <= hi, "v={v} not in [{lo},{hi}] (range={range},sub={sub})");
+            assert!(
+                lo <= v && v <= hi,
+                "v={v} not in [{lo},{hi}] (range={range},sub={sub})"
+            );
             // Relative bucket width bounded.
             if v >= SUB_COUNT as u64 {
-                prop_assert!((hi - lo) as f64 / v as f64 <= 2.0 / SUB_COUNT as f64 + 1e-9);
+                assert!((hi - lo) as f64 / v as f64 <= 2.0 / SUB_COUNT as f64 + 1e-9);
             }
         }
+    }
 
-        #[test]
-        fn prop_percentile_monotone(samples in proptest::collection::vec(1u64..10_000_000, 2..300)) {
+    /// Property: percentiles are monotone in the requested rank.
+    #[test]
+    fn prop_percentile_monotone() {
+        let mut rng = SmallRng::seed_from_u64(0x9e01);
+        for _case in 0..128 {
+            let n = rng.gen_range(2usize..300);
             let mut h = LatencyHistogram::new();
-            for s in &samples {
-                h.record(SimDuration::from_nanos(*s));
+            for _ in 0..n {
+                h.record(SimDuration::from_nanos(rng.gen_range(1u64..10_000_000)));
             }
             let p50 = h.percentile(50.0).unwrap();
             let p90 = h.percentile(90.0).unwrap();
             let p99 = h.percentile(99.0).unwrap();
-            prop_assert!(p50 <= p90 && p90 <= p99);
+            assert!(p50 <= p90 && p90 <= p99);
         }
     }
 }

@@ -26,6 +26,8 @@
 //! assert_eq!(q.pop().map(|e| e.payload), Some("now"));
 //! ```
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod hist;
 pub mod queue;
 pub mod rng;

@@ -64,6 +64,10 @@ impl<T> Ord for HeapEntry<T> {
 pub struct EventQueue<T> {
     heap: BinaryHeap<HeapEntry<T>>,
     next_seq: u64,
+    /// With `--features audit`: timestamp of the last popped event, for
+    /// monotonicity auditing of the heap ordering itself.
+    #[cfg(feature = "audit")]
+    last_popped: Option<SimTime>,
 }
 
 impl<T> std::fmt::Debug for EventQueue<T> {
@@ -84,12 +88,22 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            #[cfg(feature = "audit")]
+            last_popped: None,
+        }
     }
 
     /// Creates an empty queue with room for `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            #[cfg(feature = "audit")]
+            last_popped: None,
+        }
     }
 
     /// Schedules `payload` to fire at `at`. Returns the event's sequence
@@ -103,7 +117,19 @@ impl<T> EventQueue<T> {
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<Event<T>> {
-        self.heap.pop().map(|e| e.0)
+        let ev = self.heap.pop().map(|e| e.0);
+        #[cfg(feature = "audit")]
+        if let Some(ev) = &ev {
+            if let Some(prev) = self.last_popped {
+                debug_assert!(
+                    ev.at >= prev,
+                    "event queue popped {} after {prev}: heap ordering broken",
+                    ev.at
+                );
+            }
+            self.last_popped = Some(ev.at);
+        }
+        ev
     }
 
     /// The timestamp of the earliest pending event, if any.
@@ -130,16 +156,21 @@ impl<T> EventQueue<T> {
         self.heap.is_empty()
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events (and, under the `audit` feature, the
+    /// popped-time watermark — a cleared queue may be reused for a new run).
     pub fn clear(&mut self) {
         self.heap.clear();
+        #[cfg(feature = "audit")]
+        {
+            self.last_popped = None;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, SmallRng};
 
     #[test]
     fn pops_in_time_order() {
@@ -168,7 +199,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(SimTime::from_micros(10), "early");
         q.push(SimTime::from_micros(100), "late");
-        assert_eq!(q.pop_before(SimTime::from_micros(50)).map(|e| e.payload), Some("early"));
+        assert_eq!(
+            q.pop_before(SimTime::from_micros(50)).map(|e| e.payload),
+            Some("early")
+        );
         assert!(q.pop_before(SimTime::from_micros(50)).is_none());
         assert_eq!(q.len(), 1);
     }
@@ -193,9 +227,13 @@ mod tests {
         assert_eq!(q.pop().map(|e| e.payload), None);
     }
 
-    proptest! {
-        #[test]
-        fn prop_pops_are_sorted_and_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+    /// Property: pops come out sorted by time, FIFO among equal stamps.
+    #[test]
+    fn prop_pops_are_sorted_and_stable() {
+        let mut rng = SmallRng::seed_from_u64(0x9_0e0e);
+        for _case in 0..256 {
+            let n = rng.gen_range(1usize..200);
+            let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1_000)).collect();
             let mut q = EventQueue::new();
             for (i, t) in times.iter().enumerate() {
                 q.push(SimTime::from_micros(*t), i);
@@ -206,13 +244,13 @@ mod tests {
             }
             // Sorted by time.
             for w in popped.windows(2) {
-                prop_assert!(w[0].0 <= w[1].0);
+                assert!(w[0].0 <= w[1].0);
                 // FIFO among equal timestamps: insertion index increases.
                 if w[0].0 == w[1].0 {
-                    prop_assert!(w[0].1 < w[1].1);
+                    assert!(w[0].1 < w[1].1);
                 }
             }
-            prop_assert_eq!(popped.len(), times.len());
+            assert_eq!(popped.len(), times.len());
         }
     }
 }

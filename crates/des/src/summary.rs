@@ -1,7 +1,5 @@
 //! Small numeric summaries used throughout the experiment harness.
 
-use serde::{Deserialize, Serialize};
-
 /// Online mean/variance accumulator (Welford's algorithm).
 ///
 /// # Example
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// }
 /// assert_eq!(r.mean(), 2.5);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Running {
     n: u64,
     mean: f64,
@@ -27,7 +25,13 @@ pub struct Running {
 impl Running {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Running { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -87,7 +91,10 @@ impl Running {
 ///
 /// Panics if `pct` is outside `[0, 100]` or any value is NaN.
 pub fn percentile(values: &[f64], pct: f64) -> Option<f64> {
-    assert!((0.0..=100.0).contains(&pct), "percentile out of range: {pct}");
+    assert!(
+        (0.0..=100.0).contains(&pct),
+        "percentile out of range: {pct}"
+    );
     if values.is_empty() {
         return None;
     }
@@ -116,7 +123,7 @@ pub fn geo_mean(values: &[f64]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, SmallRng};
 
     #[test]
     fn running_mean_and_std() {
@@ -155,23 +162,34 @@ mod tests {
         assert_eq!(geo_mean(&[1.0, 0.0]), None);
     }
 
-    proptest! {
-        #[test]
-        fn prop_running_mean_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+    /// Property: Welford's online mean agrees with the naive sum.
+    #[test]
+    fn prop_running_mean_matches_naive() {
+        let mut rng = SmallRng::seed_from_u64(0x50_44);
+        for _case in 0..256 {
+            let n = rng.gen_range(1usize..100);
+            let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
             let mut r = Running::new();
             for x in &xs {
                 r.push(*x);
             }
             let naive = xs.iter().sum::<f64>() / xs.len() as f64;
-            prop_assert!((r.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+            assert!((r.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
         }
+    }
 
-        #[test]
-        fn prop_percentile_within_range(xs in proptest::collection::vec(-1e3f64..1e3, 1..50), p in 0.0f64..100.0) {
+    /// Property: any percentile of a sample lies within its min/max.
+    #[test]
+    fn prop_percentile_within_range() {
+        let mut rng = SmallRng::seed_from_u64(0x9c_c7);
+        for _case in 0..256 {
+            let n = rng.gen_range(1usize..50);
+            let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e3f64..1e3)).collect();
+            let p = rng.gen_range(0.0f64..100.0);
             let v = percentile(&xs, p).unwrap();
             let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
         }
     }
 }

@@ -7,8 +7,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time, measured in nanoseconds since simulation start.
 ///
 /// # Example
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(2);
 /// assert_eq!(t.as_micros(), 2_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time in nanoseconds.
@@ -32,7 +30,7 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_micros(500) * 4;
 /// assert_eq!(d.as_millis_f64(), 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -46,19 +44,22 @@ impl SimTime {
         SimTime(nanos)
     }
 
-    /// Builds an instant from microseconds since simulation start.
+    /// Builds an instant from microseconds since simulation start,
+    /// saturating at [`SimTime::MAX`].
     pub const fn from_micros(micros: u64) -> Self {
-        SimTime(micros * 1_000)
+        SimTime(micros.saturating_mul(1_000))
     }
 
-    /// Builds an instant from milliseconds since simulation start.
+    /// Builds an instant from milliseconds since simulation start,
+    /// saturating at [`SimTime::MAX`].
     pub const fn from_millis(millis: u64) -> Self {
-        SimTime(millis * 1_000_000)
+        SimTime(millis.saturating_mul(1_000_000))
     }
 
-    /// Builds an instant from whole seconds since simulation start.
+    /// Builds an instant from whole seconds since simulation start,
+    /// saturating at [`SimTime::MAX`].
     pub const fn from_secs(secs: u64) -> Self {
-        SimTime(secs * 1_000_000_000)
+        SimTime(secs.saturating_mul(1_000_000_000))
     }
 
     /// Raw nanoseconds since simulation start.
@@ -107,29 +108,43 @@ impl SimDuration {
         SimDuration(nanos)
     }
 
-    /// Builds a span from microseconds.
+    /// Builds a span from microseconds, saturating at the maximum span.
     pub const fn from_micros(micros: u64) -> Self {
-        SimDuration(micros * 1_000)
+        SimDuration(micros.saturating_mul(1_000))
     }
 
-    /// Builds a span from milliseconds.
+    /// Builds a span from milliseconds, saturating at the maximum span.
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration(millis * 1_000_000)
+        SimDuration(millis.saturating_mul(1_000_000))
     }
 
-    /// Builds a span from whole seconds.
+    /// Builds a span from whole seconds, saturating at the maximum span.
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000_000)
+        SimDuration(secs.saturating_mul(1_000_000_000))
     }
 
-    /// Builds a span from fractional seconds, truncating to nanoseconds.
+    /// Builds a span from fractional seconds, truncating to whole
+    /// nanoseconds.
     ///
-    /// Negative and non-finite inputs clamp to zero.
+    /// Negative and non-finite inputs clamp to zero; values beyond the
+    /// representable range saturate at the maximum span (`u64::MAX` ns,
+    /// about 584 years of simulated time).
     pub fn from_secs_f64(secs: f64) -> Self {
         if !secs.is_finite() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
+        // `as u64` saturates on overflow, so huge inputs pin to MAX.
         SimDuration((secs * 1e9) as u64)
+    }
+
+    /// Like [`SimDuration::from_secs_f64`] but rounding to the *nearest*
+    /// nanosecond — for derived rates (e.g. per-KiB bus cost) where the
+    /// half-ulp bias of truncation would compound over many operations.
+    pub fn from_secs_f64_rounded(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((secs * 1e9).round() as u64)
     }
 
     /// Raw nanoseconds.
@@ -319,5 +334,60 @@ mod tests {
         let b = SimTime::from_micros(2);
         assert_eq!(a.max(b), b);
         assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn constructors_saturate_at_max_span() {
+        assert_eq!(SimDuration::from_secs(u64::MAX).as_nanos(), u64::MAX);
+        assert_eq!(SimDuration::from_millis(u64::MAX).as_nanos(), u64::MAX);
+        assert_eq!(SimDuration::from_micros(u64::MAX).as_nanos(), u64::MAX);
+        assert_eq!(SimTime::from_secs(u64::MAX).as_nanos(), u64::MAX);
+        assert_eq!(SimDuration::from_secs_f64(1e30).as_nanos(), u64::MAX);
+        assert_eq!(
+            SimDuration::from_secs_f64_rounded(1e30).as_nanos(),
+            u64::MAX
+        );
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+        // Saturated arithmetic stays pinned rather than wrapping.
+        let max = SimTime::from_nanos(u64::MAX);
+        assert_eq!(max + SimDuration::from_secs(1), max);
+    }
+
+    #[test]
+    fn from_secs_f64_truncates_and_rounded_rounds() {
+        // 1.5 ns: truncation and rounding must disagree by exactly 1 ns.
+        assert_eq!(SimDuration::from_secs_f64(1.5e-9).as_nanos(), 1);
+        assert_eq!(SimDuration::from_secs_f64_rounded(1.5e-9).as_nanos(), 2);
+        // Sub-nanosecond inputs truncate to zero.
+        assert_eq!(SimDuration::from_secs_f64(0.4e-9), SimDuration::ZERO);
+    }
+
+    /// Property: the f64 seconds round-trip is exact up to f64 resolution —
+    /// below 2^53 ns the round trip is lossless; above it the error stays
+    /// within one ulp of the magnitude.
+    #[test]
+    fn prop_secs_f64_roundtrip_bounds_precision_loss() {
+        let mut rng = crate::rng::SmallRng::seed_from_u64(0x7157_0c1e);
+        for _case in 0..4096 {
+            // Log-uniform over ns..days so every scale is exercised.
+            let exp = crate::rng::Rng::gen_range(&mut rng, 0u32..17);
+            let mantissa = crate::rng::Rng::gen_range(&mut rng, 1u64..1000);
+            let ns = mantissa * 10u64.pow(exp).min(u64::MAX / 1000);
+            let d = SimDuration::from_nanos(ns);
+            let back = SimDuration::from_secs_f64(d.as_secs_f64());
+            let err = back.as_nanos().abs_diff(ns);
+            if ns < (1u64 << 53) {
+                // f64 represents the integer exactly; truncation of
+                // `x * 1e9 / 1e9` may still lose at most 1 ns.
+                assert!(err <= 1, "{ns} ns round-tripped to {} ns", back.as_nanos());
+            } else {
+                let ulp = (ns as f64 / 2f64.powi(52)).ceil() as u64;
+                assert!(
+                    err <= ulp,
+                    "{ns} ns round-tripped to {} ns (err {err} > ulp {ulp})",
+                    back.as_nanos()
+                );
+            }
+        }
     }
 }

@@ -5,8 +5,6 @@
 //! the raw counters for one window; [`WindowSummary`] is the frozen snapshot
 //! the state extractor turns into RL features.
 
-use serde::{Deserialize, Serialize};
-
 use crate::hist::LatencyHistogram;
 use crate::time::{SimDuration, SimTime};
 
@@ -25,7 +23,7 @@ pub struct WindowStats {
 }
 
 /// A frozen summary of one completed window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowSummary {
     /// Window start time.
     pub start: SimTime,
@@ -146,9 +144,21 @@ impl WindowStats {
             avg_iops: ops as f64 / secs,
             avg_latency: self.latency.mean().unwrap_or(SimDuration::ZERO),
             p99_latency: self.latency.percentile(99.0).unwrap_or(SimDuration::ZERO),
-            slo_violation_rate: if ops == 0 { 0.0 } else { self.slo_violations as f64 / ops as f64 },
-            avg_queue_delay: if ops == 0 { SimDuration::ZERO } else { self.queue_delay_sum / ops },
-            read_ratio: if ops == 0 { 0.0 } else { self.read_ops as f64 / ops as f64 },
+            slo_violation_rate: if ops == 0 {
+                0.0
+            } else {
+                self.slo_violations as f64 / ops as f64
+            },
+            avg_queue_delay: if ops == 0 {
+                SimDuration::ZERO
+            } else {
+                self.queue_delay_sum / ops
+            },
+            read_ratio: if ops == 0 {
+                0.0
+            } else {
+                self.read_ops as f64 / ops as f64
+            },
             gc_events: self.gc_events,
             gc_busy_frac: (self.gc_busy.as_secs_f64() / secs).min(1.0),
             total_bytes: self.bytes(),
@@ -171,7 +181,10 @@ mod tests {
     fn idle_window_is_all_zero() {
         let mut w = WindowStats::new();
         let s = w.finish(SimTime::ZERO, SimDuration::from_secs(2));
-        assert_eq!(s, WindowSummary::idle(SimTime::ZERO, SimDuration::from_secs(2)));
+        assert_eq!(
+            s,
+            WindowSummary::idle(SimTime::ZERO, SimDuration::from_secs(2))
+        );
     }
 
     #[test]

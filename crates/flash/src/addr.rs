@@ -7,10 +7,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A flash channel index on the device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChannelId(pub u16);
 
 impl fmt::Display for ChannelId {
@@ -20,7 +18,7 @@ impl fmt::Display for ChannelId {
 }
 
 /// A logical page address within one tenant's (vSSD's) address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Lpa(pub u64);
 
 impl fmt::Display for Lpa {
@@ -30,7 +28,7 @@ impl fmt::Display for Lpa {
 }
 
 /// The address of a physical flash block: `(channel, chip, block)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockAddr {
     /// Channel the block lives on.
     pub channel: ChannelId,
@@ -47,7 +45,7 @@ impl fmt::Display for BlockAddr {
 }
 
 /// A physical page address: a [`BlockAddr`] plus the page within the block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ppa {
     /// The block containing this page.
     pub block: BlockAddr,
@@ -58,7 +56,14 @@ pub struct Ppa {
 impl Ppa {
     /// Builds a physical page address.
     pub fn new(channel: ChannelId, chip: u16, block: u32, page: u32) -> Self {
-        Ppa { block: BlockAddr { channel, chip, block }, page }
+        Ppa {
+            block: BlockAddr {
+                channel,
+                chip,
+                block,
+            },
+            page,
+        }
     }
 
     /// The channel this page lives on.

@@ -5,12 +5,10 @@
 //! to reclaim space. [`BlockState`] tracks one block's lifecycle;
 //! [`ChipBlocks`] tracks every block on one chip plus its free list.
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::Lpa;
 
 /// Lifecycle state of a single flash block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockPhase {
     /// Erased and on the free list.
     Free,
@@ -21,7 +19,7 @@ pub enum BlockPhase {
 }
 
 /// State of one physical flash block.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BlockState {
     phase: BlockPhase,
     /// Next unwritten page (append point).
@@ -95,7 +93,11 @@ impl BlockState {
     ///
     /// Panics if the block is full or not open.
     pub fn append(&mut self, lpa: Lpa) -> u32 {
-        assert_eq!(self.phase, BlockPhase::Open, "appending to a non-open block");
+        assert_eq!(
+            self.phase,
+            BlockPhase::Open,
+            "appending to a non-open block"
+        );
         let page = self.next_page;
         self.valid[page as usize] = true;
         self.page_lpa[page as usize] = Some(lpa);
@@ -154,7 +156,7 @@ impl BlockState {
 }
 
 /// All blocks on one chip, with a free list.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ChipBlocks {
     blocks: Vec<BlockState>,
     free: Vec<u32>,
@@ -239,6 +241,56 @@ impl ChipBlocks {
         &mut self.blocks[block as usize]
     }
 
+    /// Audits the chip's structural invariants (the `audit` feature's
+    /// periodic sweep calls this):
+    ///
+    /// * the free list and the per-block phases agree — every free-list
+    ///   entry is in [`BlockPhase::Free`], no duplicates, and the cached
+    ///   count matches a full census;
+    /// * every block's `valid_count` matches its validity bitmap.
+    ///
+    /// All checks are `debug_assert!`s; in release builds this is a no-op.
+    #[cfg(feature = "audit")]
+    pub fn audit_invariants(&self) {
+        let mut on_free_list = vec![false; self.blocks.len()];
+        for &id in &self.free {
+            let i = id as usize;
+            debug_assert!(
+                i < self.blocks.len(),
+                "free list holds out-of-range block {id}"
+            );
+            debug_assert!(
+                !on_free_list[i],
+                "block {id} appears twice on the free list"
+            );
+            on_free_list[i] = true;
+            debug_assert!(
+                self.blocks[i].phase() == BlockPhase::Free,
+                "block {id} is on the free list but in phase {:?}",
+                self.blocks[i].phase()
+            );
+        }
+        let census = self
+            .blocks
+            .iter()
+            .filter(|b| b.phase() == BlockPhase::Free)
+            .count();
+        debug_assert!(
+            census == self.free.len(),
+            "free-block accounting drift: {} blocks in Free phase, free list holds {}",
+            census,
+            self.free.len()
+        );
+        for (id, b) in self.blocks.iter().enumerate() {
+            let bitmap = (0..b.written_count()).filter(|p| b.is_valid(*p)).count() as u32;
+            debug_assert!(
+                bitmap == b.valid_count(),
+                "block {id}: valid_count {} disagrees with bitmap census {bitmap}",
+                b.valid_count()
+            );
+        }
+    }
+
     /// The non-free block with the fewest live pages among `candidates`,
     /// preferring lower ids on ties. Returns `None` when no candidate is
     /// eligible (free blocks and fully-valid open blocks are skipped only
@@ -269,7 +321,7 @@ impl ChipBlocks {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use fleetio_des::rng::{Rng, SmallRng};
 
     #[test]
     fn block_lifecycle() {
@@ -384,13 +436,17 @@ mod tests {
         assert_eq!(c.greedy_victim(0..3, false), None);
     }
 
-    proptest! {
-        #[test]
-        fn prop_valid_count_matches_bitmap(ops in proptest::collection::vec(0u32..8, 1..64)) {
+    /// Property: the valid-count counter always matches the bitmap.
+    #[test]
+    fn prop_valid_count_matches_bitmap() {
+        let mut rng = SmallRng::seed_from_u64(0xb10c);
+        for _case in 0..256 {
+            let n_ops = rng.gen_range(1usize..64);
             let mut b = BlockState::new(64);
             b.open();
             let mut written = 0u32;
-            for op in ops {
+            for _ in 0..n_ops {
+                let op = rng.gen_range(0u32..8);
                 if op < 6 {
                     if b.free_pages() > 0 {
                         b.append(Lpa(u64::from(written)));
@@ -401,8 +457,8 @@ mod tests {
                 }
             }
             let bitmap_count = (0..b.written_count()).filter(|p| b.is_valid(*p)).count() as u32;
-            prop_assert_eq!(bitmap_count, b.valid_count());
-            prop_assert_eq!(b.valid_pages().count() as u32, b.valid_count());
+            assert_eq!(bitmap_count, b.valid_count());
+            assert_eq!(b.valid_pages().count() as u32, b.valid_count());
         }
     }
 }

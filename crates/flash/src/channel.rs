@@ -10,12 +10,11 @@
 //!   transfers to one chip overlap with programs on another.
 
 use fleetio_des::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::timing::FlashTiming;
 
 /// Start/end times of one simulated flash operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpTimes {
     /// When the operation began occupying its first resource.
     pub start: SimTime,
@@ -31,7 +30,7 @@ impl OpTimes {
 }
 
 /// Occupancy state of one flash channel.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ChannelSim {
     bus_free: SimTime,
     chip_free: Vec<SimTime>,
@@ -135,7 +134,10 @@ impl ChannelSim {
         self.bus_free = end;
         self.bus_busy += xfer;
         self.bytes_moved += bytes;
-        OpTimes { start: cell_start, end }
+        OpTimes {
+            start: cell_start,
+            end,
+        }
     }
 
     /// Like [`ChannelSim::read_page`], but preempts a suspendable chip
@@ -197,7 +199,10 @@ impl ChannelSim {
         self.chip_suspendable[c] = false;
         self.bus_busy += xfer;
         self.bytes_moved += bytes;
-        OpTimes { start: bus_start, end }
+        OpTimes {
+            start: bus_start,
+            end,
+        }
     }
 
     /// Simulates erasing a block on `chip`. Only the chip is occupied.
@@ -293,7 +298,10 @@ mod tests {
         let serial = (t().transfer(16 * 1024) * 2 + t().program_latency * 2).as_micros();
         let actual = b.end.saturating_since(SimTime::ZERO).as_micros();
         assert!(actual < serial, "no pipelining: {actual} >= {serial}");
-        assert_eq!(a.end.as_micros(), (t().transfer(16 * 1024) + t().program_latency).as_micros());
+        assert_eq!(
+            a.end.as_micros(),
+            (t().transfer(16 * 1024) + t().program_latency).as_micros()
+        );
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Device geometry and configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::timing::FlashTiming;
 
 /// Full configuration of a simulated flash device.
@@ -9,7 +7,7 @@ use crate::timing::FlashTiming;
 /// The defaults mirror Table 3 of the paper: 1 TB capacity, 16 channels,
 /// 4 chips per channel, 16 KB pages, a maximum queue depth of 16 and a 20 %
 /// over-provisioning ratio, with 4 MB flash blocks (§3.7).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlashConfig {
     /// Number of independent flash channels.
     pub channels: u16,
@@ -54,7 +52,10 @@ impl FlashConfig {
     /// bandwidth/latency behaviour the paper's figures measure; experiments
     /// warm the device to the same free-block ratios as the paper.
     pub fn experiment_default() -> Self {
-        FlashConfig { blocks_per_chip: 256, ..Self::paper_default() }
+        FlashConfig {
+            blocks_per_chip: 256,
+            ..Self::paper_default()
+        }
     }
 
     /// A small-but-roomy device for RL/driver tests: the `small_test`
@@ -62,7 +63,10 @@ impl FlashConfig {
     /// tenant's in-flight writes (concurrency × request size) plus its
     /// working set.
     pub fn training_test() -> Self {
-        FlashConfig { blocks_per_chip: 96, ..Self::small_test() }
+        FlashConfig {
+            blocks_per_chip: 96,
+            ..Self::small_test()
+        }
     }
 
     /// A tiny device for unit tests: 4 channels × 2 chips, 16 blocks of

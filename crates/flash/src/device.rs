@@ -8,7 +8,6 @@
 //! in `fleetio-vssd`.
 
 use fleetio_des::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::addr::{BlockAddr, ChannelId, Lpa};
 use crate::block::ChipBlocks;
@@ -17,7 +16,7 @@ use crate::config::FlashConfig;
 use crate::stats::DeviceStats;
 
 /// A simulated open-channel flash device.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlashDevice {
     config: FlashConfig,
     channels: Vec<ChannelSim>,
@@ -36,12 +35,18 @@ impl FlashDevice {
         if let Err(e) = config.validate() {
             panic!("invalid flash config: {e}");
         }
-        let channels =
-            (0..config.channels).map(|_| ChannelSim::new(config.chips_per_channel)).collect();
+        let channels = (0..config.channels)
+            .map(|_| ChannelSim::new(config.chips_per_channel))
+            .collect();
         let chips = (0..config.total_chips())
             .map(|_| ChipBlocks::new(config.blocks_per_chip, config.pages_per_block))
             .collect();
-        FlashDevice { config, channels, chips, stats: DeviceStats::default() }
+        FlashDevice {
+            config,
+            channels,
+            chips,
+            stats: DeviceStats::default(),
+        }
     }
 
     /// The device configuration.
@@ -215,7 +220,10 @@ impl FlashDevice {
         self.stats.flash_write_bytes += bytes;
         self.stats.gc_migrated_bytes += bytes;
         self.channels[usize::from(src.0 .0)].note_gc_bytes(bytes);
-        OpTimes { start: read.start, end: write.end }
+        OpTimes {
+            start: read.start,
+            end: write.end,
+        }
     }
 
     /// Books one bus grant of a time-sliced transfer (stats attributed per
@@ -267,12 +275,7 @@ impl FlashDevice {
     /// # Panics
     ///
     /// Panics if the address is out of range.
-    pub fn chip_program_occupy(
-        &mut self,
-        now: SimTime,
-        channel: ChannelId,
-        chip: u16,
-    ) -> OpTimes {
+    pub fn chip_program_occupy(&mut self, now: SimTime, channel: ChannelId, chip: u16) -> OpTimes {
         let dur = self.config.timing.program_latency;
         // Low-priority programs issued grant-by-grant are suspendable.
         self.channels[usize::from(channel.0)].chip_occupy(now, chip, dur, true)
@@ -306,7 +309,11 @@ impl FlashDevice {
         // Keep one block per chip in reserve for GC migrations.
         self.chips[i]
             .allocate_with_reserve(1)
-            .map(|block| BlockAddr { channel, chip, block })
+            .map(|block| BlockAddr {
+                channel,
+                chip,
+                block,
+            })
     }
 
     /// Allocates a block for GC use, dipping into the per-chip reserve.
@@ -318,7 +325,11 @@ impl FlashDevice {
     /// Panics if the address is out of range.
     pub fn allocate_block_gc(&mut self, channel: ChannelId, chip: u16) -> Option<BlockAddr> {
         let i = self.chip_index(channel, chip);
-        self.chips[i].allocate().map(|block| BlockAddr { channel, chip, block })
+        self.chips[i].allocate().map(|block| BlockAddr {
+            channel,
+            chip,
+            block,
+        })
     }
 
     /// Erases `block` (bookkeeping only — call [`FlashDevice::erase`] for
@@ -370,11 +381,19 @@ impl FlashDevice {
     pub fn free_blocks(&self, channels: &[ChannelId]) -> usize {
         channels
             .iter()
-            .flat_map(|&ch| {
-                (0..self.config.chips_per_channel).map(move |chip| (ch, chip))
-            })
+            .flat_map(|&ch| (0..self.config.chips_per_channel).map(move |chip| (ch, chip)))
             .map(|(ch, chip)| self.chip(ch, chip).free_count())
             .sum()
+    }
+
+    /// Audits every chip's block accounting (free list vs phases, valid
+    /// counts vs bitmaps). Called from the `audit` feature's periodic
+    /// structural sweep; all checks are `debug_assert!`s.
+    #[cfg(feature = "audit")]
+    pub fn audit_invariants(&self) {
+        for chip in &self.chips {
+            chip.audit_invariants();
+        }
     }
 
     /// Total bytes moved over all channel buses so far.

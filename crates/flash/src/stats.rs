@@ -1,13 +1,11 @@
 //! Device-level accounting: utilization and write amplification.
 
-use serde::{Deserialize, Serialize};
-
 /// Cumulative device counters.
 ///
 /// `host_*` counts bytes the host asked to move; `flash_write_bytes` counts
 /// bytes physically programmed (host writes plus GC migrations), so the
 /// write-amplification factor is `flash_write_bytes / host_write_bytes`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceStats {
     /// Bytes read on behalf of the host.
     pub host_read_bytes: u64,
@@ -51,7 +49,11 @@ mod tests {
 
     #[test]
     fn host_bytes_sums_directions() {
-        let s = DeviceStats { host_read_bytes: 3, host_write_bytes: 4, ..Default::default() };
+        let s = DeviceStats {
+            host_read_bytes: 3,
+            host_write_bytes: 4,
+            ..Default::default()
+        };
         assert_eq!(s.host_bytes(), 7);
     }
 }

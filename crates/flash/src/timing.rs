@@ -1,14 +1,13 @@
 //! NAND and channel-bus timing model.
 
 use fleetio_des::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Service-time parameters of the simulated NAND and channel bus.
 ///
 /// The defaults are typical MLC/TLC NAND figures and give each channel a
 /// ~64 MB/s bus — the per-channel bandwidth the paper uses when translating
 /// harvest bandwidth into ghost-superblock channel counts (§3.6).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlashTiming {
     /// Cell array read latency (tR) per page.
     pub read_latency: SimDuration,
@@ -36,8 +35,14 @@ impl FlashTiming {
         bus_bytes_per_sec: f64,
     ) -> Self {
         assert!(bus_bytes_per_sec > 0.0, "bus bandwidth must be positive");
-        let bus_ns_per_kib = (1024.0 * 1e9 / bus_bytes_per_sec).round() as u64;
-        FlashTiming { read_latency, program_latency, erase_latency, bus_ns_per_kib }
+        let bus_ns_per_kib =
+            SimDuration::from_secs_f64_rounded(1024.0 / bus_bytes_per_sec).as_nanos();
+        FlashTiming {
+            read_latency,
+            program_latency,
+            erase_latency,
+            bus_ns_per_kib,
+        }
     }
 
     /// Bus transfer duration for `bytes` of data.
@@ -47,7 +52,7 @@ impl FlashTiming {
 
     /// The bus bandwidth implied by the transfer cost, bytes/second.
     pub fn bus_bytes_per_sec(&self) -> f64 {
-        1024.0 * 1e9 / self.bus_ns_per_kib as f64
+        1024.0 / SimDuration::from_nanos(self.bus_ns_per_kib).as_secs_f64()
     }
 }
 

@@ -2,10 +2,10 @@
 //! single-server resources, so their "next free" clocks must be monotone
 //! and ops must never overlap on the same resource.
 
+use fleetio_des::rng::{Rng, SmallRng};
 use fleetio_des::{SimDuration, SimTime};
 use fleetio_flash::channel::ChannelSim;
 use fleetio_flash::FlashTiming;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -16,61 +16,64 @@ enum Op {
     HighRead { chip: u16, bytes: u64 },
 }
 
-fn op_strategy(chips: u16) -> impl Strategy<Value = Op> {
-    (0u8..5, 0..chips, 512u64..16384).prop_map(|(kind, chip, bytes)| match kind {
+fn random_op(rng: &mut SmallRng, chips: u16) -> Op {
+    let kind = rng.gen_range(0u32..5);
+    let chip = rng.gen_range(0u16..chips);
+    let bytes = rng.gen_range(512u64..16384);
+    match kind {
         0 => Op::Read { chip, bytes },
         1 => Op::Write { chip, bytes },
         2 => Op::Erase { chip },
         3 => Op::Grant { bytes },
         _ => Op::HighRead { chip, bytes },
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every operation ends after it starts, starts no earlier than
-    /// requested, and the bus-busy accumulator never exceeds elapsed time.
-    #[test]
-    fn ops_are_well_ordered(
-        ops in proptest::collection::vec(op_strategy(4), 1..120),
-        gaps in proptest::collection::vec(0u64..500, 1..120),
-    ) {
+/// Every operation ends after it starts, starts no earlier than
+/// requested, and the bus-busy accumulator never exceeds elapsed time.
+#[test]
+fn ops_are_well_ordered() {
+    let mut rng = SmallRng::seed_from_u64(0x0b5);
+    for _case in 0..64 {
+        let n = rng.gen_range(1usize..120);
+        let ops: Vec<Op> = (0..n).map(|_| random_op(&mut rng, 4)).collect();
+        let gaps: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..500)).collect();
         let timing = FlashTiming::default();
         let mut ch = ChannelSim::new(4);
         let mut now = SimTime::ZERO;
         let mut last_end = SimTime::ZERO;
-        for (op, gap) in ops.iter().zip(gaps.iter().cycle()) {
-            now = now + SimDuration::from_micros(*gap);
+        for (op, gap) in ops.iter().zip(gaps.iter()) {
+            now += SimDuration::from_micros(*gap);
             let times = match *op {
                 Op::Read { chip, bytes } => ch.read_page(now, chip, bytes, &timing),
                 Op::Write { chip, bytes } => ch.write_page(now, chip, bytes, &timing),
                 Op::Erase { chip } => ch.erase_block(now, chip, &timing),
                 Op::Grant { bytes } => ch.bus_grant(now, bytes, &timing),
-                Op::HighRead { chip, bytes } => {
-                    ch.read_page_preempting(now, chip, bytes, &timing)
-                }
+                Op::HighRead { chip, bytes } => ch.read_page_preempting(now, chip, bytes, &timing),
             };
-            prop_assert!(times.end > times.start, "zero-length op");
-            prop_assert!(times.start >= now, "op started before request");
+            assert!(times.end > times.start, "zero-length op");
+            assert!(times.start >= now, "op started before request");
             last_end = last_end.max(times.end);
         }
         // Bus can never have been busy longer than the span it had.
-        prop_assert!(
+        assert!(
             ch.bus_busy() <= last_end.saturating_since(SimTime::ZERO),
             "bus busy {} exceeds horizon {}",
             ch.bus_busy(),
             last_end
         );
     }
+}
 
-    /// The bus serializes: consecutive transfer-bearing ops never share
-    /// bus time (each next transfer starts at or after the previous
-    /// booking's end).
-    #[test]
-    fn bus_free_clock_is_monotone(
-        sizes in proptest::collection::vec(512u64..32768, 2..80),
-    ) {
+/// The bus serializes: consecutive transfer-bearing ops never share
+/// bus time (each next transfer starts at or after the previous
+/// booking's end).
+#[test]
+fn bus_free_clock_is_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0xb05);
+    for _case in 0..64 {
+        let n = rng.gen_range(2usize..80);
+        let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(512u64..32768)).collect();
         let timing = FlashTiming::default();
         let mut ch = ChannelSim::new(2);
         let mut prev_free = SimTime::ZERO;
@@ -78,15 +81,19 @@ proptest! {
             let chip = (i % 2) as u16;
             let _ = ch.read_page(SimTime::ZERO, chip, *bytes, &timing);
             let free = ch.bus_free_at();
-            prop_assert!(free >= prev_free, "bus_free went backwards");
+            assert!(free >= prev_free, "bus_free went backwards");
             prev_free = free;
         }
     }
+}
 
-    /// Preempting reads really do beat plain reads when the chip is busy
-    /// with a suspendable background operation.
-    #[test]
-    fn preempting_read_never_slower(bytes in 512u64..16384) {
+/// Preempting reads really do beat plain reads when the chip is busy
+/// with a suspendable background operation.
+#[test]
+fn preempting_read_never_slower() {
+    let mut rng = SmallRng::seed_from_u64(0x93e);
+    for _case in 0..64 {
+        let bytes = rng.gen_range(512u64..16384);
         let timing = FlashTiming::default();
         // Plain read behind an erase.
         let mut a = ChannelSim::new(1);
@@ -96,9 +103,9 @@ proptest! {
         let mut b = ChannelSim::new(1);
         let erase = b.erase_block(SimTime::ZERO, 0, &timing);
         let preempting = b.read_page_preempting(SimTime::ZERO, 0, bytes, &timing);
-        prop_assert!(preempting.end <= plain.end);
+        assert!(preempting.end <= plain.end);
         // Suspension pushes the suspended erase's completion past its
         // original end (the chip clock slips by the cell-read time).
-        prop_assert!(b.chip_free_at(0) > erase.end);
+        assert!(b.chip_free_at(0) > erase.end);
     }
 }

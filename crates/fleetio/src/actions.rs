@@ -8,10 +8,9 @@
 use fleetio_vssd::admission::HarvestAction;
 use fleetio_vssd::request::Priority;
 use fleetio_vssd::vssd::VssdId;
-use serde::{Deserialize, Serialize};
 
 /// One agent's decision for a window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AgentAction {
     /// `Harvest(gsb_bw)` target, in channels of bandwidth.
     pub harvest_channels: usize,
@@ -29,14 +28,22 @@ impl AgentAction {
     /// Panics unless exactly three heads are given and the priority index
     /// is below 3.
     pub fn from_heads(heads: &[usize]) -> Self {
-        assert_eq!(heads.len(), 3, "expected [harvest, make_harvestable, priority]");
+        assert_eq!(
+            heads.len(),
+            3,
+            "expected [harvest, make_harvestable, priority]"
+        );
         let priority = match heads[2] {
             0 => Priority::Low,
             1 => Priority::Medium,
             2 => Priority::High,
             other => panic!("priority head out of range: {other}"),
         };
-        AgentAction { harvest_channels: heads[0], harvestable_channels: heads[1], priority }
+        AgentAction {
+            harvest_channels: heads[0],
+            harvestable_channels: heads[1],
+            priority,
+        }
     }
 
     /// Encodes back into head indices (inverse of
@@ -100,7 +107,10 @@ mod tests {
     #[test]
     fn priority_decoding() {
         assert_eq!(AgentAction::from_heads(&[0, 0, 0]).priority, Priority::Low);
-        assert_eq!(AgentAction::from_heads(&[0, 0, 1]).priority, Priority::Medium);
+        assert_eq!(
+            AgentAction::from_heads(&[0, 0, 1]).priority,
+            Priority::Medium
+        );
         assert_eq!(AgentAction::from_heads(&[0, 0, 2]).priority, Priority::High);
     }
 
@@ -113,7 +123,10 @@ mod tests {
         };
         let ch_bw = 64.0 * 1024.0 * 1024.0;
         match a.harvest_action(VssdId(7), ch_bw) {
-            HarvestAction::Harvest { vssd, bytes_per_sec } => {
+            HarvestAction::Harvest {
+                vssd,
+                bytes_per_sec,
+            } => {
                 assert_eq!(vssd, VssdId(7));
                 assert_eq!(bytes_per_sec, 2.0 * ch_bw);
             }

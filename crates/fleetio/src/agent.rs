@@ -7,11 +7,9 @@
 //! Ray stand-in), and [`FleetIoAgent`] wraps the frozen model for
 //! per-window greedy inference.
 
+use fleetio_des::rng::SmallRng;
 use fleetio_rl::parallel::collect_parallel_envs;
 use fleetio_rl::{MultiAgentEnv, ObsNormalizer, PpoConfig, PpoPolicy, PpoTrainer};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::actions::AgentAction;
 use crate::config::FleetIoConfig;
@@ -21,7 +19,7 @@ use crate::states::{StateHistory, StateVector};
 
 /// A pre-trained FleetIO model: policy weights plus frozen observation
 /// statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PretrainedModel {
     /// The PPO actor-critic.
     pub policy: PpoPolicy,
@@ -49,7 +47,7 @@ pub fn ppo_config(cfg: &FleetIoConfig) -> PpoConfig {
 }
 
 /// Options for [`pretrain`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PretrainOptions {
     /// Training iterations (the paper uses 2 000; scaled-down runs use
     /// far fewer).
@@ -74,7 +72,6 @@ pub struct PretrainOptions {
     /// Exploration rate during behaviour-cloning collection.
     pub bc_epsilon: f64,
     /// Called after every update with `(iteration, mean_reward)`.
-    #[serde(skip)]
     pub progress: Option<fn(usize, f64)>,
 }
 
@@ -108,7 +105,12 @@ pub fn pretrain(
 ) -> PretrainedModel {
     assert!(!scenarios.is_empty(), "need at least one scenario");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let policy = PpoPolicy::new(cfg.obs_dim(), &cfg.action_dims(), &cfg.hidden_layers, &mut rng);
+    let policy = PpoPolicy::new(
+        cfg.obs_dim(),
+        &cfg.action_dims(),
+        &cfg.hidden_layers,
+        &mut rng,
+    );
     let mut ppo_cfg = ppo_config(cfg);
     if let Some(lr) = opts.lr_override {
         ppo_cfg.lr = lr;
@@ -137,7 +139,7 @@ pub fn pretrain(
     // (DAgger-style: ε-greedy execution, reference labels at the visited
     // states), then fit the actor by cross-entropy.
     if opts.bc_rounds > 0 {
-        use rand::Rng;
+        use fleetio_des::rng::Rng;
         let ch_bw = cfg.engine.flash.channel_peak_bytes_per_sec();
         let mut bc_rng = SmallRng::seed_from_u64(seed ^ 0xBC0);
         let mut raw_pairs: Vec<(Vec<f32>, Vec<usize>)> = Vec::new();
@@ -189,7 +191,9 @@ pub fn pretrain(
             .iter()
             .map(|(o, l)| (trainer.normalizer.normalize(o), l.clone()))
             .collect();
-        trainer.policy.imitate(&samples, 40, cfg.batch_size, 3e-3, seed ^ 0xBC1);
+        trainer
+            .policy
+            .imitate(&samples, 40, cfg.batch_size, 3e-3, seed ^ 0xBC1);
     }
 
     // Serial warm-up: feed the running normalizer real observations.
@@ -230,7 +234,10 @@ pub fn pretrain(
         }
     }
     trainer.normalizer.freeze();
-    PretrainedModel { policy: trainer.policy, normalizer: trainer.normalizer }
+    PretrainedModel {
+        policy: trainer.policy,
+        normalizer: trainer.normalizer,
+    }
 }
 
 /// Parameters conditioning the scripted reference policy on the paper's
@@ -263,9 +270,16 @@ pub struct ReferenceParams {
 /// fine-tuning (§3.4) shows up in behaviour.
 pub fn reference_action(state: &StateVector, params: &ReferenceParams) -> AgentAction {
     use fleetio_vssd::request::Priority;
-    let usage =
-        if params.bw_guarantee > 0.0 { state.avg_bw / params.bw_guarantee } else { 0.0 };
-    let avg_io = if state.avg_iops > 1.0 { state.avg_bw / state.avg_iops } else { 0.0 };
+    let usage = if params.bw_guarantee > 0.0 {
+        state.avg_bw / params.bw_guarantee
+    } else {
+        0.0
+    };
+    let avg_io = if state.avg_iops > 1.0 {
+        state.avg_bw / state.avg_iops
+    } else {
+        0.0
+    };
     let latency_sensitive = state.avg_iops > 100.0 && avg_io < 128.0 * 1024.0;
 
     let priority = if latency_sensitive || state.slo_vio > params.slo_vio_guarantee {
@@ -279,12 +293,19 @@ pub fn reference_action(state: &StateVector, params: &ReferenceParams) -> AgentA
     // or queueing heavily (shared-channel tenants can starve well below
     // their nominal guarantee, §2.2).
     let starved = usage > 0.35 || state.qdelay_us > 2_000.0;
-    let harvest_channels =
-        if starved && !latency_sensitive { params.max_channels } else { 0 };
+    let harvest_channels = if starved && !latency_sensitive {
+        params.max_channels
+    } else {
+        0
+    };
 
     if !params.altruistic {
         // β = 1: nothing in the reward pays for offering resources.
-        return AgentAction { harvest_channels, harvestable_channels: 0, priority };
+        return AgentAction {
+            harvest_channels,
+            harvestable_channels: 0,
+            priority,
+        };
     }
     let mut harvestable_channels = if usage < 0.1 {
         params.max_channels
@@ -311,7 +332,11 @@ pub fn reference_action(state: &StateVector, params: &ReferenceParams) -> AgentA
     } else if state.slo_vio > params.slo_vio_guarantee * strictness {
         harvestable_channels /= 2;
     }
-    AgentAction { harvest_channels, harvestable_channels, priority }
+    AgentAction {
+        harvest_channels,
+        harvestable_channels,
+        priority,
+    }
 }
 
 /// A deployed per-vSSD agent: frozen model + per-agent state history.
@@ -406,7 +431,10 @@ mod tests {
     #[test]
     fn pretrain_parallel_mode_works() {
         let cfg = tiny_cfg();
-        let opts = PretrainOptions { parallel: true, ..quick_opts() };
+        let opts = PretrainOptions {
+            parallel: true,
+            ..quick_opts()
+        };
         let model = pretrain(&cfg, &[scenario(), scenario()], 0.0, opts, 12);
         assert!(model.normalizer.is_frozen());
     }

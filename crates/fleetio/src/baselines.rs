@@ -12,15 +12,13 @@
 //! * **FleetIO** — one RL agent per vSSD taking Table 2 actions through
 //!   admission control every window.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
+use fleetio_des::rng::SmallRng;
 use fleetio_des::window::WindowSummary;
 use fleetio_ml::{Activation, Adam, Mlp, StandardScaler};
 use fleetio_vssd::vssd::VssdId;
 use fleetio_workloads::WindowFeatures;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::agent::{FleetIoAgent, PretrainedModel};
 use crate::config::FleetIoConfig;
@@ -45,12 +43,16 @@ pub struct StaticPolicy {
 impl StaticPolicy {
     /// Hardware Isolation (each vSSD on its own channels).
     pub fn hardware() -> Self {
-        StaticPolicy { name: "hardware-isolation" }
+        StaticPolicy {
+            name: "hardware-isolation",
+        }
     }
 
     /// Software Isolation (all vSSDs share all channels).
     pub fn software() -> Self {
-        StaticPolicy { name: "software-isolation" }
+        StaticPolicy {
+            name: "software-isolation",
+        }
     }
 
     /// SSDKeeper at runtime (its DNN decided the static partition up
@@ -61,7 +63,9 @@ impl StaticPolicy {
 
     /// Mixed Isolation (Figure 16's strongest-isolation baseline).
     pub fn mixed() -> Self {
-        StaticPolicy { name: "mixed-isolation" }
+        StaticPolicy {
+            name: "mixed-isolation",
+        }
     }
 }
 
@@ -86,7 +90,7 @@ pub struct AdaptivePolicy {
     smoothing: f64,
     /// Minimum share per vSSD (one channel's worth), fraction.
     min_share: f64,
-    shares: HashMap<VssdId, f64>,
+    shares: BTreeMap<VssdId, f64>,
 }
 
 impl AdaptivePolicy {
@@ -106,7 +110,7 @@ impl AdaptivePolicy {
             // reallocation shrinks quiet tenants hard, which is what makes
             // the Adaptive baseline's tail the worst of the five policies.
             min_share: 1.8 / n_channels as f64,
-            shares: HashMap::new(),
+            shares: BTreeMap::new(),
         }
     }
 }
@@ -128,9 +132,12 @@ impl WindowPolicy for AdaptivePolicy {
         // tail latency in the paper's Figure 10.
         for (id, w) in summaries {
             let observed = w.avg_bandwidth / total;
-            let prev = self.shares.get(id).copied().unwrap_or(1.0 / summaries.len() as f64);
-            let s = (self.smoothing * observed + (1.0 - self.smoothing) * prev)
-                .max(self.min_share);
+            let prev = self
+                .shares
+                .get(id)
+                .copied()
+                .unwrap_or(1.0 / summaries.len() as f64);
+            let s = (self.smoothing * observed + (1.0 - self.smoothing) * prev).max(self.min_share);
             self.shares.insert(*id, s);
             let engine = coloc.engine_mut();
             engine.set_tickets(*id, ((s * 1000.0) as u32).max(10));
@@ -142,7 +149,7 @@ impl WindowPolicy for AdaptivePolicy {
 /// The SSDKeeper planner: a small DNN mapping workload features to the
 /// demanded number of flash channels (trained from offline profiles), used
 /// to choose a static hardware partition.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SsdKeeperPlanner {
     net: Mlp,
     scaler: StandardScaler,
@@ -169,8 +176,10 @@ impl SsdKeeperPlanner {
             .into_iter()
             .map(|v| v.into_iter().map(|x| x as f32).collect())
             .collect();
-        let targets: Vec<f32> =
-            profiles.iter().map(|(_, d)| *d as f32 / max_channels as f32).collect();
+        let targets: Vec<f32> = profiles
+            .iter()
+            .map(|(_, d)| *d as f32 / max_channels as f32)
+            .collect();
         for _ in 0..1500 {
             let mut grads = net.zero_grads();
             for (x, y) in inputs.iter().zip(&targets) {
@@ -181,7 +190,11 @@ impl SsdKeeperPlanner {
             grads.scale(1.0 / inputs.len() as f32);
             opt.step(&mut net, &grads);
         }
-        SsdKeeperPlanner { net, scaler, max_channels }
+        SsdKeeperPlanner {
+            net,
+            scaler,
+            max_channels,
+        }
     }
 
     /// Predicted channel demand for a workload with these features.
@@ -201,8 +214,10 @@ impl SsdKeeperPlanner {
     /// to fill the device exactly (every channel is always allocated).
     pub fn plan(&self, tenants: &[WindowFeatures], total_channels: usize) -> Vec<usize> {
         assert!(!tenants.is_empty(), "no tenants to plan for");
-        let demands: Vec<f64> =
-            tenants.iter().map(|f| self.predict_demand(*f) as f64).collect();
+        let demands: Vec<f64> = tenants
+            .iter()
+            .map(|f| self.predict_demand(*f) as f64)
+            .collect();
         proportional_split(&demands, total_channels)
     }
 }
@@ -214,11 +229,16 @@ pub fn proportional_split(weights: &[f64], total: usize) -> Vec<usize> {
     assert!(total >= weights.len(), "need at least one unit per weight");
     let sum: f64 = weights.iter().map(|w| w.max(1e-9)).sum();
     let spendable = total - weights.len();
-    let ideal: Vec<f64> =
-        weights.iter().map(|w| w.max(1e-9) / sum * spendable as f64).collect();
+    let ideal: Vec<f64> = weights
+        .iter()
+        .map(|w| w.max(1e-9) / sum * spendable as f64)
+        .collect();
     let mut alloc: Vec<usize> = ideal.iter().map(|x| 1 + x.floor() as usize).collect();
-    let mut rest: Vec<(usize, f64)> =
-        ideal.iter().enumerate().map(|(i, x)| (i, x - x.floor())).collect();
+    let mut rest: Vec<(usize, f64)> = ideal
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i, x - x.floor()))
+        .collect();
     rest.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders"));
     let mut remaining = total - alloc.iter().sum::<usize>();
     for (i, _) in rest {
@@ -245,10 +265,7 @@ pub struct HeuristicPolicy {
 impl HeuristicPolicy {
     /// Builds the policy for tenants with the given per-tenant channel
     /// counts and workload kinds (α from the paper's per-type values).
-    pub fn new(
-        cfg: FleetIoConfig,
-        tenants: &[(usize, fleetio_workloads::WorkloadKind)],
-    ) -> Self {
+    pub fn new(cfg: FleetIoConfig, tenants: &[(usize, fleetio_workloads::WorkloadKind)]) -> Self {
         let ch_bw = cfg.engine.flash.channel_peak_bytes_per_sec();
         let params = tenants
             .iter()
@@ -270,7 +287,11 @@ impl WindowPolicy for HeuristicPolicy {
     }
 
     fn on_window(&mut self, coloc: &mut Colocation, summaries: &[(VssdId, WindowSummary)]) {
-        assert_eq!(summaries.len(), self.params.len(), "one param set per tenant");
+        assert_eq!(
+            summaries.len(),
+            self.params.len(),
+            "one param set per tenant"
+        );
         let states = extract_states(coloc.engine(), summaries);
         let ch_bw = coloc.engine().channel_peak_bytes_per_sec();
         for ((p, (id, _)), state) in self.params.iter().zip(summaries).zip(states) {
@@ -295,8 +316,9 @@ pub struct FleetIoPolicy {
 impl FleetIoPolicy {
     /// Deploys one agent per tenant from the shared pre-trained model.
     pub fn new(cfg: FleetIoConfig, model: &PretrainedModel, n_tenants: usize) -> Self {
-        let agents =
-            (0..n_tenants).map(|_| FleetIoAgent::new(model, cfg.history_windows)).collect();
+        let agents = (0..n_tenants)
+            .map(|_| FleetIoAgent::new(model, cfg.history_windows))
+            .collect();
         FleetIoPolicy { cfg, agents }
     }
 
@@ -333,7 +355,12 @@ mod tests {
     use super::*;
 
     fn feat(bw: f64, size: f64) -> WindowFeatures {
-        WindowFeatures { read_bw: bw, write_bw: bw / 4.0, lpa_entropy: 6.0, avg_io_size: size }
+        WindowFeatures {
+            read_bw: bw,
+            write_bw: bw / 4.0,
+            lpa_entropy: 6.0,
+            avg_io_size: size,
+        }
     }
 
     #[test]
@@ -348,9 +375,8 @@ mod tests {
     #[test]
     fn ssdkeeper_learns_monotone_demand() {
         // Profiles: demand grows with bandwidth.
-        let profiles: Vec<(WindowFeatures, usize)> = (1..=8)
-            .map(|d| (feat(d as f64 * 5e7, 1e6), d))
-            .collect();
+        let profiles: Vec<(WindowFeatures, usize)> =
+            (1..=8).map(|d| (feat(d as f64 * 5e7, 1e6), d)).collect();
         let planner = SsdKeeperPlanner::train(&profiles, 8, 3);
         let low = planner.predict_demand(feat(5e7, 1e6));
         let high = planner.predict_demand(feat(4e8, 1e6));

@@ -2,10 +2,9 @@
 
 use fleetio_des::SimDuration;
 use fleetio_vssd::engine::EngineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Top-level FleetIO configuration with the paper's defaults.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetIoConfig {
     /// The underlying engine (flash + virtualization) configuration.
     pub engine: EngineConfig,
@@ -73,7 +72,11 @@ impl FleetIoConfig {
     /// Discrete action-head sizes: harvest level, make-harvestable level
     /// (each `0..=max_action_channels` channels), and 3 priority levels.
     pub fn action_dims(&self) -> Vec<usize> {
-        vec![self.max_action_channels + 1, self.max_action_channels + 1, 3]
+        vec![
+            self.max_action_channels + 1,
+            self.max_action_channels + 1,
+            3,
+        ]
     }
 
     /// Validates ranges.
@@ -150,8 +153,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut c = FleetIoConfig::default();
-        c.beta = 2.0;
+        let mut c = FleetIoConfig {
+            beta: 2.0,
+            ..FleetIoConfig::default()
+        };
         assert!(c.validate().is_err());
         c = FleetIoConfig::default();
         c.history_windows = 0;

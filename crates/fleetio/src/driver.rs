@@ -36,7 +36,10 @@ impl TenantSpec {
 #[derive(Debug)]
 enum Source {
     Open(SyntheticWorkload),
-    Closed { gen: ClosedLoopWorkload, outstanding: u32 },
+    Closed {
+        gen: ClosedLoopWorkload,
+        outstanding: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -81,7 +84,12 @@ impl Colocation {
                 } else {
                     Source::Open(SyntheticWorkload::new(spec_w, capacity, spec.seed))
                 };
-                Tenant { id, kind: spec.kind, source, trace: Vec::new() }
+                Tenant {
+                    id,
+                    kind: spec.kind,
+                    source,
+                    trace: Vec::new(),
+                }
             })
             .collect();
         Colocation {
@@ -143,7 +151,10 @@ impl Colocation {
         };
         tenant.kind = kind;
         tenant.source = if spec.is_closed_loop() {
-            Source::Closed { gen: ClosedLoopWorkload::new(spec, capacity, seed), outstanding }
+            Source::Closed {
+                gen: ClosedLoopWorkload::new(spec, capacity, seed),
+                outstanding,
+            }
         } else {
             let mut gen = SyntheticWorkload::new(spec, capacity, seed);
             // Fast-forward the open-loop clock to now.
@@ -159,12 +170,7 @@ impl Colocation {
     /// # Panics
     ///
     /// Panics if `id` is not a tenant or the spec is invalid.
-    pub fn override_spec(
-        &mut self,
-        id: VssdId,
-        spec: fleetio_workloads::WorkloadSpec,
-        seed: u64,
-    ) {
+    pub fn override_spec(&mut self, id: VssdId, spec: fleetio_workloads::WorkloadSpec, seed: u64) {
         let capacity = self.engine.logical_capacity_bytes(id);
         let tenant = self
             .tenants
@@ -172,7 +178,10 @@ impl Colocation {
             .find(|t| t.id == id)
             .unwrap_or_else(|| panic!("unknown tenant {id}"));
         tenant.source = if spec.is_closed_loop() {
-            Source::Closed { gen: ClosedLoopWorkload::new(spec, capacity, seed), outstanding: 0 }
+            Source::Closed {
+                gen: ClosedLoopWorkload::new(spec, capacity, seed),
+                outstanding: 0,
+            }
         } else {
             Source::Open(SyntheticWorkload::new(spec, capacity, seed))
         };
@@ -290,7 +299,10 @@ mod tests {
     use fleetio_flash::config::FlashConfig;
 
     fn small_cfg() -> EngineConfig {
-        EngineConfig { flash: FlashConfig::training_test(), ..Default::default() }
+        EngineConfig {
+            flash: FlashConfig::training_test(),
+            ..Default::default()
+        }
     }
 
     fn chans(range: std::ops::Range<u16>) -> Vec<ChannelId> {
@@ -355,7 +367,11 @@ mod tests {
     #[test]
     fn two_tenants_are_isolated_on_hardware() {
         let tenants = vec![
-            TenantSpec::new(VssdConfig::hardware(VssdId(0), chans(0..2)), WorkloadKind::Ycsb, 4),
+            TenantSpec::new(
+                VssdConfig::hardware(VssdId(0), chans(0..2)),
+                WorkloadKind::Ycsb,
+                4,
+            ),
             TenantSpec::new(
                 VssdConfig::hardware(VssdId(1), chans(2..4)),
                 WorkloadKind::TeraSort,

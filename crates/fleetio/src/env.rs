@@ -56,8 +56,18 @@ impl FleetIoEnv {
         }
         assert_eq!(tenants.len(), rewards.len(), "one RewardParams per tenant");
         assert!(horizon_windows > 0, "horizon must be positive");
-        let coloc = Self::build(&cfg.engine, &tenants, cfg.decision_interval, warm_fraction, seed, 0);
-        let histories = tenants.iter().map(|_| StateHistory::new(cfg.history_windows)).collect();
+        let coloc = Self::build(
+            &cfg.engine,
+            &tenants,
+            cfg.decision_interval,
+            warm_fraction,
+            seed,
+            0,
+        );
+        let histories = tenants
+            .iter()
+            .map(|_| StateHistory::new(cfg.history_windows))
+            .collect();
         FleetIoEnv {
             cfg,
             tenants,
@@ -179,9 +189,20 @@ impl FleetIoEnv {
             rewards.push(self.rewards[i].reward(window.avg_bandwidth, window.slo_violation_rate));
         }
         let mixed = mix_rewards(&rewards, self.cfg.beta);
-        let observations = self.histories.iter().map(StateHistory::observation).collect();
+        let observations = self
+            .histories
+            .iter()
+            .map(StateHistory::observation)
+            .collect();
         let done = self.windows_done >= self.horizon_windows;
-        (states, StepResult { observations, rewards: mixed, done })
+        (
+            states,
+            StepResult {
+                observations,
+                rewards: mixed,
+                done,
+            },
+        )
     }
 }
 
@@ -222,8 +243,10 @@ impl MultiAgentEnv for FleetIoEnv {
     }
 
     fn step(&mut self, actions: &[Vec<usize>]) -> StepResult {
-        let decoded: Vec<AgentAction> =
-            actions.iter().map(|heads| AgentAction::from_heads(heads)).collect();
+        let decoded: Vec<AgentAction> = actions
+            .iter()
+            .map(|heads| AgentAction::from_heads(heads))
+            .collect();
         self.step_decoded(&decoded).1
     }
 }
@@ -289,7 +312,10 @@ mod tests {
         let result = e.step(&actions);
         assert_eq!(result.rewards.len(), 2);
         assert!(!result.done);
-        assert_eq!(e.colocation().engine().snapshot(VssdId(0)).priority, Priority::High);
+        assert_eq!(
+            e.colocation().engine().snapshot(VssdId(0)).priority,
+            Priority::High
+        );
         // Rewards are finite and the BI tenant earns bandwidth reward.
         assert!(result.rewards.iter().all(|r| r.is_finite()));
     }

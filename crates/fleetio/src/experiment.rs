@@ -8,20 +8,19 @@
 
 use fleetio_des::summary::percentile;
 use fleetio_des::SimDuration;
-use fleetio_vssd::vssd::{VssdConfig, VssdId};
 use fleetio_flash::addr::ChannelId;
+use fleetio_vssd::vssd::{VssdConfig, VssdId};
 use fleetio_workloads::features::windowed_features;
 use fleetio_workloads::{
     AddrPattern, PhaseSpec, SizeDist, WindowFeatures, WorkloadCategory, WorkloadKind, WorkloadSpec,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::baselines::WindowPolicy;
 use crate::config::FleetIoConfig;
 use crate::driver::{Colocation, TenantSpec};
 
 /// Options shared by experiment runs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentOptions {
     /// FleetIO/engine configuration.
     pub cfg: FleetIoConfig,
@@ -48,7 +47,7 @@ impl Default for ExperimentOptions {
 }
 
 /// Measured quality of one tenant over a run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TenantMetrics {
     /// The vSSD.
     pub id: VssdId,
@@ -69,7 +68,7 @@ pub struct TenantMetrics {
 }
 
 /// Measured outcome of one collocation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunMetrics {
     /// The policy that drove the run.
     pub policy: String,
@@ -105,8 +104,7 @@ impl RunMetrics {
             .filter(|t| t.kind.category() == WorkloadCategory::LatencySensitive)
             .map(|t| t.p99.as_nanos())
             .collect();
-        (!lc.is_empty())
-            .then(|| SimDuration::from_nanos(lc.iter().sum::<u64>() / lc.len() as u64))
+        (!lc.is_empty()).then(|| SimDuration::from_nanos(lc.iter().sum::<u64>() / lc.len() as u64))
     }
 }
 
@@ -142,10 +140,18 @@ pub fn planned_layout(
     slos: &[Option<SimDuration>],
     seed: u64,
 ) -> Vec<TenantSpec> {
-    assert_eq!(workloads.len(), allocation.len(), "one allocation per workload");
+    assert_eq!(
+        workloads.len(),
+        allocation.len(),
+        "one allocation per workload"
+    );
     assert_eq!(workloads.len(), slos.len(), "one SLO slot per workload");
     let total: usize = allocation.iter().sum();
-    assert_eq!(total, usize::from(cfg.engine.flash.channels), "allocation must cover device");
+    assert_eq!(
+        total,
+        usize::from(cfg.engine.flash.channels),
+        "allocation must cover device"
+    );
     let mut next = 0u16;
     workloads
         .iter()
@@ -177,8 +183,8 @@ pub fn software_layout(
         .zip(slos)
         .enumerate()
         .map(|(i, (kind, slo))| {
-            let mut vc = VssdConfig::software(VssdId(i as u32), all.clone())
-                .with_capacity_share(share);
+            let mut vc =
+                VssdConfig::software(VssdId(i as u32), all.clone()).with_capacity_share(share);
             vc.slo = *slo;
             TenantSpec::new(vc, *kind, seed.wrapping_add(i as u64 * 31))
         })
@@ -206,8 +212,7 @@ pub fn mixed_layout(
     let mut tenants = Vec::new();
     let mut next = 0u16;
     for (i, (kind, slo)) in hw.iter().zip(slos_hw).enumerate() {
-        let chans: Vec<ChannelId> =
-            (next..next + hw_channels as u16).map(ChannelId).collect();
+        let chans: Vec<ChannelId> = (next..next + hw_channels as u16).map(ChannelId).collect();
         next += hw_channels as u16;
         let mut vc = VssdConfig::hardware(VssdId(i as u32), chans);
         vc.slo = *slo;
@@ -218,7 +223,11 @@ pub fn mixed_layout(
     for (j, kind) in sw.iter().enumerate() {
         let id = VssdId((hw.len() + j) as u32);
         let vc = VssdConfig::software(id, shared.clone()).with_capacity_share(share);
-        tenants.push(TenantSpec::new(vc, *kind, seed.wrapping_add((hw.len() + j) as u64 * 31)));
+        tenants.push(TenantSpec::new(
+            vc,
+            *kind,
+            seed.wrapping_add((hw.len() + j) as u64 * 31),
+        ));
     }
     tenants
 }
@@ -493,7 +502,11 @@ mod tests {
         assert_eq!(t[1].config.channels.len(), 2);
         assert_eq!(t[0].config.isolation, IsolationMode::Hardware);
         // Disjoint channels.
-        assert!(t[0].config.channels.iter().all(|c| !t[1].config.channels.contains(c)));
+        assert!(t[0]
+            .config
+            .channels
+            .iter()
+            .all(|c| !t[1].config.channels.contains(c)));
     }
 
     #[test]
@@ -561,7 +574,11 @@ mod tests {
         let mut policy = crate::baselines::StaticPolicy::hardware();
         let m = run_collocation(&mut policy, tenants, &opts, peak, None);
         assert_eq!(m.tenants.len(), 2);
-        assert!(m.avg_utilization > 0.0 && m.avg_utilization <= 1.2, "{}", m.avg_utilization);
+        assert!(
+            m.avg_utilization > 0.0 && m.avg_utilization <= 1.2,
+            "{}",
+            m.avg_utilization
+        );
         assert!(m.bi_bandwidth().unwrap() > 0.0);
         assert!(m.lc_p99().unwrap() > SimDuration::ZERO);
         assert_eq!(m.policy, "hardware-isolation");
@@ -570,8 +587,7 @@ mod tests {
     #[test]
     fn window_hook_fires_each_measured_window() {
         let opts = tiny_opts();
-        let tenants =
-            hardware_layout(&opts.cfg, &[WorkloadKind::Ycsb], &[None], opts.seed);
+        let tenants = hardware_layout(&opts.cfg, &[WorkloadKind::Ycsb], &[None], opts.seed);
         let mut policy = crate::baselines::StaticPolicy::hardware();
         let mut seen = Vec::new();
         let mut hook = |w: usize, _c: &mut Colocation| seen.push(w);
@@ -614,6 +630,10 @@ mod tests {
         let f = workload_feature_windows(&opts.cfg, WorkloadKind::Ycsb, 2, 4, 1000, 5);
         assert!(!f.is_empty());
         // YCSB: small requests.
-        assert!(f[0].avg_io_size < 32.0 * 1024.0, "size {}", f[0].avg_io_size);
+        assert!(
+            f[0].avg_io_size < 32.0 * 1024.0,
+            "size {}",
+            f[0].avg_io_size
+        );
     }
 }

@@ -1,10 +1,9 @@
 //! Table 5: workload combinations for the scalability experiments.
 
 use fleetio_workloads::WorkloadKind;
-use serde::{Deserialize, Serialize};
 
 /// One Table 5 mix.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mix {
     /// The paper's label (mix1 … mix5).
     pub label: &'static str,
@@ -31,10 +30,22 @@ impl Mix {
 pub fn table5_mixes() -> Vec<Mix> {
     use WorkloadKind::*;
     vec![
-        Mix { label: "mix1", workloads: vec![VdiWeb, TeraSort] },
-        Mix { label: "mix2", workloads: vec![Ycsb, PageRank] },
-        Mix { label: "mix3", workloads: vec![VdiWeb, VdiWeb, TeraSort, TeraSort] },
-        Mix { label: "mix4", workloads: vec![VdiWeb, Ycsb, TeraSort, PageRank] },
+        Mix {
+            label: "mix1",
+            workloads: vec![VdiWeb, TeraSort],
+        },
+        Mix {
+            label: "mix2",
+            workloads: vec![Ycsb, PageRank],
+        },
+        Mix {
+            label: "mix3",
+            workloads: vec![VdiWeb, VdiWeb, TeraSort, TeraSort],
+        },
+        Mix {
+            label: "mix4",
+            workloads: vec![VdiWeb, Ycsb, TeraSort, PageRank],
+        },
         Mix {
             label: "mix5",
             workloads: vec![
@@ -50,7 +61,9 @@ pub fn evaluation_pairs() -> Vec<(WorkloadKind, WorkloadKind)> {
     use WorkloadKind::*;
     let lc = [VdiWeb, Ycsb];
     let bi = [TeraSort, MlPrep, PageRank];
-    lc.iter().flat_map(|l| bi.iter().map(move |b| (*l, *b))).collect()
+    lc.iter()
+        .flat_map(|l| bi.iter().map(move |b| (*l, *b)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -67,8 +80,16 @@ mod tests {
         assert_eq!(mixes[0].label, "mix1");
         // mix5: 4 VDI-Web, 2 TeraSort, PageRank, ML Prep.
         let m5 = &mixes[4];
-        let vdi = m5.workloads.iter().filter(|w| **w == WorkloadKind::VdiWeb).count();
-        let tera = m5.workloads.iter().filter(|w| **w == WorkloadKind::TeraSort).count();
+        let vdi = m5
+            .workloads
+            .iter()
+            .filter(|w| **w == WorkloadKind::VdiWeb)
+            .count();
+        let tera = m5
+            .workloads
+            .iter()
+            .filter(|w| **w == WorkloadKind::TeraSort)
+            .count();
         assert_eq!((vdi, tera), (4, 2));
     }
 

@@ -9,8 +9,6 @@
 //! Equation 2's mixing across agents lives in
 //! [`fleetio_rl::reward::mix_rewards`].
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the per-vSSD reward (Equation 1).
 ///
 /// # Example
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// let r = p.reward(p.bw_guarantee, 0.0);
 /// assert!((r - 0.975).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RewardParams {
     /// Trade-off coefficient α; small values prioritize utilization, large
     /// values prioritize isolation.

@@ -13,13 +13,12 @@ use fleetio_des::window::WindowSummary;
 use fleetio_vssd::engine::{Engine, VssdSnapshot};
 use fleetio_vssd::request::Priority;
 use fleetio_vssd::vssd::VssdId;
-use serde::{Deserialize, Serialize};
 
 /// Raw features per observation window (9 Table 1 states + 2 shared).
 pub const STATES_PER_WINDOW: usize = 11;
 
 /// One window's raw RL state for one vSSD.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StateVector {
     /// `Avg_BW`: average I/O bandwidth, bytes/second.
     pub avg_bw: f64,
@@ -111,10 +110,7 @@ impl StateVector {
 /// Extracts every agent's [`StateVector`] from one round of window
 /// summaries, computing the two shared states (sums of the *other*
 /// agents' IOPS and SLO violations, §3.3.1) from the full set.
-pub fn extract_states(
-    engine: &Engine,
-    summaries: &[(VssdId, WindowSummary)],
-) -> Vec<StateVector> {
+pub fn extract_states(engine: &Engine, summaries: &[(VssdId, WindowSummary)]) -> Vec<StateVector> {
     let total_iops: f64 = summaries.iter().map(|(_, w)| w.avg_iops).sum();
     let total_vio: f64 = summaries.iter().map(|(_, w)| w.slo_violation_rate).sum();
     summaries
@@ -133,7 +129,7 @@ pub fn extract_states(
 
 /// A fixed-depth history of state windows, concatenated oldest-first into
 /// the observation (§3.3.1: three windows).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StateHistory {
     depth: usize,
     windows: VecDeque<StateVector>,

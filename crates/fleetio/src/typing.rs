@@ -7,16 +7,14 @@
 //! fine-tuned reward coefficient α; windows too far from every centroid
 //! fall back to the unified reward and are queued for offline tuning.
 
+use fleetio_des::rng::SmallRng;
 use fleetio_ml::{KMeans, StandardScaler};
 use fleetio_workloads::{WindowFeatures, WorkloadCategory, WorkloadKind};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::config::FleetIoConfig;
 
 /// The workload types of Figure 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadType {
     /// Latency-sensitive cluster 1 (VDI-Web, TPC-E, SearchEngine,
     /// LiveMaps).
@@ -75,7 +73,7 @@ fn log_features(f: &WindowFeatures) -> Vec<f64> {
 }
 
 /// A fitted workload-typing model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TypingModel {
     scaler: StandardScaler,
     kmeans: KMeans,
@@ -95,8 +93,7 @@ impl TypingModel {
     pub fn fit(samples: &[(WorkloadKind, WindowFeatures)], seed: u64) -> TypingModel {
         assert!(samples.len() >= 6, "need at least 6 feature windows");
         let mut rng = SmallRng::seed_from_u64(seed);
-        let labels: Vec<WorkloadType> =
-            samples.iter().map(|(k, _)| canonical_type(*k)).collect();
+        let labels: Vec<WorkloadType> = samples.iter().map(|(k, _)| canonical_type(*k)).collect();
         for t in [WorkloadType::Lc1, WorkloadType::Lc2, WorkloadType::Bi] {
             assert!(labels.contains(&t), "missing samples for {t:?}");
         }
@@ -124,7 +121,12 @@ impl TypingModel {
         let cluster_type: Vec<WorkloadType> = votes
             .iter()
             .map(|v| {
-                let best = v.iter().enumerate().max_by_key(|(_, n)| **n).expect("3 types").0;
+                let best = v
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, n)| **n)
+                    .expect("3 types")
+                    .0;
                 [WorkloadType::Lc1, WorkloadType::Lc2, WorkloadType::Bi][best]
             })
             .collect();
@@ -146,10 +148,19 @@ impl TypingModel {
                 cluster_type[c] == labels[i]
             })
             .count();
-        let test_accuracy =
-            if test_idx.is_empty() { 1.0 } else { correct as f64 / test_idx.len() as f64 };
+        let test_accuracy = if test_idx.is_empty() {
+            1.0
+        } else {
+            correct as f64 / test_idx.len() as f64
+        };
 
-        TypingModel { scaler, kmeans, cluster_type, test_accuracy, unknown_distance }
+        TypingModel {
+            scaler,
+            kmeans,
+            cluster_type,
+            test_accuracy,
+            unknown_distance,
+        }
     }
 
     /// Classifies one feature window; `None` means the window does not fit
@@ -183,7 +194,10 @@ impl TypingModel {
 
     /// Projects labelled samples to scaled feature space (for PCA).
     pub fn scaled_features(&self, samples: &[(WorkloadKind, WindowFeatures)]) -> Vec<Vec<f64>> {
-        samples.iter().map(|(_, f)| self.scaler.transform(&log_features(f))).collect()
+        samples
+            .iter()
+            .map(|(_, f)| self.scaler.transform(&log_features(f)))
+            .collect()
     }
 }
 
@@ -226,7 +240,12 @@ mod tests {
     use super::*;
 
     fn feat(read_bw: f64, write_bw: f64, entropy: f64, size: f64) -> WindowFeatures {
-        WindowFeatures { read_bw, write_bw, lpa_entropy: entropy, avg_io_size: size }
+        WindowFeatures {
+            read_bw,
+            write_bw,
+            lpa_entropy: entropy,
+            avg_io_size: size,
+        }
     }
 
     /// Synthetic but structurally faithful feature windows: BI has high
@@ -248,10 +267,23 @@ mod tests {
     #[test]
     fn fit_separates_the_three_types() {
         let model = TypingModel::fit(&samples(), 7);
-        assert!(model.test_accuracy() > 0.95, "accuracy {}", model.test_accuracy());
-        assert_eq!(model.classify(feat(3e8, 2e8, 7.6, 1e6)), Some(WorkloadType::Bi));
-        assert_eq!(model.classify(feat(2e7, 8e6, 6.6, 16e3)), Some(WorkloadType::Lc1));
-        assert_eq!(model.classify(feat(2.5e7, 1e6, 2.1, 6e3)), Some(WorkloadType::Lc2));
+        assert!(
+            model.test_accuracy() > 0.95,
+            "accuracy {}",
+            model.test_accuracy()
+        );
+        assert_eq!(
+            model.classify(feat(3e8, 2e8, 7.6, 1e6)),
+            Some(WorkloadType::Bi)
+        );
+        assert_eq!(
+            model.classify(feat(2e7, 8e6, 6.6, 16e3)),
+            Some(WorkloadType::Lc1)
+        );
+        assert_eq!(
+            model.classify(feat(2.5e7, 1e6, 2.1, 6e3)),
+            Some(WorkloadType::Lc2)
+        );
     }
 
     #[test]
@@ -276,7 +308,10 @@ mod tests {
         assert_eq!(canonical_type(WorkloadKind::Ycsb), WorkloadType::Lc2);
         assert_eq!(canonical_type(WorkloadKind::VdiWeb), WorkloadType::Lc1);
         assert_eq!(canonical_type(WorkloadKind::Tpce), WorkloadType::Lc1);
-        assert_eq!(canonical_type(WorkloadKind::SearchEngine), WorkloadType::Lc1);
+        assert_eq!(
+            canonical_type(WorkloadKind::SearchEngine),
+            WorkloadType::Lc1
+        );
         assert_eq!(canonical_type(WorkloadKind::LiveMaps), WorkloadType::Lc1);
         assert_eq!(canonical_type(WorkloadKind::TeraSort), WorkloadType::Bi);
         assert_eq!(canonical_type(WorkloadKind::PageRank), WorkloadType::Bi);
@@ -299,7 +334,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "missing samples")]
     fn fit_requires_all_types() {
-        let s: Vec<_> = (0..10).map(|_| (WorkloadKind::Ycsb, feat(1e7, 1e6, 2.0, 4e3))).collect();
+        let s: Vec<_> = (0..10)
+            .map(|_| (WorkloadKind::Ycsb, feat(1e7, 1e6, 2.0, 4e3)))
+            .collect();
         let _ = TypingModel::fit(&s, 0);
     }
 }

@@ -1,7 +1,5 @@
 //! The Adam optimizer (Kingma & Ba, 2015).
 
-use serde::{Deserialize, Serialize};
-
 use crate::mlp::{Mlp, MlpGrads};
 
 /// Adam state for one network's parameters.
@@ -10,9 +8,8 @@ use crate::mlp::{Mlp, MlpGrads};
 ///
 /// ```
 /// use fleetio_ml::{Activation, Adam, Mlp};
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let mut rng = fleetio_des::rng::SmallRng::seed_from_u64(7);
 /// let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Linear, &mut rng);
 /// let mut opt = Adam::new(net.n_params(), 1e-2);
 /// // Minimize (out − 1)² at a fixed input.
@@ -25,7 +22,7 @@ use crate::mlp::{Mlp, MlpGrads};
 /// }
 /// assert!((net.forward(&[0.5, -0.5])[0] - 1.0).abs() < 0.05);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Adam {
     lr: f32,
     beta1: f32,
@@ -78,7 +75,11 @@ impl Adam {
     /// Panics if the gradient shape does not match the network this
     /// optimizer was sized for.
     pub fn step(&mut self, net: &mut Mlp, grads: &MlpGrads) {
-        assert_eq!(self.m.len(), net.n_params(), "optimizer/network size mismatch");
+        assert_eq!(
+            self.m.len(),
+            net.n_params(),
+            "optimizer/network size mismatch"
+        );
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
@@ -104,8 +105,7 @@ impl Adam {
 mod tests {
     use super::*;
     use crate::mlp::Activation;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fleetio_des::rng::SmallRng;
 
     #[test]
     fn converges_on_regression_task() {
@@ -113,8 +113,10 @@ mod tests {
         let mut net = Mlp::new(&[1, 8, 1], Activation::Tanh, Activation::Linear, &mut rng);
         let mut opt = Adam::new(net.n_params(), 5e-3);
         // Fit y = 2x on x ∈ {-1, -0.5, 0, 0.5, 1}.
-        let data: Vec<(f32, f32)> =
-            [-1.0f32, -0.5, 0.0, 0.5, 1.0].iter().map(|x| (*x, 2.0 * x)).collect();
+        let data: Vec<(f32, f32)> = [-1.0f32, -0.5, 0.0, 0.5, 1.0]
+            .iter()
+            .map(|x| (*x, 2.0 * x))
+            .collect();
         for _ in 0..2000 {
             let mut grads = net.zero_grads();
             for (x, y) in &data {

@@ -1,7 +1,6 @@
 //! Deterministic dataset utilities.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use fleetio_des::rng::Rng;
 
 /// Splits indices `0..n` into a shuffled (train, test) partition with the
 /// given train fraction, as the paper's 70/30 split for clustering (§3.4).
@@ -14,9 +13,12 @@ pub fn train_test_split<R: Rng>(
     train_frac: f64,
     rng: &mut R,
 ) -> (Vec<usize>, Vec<usize>) {
-    assert!(train_frac > 0.0 && train_frac < 1.0, "train_frac must be in (0, 1)");
+    assert!(
+        train_frac > 0.0 && train_frac < 1.0,
+        "train_frac must be in (0, 1)"
+    );
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.shuffle(rng);
+    rng.shuffle(&mut idx);
     let cut = ((n as f64) * train_frac).round() as usize;
     let cut = cut.clamp(1.min(n), n.saturating_sub(1).max(1));
     let test = idx.split_off(cut.min(idx.len()));
@@ -31,8 +33,7 @@ pub fn take<T: Clone>(data: &[T], indices: &[usize]) -> Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fleetio_des::rng::SmallRng;
 
     #[test]
     fn split_partitions_everything() {

@@ -4,11 +4,10 @@
 //! learn workload types (§3.4, Figure 6). K-means with k-means++ seeding
 //! and Lloyd iterations is exactly what the paper uses.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fleetio_des::rng::Rng;
 
 /// A fitted k-means model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KMeans {
     centroids: Vec<Vec<f64>>,
 }
@@ -29,7 +28,10 @@ impl KMeans {
         assert!(k > 0, "k must be positive");
         assert!(data.len() >= k, "need at least k points");
         let dim = data[0].len();
-        assert!(data.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+        assert!(
+            data.iter().all(|p| p.len() == dim),
+            "inconsistent dimensions"
+        );
 
         // k-means++ seeding.
         let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
@@ -38,7 +40,10 @@ impl KMeans {
             let dists: Vec<f64> = data
                 .iter()
                 .map(|p| {
-                    centroids.iter().map(|c| sq_dist(p, c)).fold(f64::INFINITY, f64::min)
+                    centroids
+                        .iter()
+                        .map(|c| sq_dist(p, c))
+                        .fold(f64::INFINITY, f64::min)
                 })
                 .collect();
             let total: f64 = dists.iter().sum();
@@ -166,8 +171,7 @@ impl KMeans {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fleetio_des::rng::SmallRng;
 
     fn blob<R: Rng>(center: &[f64], n: usize, spread: f64, rng: &mut R) -> Vec<Vec<f64>> {
         (0..n)

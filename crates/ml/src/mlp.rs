@@ -4,11 +4,10 @@
 //! per-sample forward/backward passes over `Vec<f32>` weights are both
 //! simple and fast; there is no tensor machinery here on purpose.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fleetio_des::rng::Rng;
 
 /// Activation function applied after a dense layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// Hyperbolic tangent (the default PPO hidden activation).
     Tanh,
@@ -45,7 +44,7 @@ impl Activation {
 
 /// One dense layer: `y = act(W x + b)`, with `W` stored row-major
 /// (`out_dim × in_dim`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Dense {
     w: Vec<f32>,
     b: Vec<f32>,
@@ -58,8 +57,16 @@ impl Dense {
     fn new<R: Rng>(in_dim: usize, out_dim: usize, act: Activation, rng: &mut R) -> Self {
         // Xavier/Glorot uniform initialization.
         let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
-        let w = (0..in_dim * out_dim).map(|_| rng.gen_range(-limit..limit)).collect();
-        Dense { w, b: vec![0.0; out_dim], in_dim, out_dim, act }
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Dense {
+            w,
+            b: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+            act,
+        }
     }
 
     fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
@@ -78,14 +85,13 @@ impl Dense {
 ///
 /// ```
 /// use fleetio_ml::{Activation, Mlp};
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut rng = fleetio_des::rng::SmallRng::seed_from_u64(0);
 /// let net = Mlp::new(&[4, 8, 2], Activation::Tanh, Activation::Linear, &mut rng);
 /// let out = net.forward(&[0.1, -0.2, 0.3, 0.0]);
 /// assert_eq!(out.len(), 2);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Dense>,
 }
@@ -178,7 +184,11 @@ impl Mlp {
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                let act = if i + 2 == dims.len() { out_act } else { hidden_act };
+                let act = if i + 2 == dims.len() {
+                    out_act
+                } else {
+                    hidden_act
+                };
                 Dense::new(w[0], w[1], act, rng)
             })
             .collect();
@@ -248,8 +258,14 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if shapes do not match the cache/network.
+    // Index math over flat row-major weights; iterators obscure the layout.
+    #[allow(clippy::needless_range_loop)]
     pub fn backward(&self, cache: &MlpCache, dloss_dout: &[f32], grads: &mut MlpGrads) {
-        assert_eq!(dloss_dout.len(), self.out_dim(), "output grad dimension mismatch");
+        assert_eq!(
+            dloss_dout.len(),
+            self.out_dim(),
+            "output grad dimension mismatch"
+        );
         let mut delta: Vec<f32> = dloss_dout.to_vec();
         for (li, layer) in self.layers.iter().enumerate().rev() {
             let y = &cache.acts[li + 1];
@@ -339,8 +355,7 @@ pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fleetio_des::rng::SmallRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(42)
@@ -359,8 +374,18 @@ mod tests {
     #[test]
     fn paper_policy_size_is_about_9k_params() {
         // 33 inputs, [50, 50] hidden, 13 logits + separate value net ≈ 9 K.
-        let policy = Mlp::new(&[33, 50, 50, 13], Activation::Tanh, Activation::Linear, &mut rng());
-        let value = Mlp::new(&[33, 50, 50, 1], Activation::Tanh, Activation::Linear, &mut rng());
+        let policy = Mlp::new(
+            &[33, 50, 50, 13],
+            Activation::Tanh,
+            Activation::Linear,
+            &mut rng(),
+        );
+        let value = Mlp::new(
+            &[33, 50, 50, 1],
+            Activation::Tanh,
+            Activation::Linear,
+            &mut rng(),
+        );
         let total = policy.n_params() + value.n_params();
         assert!((7_000..12_000).contains(&total), "total params {total}");
     }

@@ -4,11 +4,10 @@
 //! two principal components for visualization. The feature dimensionality
 //! is tiny, so power iteration on the covariance matrix is plenty.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fleetio_des::rng::Rng;
 
 /// A fitted PCA projection.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Pca {
     mean: Vec<f64>,
     components: Vec<Vec<f64>>,
@@ -22,15 +21,24 @@ impl Pca {
     ///
     /// Panics if `data` is empty, rows have inconsistent dimensions, or
     /// `n_components` exceeds the dimensionality or is zero.
+    // Symmetric-matrix index math; iterators obscure the (i, j) symmetry.
+    #[allow(clippy::needless_range_loop)]
     pub fn fit<R: Rng>(data: &[Vec<f64>], n_components: usize, rng: &mut R) -> Self {
         assert!(!data.is_empty(), "PCA needs data");
         let dim = data[0].len();
-        assert!(data.iter().all(|p| p.len() == dim), "inconsistent dimensions");
-        assert!(n_components > 0 && n_components <= dim, "bad component count");
+        assert!(
+            data.iter().all(|p| p.len() == dim),
+            "inconsistent dimensions"
+        );
+        assert!(
+            n_components > 0 && n_components <= dim,
+            "bad component count"
+        );
 
         let n = data.len() as f64;
-        let mean: Vec<f64> =
-            (0..dim).map(|j| data.iter().map(|p| p[j]).sum::<f64>() / n).collect();
+        let mean: Vec<f64> = (0..dim)
+            .map(|j| data.iter().map(|p| p[j]).sum::<f64>() / n)
+            .collect();
         // Covariance matrix (dim × dim).
         let mut cov = vec![vec![0.0f64; dim]; dim];
         for p in data {
@@ -62,7 +70,11 @@ impl Pca {
             components.push(vec_);
             explained.push(val.max(0.0));
         }
-        Pca { mean, components, explained }
+        Pca {
+            mean,
+            components,
+            explained,
+        }
     }
 
     /// Per-component explained variance (eigenvalues), largest first.
@@ -137,8 +149,7 @@ fn normalize(v: &mut [f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fleetio_des::rng::SmallRng;
 
     #[test]
     fn finds_dominant_direction() {
@@ -147,7 +158,10 @@ mod tests {
         let data: Vec<Vec<f64>> = (0..200)
             .map(|i| {
                 let x = (i as f64 - 100.0) / 10.0;
-                vec![x + rng.gen_range(-0.01..0.01), 2.0 * x + rng.gen_range(-0.01..0.01)]
+                vec![
+                    x + rng.gen_range(-0.01..0.01),
+                    2.0 * x + rng.gen_range(-0.01..0.01),
+                ]
             })
             .collect();
         let pca = Pca::fit(&data, 2, &mut rng);

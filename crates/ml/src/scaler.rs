@@ -1,7 +1,5 @@
 //! Feature standardization (zero mean, unit variance per feature).
 
-use serde::{Deserialize, Serialize};
-
 /// A fitted standard scaler.
 ///
 /// Features with zero variance transform to zero rather than dividing by
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// let s = StandardScaler::fit(&data);
 /// assert_eq!(s.transform(&[2.0, 10.0]), vec![0.0, 0.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StandardScaler {
     mean: Vec<f64>,
     std: Vec<f64>,
@@ -31,10 +29,14 @@ impl StandardScaler {
     pub fn fit(data: &[Vec<f64>]) -> Self {
         assert!(!data.is_empty(), "scaler needs data");
         let dim = data[0].len();
-        assert!(data.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+        assert!(
+            data.iter().all(|p| p.len() == dim),
+            "inconsistent dimensions"
+        );
         let n = data.len() as f64;
-        let mean: Vec<f64> =
-            (0..dim).map(|j| data.iter().map(|p| p[j]).sum::<f64>() / n).collect();
+        let mean: Vec<f64> = (0..dim)
+            .map(|j| data.iter().map(|p| p[j]).sum::<f64>() / n)
+            .collect();
         let std: Vec<f64> = (0..dim)
             .map(|j| {
                 let var = data.iter().map(|p| (p[j] - mean[j]).powi(2)).sum::<f64>() / n;

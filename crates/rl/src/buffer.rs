@@ -1,9 +1,7 @@
 //! Rollout storage and Generalized Advantage Estimation.
 
-use serde::{Deserialize, Serialize};
-
 /// One agent-step of experience.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
     /// Observation at decision time.
     pub obs: Vec<f32>,
@@ -24,7 +22,7 @@ pub struct Transition {
 }
 
 /// A flat buffer of transitions; episodes are delimited by `done`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RolloutBuffer {
     transitions: Vec<Transition>,
 }
@@ -166,8 +164,7 @@ mod tests {
             b.push(t(i as f64, 0.0, i == 9));
         }
         b.compute_gae(0.9, 0.95);
-        let mean: f64 =
-            b.transitions().iter().map(|t| t.advantage).sum::<f64>() / b.len() as f64;
+        let mean: f64 = b.transitions().iter().map(|t| t.advantage).sum::<f64>() / b.len() as f64;
         let var: f64 = b
             .transitions()
             .iter()

@@ -5,10 +5,8 @@
 //! mean/variance per feature and standardizes observations; it can be
 //! frozen at deployment so inference is stationary.
 
-use serde::{Deserialize, Serialize};
-
 /// Running per-feature mean/variance normalizer (Welford).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ObsNormalizer {
     mean: Vec<f64>,
     m2: Vec<f64>,
@@ -27,7 +25,13 @@ impl ObsNormalizer {
     pub fn new(dim: usize, clip: f64) -> Self {
         assert!(dim > 0, "dim must be positive");
         assert!(clip > 0.0, "clip must be positive");
-        ObsNormalizer { mean: vec![0.0; dim], m2: vec![0.0; dim], count: 0, frozen: false, clip }
+        ObsNormalizer {
+            mean: vec![0.0; dim],
+            m2: vec![0.0; dim],
+            count: 0,
+            frozen: false,
+            clip,
+        }
     }
 
     /// Number of features.

@@ -1,13 +1,12 @@
 //! Parallel rollout collection (the stand-in for the paper's Ray cluster).
 //!
 //! Workers each own an environment instance and a clone of the current
-//! policy; they collect rollouts concurrently with crossbeam scoped
+//! policy; they collect rollouts concurrently with std scoped
 //! threads. Observation-normalizer statistics are frozen during parallel
 //! collection so every worker normalizes identically (the trainer's serial
 //! warm-up collections feed the statistics).
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use fleetio_des::rng::SmallRng;
 
 use crate::buffer::{RolloutBuffer, Transition};
 use crate::env::MultiAgentEnv;
@@ -27,7 +26,11 @@ pub fn collect_frozen<E: MultiAgentEnv>(
     let mut rng = SmallRng::seed_from_u64(seed);
     let n = env.n_agents();
     let mut per_agent: Vec<Vec<Transition>> = vec![Vec::new(); n];
-    let mut obs: Vec<Vec<f32>> = env.reset().iter().map(|o| normalizer.normalize(o)).collect();
+    let mut obs: Vec<Vec<f32>> = env
+        .reset()
+        .iter()
+        .map(|o| normalizer.normalize(o))
+        .collect();
     for step in 0..steps {
         let mut actions = Vec::with_capacity(n);
         let mut logps = Vec::with_capacity(n);
@@ -39,8 +42,11 @@ pub fn collect_frozen<E: MultiAgentEnv>(
             logps.push(lp);
         }
         let result = env.step(&actions);
-        let next_obs: Vec<Vec<f32>> =
-            result.observations.iter().map(|o| normalizer.normalize(o)).collect();
+        let next_obs: Vec<Vec<f32>> = result
+            .observations
+            .iter()
+            .map(|o| normalizer.normalize(o))
+            .collect();
         let truncated = step + 1 == steps && !result.done;
         for i in 0..n {
             let mut reward = result.rewards[i];
@@ -60,7 +66,11 @@ pub fn collect_frozen<E: MultiAgentEnv>(
         }
         obs = next_obs;
         if result.done {
-            obs = env.reset().iter().map(|o| normalizer.normalize(o)).collect();
+            obs = env
+                .reset()
+                .iter()
+                .map(|o| normalizer.normalize(o))
+                .collect();
         }
     }
     let mut buffer = RolloutBuffer::new();
@@ -88,14 +98,14 @@ where
     F: FnOnce() -> E + Send,
 {
     let mut merged = RolloutBuffer::new();
-    let results: Vec<RolloutBuffer> = crossbeam::thread::scope(|scope| {
+    let results: Vec<RolloutBuffer> = std::thread::scope(|scope| {
         let handles: Vec<_> = factories
             .into_iter()
             .enumerate()
             .map(|(i, factory)| {
                 let policy = policy.clone();
                 let normalizer = normalizer.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut env = factory();
                     collect_frozen(
                         &mut env,
@@ -108,9 +118,11 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("crossbeam scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
     for b in results {
         merged.extend(b);
     }
@@ -133,14 +145,14 @@ where
     E: MultiAgentEnv + Send,
 {
     let mut merged = RolloutBuffer::new();
-    let results: Vec<RolloutBuffer> = crossbeam::thread::scope(|scope| {
+    let results: Vec<RolloutBuffer> = std::thread::scope(|scope| {
         let handles: Vec<_> = envs
             .iter_mut()
             .enumerate()
             .map(|(i, env)| {
                 let policy = policy.clone();
                 let normalizer = normalizer.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     collect_frozen(
                         env,
                         &policy,
@@ -152,9 +164,11 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("crossbeam scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
     for b in results {
         merged.extend(b);
     }
@@ -176,8 +190,14 @@ mod tests {
     fn frozen_collection_is_deterministic() {
         let p = policy();
         let norm = ObsNormalizer::new(2, 10.0);
-        let mut e1 = BanditEnv { steps: 0, horizon: 8 };
-        let mut e2 = BanditEnv { steps: 0, horizon: 8 };
+        let mut e1 = BanditEnv {
+            steps: 0,
+            horizon: 8,
+        };
+        let mut e2 = BanditEnv {
+            steps: 0,
+            horizon: 8,
+        };
         let a = collect_frozen(&mut e1, &p, &norm, 16, 0.9, 5);
         let b = collect_frozen(&mut e2, &p, &norm, 16, 0.9, 5);
         assert_eq!(a.transitions(), b.transitions());
@@ -188,7 +208,12 @@ mod tests {
         let p = policy();
         let norm = ObsNormalizer::new(2, 10.0);
         let factories: Vec<Box<dyn FnOnce() -> BanditEnv + Send>> = (0..4)
-            .map(|_| Box::new(|| BanditEnv { steps: 0, horizon: 8 }) as _)
+            .map(|_| {
+                Box::new(|| BanditEnv {
+                    steps: 0,
+                    horizon: 8,
+                }) as _
+            })
             .collect();
         let buf = collect_parallel(factories, &p, &norm, 10, 0.9, 3);
         // 4 workers × 10 steps × 2 agents.
@@ -199,8 +224,12 @@ mod tests {
     fn persistent_env_collection_merges() {
         let p = policy();
         let norm = ObsNormalizer::new(2, 10.0);
-        let mut envs: Vec<BanditEnv> =
-            (0..3).map(|_| BanditEnv { steps: 0, horizon: 8 }).collect();
+        let mut envs: Vec<BanditEnv> = (0..3)
+            .map(|_| BanditEnv {
+                steps: 0,
+                horizon: 8,
+            })
+            .collect();
         let a = collect_parallel_envs(&mut envs, &p, &norm, 10, 0.9, 1);
         assert_eq!(a.len(), 60);
         // Second round reuses the same envs.
@@ -212,16 +241,28 @@ mod tests {
     fn parallel_rollouts_train_successfully() {
         let mut rng = SmallRng::seed_from_u64(13);
         let p = PpoPolicy::new(2, &[3], &[16], &mut rng);
-        let cfg = PpoConfig { lr: 3e-3, critic_lr: 3e-3, ..Default::default() };
+        let cfg = PpoConfig {
+            lr: 3e-3,
+            critic_lr: 3e-3,
+            ..Default::default()
+        };
         let mut trainer = PpoTrainer::new(p, 2, cfg, 3);
         // Warm the normalizer serially once.
-        let mut env = BanditEnv { steps: 0, horizon: 16 };
+        let mut env = BanditEnv {
+            steps: 0,
+            horizon: 16,
+        };
         let warm = trainer.collect_rollout(&mut env, 16);
         trainer.update(warm);
         trainer.normalizer.freeze();
         for round in 0..50 {
             let factories: Vec<Box<dyn FnOnce() -> BanditEnv + Send>> = (0..4)
-                .map(|_| Box::new(|| BanditEnv { steps: 0, horizon: 16 }) as _)
+                .map(|_| {
+                    Box::new(|| BanditEnv {
+                        steps: 0,
+                        horizon: 16,
+                    }) as _
+                })
                 .collect();
             let buf = collect_parallel(
                 factories,
@@ -233,8 +274,12 @@ mod tests {
             );
             trainer.update(buf);
         }
-        let a0 = trainer.policy.act_greedy(&trainer.normalizer.normalize(&[1.0, 0.0]));
-        let a1 = trainer.policy.act_greedy(&trainer.normalizer.normalize(&[0.0, 1.0]));
+        let a0 = trainer
+            .policy
+            .act_greedy(&trainer.normalizer.normalize(&[1.0, 0.0]));
+        let a1 = trainer
+            .policy
+            .act_greedy(&trainer.normalizer.normalize(&[0.0, 1.0]));
         assert_eq!((a0, a1), (vec![0], vec![1]));
     }
 }

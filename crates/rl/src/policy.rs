@@ -1,9 +1,8 @@
 //! Categorical multi-head PPO policy with a separate value network.
 
+use fleetio_des::rng::Rng;
 use fleetio_ml::mlp::{log_softmax, softmax};
 use fleetio_ml::{Activation, Mlp};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A PPO actor-critic: one MLP produces the concatenated logits of every
 /// discrete action head, a second MLP estimates the state value.
@@ -12,16 +11,15 @@ use serde::{Deserialize, Serialize};
 ///
 /// ```
 /// use fleetio_rl::PpoPolicy;
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut rng = fleetio_des::rng::SmallRng::seed_from_u64(0);
 /// let policy = PpoPolicy::new(4, &[5, 3], &[50, 50], &mut rng);
 /// let obs = [0.1, 0.2, -0.1, 0.0];
 /// let (action, logp) = policy.sample(&obs, &mut rng);
 /// assert_eq!(action.len(), 2);
 /// assert!(logp < 0.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PpoPolicy {
     pub(crate) actor: Mlp,
     pub(crate) critic: Mlp,
@@ -84,7 +82,7 @@ impl PpoPolicy {
         let mut logp = 0.0f64;
         for head in self.split_heads(&logits) {
             let probs = softmax(head);
-            let mut u: f32 = rng.gen_range(0.0..1.0);
+            let mut u: f32 = rng.gen_range(0.0f32..1.0);
             let mut chosen = probs.len() - 1;
             for (i, p) in probs.iter().enumerate() {
                 if u < *p {
@@ -139,7 +137,10 @@ impl PpoPolicy {
             .into_iter()
             .map(|head| {
                 let p = softmax(head);
-                -p.iter().filter(|x| **x > 0.0).map(|x| f64::from(*x * x.ln())).sum::<f64>()
+                -p.iter()
+                    .filter(|x| **x > 0.0)
+                    .map(|x| f64::from(*x * x.ln()))
+                    .sum::<f64>()
             })
             .sum::<f64>()
             / n
@@ -151,11 +152,78 @@ impl PpoPolicy {
     }
 }
 
+impl PpoPolicy {
+    /// Behaviour cloning: fits the actor to `(observation, action)` pairs
+    /// by cross-entropy over every head. Observations must already be
+    /// normalized the same way later inference will normalize them.
+    /// Returns the mean cross-entropy of the final epoch.
+    ///
+    /// Used to warm-start PPO from a scripted reference policy when the
+    /// training budget is too small to discover long-horizon behaviours
+    /// from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or shapes mismatch the policy.
+    pub fn imitate(
+        &mut self,
+        samples: &[(Vec<f32>, Vec<usize>)],
+        epochs: usize,
+        minibatch: usize,
+        lr: f32,
+        seed: u64,
+    ) -> f64 {
+        use fleetio_ml::mlp::{log_softmax, softmax};
+
+        assert!(!samples.is_empty(), "behaviour cloning needs samples");
+        assert!(
+            epochs > 0 && minibatch > 0,
+            "epochs/minibatch must be positive"
+        );
+        let mut opt = fleetio_ml::Adam::new(self.actor.n_params(), lr);
+        let mut rng = fleetio_des::rng::SmallRng::seed_from_u64(seed);
+        let dims = self.action_dims.clone();
+        let mut indices: Vec<usize> = (0..samples.len()).collect();
+        let mut last_ce = 0.0;
+        for _ in 0..epochs {
+            rng.shuffle(&mut indices);
+            let mut epoch_ce = 0.0;
+            for chunk in indices.chunks(minibatch) {
+                let mut grads = self.actor.zero_grads();
+                for &i in chunk {
+                    let (obs, action) = &samples[i];
+                    let cache = self.actor.forward_cached(obs);
+                    let logits = cache.output().to_vec();
+                    let mut dlogits = vec![0.0f32; logits.len()];
+                    let mut off = 0;
+                    for (h, d) in dims.iter().enumerate() {
+                        let head = &logits[off..off + d];
+                        let p = softmax(head);
+                        let lp = log_softmax(head);
+                        let a = action[h];
+                        epoch_ce -= f64::from(lp[a]);
+                        for (j, pj) in p.iter().enumerate() {
+                            let onehot = if j == a { 1.0 } else { 0.0 };
+                            dlogits[off + j] = pj - onehot;
+                        }
+                        off += d;
+                    }
+                    self.actor.backward(&cache, &dlogits, &mut grads);
+                }
+                grads.scale(1.0 / chunk.len() as f32);
+                grads.clip_norm(1.0);
+                opt.step(&mut self.actor, &grads);
+            }
+            last_ce = epoch_ce / samples.len() as f64;
+        }
+        last_ce
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fleetio_des::rng::SmallRng;
 
     fn policy() -> (PpoPolicy, SmallRng) {
         let mut rng = SmallRng::seed_from_u64(11);
@@ -183,14 +251,14 @@ mod tests {
             let (a, _) = p.sample(&obs, &mut rng);
             counts[a[0]] += 1;
         }
-        for a0 in 0..4 {
+        for (a0, &count) in counts.iter().enumerate() {
             // Marginal of head 0: sum over head 1.
             let lp0 = p.log_prob(&obs, &[a0, 0]);
             let lp1 = p.log_prob(&obs, &[a0, 1]);
             // p(head0 = a0) = exp(lp(a0,0)) / p(head1=0|...) — heads are
             // independent, so marginal is exp(lp0) + exp(lp1) over head 1.
             let marginal = lp0.exp() + lp1.exp();
-            let freq = counts[a0] as f64 / n as f64;
+            let freq = count as f64 / n as f64;
             assert!(
                 (marginal - freq).abs() < 0.02,
                 "head0={a0}: analytic {marginal:.3} vs empirical {freq:.3}"
@@ -255,72 +323,5 @@ mod tests {
         // heads [5, 5, 3] → ~9 K parameters.
         let p = PpoPolicy::new(33, &[5, 5, 3], &[50, 50], &mut rng);
         assert!((7_000..12_000).contains(&p.n_params()), "{}", p.n_params());
-    }
-}
-
-impl PpoPolicy {
-    /// Behaviour cloning: fits the actor to `(observation, action)` pairs
-    /// by cross-entropy over every head. Observations must already be
-    /// normalized the same way later inference will normalize them.
-    /// Returns the mean cross-entropy of the final epoch.
-    ///
-    /// Used to warm-start PPO from a scripted reference policy when the
-    /// training budget is too small to discover long-horizon behaviours
-    /// from scratch.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `samples` is empty or shapes mismatch the policy.
-    pub fn imitate(
-        &mut self,
-        samples: &[(Vec<f32>, Vec<usize>)],
-        epochs: usize,
-        minibatch: usize,
-        lr: f32,
-        seed: u64,
-    ) -> f64 {
-        use fleetio_ml::mlp::{log_softmax, softmax};
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-
-        assert!(!samples.is_empty(), "behaviour cloning needs samples");
-        assert!(epochs > 0 && minibatch > 0, "epochs/minibatch must be positive");
-        let mut opt = fleetio_ml::Adam::new(self.actor.n_params(), lr);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-        let dims = self.action_dims.clone();
-        let mut indices: Vec<usize> = (0..samples.len()).collect();
-        let mut last_ce = 0.0;
-        for _ in 0..epochs {
-            indices.shuffle(&mut rng);
-            let mut epoch_ce = 0.0;
-            for chunk in indices.chunks(minibatch) {
-                let mut grads = self.actor.zero_grads();
-                for &i in chunk {
-                    let (obs, action) = &samples[i];
-                    let cache = self.actor.forward_cached(obs);
-                    let logits = cache.output().to_vec();
-                    let mut dlogits = vec![0.0f32; logits.len()];
-                    let mut off = 0;
-                    for (h, d) in dims.iter().enumerate() {
-                        let head = &logits[off..off + d];
-                        let p = softmax(head);
-                        let lp = log_softmax(head);
-                        let a = action[h];
-                        epoch_ce -= f64::from(lp[a]);
-                        for (j, pj) in p.iter().enumerate() {
-                            let onehot = if j == a { 1.0 } else { 0.0 };
-                            dlogits[off + j] = pj - onehot;
-                        }
-                        off += d;
-                    }
-                    self.actor.backward(&cache, &dlogits, &mut grads);
-                }
-                grads.scale(1.0 / chunk.len() as f32);
-                grads.clip_norm(1.0);
-                opt.step(&mut self.actor, &grads);
-            }
-            last_ce = epoch_ce / samples.len() as f64;
-        }
-        last_ce
     }
 }

@@ -4,12 +4,9 @@
 //! 1e-4, discount γ = 0.9, minibatch size 32, hidden layers [50, 50]
 //! (the layers are fixed by the [`crate::PpoPolicy`] passed in).
 
+use fleetio_des::rng::{Rng, SmallRng};
 use fleetio_ml::mlp::{log_softmax, softmax};
 use fleetio_ml::Adam;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::buffer::{RolloutBuffer, Transition};
 use crate::env::MultiAgentEnv;
@@ -17,7 +14,7 @@ use crate::normalize::ObsNormalizer;
 use crate::policy::PpoPolicy;
 
 /// PPO hyper-parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PpoConfig {
     /// Actor learning rate (paper: 1e-4).
     pub lr: f32,
@@ -62,7 +59,11 @@ impl PpoConfig {
     ///
     /// Returns a message naming the offending field.
     pub fn validate(&self) -> Result<(), String> {
-        if self.lr <= 0.0 || self.critic_lr <= 0.0 || !self.lr.is_finite() || !self.critic_lr.is_finite() {
+        if self.lr <= 0.0
+            || self.critic_lr <= 0.0
+            || !self.lr.is_finite()
+            || !self.critic_lr.is_finite()
+        {
             return Err("learning rates must be positive".into());
         }
         if !(0.0..=1.0).contains(&self.gamma) || !(0.0..=1.0).contains(&self.lambda) {
@@ -79,7 +80,7 @@ impl PpoConfig {
 }
 
 /// Diagnostics from one PPO update.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PpoStats {
     /// Mean clipped-surrogate policy loss.
     pub policy_loss: f64,
@@ -139,11 +140,18 @@ impl PpoTrainer {
     /// Collects `steps` environment steps, updating the normalizer as it
     /// goes. Every agent contributes its own transition sequence
     /// (bootstrapped at truncation), so the returned buffer is GAE-ready.
-    pub fn collect_rollout<E: MultiAgentEnv>(&mut self, env: &mut E, steps: usize) -> RolloutBuffer {
+    pub fn collect_rollout<E: MultiAgentEnv>(
+        &mut self,
+        env: &mut E,
+        steps: usize,
+    ) -> RolloutBuffer {
         let n = env.n_agents();
         let mut per_agent: Vec<Vec<Transition>> = vec![Vec::new(); n];
-        let mut obs: Vec<Vec<f32>> =
-            env.reset().iter().map(|o| self.normalizer.observe(o)).collect();
+        let mut obs: Vec<Vec<f32>> = env
+            .reset()
+            .iter()
+            .map(|o| self.normalizer.observe(o))
+            .collect();
         for step in 0..steps {
             let mut actions = Vec::with_capacity(n);
             let mut logps = Vec::with_capacity(n);
@@ -155,8 +163,11 @@ impl PpoTrainer {
                 logps.push(lp);
             }
             let result = env.step(&actions);
-            let next_obs: Vec<Vec<f32>> =
-                result.observations.iter().map(|o| self.normalizer.observe(o)).collect();
+            let next_obs: Vec<Vec<f32>> = result
+                .observations
+                .iter()
+                .map(|o| self.normalizer.observe(o))
+                .collect();
             let truncated = step + 1 == steps && !result.done;
             for i in 0..n {
                 let mut reward = result.rewards[i];
@@ -177,7 +188,11 @@ impl PpoTrainer {
             }
             obs = next_obs;
             if result.done {
-                obs = env.reset().iter().map(|o| self.normalizer.observe(o)).collect();
+                obs = env
+                    .reset()
+                    .iter()
+                    .map(|o| self.normalizer.observe(o))
+                    .collect();
             }
         }
         let mut buffer = RolloutBuffer::new();
@@ -202,18 +217,21 @@ impl PpoTrainer {
         // buffers (parallel workers) are described correctly.
         let buffer_mean: f64 =
             buffer.transitions().iter().map(|t| t.reward).sum::<f64>() / n as f64;
-        let mut stats = PpoStats { samples: n, mean_reward: buffer_mean, ..Default::default() };
+        let mut stats = PpoStats {
+            samples: n,
+            mean_reward: buffer_mean,
+            ..Default::default()
+        };
         let mut stat_count = 0usize;
         let mut indices: Vec<usize> = (0..n).collect();
         for _ in 0..self.cfg.epochs {
-            indices.shuffle(&mut self.rng);
+            self.rng.shuffle(&mut indices);
             for chunk in indices.chunks(self.cfg.minibatch) {
                 let mut actor_grads = self.policy.actor.zero_grads();
                 let mut critic_grads = self.policy.critic.zero_grads();
                 for &i in chunk {
                     let t = &buffer.transitions()[i];
-                    let (ploss, ent, clipped) =
-                        self.accumulate_policy_grad(t, &mut actor_grads);
+                    let (ploss, ent, clipped) = self.accumulate_policy_grad(t, &mut actor_grads);
                     let vloss = self.accumulate_value_grad(t, &mut critic_grads);
                     stats.policy_loss += ploss;
                     stats.value_loss += vloss;
@@ -299,7 +317,11 @@ impl PpoTrainer {
             for (i, &pi) in p.iter().enumerate() {
                 let onehot = if i == a { 1.0 } else { 0.0 };
                 // Surrogate gradient (zero when clipped).
-                let dsurr = if clipped { 0.0 } else { adv * ratio * (onehot - f64::from(pi)) };
+                let dsurr = if clipped {
+                    0.0
+                } else {
+                    adv * ratio * (onehot - f64::from(pi))
+                };
                 // Entropy gradient: dH/dz_i = −p_i (log p_i + H).
                 let dent = if pi > 0.0 {
                     -f64::from(pi) * (f64::from(pi).ln() + head_h)
@@ -320,7 +342,9 @@ impl PpoTrainer {
         let cache = self.policy.critic.forward_cached(&t.obs);
         let v = f64::from(cache.output()[0]);
         let err = v - t.ret;
-        self.policy.critic.backward(&cache, &[(2.0 * err) as f32], grads);
+        self.policy
+            .critic
+            .backward(&cache, &[(2.0 * err) as f32], grads);
         err * err
     }
 }
@@ -333,8 +357,10 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(PpoConfig::default().validate().is_ok());
-        let mut c = PpoConfig::default();
-        c.gamma = 1.5;
+        let mut c = PpoConfig {
+            gamma: 1.5,
+            ..PpoConfig::default()
+        };
         assert!(c.validate().is_err());
         c = PpoConfig::default();
         c.minibatch = 0;
@@ -354,9 +380,16 @@ mod tests {
     fn learns_bandit_task() {
         let mut rng = SmallRng::seed_from_u64(21);
         let policy = PpoPolicy::new(2, &[3], &[16], &mut rng);
-        let cfg = PpoConfig { lr: 3e-3, critic_lr: 3e-3, ..Default::default() };
+        let cfg = PpoConfig {
+            lr: 3e-3,
+            critic_lr: 3e-3,
+            ..Default::default()
+        };
         let mut trainer = PpoTrainer::new(policy, 2, cfg, 7);
-        let mut env = BanditEnv { steps: 0, horizon: 16 };
+        let mut env = BanditEnv {
+            steps: 0,
+            horizon: 16,
+        };
         let mut last = PpoStats::default();
         for _ in 0..60 {
             last = trainer.train_iteration(&mut env, 32);
@@ -364,8 +397,12 @@ mod tests {
         // Near-perfect reward (each agent picks its own id).
         assert!(last.mean_reward > 0.9, "mean reward {}", last.mean_reward);
         // Greedy deployment behaviour matches.
-        let a0 = trainer.policy.act_greedy(&trainer.normalizer.normalize(&[1.0, 0.0]));
-        let a1 = trainer.policy.act_greedy(&trainer.normalizer.normalize(&[0.0, 1.0]));
+        let a0 = trainer
+            .policy
+            .act_greedy(&trainer.normalizer.normalize(&[1.0, 0.0]));
+        let a1 = trainer
+            .policy
+            .act_greedy(&trainer.normalizer.normalize(&[0.0, 1.0]));
         assert_eq!(a0, vec![0]);
         assert_eq!(a1, vec![1]);
     }
@@ -374,9 +411,16 @@ mod tests {
     fn entropy_decreases_with_training() {
         let mut rng = SmallRng::seed_from_u64(5);
         let policy = PpoPolicy::new(2, &[3], &[16], &mut rng);
-        let cfg = PpoConfig { lr: 3e-3, critic_lr: 3e-3, ..Default::default() };
+        let cfg = PpoConfig {
+            lr: 3e-3,
+            critic_lr: 3e-3,
+            ..Default::default()
+        };
         let mut trainer = PpoTrainer::new(policy, 2, cfg, 9);
-        let mut env = BanditEnv { steps: 0, horizon: 16 };
+        let mut env = BanditEnv {
+            steps: 0,
+            horizon: 16,
+        };
         let first = trainer.train_iteration(&mut env, 32);
         for _ in 0..50 {
             trainer.train_iteration(&mut env, 32);
@@ -395,7 +439,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let policy = PpoPolicy::new(2, &[3], &[8], &mut rng);
         let mut trainer = PpoTrainer::new(policy, 2, PpoConfig::default(), 1);
-        let mut env = BanditEnv { steps: 0, horizon: 4 };
+        let mut env = BanditEnv {
+            steps: 0,
+            horizon: 4,
+        };
         let buf = trainer.collect_rollout(&mut env, 10);
         // 10 steps × 2 agents.
         assert_eq!(buf.len(), 20);

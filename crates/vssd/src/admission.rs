@@ -13,15 +13,14 @@
 //!    fewer already-harvested resources go first (the paper's default
 //!    fairness rule on top of FCFS).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fleetio_des::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::vssd::VssdId;
 
 /// A harvest-related action submitted by an RL agent.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum HarvestAction {
     /// Harvest `bytes_per_sec` of bandwidth from collocated vSSDs.
     Harvest {
@@ -59,7 +58,7 @@ impl HarvestAction {
 }
 
 /// Per-vSSD provider permissions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Permissions {
     /// May this vSSD take `Harvest()` actions?
     pub allow_harvest: bool,
@@ -69,12 +68,15 @@ pub struct Permissions {
 
 impl Default for Permissions {
     fn default() -> Self {
-        Permissions { allow_harvest: true, allow_make_harvestable: true }
+        Permissions {
+            allow_harvest: true,
+            allow_make_harvestable: true,
+        }
     }
 }
 
 /// Contention policy applied when harvest demand exceeds supply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ContentionPolicy {
     /// First-come-first-serve, breaking contention in favour of vSSDs with
     /// fewer already-harvested resources (the paper's default).
@@ -85,12 +87,12 @@ pub enum ContentionPolicy {
 }
 
 /// The admission-control stage.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AdmissionControl {
     batch_interval: SimDuration,
     policy: ContentionPolicy,
     default_perms: Permissions,
-    perms: HashMap<VssdId, Permissions>,
+    perms: BTreeMap<VssdId, Permissions>,
     pending: Vec<HarvestAction>,
     rejected: u64,
     admitted: u64,
@@ -104,7 +106,7 @@ impl AdmissionControl {
             batch_interval: SimDuration::from_millis(50),
             policy: ContentionPolicy::default(),
             default_perms: Permissions::default(),
-            perms: HashMap::new(),
+            perms: BTreeMap::new(),
             pending: Vec::new(),
             rejected: 0,
             admitted: 0,
@@ -156,7 +158,11 @@ impl AdmissionControl {
     /// Enqueues an action for the next batch, applying permission checks
     /// immediately. Returns whether the action was accepted into the batch.
     pub fn submit(&mut self, action: HarvestAction) -> bool {
-        let perms = self.perms.get(&action.vssd()).copied().unwrap_or(self.default_perms);
+        let perms = self
+            .perms
+            .get(&action.vssd())
+            .copied()
+            .unwrap_or(self.default_perms);
         let allowed = match action {
             HarvestAction::Harvest { .. } => perms.allow_harvest,
             HarvestAction::MakeHarvestable { .. } => perms.allow_make_harvestable,
@@ -181,12 +187,13 @@ impl AdmissionControl {
     pub fn drain_batch(
         &mut self,
         supply_channels: usize,
-        harvested_holdings: &HashMap<VssdId, usize>,
+        harvested_holdings: &BTreeMap<VssdId, usize>,
         channel_bytes_per_sec: f64,
     ) -> Vec<HarvestAction> {
         let pending = std::mem::take(&mut self.pending);
-        let (mut makes, mut harvests): (Vec<_>, Vec<_>) =
-            pending.into_iter().partition(|a| matches!(a, HarvestAction::MakeHarvestable { .. }));
+        let (mut makes, mut harvests): (Vec<_>, Vec<_>) = pending
+            .into_iter()
+            .partition(|a| matches!(a, HarvestAction::MakeHarvestable { .. }));
 
         let demand: usize = harvests
             .iter()
@@ -213,11 +220,17 @@ mod tests {
     use super::*;
 
     fn harvest(v: u32, bw: f64) -> HarvestAction {
-        HarvestAction::Harvest { vssd: VssdId(v), bytes_per_sec: bw }
+        HarvestAction::Harvest {
+            vssd: VssdId(v),
+            bytes_per_sec: bw,
+        }
     }
 
     fn make(v: u32, bw: f64) -> HarvestAction {
-        HarvestAction::MakeHarvestable { vssd: VssdId(v), bytes_per_sec: bw }
+        HarvestAction::MakeHarvestable {
+            vssd: VssdId(v),
+            bytes_per_sec: bw,
+        }
     }
 
     const CH_BW: f64 = 64.0 * 1024.0 * 1024.0;
@@ -229,12 +242,36 @@ mod tests {
         ac.submit(make(2, CH_BW));
         ac.submit(harvest(3, CH_BW));
         ac.submit(make(4, CH_BW));
-        let batch = ac.drain_batch(10, &HashMap::new(), CH_BW);
+        let batch = ac.drain_batch(10, &BTreeMap::new(), CH_BW);
         assert_eq!(batch.len(), 4);
-        assert!(matches!(batch[0], HarvestAction::MakeHarvestable { vssd: VssdId(2), .. }));
-        assert!(matches!(batch[1], HarvestAction::MakeHarvestable { vssd: VssdId(4), .. }));
-        assert!(matches!(batch[2], HarvestAction::Harvest { vssd: VssdId(1), .. }));
-        assert!(matches!(batch[3], HarvestAction::Harvest { vssd: VssdId(3), .. }));
+        assert!(matches!(
+            batch[0],
+            HarvestAction::MakeHarvestable {
+                vssd: VssdId(2),
+                ..
+            }
+        ));
+        assert!(matches!(
+            batch[1],
+            HarvestAction::MakeHarvestable {
+                vssd: VssdId(4),
+                ..
+            }
+        ));
+        assert!(matches!(
+            batch[2],
+            HarvestAction::Harvest {
+                vssd: VssdId(1),
+                ..
+            }
+        ));
+        assert!(matches!(
+            batch[3],
+            HarvestAction::Harvest {
+                vssd: VssdId(3),
+                ..
+            }
+        ));
         assert_eq!(ac.pending(), 0);
         assert_eq!(ac.admitted(), 4);
     }
@@ -244,7 +281,10 @@ mod tests {
         let mut ac = AdmissionControl::new();
         ac.set_permissions(
             VssdId(1),
-            Permissions { allow_harvest: false, allow_make_harvestable: true },
+            Permissions {
+                allow_harvest: false,
+                allow_make_harvestable: true,
+            },
         );
         assert!(!ac.submit(harvest(1, CH_BW)));
         assert!(ac.submit(make(1, CH_BW)));
@@ -257,7 +297,7 @@ mod tests {
         let mut ac = AdmissionControl::new();
         ac.submit(harvest(1, 2.0 * CH_BW));
         ac.submit(harvest(2, 2.0 * CH_BW));
-        let mut holdings = HashMap::new();
+        let mut holdings = BTreeMap::new();
         holdings.insert(VssdId(1), 3);
         holdings.insert(VssdId(2), 0);
         // Demand (4 channels) exceeds supply (2): vssd2 (fewer holdings)
@@ -272,7 +312,7 @@ mod tests {
         let mut ac = AdmissionControl::new();
         ac.submit(harvest(1, CH_BW));
         ac.submit(harvest(2, CH_BW));
-        let mut holdings = HashMap::new();
+        let mut holdings = BTreeMap::new();
         holdings.insert(VssdId(1), 5);
         let batch = ac.drain_batch(10, &holdings, CH_BW);
         assert_eq!(batch[0].vssd(), VssdId(1));
@@ -283,7 +323,7 @@ mod tests {
         let mut ac = AdmissionControl::new().with_policy(ContentionPolicy::StrictFcfs);
         ac.submit(harvest(1, 2.0 * CH_BW));
         ac.submit(harvest(2, 2.0 * CH_BW));
-        let mut holdings = HashMap::new();
+        let mut holdings = BTreeMap::new();
         holdings.insert(VssdId(1), 9);
         let batch = ac.drain_batch(1, &holdings, CH_BW);
         assert_eq!(batch[0].vssd(), VssdId(1));
@@ -291,7 +331,10 @@ mod tests {
 
     #[test]
     fn default_batch_interval_is_50ms() {
-        assert_eq!(AdmissionControl::new().batch_interval(), SimDuration::from_millis(50));
+        assert_eq!(
+            AdmissionControl::new().batch_interval(),
+            SimDuration::from_millis(50)
+        );
     }
 
     #[test]

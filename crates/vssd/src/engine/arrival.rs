@@ -91,7 +91,8 @@ impl Engine {
         }
         let homes = &self.vssds[idx].cfg.channels;
         let ch = homes[(lpa as usize) % homes.len()];
-        let chip = ((lpa / homes.len() as u64) % u64::from(self.cfg.flash.chips_per_channel)) as u16;
+        let chip =
+            ((lpa / homes.len() as u64) % u64::from(self.cfg.flash.chips_per_channel)) as u16;
         Ppa::new(ch, chip, 0, 0)
     }
 
@@ -187,13 +188,15 @@ impl Engine {
     ) -> Option<(BlockAddr, u32)> {
         let blk = {
             let gsb = self.pool.get(id)?;
-            gsb.blocks
-                .iter()
-                .copied()
-                .find(|b| {
-                    b.channel == ch
-                        && self.device.chip(b.channel, b.chip).block(b.block).free_pages() > 0
-                })?
+            gsb.blocks.iter().copied().find(|b| {
+                b.channel == ch
+                    && self
+                        .device
+                        .chip(b.channel, b.chip)
+                        .block(b.block)
+                        .free_pages()
+                        > 0
+            })?
         };
         let page = self.device.append_page(blk, fleetio_flash::addr::Lpa(lpa));
         let harvester = self.vssds[idx].cfg.id;
@@ -214,7 +217,13 @@ impl Engine {
         let capacity = self.pool.get(id)?.capacity_blocks();
         for _ in 0..capacity {
             let blk = self.pool.get_mut(id)?.rotate_block();
-            if self.device.chip(blk.channel, blk.chip).block(blk.block).free_pages() > 0 {
+            if self
+                .device
+                .chip(blk.channel, blk.chip)
+                .block(blk.block)
+                .free_pages()
+                > 0
+            {
                 let page = self.device.append_page(blk, fleetio_flash::addr::Lpa(lpa));
                 // First write into a gSB block stamps its data owner.
                 let harvester = self.vssds[idx].cfg.id;
@@ -306,12 +315,21 @@ impl Engine {
                 self.device.allocate_block(ch, chip)?
             };
             let id = self.vssds[idx].cfg.id;
-            self.block_meta
-                .insert(blk, BlockMeta { resource_owner: id, data_owner: id, gsb: None });
+            self.block_meta.insert(
+                blk,
+                BlockMeta {
+                    resource_owner: id,
+                    data_owner: id,
+                    gsb: None,
+                },
+            );
             self.chip_blocks.entry(key).or_default().push(blk);
             self.vssds[idx].open_blocks.insert(key, blk);
         }
-        let blk = *self.vssds[idx].open_blocks.get(&key).expect("open block exists");
+        let blk = *self.vssds[idx]
+            .open_blocks
+            .get(&key)
+            .expect("open block exists");
         let page = self.device.append_page(blk, fleetio_flash::addr::Lpa(lpa));
         Some((blk, page))
     }

@@ -1,0 +1,147 @@
+//! Runtime invariant sweeps for the engine (the `audit` cargo feature).
+//!
+//! Every event dispatched by [`Engine::run_until`] is fed to a
+//! [`fleetio_des::audit::SimAuditor`] (event-time monotonicity), and every
+//! [`SWEEP_INTERVAL`] events the engine runs a full structural sweep over
+//! the cross-crate bookkeeping that no single method can see end to end:
+//!
+//! * **Free-block accounting** — per chip, the device's free list plus the
+//!   engine's registered-block lists must census to the full geometry.
+//!   This is the count the §3.4 GC trigger (`gc_free_threshold`, 20%)
+//!   reads via `free_fraction()`, so drift here silently breaks GC timing.
+//! * **Block registry consistency** — `block_meta` and `chip_blocks` hold
+//!   exactly the same blocks, each filed under its own chip, each in a
+//!   non-free device phase, and each `gsb` back-reference resolves.
+//! * **gSB harvest conservation** — the pool's `harvester` fields and the
+//!   per-vSSD `harvested` lists are two views of one relation; a gSB is
+//!   harvested by exactly the vSSD that lists it (§3.6).
+//!
+//! Checks are `debug_assert!`s: release builds with the feature enabled
+//! still skip them, and default builds do not compile this module at all.
+
+use fleetio_flash::block::BlockPhase;
+
+use super::Engine;
+
+/// Events between structural sweeps. Sweeps are O(blocks + gSBs); every
+/// 256 events keeps them well under timing noise for tiny-scale tests
+/// while still catching drift long before a run completes.
+pub const SWEEP_INTERVAL: u64 = 256;
+
+impl Engine {
+    /// Feeds one dispatched event to the auditor and runs the periodic
+    /// structural sweep when due. Called from `run_until` after the event
+    /// handler returns, with `self.now` at the event's timestamp.
+    pub(crate) fn audit_event(&mut self) {
+        self.auditor.observe_event(self.now);
+        if self.auditor.sweep_due(SWEEP_INTERVAL) {
+            self.audit_sweep();
+            self.auditor.note_sweep();
+        }
+    }
+
+    /// Number of (events, sweeps) the auditor has recorded — lets tests
+    /// assert that auditing actually ran.
+    pub fn audit_counts(&self) -> (u64, u64) {
+        (self.auditor.events_observed(), self.auditor.sweeps())
+    }
+
+    /// Runs the full structural sweep immediately. `run_until` calls this
+    /// periodically; tests may call it at any quiescent point.
+    pub fn audit_sweep(&self) {
+        self.device.audit_invariants();
+        self.pool.audit_invariants();
+        self.audit_block_registry();
+        self.audit_gsb_conservation();
+    }
+
+    /// Free-block accounting and `block_meta`/`chip_blocks` agreement.
+    fn audit_block_registry(&self) {
+        let f = &self.cfg.flash;
+        let per_chip = f.blocks_per_chip as usize;
+        let mut registered_total = 0usize;
+        for ch in 0..f.channels {
+            for chip in 0..f.chips_per_channel {
+                let registered = self.chip_blocks.get(&(ch, chip)).map_or(0, Vec::len);
+                registered_total += registered;
+                let free = self
+                    .device
+                    .chip(fleetio_flash::addr::ChannelId(ch), chip)
+                    .free_count();
+                debug_assert!(
+                    free + registered == per_chip,
+                    "chip ({ch}, {chip}): {free} free + {registered} registered != {per_chip} \
+                     blocks — the count behind the {}% GC trigger has drifted",
+                    self.cfg.gc_free_threshold * 100.0
+                );
+            }
+        }
+        debug_assert!(
+            registered_total == self.block_meta.len(),
+            "{registered_total} blocks in chip_blocks but {} block_meta entries",
+            self.block_meta.len()
+        );
+        for ((ch, chip), list) in &self.chip_blocks {
+            for blk in list {
+                debug_assert!(
+                    (blk.channel.0, blk.chip) == (*ch, *chip),
+                    "{blk:?} filed under chip ({ch}, {chip})"
+                );
+                debug_assert!(
+                    self.device
+                        .chip(blk.channel, blk.chip)
+                        .block(blk.block)
+                        .phase()
+                        != BlockPhase::Free,
+                    "{blk:?} is registered as allocated but free on the device"
+                );
+                let meta = self.block_meta.get(blk);
+                debug_assert!(
+                    meta.is_some(),
+                    "{blk:?} is in chip_blocks but has no block_meta"
+                );
+                if let Some(gsb) = meta.and_then(|m| m.gsb) {
+                    debug_assert!(
+                        self.pool.get(gsb).is_some(),
+                        "{blk:?} references {gsb} which is not in the pool"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every gSB in a vSSD's harvested (stripe) list must be marked
+    /// harvested *by that vSSD* in the pool, and no gSB may sit in two
+    /// lists. The pool may mark more gSBs harvested than the lists claim:
+    /// lazy reclamation (§3.6) retires a gSB from its harvester's stripe
+    /// while the pool keeps `harvester` set until GC empties its blocks
+    /// and `destroy_emptied_gsb` removes it.
+    fn audit_gsb_conservation(&self) {
+        let mut claimed = std::collections::BTreeSet::new();
+        for v in &self.vssds {
+            for id in &v.harvested {
+                debug_assert!(
+                    claimed.insert(*id),
+                    "{id} appears in two vSSDs' harvested lists"
+                );
+                match self.pool.get(*id) {
+                    None => {
+                        debug_assert!(false, "{} lists {id} which is not in the pool", v.cfg.id)
+                    }
+                    Some(g) => debug_assert!(
+                        g.harvester == Some(v.cfg.id),
+                        "{} lists {id} but the pool says harvester={:?}",
+                        v.cfg.id,
+                        g.harvester
+                    ),
+                }
+            }
+        }
+        let pool_harvested = self.pool.harvested_ids();
+        debug_assert!(
+            pool_harvested.is_superset(&claimed),
+            "vSSDs claim harvested gSBs the pool does not mark harvested: \
+             claimed {claimed:?}, pool {pool_harvested:?}"
+        );
+    }
+}

@@ -25,8 +25,7 @@ impl Engine {
         // grants this bounds both the bus wait (one grant) and the number
         // of concurrent low-priority chip programs a latency-critical read
         // can collide with.
-        let high_present = self
-            .chans[usize::from(ch)]
+        let high_present = self.chans[usize::from(ch)]
             .stride_members()
             .any(|idx| self.vssds[idx].priority == crate::request::Priority::High);
         let low_cap = self.cfg.dispatch_ahead.saturating_sub(1).max(1);
@@ -36,9 +35,7 @@ impl Engine {
             }
             match self.select_op(ch) {
                 Some((vssd_idx, rank)) => {
-                    if high_present
-                        && rank > 0
-                        && self.chans[usize::from(ch)].in_flight >= low_cap
+                    if high_present && rank > 0 && self.chans[usize::from(ch)].in_flight >= low_cap
                     {
                         self.maybe_schedule_token_retry(ch);
                         return;
@@ -146,7 +143,8 @@ impl Engine {
         let times = match (op.read, op.gc.is_some()) {
             (true, false) if rank == 0 => {
                 // High-priority reads use program/erase suspend.
-                self.device.read_page_preempting(now, channel, op.chip, op.bytes)
+                self.device
+                    .read_page_preempting(now, channel, op.chip, op.bytes)
             }
             (true, false) => self.device.read_page(now, channel, op.chip, op.bytes),
             (false, false) => self.device.write_page(now, channel, op.chip, op.bytes),
@@ -178,7 +176,9 @@ impl Engine {
             return;
         }
         let bytes = GRANT_BYTES.min(op.remaining);
-        let g = self.device.bus_grant(self.now, channel, bytes, op.read, op.gc);
+        let g = self
+            .device
+            .bus_grant(self.now, channel, bytes, op.read, op.gc);
         op.remaining -= bytes;
         self.events.push(g.end, Ev::Grant { ch, op });
     }
@@ -196,7 +196,10 @@ impl Engine {
         }
         if let Some(req_id) = req {
             let finished = {
-                let r = self.reqs.get_mut(&req_id).expect("page op for unknown request");
+                let r = self
+                    .reqs
+                    .get_mut(&req_id)
+                    .expect("page op for unknown request");
                 r.remaining -= 1;
                 r.remaining == 0
             };

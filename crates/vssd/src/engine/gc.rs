@@ -67,8 +67,11 @@ impl Engine {
             .valid_pages()
             .map(|(p, lpa)| (p, lpa.0))
             .collect();
-        let data_owner =
-            self.block_meta.get(&victim).map(|m| m.data_owner).unwrap_or(owner);
+        let data_owner = self
+            .block_meta
+            .get(&victim)
+            .map(|m| m.data_owner)
+            .unwrap_or(owner);
         let dst_idx = self.idx(data_owner);
 
         let job_id = self.next_gc_job;
@@ -93,7 +96,10 @@ impl Engine {
         for (page, lpa) in &live {
             let dst_ch = self.next_home_channel(dst_idx);
             let (dst_blk, dst_page) = self.append_home_page(dst_idx, dst_ch, *lpa);
-            let ppa = fleetio_flash::addr::Ppa { block: dst_blk, page: dst_page };
+            let ppa = fleetio_flash::addr::Ppa {
+                block: dst_blk,
+                page: dst_page,
+            };
             self.vssds[dst_idx].map.insert(*lpa, ppa);
             self.device.invalidate_page(victim, *page);
             ops.push((
@@ -119,7 +125,10 @@ impl Engine {
                 },
             ));
         }
-        self.gc_jobs.get_mut(&job_id).expect("job registered").remaining = ops.len() as u32;
+        self.gc_jobs
+            .get_mut(&job_id)
+            .expect("job registered")
+            .remaining = ops.len() as u32;
         if ops.is_empty() {
             // Fully dead block: erase right away.
             self.finish_gc_job(job_id);
@@ -163,7 +172,10 @@ impl Engine {
     /// Called by the dispatcher when a GC page op completes.
     pub(crate) fn process_gc_op_done(&mut self, job_id: u64) {
         let done = {
-            let job = self.gc_jobs.get_mut(&job_id).expect("GC op for unknown job");
+            let job = self
+                .gc_jobs
+                .get_mut(&job_id)
+                .expect("GC op for unknown job");
             job.remaining -= 1;
             job.remaining == 0
         };
@@ -174,12 +186,23 @@ impl Engine {
 
     /// Erases the victim and schedules the job's completion.
     fn finish_gc_job(&mut self, job_id: u64) {
-        let job = *self.gc_jobs.get(&job_id).expect("job exists");
-        let erase = self.device.erase(self.now, job.victim.channel, job.victim.chip);
+        let job = *self
+            .gc_jobs
+            .get(&job_id)
+            .expect("GC job stays registered until finish_gc_job");
+        let erase = self
+            .device
+            .erase(self.now, job.victim.channel, job.victim.chip);
         let busy = erase.end.saturating_since(job.started);
         self.events.push(
             erase.end,
-            Ev::GcDone { vssd: job.owner, ch: job.ch, chip: job.chip, busy, job: job_id },
+            Ev::GcDone {
+                vssd: job.owner,
+                ch: job.ch,
+                chip: job.chip,
+                busy,
+                job: job_id,
+            },
         );
     }
 
@@ -314,7 +337,9 @@ impl Engine {
         if self.warming {
             return;
         }
-        let Some(meta) = self.block_meta.get(&blk) else { return };
+        let Some(meta) = self.block_meta.get(&blk) else {
+            return;
+        };
         if self.hbt.class(blk) != BlockClass::Harvested {
             return;
         }
@@ -371,7 +396,10 @@ impl Engine {
         for (page, lpa) in live {
             let dst_ch = self.next_home_channel(dst_idx);
             let (dst_blk, dst_page) = self.append_home_page(dst_idx, dst_ch, lpa);
-            let ppa = fleetio_flash::addr::Ppa { block: dst_blk, page: dst_page };
+            let ppa = fleetio_flash::addr::Ppa {
+                block: dst_blk,
+                page: dst_page,
+            };
             self.vssds[dst_idx].map.insert(lpa, ppa);
             self.device.invalidate_page(victim, page);
             let _ = self.device.migrate_page(

@@ -7,7 +7,7 @@
 //! idempotent level-setting (issuing the same action twice is a no-op
 //! rather than doubling the harvest).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fleetio_flash::addr::{BlockAddr, ChannelId};
 
@@ -84,7 +84,10 @@ impl Engine {
                     Err(_) => return,
                 }
             } else if current > n_chls && !self.vssds[idx].harvested.is_empty() {
-                let gsb = self.vssds[idx].harvested.pop().expect("non-empty");
+                let gsb = self.vssds[idx]
+                    .harvested
+                    .pop()
+                    .expect("branch checked harvested non-empty");
                 self.rebuild_stripe_of(idx);
                 self.release_harvested_gsb(gsb);
             } else {
@@ -114,8 +117,11 @@ impl Engine {
             .map(|&ch| (self.device.free_blocks(&[ch]), ch))
             .collect();
         candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        let chosen: Vec<ChannelId> =
-            candidates.into_iter().take(want_chls).map(|(_, ch)| ch).collect();
+        let chosen: Vec<ChannelId> = candidates
+            .into_iter()
+            .take(want_chls)
+            .map(|(_, ch)| ch)
+            .collect();
         if chosen.is_empty() {
             return;
         }
@@ -142,9 +148,16 @@ impl Engine {
             self.hbt.mark_harvested(blk);
             self.block_meta.insert(
                 blk,
-                super::vstate::BlockMeta { resource_owner: id, data_owner: id, gsb: Some(gsb) },
+                super::vstate::BlockMeta {
+                    resource_owner: id,
+                    data_owner: id,
+                    gsb: Some(gsb),
+                },
             );
-            self.chip_blocks.entry((blk.channel.0, blk.chip)).or_default().push(blk);
+            self.chip_blocks
+                .entry((blk.channel.0, blk.chip))
+                .or_default()
+                .push(blk);
         }
     }
 
@@ -157,8 +170,12 @@ impl Engine {
             .pool
             .of_home(home)
             .into_iter()
-            .filter_map(|g| self.pool.get(g).map(|x| (x.n_chls(), g)))
-            .filter(|(_, g)| !self.pool.get(*g).expect("exists").in_use())
+            .filter_map(|g| {
+                self.pool
+                    .get(g)
+                    .filter(|x| !x.in_use())
+                    .map(|x| (x.n_chls(), g))
+            })
             .collect();
         avail.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
         for (n, gsb) in avail {
@@ -202,9 +219,13 @@ impl Engine {
     /// back to the home vSSD; written ones become GC-reclaimed zombies.
     fn release_harvested_gsb(&mut self, id: GsbId) {
         let untouched = self.pool.get(id).is_some_and(|g| {
-            g.blocks
-                .iter()
-                .all(|b| self.device.chip(b.channel, b.chip).block(b.block).written_count() == 0)
+            g.blocks.iter().all(|b| {
+                self.device
+                    .chip(b.channel, b.chip)
+                    .block(b.block)
+                    .written_count()
+                    == 0
+            })
         });
         if untouched {
             if let Some(g) = self.pool.destroy_harvested(id) {
@@ -246,7 +267,7 @@ impl Engine {
     /// Executes one admission batch (§3.5) and schedules the next tick.
     pub(crate) fn process_admission_tick(&mut self) {
         let supply = self.pool.available_channels_total();
-        let holdings: HashMap<VssdId, usize> = self
+        let holdings: BTreeMap<VssdId, usize> = self
             .vssds
             .iter()
             .map(|v| (v.cfg.id, self.pool.harvested_channels_by(v.cfg.id)))
@@ -259,11 +280,17 @@ impl Engine {
         // having to re-issue its action (the actions are *levels*, §3.3.2).
         for action in batch {
             match action {
-                HarvestAction::MakeHarvestable { vssd, bytes_per_sec } => {
+                HarvestAction::MakeHarvestable {
+                    vssd,
+                    bytes_per_sec,
+                } => {
                     let target = self.channels_for_bandwidth(bytes_per_sec);
                     self.harvest_targets.entry(vssd).or_insert((0, 0)).1 = target;
                 }
-                HarvestAction::Harvest { vssd, bytes_per_sec } => {
+                HarvestAction::Harvest {
+                    vssd,
+                    bytes_per_sec,
+                } => {
                     let target = self.channels_for_bandwidth(bytes_per_sec);
                     self.harvest_targets.entry(vssd).or_insert((0, 0)).0 = target;
                 }

@@ -16,6 +16,8 @@
 //!    statistics; [`Engine::snapshot`] exposes the remaining RL states.
 
 mod arrival;
+#[cfg(feature = "audit")]
+pub mod audit;
 mod dispatch;
 mod gc;
 mod harvest;
@@ -23,14 +25,13 @@ mod vstate;
 
 pub use vstate::VssdCumulative;
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use fleetio_des::window::WindowSummary;
 use fleetio_des::{EventQueue, SimDuration, SimTime};
 use fleetio_flash::addr::BlockAddr;
 use fleetio_flash::config::FlashConfig;
 use fleetio_flash::device::FlashDevice;
-use serde::{Deserialize, Serialize};
 
 use crate::admission::{AdmissionControl, HarvestAction};
 use crate::gsb::GsbPool;
@@ -42,7 +43,7 @@ use crate::vssd::{VssdConfig, VssdId};
 use self::vstate::{BlockMeta, VssdState};
 
 /// Engine-level configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Flash device configuration.
     pub flash: FlashConfig,
@@ -134,13 +135,30 @@ impl ChanState {
 /// Engine events.
 #[derive(Debug, Clone)]
 pub(crate) enum Ev {
-    Arrival { id: u64, req: IoRequest },
-    PageDone { ch: u16, req: Option<u64> },
-    GcDone { vssd: VssdId, ch: u16, chip: u16, busy: SimDuration, job: u64 },
+    Arrival {
+        id: u64,
+        req: IoRequest,
+    },
+    PageDone {
+        ch: u16,
+        req: Option<u64>,
+    },
+    GcDone {
+        vssd: VssdId,
+        ch: u16,
+        chip: u16,
+        busy: SimDuration,
+        job: u64,
+    },
     AdmissionTick,
-    TokenRetry { ch: u16 },
+    TokenRetry {
+        ch: u16,
+    },
     /// Next bus grant of a time-sliced low-priority transfer.
-    Grant { ch: u16, op: GrantOp },
+    Grant {
+        ch: u16,
+        op: GrantOp,
+    },
 }
 
 /// State of a time-sliced (grant-by-grant) page operation in flight.
@@ -181,7 +199,7 @@ pub(crate) struct InflightReq {
 }
 
 /// RL-facing snapshot of a vSSD's non-window states.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VssdSnapshot {
     /// Free logical capacity in bytes (the paper's `Avail_Capacity`).
     pub free_capacity_bytes: u64,
@@ -203,23 +221,23 @@ pub struct Engine {
     pub(crate) now: SimTime,
     pub(crate) events: EventQueue<Ev>,
     pub(crate) vssds: Vec<VssdState>,
-    pub(crate) id_to_idx: HashMap<VssdId, usize>,
+    pub(crate) id_to_idx: BTreeMap<VssdId, usize>,
     pub(crate) chans: Vec<ChanState>,
     pub(crate) pool: GsbPool,
     pub(crate) hbt: HarvestedBlockTable,
     pub(crate) admission: AdmissionControl,
-    pub(crate) block_meta: HashMap<BlockAddr, BlockMeta>,
+    pub(crate) block_meta: BTreeMap<BlockAddr, BlockMeta>,
     /// Allocated blocks per `(channel, chip)` for victim scans.
-    pub(crate) chip_blocks: HashMap<(u16, u16), Vec<BlockAddr>>,
-    pub(crate) reqs: HashMap<u64, InflightReq>,
+    pub(crate) chip_blocks: BTreeMap<(u16, u16), Vec<BlockAddr>>,
+    pub(crate) reqs: BTreeMap<u64, InflightReq>,
     pub(crate) next_req: u64,
     pub(crate) completed: Vec<CompletedRequest>,
-    pub(crate) gc_running: HashSet<(u16, u16)>,
-    pub(crate) gc_jobs: HashMap<u64, GcJob>,
+    pub(crate) gc_running: BTreeSet<(u16, u16)>,
+    pub(crate) gc_jobs: BTreeMap<u64, GcJob>,
     pub(crate) next_gc_job: u64,
     /// Persistent per-vSSD (harvest, make-harvestable) channel targets,
     /// reconciled at every admission tick.
-    pub(crate) harvest_targets: HashMap<VssdId, (usize, usize)>,
+    pub(crate) harvest_targets: BTreeMap<VssdId, (usize, usize)>,
     pub(crate) window_start: Vec<SimTime>,
     /// Suppresses GC and timing during warm-up pre-fill.
     pub(crate) warming: bool,
@@ -229,6 +247,9 @@ pub struct Engine {
     /// bookkeeping (they have not reached the queues yet, but write
     /// placement must see them to spread a multi-page request).
     pub(crate) planned: Vec<u32>,
+    /// Runtime invariant auditor (see [`audit`]).
+    #[cfg(feature = "audit")]
+    pub(crate) auditor: fleetio_des::audit::SimAuditor,
 }
 
 impl Engine {
@@ -245,7 +266,7 @@ impl Engine {
         let device = FlashDevice::new(cfg.flash.clone());
         let n_channels = usize::from(cfg.flash.channels);
         let mut states = Vec::with_capacity(vssds.len());
-        let mut id_to_idx = HashMap::new();
+        let mut id_to_idx = BTreeMap::new();
         for (idx, vc) in vssds.into_iter().enumerate() {
             if let Err(e) = vc.validate() {
                 panic!("invalid vssd config: {e}");
@@ -258,7 +279,11 @@ impl Engine {
                     ch
                 );
             }
-            assert!(id_to_idx.insert(vc.id, idx).is_none(), "duplicate vssd id {}", vc.id);
+            assert!(
+                id_to_idx.insert(vc.id, idx).is_none(),
+                "duplicate vssd id {}",
+                vc.id
+            );
             states.push(VssdState::new(vc));
         }
         let chans = (0..n_channels)
@@ -273,7 +298,10 @@ impl Engine {
             .collect();
         let mut events = EventQueue::new();
         let admission = AdmissionControl::new();
-        events.push(SimTime::ZERO + admission.batch_interval(), Ev::AdmissionTick);
+        events.push(
+            SimTime::ZERO + admission.batch_interval(),
+            Ev::AdmissionTick,
+        );
         let n_vssds = states.len();
         Engine {
             cfg,
@@ -286,19 +314,21 @@ impl Engine {
             pool: GsbPool::new(n_channels),
             hbt: HarvestedBlockTable::new(),
             admission,
-            block_meta: HashMap::new(),
-            chip_blocks: HashMap::new(),
-            reqs: HashMap::new(),
+            block_meta: BTreeMap::new(),
+            chip_blocks: BTreeMap::new(),
+            reqs: BTreeMap::new(),
             next_req: 0,
             completed: Vec::new(),
-            gc_running: HashSet::new(),
-            gc_jobs: HashMap::new(),
+            gc_running: BTreeSet::new(),
+            gc_jobs: BTreeMap::new(),
             next_gc_job: 0,
-            harvest_targets: HashMap::new(),
+            harvest_targets: BTreeMap::new(),
             window_start: vec![SimTime::ZERO; n_vssds],
             warming: false,
             in_emergency: false,
             planned: vec![0; n_channels],
+            #[cfg(feature = "audit")]
+            auditor: fleetio_des::audit::SimAuditor::new(),
         }
     }
 
@@ -323,7 +353,10 @@ impl Engine {
     }
 
     pub(crate) fn idx(&self, id: VssdId) -> usize {
-        *self.id_to_idx.get(&id).unwrap_or_else(|| panic!("unknown vssd {id}"))
+        *self
+            .id_to_idx
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown vssd {id}"))
     }
 
     /// Ids of all hosted vSSDs in registration order.
@@ -372,7 +405,12 @@ impl Engine {
     /// Panics if the request's arrival is in the simulated past, its vSSD
     /// is unknown, or its length is zero.
     pub fn submit(&mut self, req: IoRequest) -> RequestId {
-        assert!(req.arrival >= self.now, "arrival {} is before now {}", req.arrival, self.now);
+        assert!(
+            req.arrival >= self.now,
+            "arrival {} is before now {}",
+            req.arrival,
+            self.now
+        );
         assert!(req.len > 0, "request length must be positive");
         let _ = self.idx(req.vssd);
         let id = self.next_req;
@@ -405,9 +443,13 @@ impl Engine {
             match ev.payload {
                 Ev::Arrival { id, req } => self.process_arrival(id, req),
                 Ev::PageDone { ch, req } => self.process_page_done(ch, req),
-                Ev::GcDone { vssd, ch, chip, busy, job } => {
-                    self.process_gc_done(vssd, ch, chip, busy, job)
-                }
+                Ev::GcDone {
+                    vssd,
+                    ch,
+                    chip,
+                    busy,
+                    job,
+                } => self.process_gc_done(vssd, ch, chip, busy, job),
                 Ev::AdmissionTick => self.process_admission_tick(),
                 Ev::TokenRetry { ch } => {
                     self.chans[usize::from(ch)].retry_pending = false;
@@ -415,6 +457,8 @@ impl Engine {
                 }
                 Ev::Grant { ch, op } => self.process_grant(ch, op),
             }
+            #[cfg(feature = "audit")]
+            self.audit_event();
         }
         self.now = t;
     }
@@ -504,8 +548,12 @@ impl Engine {
     pub fn snapshot(&self, id: VssdId) -> VssdSnapshot {
         let v = &self.vssds[self.idx(id)];
         let mapped = v.mapped_pages * u64::from(self.cfg.flash.page_bytes);
-        let harvested_channels =
-            v.harvested.iter().filter_map(|g| self.pool.get(*g)).map(|g| g.n_chls()).sum();
+        let harvested_channels = v
+            .harvested
+            .iter()
+            .filter_map(|g| self.pool.get(*g))
+            .map(|g| g.n_chls())
+            .sum();
         let harvestable_channels = self
             .pool
             .of_home(id)
@@ -551,7 +599,10 @@ impl Engine {
     ///
     /// Panics if `fraction` is not in `[0, 1]` or `id` is unknown.
     pub fn warm_up(&mut self, id: VssdId, fraction: f64) {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         let idx = self.idx(id);
         let pages = (self.logical_capacity_pages(id) as f64 * fraction) as u64;
         self.warming = true;
@@ -584,7 +635,10 @@ mod tests {
     use fleetio_flash::addr::ChannelId;
 
     fn engine_2vssd() -> Engine {
-        let cfg = EngineConfig { flash: FlashConfig::small_test(), ..Default::default() };
+        let cfg = EngineConfig {
+            flash: FlashConfig::small_test(),
+            ..Default::default()
+        };
         let v0 = VssdConfig::hardware(VssdId(0), vec![ChannelId(0), ChannelId(1)]);
         let v1 = VssdConfig::hardware(VssdId(1), vec![ChannelId(2), ChannelId(3)]);
         Engine::new(cfg, vec![v0, v1])
@@ -613,7 +667,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate vssd id")]
     fn duplicate_ids_panic() {
-        let cfg = EngineConfig { flash: FlashConfig::small_test(), ..Default::default() };
+        let cfg = EngineConfig {
+            flash: FlashConfig::small_test(),
+            ..Default::default()
+        };
         let v = VssdConfig::hardware(VssdId(0), vec![ChannelId(0)]);
         let _ = Engine::new(cfg, vec![v.clone(), v]);
     }
@@ -621,7 +678,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside the device")]
     fn out_of_range_channel_panics() {
-        let cfg = EngineConfig { flash: FlashConfig::small_test(), ..Default::default() };
+        let cfg = EngineConfig {
+            flash: FlashConfig::small_test(),
+            ..Default::default()
+        };
         let v = VssdConfig::hardware(VssdId(0), vec![ChannelId(99)]);
         let _ = Engine::new(cfg, vec![v]);
     }

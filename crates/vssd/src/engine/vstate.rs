@@ -1,6 +1,6 @@
 //! Per-vSSD runtime state inside the engine.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fleetio_des::window::WindowStats;
 use fleetio_des::LatencyHistogram;
@@ -50,9 +50,9 @@ pub struct VssdCumulative {
 pub(crate) struct VssdState {
     pub cfg: VssdConfig,
     /// LPA (page units) → physical page mapping.
-    pub map: HashMap<u64, Ppa>,
+    pub map: BTreeMap<u64, Ppa>,
     /// Open append block per `(channel, chip)` on home channels.
-    pub open_blocks: HashMap<(u16, u16), BlockAddr>,
+    pub open_blocks: BTreeMap<(u16, u16), BlockAddr>,
     /// Write-striping rotation (home channels + harvested gSB slots).
     pub stripe: Vec<StripeTarget>,
     pub stripe_pos: usize,
@@ -75,12 +75,18 @@ pub(crate) struct VssdState {
 
 impl VssdState {
     pub(crate) fn new(cfg: VssdConfig) -> Self {
-        let bucket = cfg.rate_limit.map(|rate| TokenBucket::new(rate, rate * 0.05));
-        let stripe = cfg.channels.iter().map(|&c| StripeTarget::Home(c)).collect();
+        let bucket = cfg
+            .rate_limit
+            .map(|rate| TokenBucket::new(rate, rate * 0.05));
+        let stripe = cfg
+            .channels
+            .iter()
+            .map(|&c| StripeTarget::Home(c))
+            .collect();
         VssdState {
             cfg,
-            map: HashMap::new(),
-            open_blocks: HashMap::new(),
+            map: BTreeMap::new(),
+            open_blocks: BTreeMap::new(),
             stripe,
             stripe_pos: 0,
             harvested: Vec::new(),
@@ -96,8 +102,12 @@ impl VssdState {
     /// Rebuilds the striping rotation from home channels plus one slot per
     /// channel of each active harvested gSB.
     pub(crate) fn rebuild_stripe(&mut self, gsb_channels: impl Fn(GsbId) -> usize) {
-        let mut stripe: Vec<StripeTarget> =
-            self.cfg.channels.iter().map(|&c| StripeTarget::Home(c)).collect();
+        let mut stripe: Vec<StripeTarget> = self
+            .cfg
+            .channels
+            .iter()
+            .map(|&c| StripeTarget::Home(c))
+            .collect();
         for &id in &self.harvested {
             for _ in 0..gsb_channels(id) {
                 stripe.push(StripeTarget::Gsb(id));
@@ -126,7 +136,10 @@ mod tests {
         let st = VssdState::new(cfg());
         assert_eq!(
             st.stripe,
-            vec![StripeTarget::Home(ChannelId(0)), StripeTarget::Home(ChannelId(1))]
+            vec![
+                StripeTarget::Home(ChannelId(0)),
+                StripeTarget::Home(ChannelId(1))
+            ]
         );
         assert!(st.bucket.is_none());
     }

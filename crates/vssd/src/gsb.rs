@@ -12,15 +12,14 @@
 //! plus the concrete block list and an append cursor, which on real hardware
 //! live in the block-level mapping the gSB manager initializes at creation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fleetio_flash::addr::{BlockAddr, ChannelId};
-use serde::{Deserialize, Serialize};
 
 use crate::vssd::VssdId;
 
 /// Identifier of a ghost superblock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GsbId(pub u64);
 
 impl std::fmt::Display for GsbId {
@@ -30,7 +29,7 @@ impl std::fmt::Display for GsbId {
 }
 
 /// One ghost superblock.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GhostSuperblock {
     /// Identifier within the pool.
     pub id: GsbId,
@@ -54,9 +53,19 @@ impl GhostSuperblock {
     ///
     /// Panics if `channels` or `blocks` is empty.
     pub fn new(id: GsbId, home: VssdId, channels: Vec<ChannelId>, blocks: Vec<BlockAddr>) -> Self {
-        assert!(!channels.is_empty(), "gSB must stripe across at least one channel");
+        assert!(
+            !channels.is_empty(),
+            "gSB must stripe across at least one channel"
+        );
         assert!(!blocks.is_empty(), "gSB must contain at least one block");
-        GhostSuperblock { id, channels, blocks, home, harvester: None, cursor: 0 }
+        GhostSuperblock {
+            id,
+            channels,
+            blocks,
+            home,
+            harvester: None,
+            cursor: 0,
+        }
     }
 
     /// Number of channels the gSB stripes across (the paper's `n_chls`).
@@ -105,12 +114,12 @@ impl std::fmt::Display for HarvestError {
 impl std::error::Error for HarvestError {}
 
 /// The gSB pool: available gSBs in per-`n_chls` lists (§3.6, Figure 8).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GsbPool {
     /// `lists[n]` holds available (unharvested) gSBs with `n_chls == n + 1`,
     /// newest first (the paper inserts at the head of the list).
     lists: Vec<Vec<GsbId>>,
-    gsbs: HashMap<GsbId, GhostSuperblock>,
+    gsbs: BTreeMap<GsbId, GhostSuperblock>,
     next_id: u64,
 }
 
@@ -122,7 +131,11 @@ impl GsbPool {
     /// Panics if `max_channels` is zero.
     pub fn new(max_channels: usize) -> Self {
         assert!(max_channels > 0, "pool needs at least one channel class");
-        GsbPool { lists: vec![Vec::new(); max_channels], gsbs: HashMap::new(), next_id: 0 }
+        GsbPool {
+            lists: vec![Vec::new(); max_channels],
+            gsbs: BTreeMap::new(),
+            next_id: 0,
+        }
     }
 
     /// Creates a gSB from `blocks` striped over `channels` and inserts it at
@@ -138,7 +151,10 @@ impl GsbPool {
         channels: Vec<ChannelId>,
         blocks: Vec<BlockAddr>,
     ) -> GsbId {
-        assert!(channels.len() <= self.lists.len(), "n_chls exceeds device channels");
+        assert!(
+            channels.len() <= self.lists.len(),
+            "n_chls exceeds device channels"
+        );
         let id = GsbId(self.next_id);
         self.next_id += 1;
         let gsb = GhostSuperblock::new(id, home, channels, blocks);
@@ -165,7 +181,11 @@ impl GsbPool {
     /// Sum of `n_chls` over all available (unharvested) gSBs — the pool's
     /// harvestable channel supply.
     pub fn available_channels_total(&self) -> usize {
-        self.lists.iter().enumerate().map(|(i, l)| (i + 1) * l.len()).sum()
+        self.lists
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i + 1) * l.len())
+            .sum()
     }
 
     /// Sum of `n_chls` of gSBs currently harvested by `harvester`.
@@ -184,8 +204,12 @@ impl GsbPool {
 
     /// Ids of every gSB (available or harvested) whose home is `home`.
     pub fn of_home(&self, home: VssdId) -> Vec<GsbId> {
-        let mut ids: Vec<GsbId> =
-            self.gsbs.values().filter(|g| g.home == home).map(|g| g.id).collect();
+        let mut ids: Vec<GsbId> = self
+            .gsbs
+            .values()
+            .filter(|g| g.home == home)
+            .map(|g| g.id)
+            .collect();
         ids.sort();
         ids
     }
@@ -219,6 +243,53 @@ impl GsbPool {
         Err(HarvestError::NoneAvailable)
     }
 
+    /// Ids of every currently-harvested gSB (for conservation auditing).
+    #[cfg(feature = "audit")]
+    pub fn harvested_ids(&self) -> std::collections::BTreeSet<GsbId> {
+        self.gsbs
+            .values()
+            .filter(|g| g.in_use())
+            .map(|g| g.id)
+            .collect()
+    }
+
+    /// Audits the pool's structural invariants (the `audit` feature's
+    /// periodic sweep calls this):
+    ///
+    /// * every listed id resolves to an unharvested gSB filed under its own
+    ///   `n_chls` class, with no duplicates across lists;
+    /// * conversely, every unharvested gSB is listed (available ⇔ not
+    ///   `in_use`), so harvest/destroy bookkeeping conserves gSBs.
+    ///
+    /// All checks are `debug_assert!`s; in release builds this is a no-op.
+    #[cfg(feature = "audit")]
+    pub fn audit_invariants(&self) {
+        let mut listed = std::collections::BTreeSet::new();
+        for (li, list) in self.lists.iter().enumerate() {
+            for id in list {
+                debug_assert!(listed.insert(*id), "{id} appears on two availability lists");
+                match self.gsbs.get(id) {
+                    None => debug_assert!(false, "{id} is listed but not in the pool map"),
+                    Some(g) => {
+                        debug_assert!(!g.in_use(), "{id} is listed available while harvested");
+                        debug_assert!(
+                            g.n_chls() == li + 1,
+                            "{id} with n_chls {} filed under class {}",
+                            g.n_chls(),
+                            li + 1
+                        );
+                    }
+                }
+            }
+        }
+        for (id, g) in &self.gsbs {
+            debug_assert!(
+                g.in_use() || listed.contains(id),
+                "{id} is unharvested but missing from the availability lists"
+            );
+        }
+    }
+
     /// Removes an *available* gSB from the pool entirely (destroy path of
     /// reclamation), returning it. Returns `None` if the gSB is currently
     /// harvested or unknown.
@@ -248,7 +319,13 @@ mod tests {
     use super::*;
 
     fn blocks(channel: u16, n: u32) -> Vec<BlockAddr> {
-        (0..n).map(|b| BlockAddr { channel: ChannelId(channel), chip: 0, block: b }).collect()
+        (0..n)
+            .map(|b| BlockAddr {
+                channel: ChannelId(channel),
+                chip: 0,
+                block: b,
+            })
+            .collect()
     }
 
     fn pool() -> GsbPool {
@@ -335,8 +412,16 @@ mod tests {
             VssdId(0),
             vec![ChannelId(0), ChannelId(1)],
             vec![
-                BlockAddr { channel: ChannelId(0), chip: 0, block: 0 },
-                BlockAddr { channel: ChannelId(1), chip: 0, block: 0 },
+                BlockAddr {
+                    channel: ChannelId(0),
+                    chip: 0,
+                    block: 0,
+                },
+                BlockAddr {
+                    channel: ChannelId(1),
+                    chip: 0,
+                    block: 0,
+                },
             ],
         );
         let a = g.rotate_block();

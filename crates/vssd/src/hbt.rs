@@ -6,13 +6,12 @@
 //! harvested/reclaimed = 1), costing at most 0.5 MB for a 1 TB SSD with 4 MB
 //! blocks; the table below stores the same bit keyed by block address.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use fleetio_flash::addr::BlockAddr;
-use serde::{Deserialize, Serialize};
 
 /// Classification of a physical block for GC purposes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockClass {
     /// A block in normal vSSD use.
     Regular,
@@ -35,9 +34,9 @@ pub enum BlockClass {
 /// hbt.mark_harvested(blk);
 /// assert_eq!(hbt.class(blk), BlockClass::Harvested);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct HarvestedBlockTable {
-    harvested: HashSet<BlockAddr>,
+    harvested: BTreeSet<BlockAddr>,
 }
 
 impl HarvestedBlockTable {
@@ -78,7 +77,11 @@ mod tests {
     use fleetio_flash::addr::ChannelId;
 
     fn blk(b: u32) -> BlockAddr {
-        BlockAddr { channel: ChannelId(0), chip: 0, block: b }
+        BlockAddr {
+            channel: ChannelId(0),
+            chip: 0,
+            block: b,
+        }
     }
 
     #[test]

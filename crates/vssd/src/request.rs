@@ -1,16 +1,15 @@
 //! Tenant I/O requests and scheduling priorities.
 
 use fleetio_des::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::vssd::VssdId;
 
 /// Unique id of a submitted request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(pub u64);
 
 /// Direction of an I/O request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IoOp {
     /// Read from the vSSD.
     Read,
@@ -27,8 +26,7 @@ impl IoOp {
 
 /// I/O scheduling priority (§3.3.2: the `Set_Priority(level)` action picks
 /// one of these three levels).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Priority {
     /// Served only when no higher level is waiting.
     Low,
@@ -53,9 +51,8 @@ impl Priority {
     }
 }
 
-
 /// One block-level I/O request issued by a tenant to its vSSD.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoRequest {
     /// The vSSD this request targets.
     pub vssd: VssdId,
@@ -90,7 +87,7 @@ impl IoRequest {
 }
 
 /// A completed request with its measured service quality.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompletedRequest {
     /// Id assigned at submission.
     pub id: RequestId,

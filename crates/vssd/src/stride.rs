@@ -5,9 +5,7 @@
 //! holds tickets; picking a client advances its *pass* by `stride ∝
 //! 1/tickets`, and the client with the minimum pass is always served next.
 
-use std::collections::HashMap;
-
-use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Global stride numerator: pass advances by `STRIDE1 / tickets`.
 const STRIDE1: u64 = 1 << 20;
@@ -23,25 +21,27 @@ const STRIDE1: u64 = 1 << 20;
 /// s.add_client("a", 100);
 /// s.add_client("b", 100);
 /// // Equal tickets → strict alternation when both are runnable.
-/// let first = s.pick(["a", "b"].into_iter()).unwrap();
-/// let second = s.pick(["a", "b"].into_iter()).unwrap();
+/// let first = s.pick(["a", "b"]).unwrap();
+/// let second = s.pick(["a", "b"]).unwrap();
 /// assert_ne!(first, second);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct StrideScheduler<K: std::hash::Hash + Eq + Clone> {
-    clients: HashMap<K, StrideState>,
+#[derive(Debug, Clone, Default)]
+pub struct StrideScheduler<K: Ord + Clone> {
+    clients: BTreeMap<K, StrideState>,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct StrideState {
     stride: u64,
     pass: u64,
 }
 
-impl<K: std::hash::Hash + Eq + Clone> StrideScheduler<K> {
+impl<K: Ord + Clone> StrideScheduler<K> {
     /// Creates an empty scheduler.
     pub fn new() -> Self {
-        StrideScheduler { clients: HashMap::new() }
+        StrideScheduler {
+            clients: BTreeMap::new(),
+        }
     }
 
     /// Registers a client with `tickets` shares. Re-registering resets its
@@ -53,8 +53,13 @@ impl<K: std::hash::Hash + Eq + Clone> StrideScheduler<K> {
     pub fn add_client(&mut self, key: K, tickets: u32) {
         assert!(tickets > 0, "tickets must be positive");
         let min_pass = self.clients.values().map(|c| c.pass).min().unwrap_or(0);
-        self.clients
-            .insert(key, StrideState { stride: STRIDE1 / u64::from(tickets), pass: min_pass });
+        self.clients.insert(
+            key,
+            StrideState {
+                stride: STRIDE1 / u64::from(tickets),
+                pass: min_pass,
+            },
+        );
     }
 
     /// Changes a registered client's ticket count while *preserving* its
@@ -95,7 +100,7 @@ impl<K: std::hash::Hash + Eq + Clone> StrideScheduler<K> {
     /// when no runnable client is registered.
     ///
     /// Ties break on insertion-independent key order is not guaranteed by
-    /// `HashMap`; callers that need determinism should pass `runnable` in a
+    /// `BTreeMap`; callers that need determinism should pass `runnable` in a
     /// stable order — the first minimal client in iteration order of
     /// `runnable` wins.
     pub fn pick<I>(&mut self, runnable: I) -> Option<K>
@@ -129,7 +134,7 @@ mod tests {
         s.add_client(2, 100);
         let mut counts = [0u32; 3];
         for _ in 0..100 {
-            let k = s.pick([1, 2].into_iter()).unwrap();
+            let k = s.pick([1, 2]).unwrap();
             counts[k as usize] += 1;
         }
         assert_eq!(counts[1], 50);
@@ -143,7 +148,7 @@ mod tests {
         s.add_client("light", 100);
         let mut heavy = 0;
         for _ in 0..400 {
-            if s.pick(["heavy", "light"].into_iter()).unwrap() == "heavy" {
+            if s.pick(["heavy", "light"]).unwrap() == "heavy" {
                 heavy += 1;
             }
         }
@@ -157,11 +162,11 @@ mod tests {
         s.add_client(1, 100);
         s.add_client(2, 100);
         for _ in 0..10 {
-            assert_eq!(s.pick([2].into_iter()), Some(2));
+            assert_eq!(s.pick([2]), Some(2));
         }
         // Client 1 did not fall behind forever: it wins immediately once
         // runnable because its pass never advanced.
-        assert_eq!(s.pick([1, 2].into_iter()), Some(1));
+        assert_eq!(s.pick([1, 2]), Some(1));
     }
 
     #[test]
@@ -169,13 +174,13 @@ mod tests {
         let mut s = StrideScheduler::new();
         s.add_client(1, 100);
         for _ in 0..50 {
-            s.pick([1].into_iter());
+            s.pick([1]);
         }
         s.add_client(2, 100);
         // Client 2 starts at client 1's pass, not zero: near-alternation.
         let mut twos = 0;
         for _ in 0..10 {
-            if s.pick([1, 2].into_iter()).unwrap() == 2 {
+            if s.pick([1, 2]).unwrap() == 2 {
                 twos += 1;
             }
         }
@@ -189,21 +194,21 @@ mod tests {
         s.add_client(2, 100);
         // Client 2 idles while client 1 runs: client 1's pass grows.
         for _ in 0..20 {
-            s.pick([1].into_iter());
+            s.pick([1]);
         }
         // Re-weighting client 1 must NOT forgive its accumulated usage:
         // client 2 must win the next picks.
         s.set_tickets(&1, 300);
         for _ in 0..5 {
-            assert_eq!(s.pick([1, 2].into_iter()), Some(2));
+            assert_eq!(s.pick([1, 2]), Some(2));
         }
     }
 
     #[test]
     fn empty_and_unknown_runnable() {
         let mut s: StrideScheduler<u32> = StrideScheduler::new();
-        assert_eq!(s.pick([].into_iter()), None);
-        assert_eq!(s.pick([9].into_iter()), None);
+        assert_eq!(s.pick([]), None);
+        assert_eq!(s.pick([9]), None);
         assert!(s.is_empty());
         s.add_client(1, 1);
         assert_eq!(s.len(), 1);

@@ -7,7 +7,6 @@
 //! bucket refills continuously at the configured rate.
 
 use fleetio_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A byte-denominated token bucket.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!tb.try_take(SimTime::ZERO, 64_000)); // bucket drained
 /// assert!(tb.try_take(SimTime::from_millis(64), 64_000)); // refilled
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TokenBucket {
     /// Refill rate, bytes per second.
     rate: f64,
@@ -44,7 +43,12 @@ impl TokenBucket {
     pub fn new(rate: f64, burst: f64) -> Self {
         assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
         assert!(burst.is_finite() && burst > 0.0, "burst must be positive");
-        TokenBucket { rate, burst, tokens: burst, last: SimTime::ZERO }
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            last: SimTime::ZERO,
+        }
     }
 
     /// The refill rate in bytes per second.
@@ -59,6 +63,13 @@ impl TokenBucket {
             self.tokens = (self.tokens + dt * self.rate).min(self.burst);
             self.last = now;
         }
+        #[cfg(feature = "audit")]
+        debug_assert!(
+            self.tokens <= self.burst,
+            "token balance {} exceeds burst cap {}",
+            self.tokens,
+            self.burst
+        );
     }
 
     /// Current token count at `now`.
@@ -85,6 +96,14 @@ impl TokenBucket {
         let need = bytes as f64;
         if self.tokens >= need || (need > self.burst && self.tokens >= self.burst) {
             self.tokens -= need;
+            // The balance may only go negative via the oversized-request
+            // overdraft; a burst-sized-or-smaller grant never overdraws.
+            #[cfg(feature = "audit")]
+            debug_assert!(
+                need > self.burst || self.tokens >= 0.0,
+                "token bucket overdrawn to {} by a within-burst take of {need}",
+                self.tokens
+            );
             true
         } else {
             false
@@ -137,7 +156,7 @@ mod tests {
     fn oversized_request_uses_overdraft() {
         let mut tb = TokenBucket::new(1000.0, 100.0);
         assert!(tb.try_take(SimTime::ZERO, 500)); // burst-full → allowed
-        // Deep in debt now; refilling 100 ms gives 100 tokens = -300.
+                                                  // Deep in debt now; refilling 100 ms gives 100 tokens = -300.
         assert!(!tb.try_take(SimTime::from_millis(100), 1));
         // After 500 ms total the debt clears (-400 + 500 = 100 capped).
         assert!(tb.try_take(SimTime::from_millis(500), 50));

@@ -2,10 +2,9 @@
 
 use fleetio_des::SimDuration;
 use fleetio_flash::addr::ChannelId;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a virtual SSD instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VssdId(pub u32);
 
 impl std::fmt::Display for VssdId {
@@ -15,7 +14,7 @@ impl std::fmt::Display for VssdId {
 }
 
 /// How a vSSD's channels are shared (§2.1 and Figure 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IsolationMode {
     /// The vSSD fully owns its channels (strongest isolation, lowest
     /// utilization). FleetIO starts every vSSD in this mode by default
@@ -27,7 +26,7 @@ pub enum IsolationMode {
 }
 
 /// Configuration of one vSSD.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VssdConfig {
     /// Identifier, unique within an engine.
     pub id: VssdId,
@@ -67,7 +66,10 @@ impl VssdConfig {
 
     /// A software-isolated vSSD on `channels` with no SLO.
     pub fn software(id: VssdId, channels: Vec<ChannelId>) -> Self {
-        VssdConfig { isolation: IsolationMode::Software, ..Self::hardware(id, channels) }
+        VssdConfig {
+            isolation: IsolationMode::Software,
+            ..Self::hardware(id, channels)
+        }
     }
 
     /// Sets the tail-latency SLO (builder style).
@@ -88,7 +90,10 @@ impl VssdConfig {
     ///
     /// Panics unless `share` is in `(0, 1]`.
     pub fn with_capacity_share(mut self, share: f64) -> Self {
-        assert!(share > 0.0 && share <= 1.0, "capacity share must be in (0, 1]");
+        assert!(
+            share > 0.0 && share <= 1.0,
+            "capacity share must be in (0, 1]"
+        );
         self.capacity_share = share;
         self
     }

@@ -11,7 +11,10 @@ use fleetio_vssd::vssd::{VssdConfig, VssdId};
 const PAGE: u64 = 16 * 1024;
 
 fn small_engine(vssds: Vec<VssdConfig>) -> Engine {
-    let cfg = EngineConfig { flash: FlashConfig::small_test(), ..Default::default() };
+    let cfg = EngineConfig {
+        flash: FlashConfig::small_test(),
+        ..Default::default()
+    };
     Engine::new(cfg, vssds)
 }
 
@@ -156,8 +159,9 @@ fn low_priority_still_progresses() {
 fn token_bucket_throttles_software_isolated_tenant() {
     // Tenant 0 limited to ~1 page per 10 ms.
     let rate = PAGE as f64 * 100.0;
-    let mut e = small_engine(vec![VssdConfig::software(VssdId(0), vec![ChannelId(0)])
-        .with_rate_limit(rate)]);
+    let mut e = small_engine(vec![
+        VssdConfig::software(VssdId(0), vec![ChannelId(0)]).with_rate_limit(rate)
+    ]);
     for i in 0..50 {
         e.submit(req(0, IoOp::Write, i * PAGE, PAGE, 0));
     }
@@ -166,13 +170,14 @@ fn token_bucket_throttles_software_isolated_tenant() {
     // Unthrottled, 50 pages need ~50 × 244 µs ≈ 12 ms of bus time. With the
     // limiter, ~100 pages/s → about 20 ± burst in 200 ms.
     let n = done.len();
-    assert!(n >= 15 && n <= 30, "throttled completions: {n}");
+    assert!((15..=30).contains(&n), "throttled completions: {n}");
 }
 
 #[test]
 fn slo_violations_are_counted() {
-    let mut e = small_engine(vec![VssdConfig::hardware(VssdId(0), vec![ChannelId(0)])
-        .with_slo(SimDuration::from_micros(10))]);
+    let mut e =
+        small_engine(vec![VssdConfig::hardware(VssdId(0), vec![ChannelId(0)])
+            .with_slo(SimDuration::from_micros(10))]);
     e.submit(req(0, IoOp::Write, 0, PAGE, 0));
     e.run_until(SimTime::from_millis(5));
     e.drain_completed();
@@ -186,7 +191,7 @@ fn slo_violations_are_counted() {
 fn window_summary_reports_bandwidth() {
     let mut e = two_tenant_engine();
     for i in 0..16 {
-        e.submit(req(0, IoOp::Write, i * PAGE, PAGE, (i * 100) as u64));
+        e.submit(req(0, IoOp::Write, i * PAGE, PAGE, i * 100));
     }
     e.run_until(SimTime::from_secs(1));
     e.drain_completed();
@@ -214,7 +219,9 @@ fn gc_triggers_under_pressure_and_frees_blocks() {
     // LCG-scrambled overwrites spread invalidations thinly across blocks.
     let mut x: u64 = 12345;
     for _ in 0..1200u64 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let lpa = (x >> 33) % 400;
         e.submit(req(0, IoOp::Write, lpa * PAGE, PAGE, t));
         t += 300;
@@ -349,7 +356,9 @@ fn gc_reclaims_harvested_gsb_blocks() {
         t += 250;
     }
     for _ in 0..800u64 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let lpa = (x >> 33) % 400;
         e.submit(req(1, IoOp::Write, lpa * PAGE, PAGE, t));
         t += 250;
@@ -362,13 +371,18 @@ fn gc_reclaims_harvested_gsb_blocks() {
     let base = e.now().as_micros();
     let mut t2 = 0u64;
     for _ in 0..2600u64 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let lpa = (x >> 33) % 400;
         e.submit(req(1, IoOp::Write, lpa * PAGE, PAGE, base + t2));
         t2 += 250;
     }
     e.run_until(SimTime::from_micros(base + t2 + 10_000_000));
-    assert!(e.device().stats().gc_migrated_bytes > 0, "no GC migration happened");
+    assert!(
+        e.device().stats().gc_migrated_bytes > 0,
+        "no GC migration happened"
+    );
 }
 
 #[test]
@@ -390,7 +404,13 @@ fn deterministic_across_runs() {
     let run = || {
         let mut e = two_tenant_engine();
         for i in 0..64u64 {
-            e.submit(req((i % 2) as u32, IoOp::Write, (i / 2) * PAGE, PAGE, i * 37));
+            e.submit(req(
+                (i % 2) as u32,
+                IoOp::Write,
+                (i / 2) * PAGE,
+                PAGE,
+                i * 37,
+            ));
         }
         e.run_until(SimTime::from_secs(1));
         e.drain_completed()

@@ -14,7 +14,10 @@ const PAGE: u64 = 16 * 1024;
 
 /// Two tenants sharing one channel; tenant 1 is latency-critical.
 fn shared_engine() -> Engine {
-    let cfg = EngineConfig { flash: FlashConfig::training_test(), ..Default::default() };
+    let cfg = EngineConfig {
+        flash: FlashConfig::training_test(),
+        ..Default::default()
+    };
     Engine::new(
         cfg,
         vec![
@@ -118,10 +121,16 @@ fn equal_priority_read_waits_longer_than_prioritized() {
 #[test]
 fn time_slicing_preserves_solo_throughput() {
     let run = |prio: Priority| {
-        let cfg = EngineConfig { flash: FlashConfig::training_test(), ..Default::default() };
+        let cfg = EngineConfig {
+            flash: FlashConfig::training_test(),
+            ..Default::default()
+        };
         let mut e = Engine::new(
             cfg,
-            vec![VssdConfig::hardware(VssdId(0), vec![ChannelId(0), ChannelId(1)])],
+            vec![VssdConfig::hardware(
+                VssdId(0),
+                vec![ChannelId(0), ChannelId(1)],
+            )],
         );
         e.set_priority(VssdId(0), prio);
         for i in 0..32 {

@@ -5,8 +5,6 @@
 //! logical-page-address (LPA) entropy, and average I/O size. The features
 //! feed the k-means clustering that assigns each workload its type.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gen::TraceRecord;
 
 /// The paper's per-window trace size.
@@ -16,7 +14,7 @@ pub const WINDOW_REQUESTS: usize = 10_000;
 const ENTROPY_BINS: usize = 256;
 
 /// The four §3.4 features of one trace window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WindowFeatures {
     /// Read bandwidth over the window, bytes/second.
     pub read_bw: f64,
@@ -32,7 +30,12 @@ pub struct WindowFeatures {
 impl WindowFeatures {
     /// The features as a vector for clustering, in a stable order.
     pub fn to_vec(self) -> Vec<f64> {
-        vec![self.read_bw, self.write_bw, self.lpa_entropy, self.avg_io_size]
+        vec![
+            self.read_bw,
+            self.write_bw,
+            self.lpa_entropy,
+            self.avg_io_size,
+        ]
     }
 }
 
@@ -104,7 +107,12 @@ mod tests {
     use fleetio_des::SimTime;
 
     fn rec(at_us: u64, is_read: bool, offset: u64, len: u64) -> TraceRecord {
-        TraceRecord { at: SimTime::from_micros(at_us), is_read, offset, len }
+        TraceRecord {
+            at: SimTime::from_micros(at_us),
+            is_read,
+            offset,
+            len,
+        }
     }
 
     #[test]
@@ -131,8 +139,16 @@ mod tests {
         let space = 256u64 << 22;
         let f_hot = extract_features(&hot, space).unwrap();
         let f_spread = extract_features(&spread, space).unwrap();
-        assert!(f_hot.lpa_entropy < 0.01, "hot entropy {}", f_hot.lpa_entropy);
-        assert!(f_spread.lpa_entropy > 7.5, "spread entropy {}", f_spread.lpa_entropy);
+        assert!(
+            f_hot.lpa_entropy < 0.01,
+            "hot entropy {}",
+            f_hot.lpa_entropy
+        );
+        assert!(
+            f_spread.lpa_entropy > 7.5,
+            "spread entropy {}",
+            f_spread.lpa_entropy
+        );
     }
 
     #[test]
@@ -145,15 +161,21 @@ mod tests {
 
     #[test]
     fn windowed_features_chunks_complete_windows() {
-        let recs: Vec<TraceRecord> =
-            (0..25).map(|i| rec(i * 1000, true, i * 4096, 4096)).collect();
+        let recs: Vec<TraceRecord> = (0..25)
+            .map(|i| rec(i * 1000, true, i * 4096, 4096))
+            .collect();
         let feats = windowed_features(&recs, 1 << 20, 10);
         assert_eq!(feats.len(), 2); // 25 / 10 → 2 complete windows
     }
 
     #[test]
     fn feature_vector_order_is_stable() {
-        let f = WindowFeatures { read_bw: 1.0, write_bw: 2.0, lpa_entropy: 3.0, avg_io_size: 4.0 };
+        let f = WindowFeatures {
+            read_bw: 1.0,
+            write_bw: 2.0,
+            lpa_entropy: 3.0,
+            avg_io_size: 4.0,
+        };
         assert_eq!(f.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
     }
 }

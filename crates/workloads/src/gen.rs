@@ -1,15 +1,14 @@
 //! Turning a [`WorkloadSpec`] into a timed block-I/O request stream.
 
+use fleetio_des::rng::Rng;
+use fleetio_des::rng::SmallRng;
 use fleetio_des::{SimDuration, SimTime};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::spec::{AddrPattern, PhaseSpec, SizeDist, WorkloadSpec};
 use crate::zipf::ZipfSampler;
 
 /// One generated block-I/O request (before it is bound to a vSSD).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Arrival time.
     pub at: SimTime,
@@ -61,7 +60,9 @@ impl SyntheticWorkload {
         let footprint = ((capacity_bytes as f64) * spec.footprint) as u64;
         let regions = spec.regions.max(1);
         // Spread sequential cursors across the footprint.
-        let seq_cursors = (0..regions).map(|r| footprint / regions as u64 * r as u64).collect();
+        let seq_cursors = (0..regions)
+            .map(|r| footprint / regions as u64 * r as u64)
+            .collect();
         let phase_end = SimTime::ZERO + spec.phases[0].duration;
         SyntheticWorkload {
             spec,
@@ -123,7 +124,12 @@ impl SyntheticWorkload {
         let len = self.sample_size(&phase.size);
         let is_read = self.rng.gen_range(0.0..1.0) < phase.read_fraction;
         let offset = self.sample_offset(&phase.addr, len);
-        TraceRecord { at: self.now, is_read, offset, len }
+        TraceRecord {
+            at: self.now,
+            is_read,
+            offset,
+            len,
+        }
     }
 
     /// Generates every request arriving up to `until` (exclusive of later
@@ -142,7 +148,13 @@ impl SyntheticWorkload {
     }
 
     fn clone_position(&self) -> (SimTime, usize, SimTime, SmallRng, Vec<u64>) {
-        (self.now, self.phase_idx, self.phase_end, self.rng.clone(), self.seq_cursors.clone())
+        (
+            self.now,
+            self.phase_idx,
+            self.phase_end,
+            self.rng.clone(),
+            self.seq_cursors.clone(),
+        )
     }
 
     fn restore_position(&mut self, save: (SimTime, usize, SimTime, SmallRng, Vec<u64>)) {
@@ -197,7 +209,10 @@ impl SyntheticWorkload {
                 let rank = sampler.sample(&mut self.rng);
                 (rank * self.align).min(space)
             }
-            AddrPattern::HotSpot { hot_fraction, hot_access } => {
+            AddrPattern::HotSpot {
+                hot_fraction,
+                hot_access,
+            } => {
                 let hot_space = ((space as f64) * hot_fraction) as u64;
                 let in_hot = self.rng.gen_range(0.0..1.0) < *hot_access;
                 let off = if in_hot && hot_space > 0 {
@@ -210,7 +225,6 @@ impl SyntheticWorkload {
         }
     }
 }
-
 
 /// A closed-loop request source: the driver asks for a new request
 /// whenever the outstanding count is below the current phase's
@@ -259,7 +273,9 @@ impl ClosedLoopWorkload {
         assert!(capacity_bytes >= 1 << 20, "capacity too small");
         let footprint = ((capacity_bytes as f64) * spec.footprint) as u64;
         let regions = spec.regions.max(1);
-        let seq_cursors = (0..regions).map(|r| footprint / regions as u64 * r as u64).collect();
+        let seq_cursors = (0..regions)
+            .map(|r| footprint / regions as u64 * r as u64)
+            .collect();
         let cycle = spec
             .phases
             .iter()
@@ -331,7 +347,12 @@ impl ClosedLoopWorkload {
             &phase.addr,
             len,
         );
-        TraceRecord { at: now, is_read, offset, len }
+        TraceRecord {
+            at: now,
+            is_read,
+            offset,
+            len,
+        }
     }
 }
 
@@ -385,7 +406,10 @@ fn sample_offset<R: Rng>(
             let rank = sampler.sample(rng);
             (rank * align).min(space)
         }
-        AddrPattern::HotSpot { hot_fraction, hot_access } => {
+        AddrPattern::HotSpot {
+            hot_fraction,
+            hot_access,
+        } => {
             let hot_space = ((space as f64) * hot_fraction) as u64;
             let in_hot = rng.gen_range(0.0..1.0) < *hot_access;
             let off = if in_hot && hot_space > 0 {
@@ -534,7 +558,12 @@ mod tests {
         let cap = w.footprint_bytes();
         for _ in 0..2000 {
             let r = w.next_request();
-            assert!(r.offset + r.len <= cap + 4096, "offset {} len {}", r.offset, r.len);
+            assert!(
+                r.offset + r.len <= cap + 4096,
+                "offset {} len {}",
+                r.offset,
+                r.len
+            );
         }
     }
 }

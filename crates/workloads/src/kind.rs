@@ -10,12 +10,11 @@
 //! YCSB (the locality that isolates YCSB-B in Figure 6).
 
 use fleetio_des::SimDuration;
-use serde::{Deserialize, Serialize};
 
 use crate::spec::{AddrPattern, PhaseSpec, SizeDist, WorkloadSpec};
 
 /// The paper's two workload categories (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadCategory {
     /// Throughput-bound batch/analytics jobs.
     BandwidthIntensive,
@@ -24,7 +23,7 @@ pub enum WorkloadCategory {
 }
 
 /// A named workload from Table 4 (evaluation) or §3.8 (pre-training).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// Hadoop TeraSort: phase-structured sort of large datasets.
     TeraSort,
@@ -57,12 +56,38 @@ fn ms(m: u64) -> SimDuration {
     SimDuration::from_millis(m)
 }
 
-fn closed(duration: SimDuration, concurrency: u32, read: f64, size: SizeDist, addr: AddrPattern) -> PhaseSpec {
-    PhaseSpec { duration, arrival_rate: 0.0, read_fraction: read, size, addr, concurrency }
+fn closed(
+    duration: SimDuration,
+    concurrency: u32,
+    read: f64,
+    size: SizeDist,
+    addr: AddrPattern,
+) -> PhaseSpec {
+    PhaseSpec {
+        duration,
+        arrival_rate: 0.0,
+        read_fraction: read,
+        size,
+        addr,
+        concurrency,
+    }
 }
 
-fn open(duration: SimDuration, rate: f64, read: f64, size: SizeDist, addr: AddrPattern) -> PhaseSpec {
-    PhaseSpec { duration, arrival_rate: rate, read_fraction: read, size, addr, concurrency: 0 }
+fn open(
+    duration: SimDuration,
+    rate: f64,
+    read: f64,
+    size: SizeDist,
+    addr: AddrPattern,
+) -> PhaseSpec {
+    PhaseSpec {
+        duration,
+        arrival_rate: rate,
+        read_fraction: read,
+        size,
+        addr,
+        concurrency: 0,
+    }
 }
 
 impl WorkloadKind {
@@ -160,16 +185,52 @@ impl WorkloadKind {
                     // Map: scan the input partition (written by the
                     // previous job's output phase, so its placement follows
                     // harvested channels).
-                    closed(secs(2), 16, 1.0, SizeDist::Fixed(MIB), AddrPattern::Sequential { region: 0 }),
+                    closed(
+                        secs(2),
+                        16,
+                        1.0,
+                        SizeDist::Fixed(MIB),
+                        AddrPattern::Sequential { region: 0 },
+                    ),
                     // Shuffle out: spill sorted runs.
-                    closed(secs(2), 16, 0.0, SizeDist::Fixed(MIB), AddrPattern::Sequential { region: 1 }),
+                    closed(
+                        secs(2),
+                        16,
+                        0.0,
+                        SizeDist::Fixed(MIB),
+                        AddrPattern::Sequential { region: 1 },
+                    ),
                     // Shuffle in + merge: CPU-bound trickle reads of spills.
-                    closed(ms(1500), 2, 0.9, SizeDist::Fixed(256 * KIB), AddrPattern::UniformRandom),
+                    closed(
+                        ms(1500),
+                        2,
+                        0.9,
+                        SizeDist::Fixed(256 * KIB),
+                        AddrPattern::UniformRandom,
+                    ),
                     // Reduce: read spills back, write output over region 0.
-                    closed(secs(2), 16, 0.5, SizeDist::Choice(vec![(MIB, 1.0)]), AddrPattern::Sequential { region: 1 }),
-                    closed(ms(1500), 16, 0.0, SizeDist::Fixed(MIB), AddrPattern::Sequential { region: 0 }),
+                    closed(
+                        secs(2),
+                        16,
+                        0.5,
+                        SizeDist::Choice(vec![(MIB, 1.0)]),
+                        AddrPattern::Sequential { region: 1 },
+                    ),
+                    closed(
+                        ms(1500),
+                        16,
+                        0.0,
+                        SizeDist::Fixed(MIB),
+                        AddrPattern::Sequential { region: 0 },
+                    ),
                     // Job scheduling gap.
-                    closed(ms(1500), 0, 0.5, SizeDist::Fixed(MIB), AddrPattern::UniformRandom),
+                    closed(
+                        ms(1500),
+                        0,
+                        0.5,
+                        SizeDist::Fixed(MIB),
+                        AddrPattern::UniformRandom,
+                    ),
                 ],
                 footprint: 0.7,
                 regions: 2,
@@ -178,16 +239,46 @@ impl WorkloadKind {
                 name: "ml-prep",
                 phases: vec![
                     // Bulk image reads (saturating).
-                    closed(ms(2500), 16, 1.0, SizeDist::Choice(vec![(512 * KIB, 3.0), (MIB, 1.0)]), AddrPattern::Sequential { region: 0 }),
+                    closed(
+                        ms(2500),
+                        16,
+                        1.0,
+                        SizeDist::Choice(vec![(512 * KIB, 3.0), (MIB, 1.0)]),
+                        AddrPattern::Sequential { region: 0 },
+                    ),
                     // CPU-bound decode/augment with trickle reads.
-                    closed(ms(1500), 2, 0.9, SizeDist::Fixed(256 * KIB), AddrPattern::UniformRandom),
+                    closed(
+                        ms(1500),
+                        2,
+                        0.9,
+                        SizeDist::Fixed(256 * KIB),
+                        AddrPattern::UniformRandom,
+                    ),
                     // Write augmented tensors.
-                    closed(ms(1500), 14, 0.05, SizeDist::Fixed(512 * KIB), AddrPattern::Sequential { region: 1 }),
+                    closed(
+                        ms(1500),
+                        14,
+                        0.05,
+                        SizeDist::Fixed(512 * KIB),
+                        AddrPattern::Sequential { region: 1 },
+                    ),
                     // Re-read augmented tensors for batch packing (follows
                     // the write placement, including harvested channels).
-                    closed(ms(1500), 16, 1.0, SizeDist::Fixed(512 * KIB), AddrPattern::Sequential { region: 1 }),
+                    closed(
+                        ms(1500),
+                        16,
+                        1.0,
+                        SizeDist::Fixed(512 * KIB),
+                        AddrPattern::Sequential { region: 1 },
+                    ),
                     // Pipeline stall.
-                    closed(ms(1200), 0, 1.0, SizeDist::Fixed(MIB), AddrPattern::UniformRandom),
+                    closed(
+                        ms(1200),
+                        0,
+                        1.0,
+                        SizeDist::Fixed(MIB),
+                        AddrPattern::UniformRandom,
+                    ),
                 ],
                 footprint: 0.7,
                 regions: 2,
@@ -200,11 +291,29 @@ impl WorkloadKind {
                     // absolute bandwidth in Figures 3a/13). GraphChi
                     // rewrites shards each iteration, so the scan follows
                     // the previous iteration's write placement.
-                    closed(ms(2200), 18, 1.0, SizeDist::Fixed(MIB), AddrPattern::Sequential { region: 0 }),
+                    closed(
+                        ms(2200),
+                        18,
+                        1.0,
+                        SizeDist::Fixed(MIB),
+                        AddrPattern::Sequential { region: 0 },
+                    ),
                     // Vertex updates (demand-limited).
-                    closed(ms(800), 3, 0.5, SizeDist::Fixed(128 * KIB), AddrPattern::UniformRandom),
+                    closed(
+                        ms(800),
+                        3,
+                        0.5,
+                        SizeDist::Fixed(128 * KIB),
+                        AddrPattern::UniformRandom,
+                    ),
                     // Shard rewrite.
-                    closed(ms(1800), 16, 0.0, SizeDist::Fixed(MIB), AddrPattern::Sequential { region: 0 }),
+                    closed(
+                        ms(1800),
+                        16,
+                        0.0,
+                        SizeDist::Fixed(MIB),
+                        AddrPattern::Sequential { region: 0 },
+                    ),
                 ],
                 footprint: 0.7,
                 regions: 2,
@@ -213,17 +322,38 @@ impl WorkloadKind {
                 name: "vdi-web",
                 phases: vec![
                     // Interactive steady state.
-                    open(secs(6), 1500.0, 0.7,
+                    open(
+                        secs(6),
+                        1500.0,
+                        0.7,
                         SizeDist::Choice(vec![(4 * KIB, 5.0), (16 * KIB, 3.0), (64 * KIB, 2.0)]),
-                        AddrPattern::HotSpot { hot_fraction: 0.2, hot_access: 0.6 }),
+                        AddrPattern::HotSpot {
+                            hot_fraction: 0.2,
+                            hot_access: 0.6,
+                        },
+                    ),
                     // Login/boot storm burst.
-                    open(secs(2), 3500.0, 0.6,
+                    open(
+                        secs(2),
+                        3500.0,
+                        0.6,
                         SizeDist::Choice(vec![(4 * KIB, 4.0), (16 * KIB, 4.0), (64 * KIB, 2.0)]),
-                        AddrPattern::HotSpot { hot_fraction: 0.2, hot_access: 0.6 }),
+                        AddrPattern::HotSpot {
+                            hot_fraction: 0.2,
+                            hot_access: 0.6,
+                        },
+                    ),
                     // Lull.
-                    open(secs(4), 400.0, 0.75,
+                    open(
+                        secs(4),
+                        400.0,
+                        0.75,
                         SizeDist::Choice(vec![(4 * KIB, 6.0), (16 * KIB, 3.0), (64 * KIB, 1.0)]),
-                        AddrPattern::HotSpot { hot_fraction: 0.2, hot_access: 0.6 }),
+                        AddrPattern::HotSpot {
+                            hot_fraction: 0.2,
+                            hot_access: 0.6,
+                        },
+                    ),
                 ],
                 footprint: 0.4,
                 regions: 1,
@@ -231,13 +361,21 @@ impl WorkloadKind {
             WorkloadKind::Ycsb => WorkloadSpec {
                 name: "ycsb",
                 phases: vec![
-                    open(secs(8), 5000.0, 0.95,
+                    open(
+                        secs(8),
+                        5000.0,
+                        0.95,
                         SizeDist::Choice(vec![(4 * KIB, 7.0), (16 * KIB, 2.5), (64 * KIB, 0.5)]),
-                        AddrPattern::Zipf { theta: 0.99 }),
+                        AddrPattern::Zipf { theta: 0.99 },
+                    ),
                     // Load spike (request storm).
-                    open(secs(2), 9000.0, 0.95,
+                    open(
+                        secs(2),
+                        9000.0,
+                        0.95,
                         SizeDist::Choice(vec![(4 * KIB, 7.0), (16 * KIB, 2.5), (64 * KIB, 0.5)]),
-                        AddrPattern::Zipf { theta: 0.99 }),
+                        AddrPattern::Zipf { theta: 0.99 },
+                    ),
                 ],
                 footprint: 0.4,
                 regions: 1,
@@ -245,10 +383,26 @@ impl WorkloadKind {
             WorkloadKind::LiveMaps => WorkloadSpec {
                 name: "livemaps",
                 phases: vec![
-                    open(secs(5), 1200.0, 0.85, SizeDist::Fixed(64 * KIB),
-                        AddrPattern::HotSpot { hot_fraction: 0.3, hot_access: 0.7 }),
-                    open(secs(5), 500.0, 0.85, SizeDist::Fixed(64 * KIB),
-                        AddrPattern::HotSpot { hot_fraction: 0.3, hot_access: 0.7 }),
+                    open(
+                        secs(5),
+                        1200.0,
+                        0.85,
+                        SizeDist::Fixed(64 * KIB),
+                        AddrPattern::HotSpot {
+                            hot_fraction: 0.3,
+                            hot_access: 0.7,
+                        },
+                    ),
+                    open(
+                        secs(5),
+                        500.0,
+                        0.85,
+                        SizeDist::Fixed(64 * KIB),
+                        AddrPattern::HotSpot {
+                            hot_fraction: 0.3,
+                            hot_access: 0.7,
+                        },
+                    ),
                 ],
                 footprint: 0.5,
                 regions: 1,
@@ -260,7 +414,10 @@ impl WorkloadKind {
                     3000.0,
                     0.9,
                     SizeDist::Choice(vec![(8 * KIB, 8.0), (16 * KIB, 2.0)]),
-                    AddrPattern::HotSpot { hot_fraction: 0.1, hot_access: 0.5 },
+                    AddrPattern::HotSpot {
+                        hot_fraction: 0.1,
+                        hot_access: 0.5,
+                    },
                 )],
                 footprint: 0.5,
                 regions: 1,
@@ -268,10 +425,26 @@ impl WorkloadKind {
             WorkloadKind::SearchEngine => WorkloadSpec {
                 name: "search-engine",
                 phases: vec![
-                    open(secs(4), 2000.0, 0.98, SizeDist::Fixed(32 * KIB),
-                        AddrPattern::HotSpot { hot_fraction: 0.25, hot_access: 0.55 }),
-                    open(secs(2), 4000.0, 0.98, SizeDist::Fixed(32 * KIB),
-                        AddrPattern::HotSpot { hot_fraction: 0.25, hot_access: 0.55 }),
+                    open(
+                        secs(4),
+                        2000.0,
+                        0.98,
+                        SizeDist::Fixed(32 * KIB),
+                        AddrPattern::HotSpot {
+                            hot_fraction: 0.25,
+                            hot_access: 0.55,
+                        },
+                    ),
+                    open(
+                        secs(2),
+                        4000.0,
+                        0.98,
+                        SizeDist::Fixed(32 * KIB),
+                        AddrPattern::HotSpot {
+                            hot_fraction: 0.25,
+                            hot_access: 0.55,
+                        },
+                    ),
                 ],
                 footprint: 0.5,
                 regions: 1,
@@ -279,10 +452,34 @@ impl WorkloadKind {
             WorkloadKind::BatchAnalytics => WorkloadSpec {
                 name: "batch-analytics",
                 phases: vec![
-                    closed(ms(2500), 14, 1.0, SizeDist::Fixed(2 * MIB), AddrPattern::Sequential { region: 0 }),
-                    closed(ms(1500), 2, 0.8, SizeDist::Fixed(256 * KIB), AddrPattern::UniformRandom),
-                    closed(secs(2), 12, 0.0, SizeDist::Fixed(MIB), AddrPattern::Sequential { region: 0 }),
-                    closed(ms(1500), 0, 1.0, SizeDist::Fixed(MIB), AddrPattern::UniformRandom),
+                    closed(
+                        ms(2500),
+                        14,
+                        1.0,
+                        SizeDist::Fixed(2 * MIB),
+                        AddrPattern::Sequential { region: 0 },
+                    ),
+                    closed(
+                        ms(1500),
+                        2,
+                        0.8,
+                        SizeDist::Fixed(256 * KIB),
+                        AddrPattern::UniformRandom,
+                    ),
+                    closed(
+                        secs(2),
+                        12,
+                        0.0,
+                        SizeDist::Fixed(MIB),
+                        AddrPattern::Sequential { region: 0 },
+                    ),
+                    closed(
+                        ms(1500),
+                        0,
+                        1.0,
+                        SizeDist::Fixed(MIB),
+                        AddrPattern::UniformRandom,
+                    ),
                 ],
                 footprint: 0.7,
                 regions: 2,
@@ -304,7 +501,9 @@ mod tests {
     #[test]
     fn all_specs_validate() {
         for kind in WorkloadKind::ALL {
-            kind.spec().validate().unwrap_or_else(|e| panic!("{kind}: {e}"));
+            kind.spec()
+                .validate()
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
         }
     }
 

@@ -7,10 +7,9 @@
 //! Poisson streams with small requests.
 
 use fleetio_des::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Request-size distribution within a phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SizeDist {
     /// Every request has this many bytes.
     Fixed(u64),
@@ -38,7 +37,7 @@ impl SizeDist {
 }
 
 /// Address-selection pattern within a phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AddrPattern {
     /// Sequential cursor through region `region` (cursors persist across
     /// phases and wrap around).
@@ -63,7 +62,7 @@ pub enum AddrPattern {
 }
 
 /// One phase of a workload cycle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseSpec {
     /// Phase length.
     pub duration: SimDuration,
@@ -98,7 +97,7 @@ impl WorkloadSpec {
 }
 
 /// A complete workload: a cycle of phases over an address-space fraction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Stable name for reports.
     pub name: &'static str,
@@ -149,7 +148,10 @@ impl WorkloadSpec {
             }
             if let AddrPattern::Sequential { region } = p.addr {
                 if region >= self.regions {
-                    return Err(format!("phase {i} references region {region} of {}", self.regions));
+                    return Err(format!(
+                        "phase {i} references region {region} of {}",
+                        self.regions
+                    ));
                 }
             }
             if let AddrPattern::Zipf { theta } = p.addr {
@@ -157,7 +159,11 @@ impl WorkloadSpec {
                     return Err(format!("phase {i} zipf theta out of range"));
                 }
             }
-            if let AddrPattern::HotSpot { hot_fraction, hot_access } = p.addr {
+            if let AddrPattern::HotSpot {
+                hot_fraction,
+                hot_access,
+            } = p.addr
+            {
                 let fraction_ok = 0.0 < hot_fraction && hot_fraction < 1.0;
                 let access_ok = 0.0 < hot_access && hot_access <= 1.0;
                 if !fraction_ok || !access_ok {

@@ -4,7 +4,7 @@
 //! characteristic low-entropy (high-locality) address patterns — the very
 //! property that puts YCSB-B in its own cluster in Figure 6 of the paper.
 
-use rand::Rng;
+use fleetio_des::rng::Rng;
 
 /// A zipfian sampler over `0..n` with skew `theta` (YCSB default 0.99),
 /// using the Gray et al. constant-time rejection-free method.
@@ -31,7 +31,13 @@ impl ZipfSampler {
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
         let _ = zeta2;
-        ZipfSampler { n, theta, alpha, zetan, eta }
+        ZipfSampler {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -64,8 +70,6 @@ impl ZipfSampler {
         let v = ((self.eta * u - self.eta + 1.0).powf(self.alpha) * self.n as f64) as u64;
         v.min(self.n - 1)
     }
-
-
 }
 
 /// Scrambles a zipf rank into the address space so hot items are spread
@@ -82,8 +86,7 @@ pub fn scramble(rank: u64, n: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fleetio_des::rng::SmallRng;
 
     #[test]
     fn hottest_item_dominates() {

@@ -10,11 +10,11 @@
 //! cargo run --release --example harvesting_demo
 //! ```
 
+use fleetio_suite::flash::addr::ChannelId;
 use fleetio_suite::fleetio::baselines::{HeuristicPolicy, WindowPolicy};
 use fleetio_suite::fleetio::driver::{Colocation, TenantSpec};
 use fleetio_suite::fleetio::experiment::calibrate_slo;
 use fleetio_suite::fleetio::FleetIoConfig;
-use fleetio_suite::flash::addr::ChannelId;
 use fleetio_suite::vssd::vssd::{VssdConfig, VssdId};
 use fleetio_suite::workloads::WorkloadKind;
 
@@ -33,13 +33,19 @@ fn main() {
             WorkloadKind::VdiWeb,
             11,
         ),
-        TenantSpec::new(VssdConfig::hardware(VssdId(1), bi), WorkloadKind::TeraSort, 12),
+        TenantSpec::new(
+            VssdConfig::hardware(VssdId(1), bi),
+            WorkloadKind::TeraSort,
+            12,
+        ),
     ];
     let mut coloc = Colocation::new(cfg.engine.clone(), tenants, cfg.decision_interval);
     coloc.warm_up(0.5);
 
-    let mut policy =
-        HeuristicPolicy::new(cfg.clone(), &[(8, WorkloadKind::VdiWeb), (8, WorkloadKind::TeraSort)]);
+    let mut policy = HeuristicPolicy::new(
+        cfg.clone(),
+        &[(8, WorkloadKind::VdiWeb), (8, WorkloadKind::TeraSort)],
+    );
 
     println!("window | vdi offers | tera holds | vdi p99   | vdi vio% | tera MB/s");
     for w in 0..15 {

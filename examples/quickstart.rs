@@ -5,11 +5,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use fleetio_suite::flash::addr::ChannelId;
 use fleetio_suite::fleetio::driver::{Colocation, TenantSpec};
 use fleetio_suite::fleetio::FleetIoConfig;
 use fleetio_suite::vssd::vssd::{VssdConfig, VssdId};
 use fleetio_suite::workloads::WorkloadKind;
-use fleetio_suite::flash::addr::ChannelId;
 
 fn main() {
     let cfg = FleetIoConfig::default();
@@ -53,7 +53,9 @@ fn main() {
     }
 
     let stats = coloc.engine().device().stats();
-    println!("\ndevice: {} GC runs, write amplification {:.3}",
+    println!(
+        "\ndevice: {} GC runs, write amplification {:.3}",
         stats.gc_runs,
-        stats.waf().unwrap_or(1.0));
+        stats.waf().unwrap_or(1.0)
+    );
 }

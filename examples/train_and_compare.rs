@@ -51,8 +51,11 @@ fn main() {
         ..Default::default()
     };
     let model = pretrain(&cfg, &scenarios, 0.5, opts, 0xF1EE7);
-    println!("  model: {} parameters (~{} KB)", model.policy.n_params(),
-        model.approx_size_bytes() / 1024);
+    println!(
+        "  model: {} parameters (~{} KB)",
+        model.policy.n_params(),
+        model.approx_size_bytes() / 1024
+    );
 
     let run_opts = ExperimentOptions {
         cfg: cfg.clone(),
@@ -86,7 +89,10 @@ fn print_row(name: &str, m: &fleetio_suite::fleetio::experiment::RunMetrics) {
         "{name:17} | {:5.1}  | {:13.1} | {:>10} | {:7.2}",
         m.avg_utilization * 100.0,
         m.bi_bandwidth().unwrap_or(0.0) / 1e6,
-        format!("{}", m.lc_p99().unwrap_or(fleetio_suite::des::SimDuration::ZERO)),
+        format!(
+            "{}",
+            m.lc_p99().unwrap_or(fleetio_suite::des::SimDuration::ZERO)
+        ),
         m.tenants[0].slo_violation_rate * 100.0,
     );
 }

@@ -5,18 +5,26 @@
 //! cargo run --release --example workload_clustering
 //! ```
 
+use fleetio_des::rng::SmallRng;
 use fleetio_suite::fleetio::experiment::workload_feature_windows;
 use fleetio_suite::fleetio::typing::TypingModel;
 use fleetio_suite::fleetio::FleetIoConfig;
 use fleetio_suite::ml::Pca;
 use fleetio_suite::workloads::WorkloadKind;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn main() {
     let cfg = FleetIoConfig::default();
     use WorkloadKind::*;
-    let kinds = [MlPrep, PageRank, TeraSort, Ycsb, LiveMaps, SearchEngine, Tpce, VdiWeb];
+    let kinds = [
+        MlPrep,
+        PageRank,
+        TeraSort,
+        Ycsb,
+        LiveMaps,
+        SearchEngine,
+        Tpce,
+        VdiWeb,
+    ];
 
     println!("collecting solo-run traces (4 windows x 3000 requests each)…");
     let mut samples = Vec::new();

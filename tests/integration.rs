@@ -126,7 +126,10 @@ fn heuristic_harvesting_lands_between_the_isolation_baselines() {
         fio_p99 < sw_p99,
         "fleetio-style p99 {fio_p99}ms not below software isolation {sw_p99}ms"
     );
-    assert!(fio_p99 < hw_p99 * 2.0, "tail blew up: {fio_p99}ms vs hw {hw_p99}ms");
+    assert!(
+        fio_p99 < hw_p99 * 2.0,
+        "tail blew up: {fio_p99}ms vs hw {hw_p99}ms"
+    );
 }
 
 #[test]
@@ -164,8 +167,7 @@ fn pretrained_policy_runs_deployment_loop() {
         &[Some(slo), None],
         31,
     );
-    let mut policy =
-        fleetio_suite::fleetio::baselines::FleetIoPolicy::new(cfg.clone(), &model, 2);
+    let mut policy = fleetio_suite::fleetio::baselines::FleetIoPolicy::new(cfg.clone(), &model, 2);
     let m = run_collocation(&mut policy, tenants, &run_opts, peak, None);
     assert_eq!(m.tenants.len(), 2);
     assert!(m.tenants.iter().all(|t| t.requests > 0));
@@ -205,7 +207,10 @@ fn reference_policy_reacts_to_states() {
     assert_eq!(a.priority, fleetio_suite::vssd::request::Priority::High);
 
     // A selfish (β = 1) agent never offers.
-    let selfish = ReferenceParams { altruistic: false, ..params };
+    let selfish = ReferenceParams {
+        altruistic: false,
+        ..params
+    };
     let a = fleetio_suite::fleetio::agent::reference_action(&idle, &selfish);
     assert_eq!(a.harvestable_channels, 0);
 }
@@ -235,31 +240,28 @@ fn alpha_binary_search_tunes_against_live_runs() {
     // heuristic policy parameterized by that α and measuring the LC
     // tenant's violations.
     let cfg = small_cfg();
-    let opts = ExperimentOptions { measure_windows: 3, ..small_opts(&cfg) };
+    let opts = ExperimentOptions {
+        measure_windows: 3,
+        ..small_opts(&cfg)
+    };
     let peak = measure_device_peak(&cfg, 23);
     let slo = calibrate_slo(&cfg, WorkloadKind::Tpce, 2, 2, 24);
     let pair = [WorkloadKind::Tpce, WorkloadKind::TeraSort];
 
     let mut evals = 0;
-    let chosen = fleetio_suite::fleetio::typing::binary_search_alpha(
-        0.0,
-        0.2,
-        3,
-        0.08,
-        |alpha| {
-            evals += 1;
-            let tenants = hardware_layout(&cfg, &pair, &[Some(slo), None], 25);
-            let mut policy = HeuristicPolicy::new(cfg.clone(), &[
-                (2, WorkloadKind::Tpce),
-                (2, WorkloadKind::TeraSort),
-            ]);
-            // The α knob enters through the reference parameters; here we
-            // only need the evaluate-measure loop to run end to end.
-            let m = run_collocation(&mut policy, tenants, &opts, peak, None);
-            let vio = m.tenants[0].slo_violation_rate + alpha * 0.0;
-            (vio, m.total_bandwidth)
-        },
-    );
+    let chosen = fleetio_suite::fleetio::typing::binary_search_alpha(0.0, 0.2, 3, 0.08, |alpha| {
+        evals += 1;
+        let tenants = hardware_layout(&cfg, &pair, &[Some(slo), None], 25);
+        let mut policy = HeuristicPolicy::new(
+            cfg.clone(),
+            &[(2, WorkloadKind::Tpce), (2, WorkloadKind::TeraSort)],
+        );
+        // The α knob enters through the reference parameters; here we
+        // only need the evaluate-measure loop to run end to end.
+        let m = run_collocation(&mut policy, tenants, &opts, peak, None);
+        let vio = m.tenants[0].slo_violation_rate + alpha * 0.0;
+        (vio, m.total_bandwidth)
+    });
     assert_eq!(evals, 3);
     assert!((0.0..=0.2).contains(&chosen));
 }
