@@ -14,6 +14,9 @@
 //!   iteration order must be deterministic.
 //! * [`entropy`](rules) — randomness and wall-clock reads only via
 //!   `des::rng` seeds and `SimTime`.
+//! * [`no-println`](rules) — no `println!`/`eprintln!`/`print!`/`eprint!`/
+//!   `dbg!` in quiet library crates (`des`/`flash`/`vssd`/`ml`/`rl`/`obs`);
+//!   reporting goes through `fleetio-obs` sinks and exporters.
 //!
 //! Run `cargo run -p fleetio-audit -- check` from anywhere in the
 //! workspace; `audit.toml` at the repo root grandfathers legacy sites with

@@ -25,7 +25,13 @@ pub struct Diagnostic {
 }
 
 /// Stable identifiers for every rule, in reporting order.
-pub const RULE_IDS: [&str; 4] = ["raw-time-arith", "no-unwrap", "hash-iteration", "entropy"];
+pub const RULE_IDS: [&str; 5] = [
+    "raw-time-arith",
+    "no-unwrap",
+    "hash-iteration",
+    "entropy",
+    "no-println",
+];
 
 /// Simulator core: the crates whose sources model the device and must be
 /// deterministic and panic-free.
@@ -46,6 +52,25 @@ fn in_sim(path: &str) -> bool {
         "crates/ml/src/",
         "crates/rl/src/",
         "crates/fleetio/src/",
+        "crates/obs/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
+}
+
+/// Library crates whose sources must stay silent on stdout/stderr: the
+/// simulator core plus the ML/RL stack and the observability layer. All
+/// reporting goes through `fleetio-obs` sinks/exporters or the CLI bins;
+/// allowlisted bins (e.g. the `fleetio-obs summarize` entry point) are
+/// grandfathered via `audit.toml`.
+fn in_quiet(path: &str) -> bool {
+    [
+        "crates/des/src/",
+        "crates/flash/src/",
+        "crates/vssd/src/",
+        "crates/ml/src/",
+        "crates/rl/src/",
+        "crates/obs/src/",
     ]
     .iter()
     .any(|p| path.starts_with(p))
@@ -58,6 +83,7 @@ pub fn check_file(file: &ScannedFile) -> Vec<Diagnostic> {
     no_unwrap(file, &mut out);
     hash_iteration(file, &mut out);
     entropy(file, &mut out);
+    no_println(file, &mut out);
     out
 }
 
@@ -240,6 +266,54 @@ fn entropy(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// `no-println`: ad-hoc stdout/stderr writes in quiet library crates.
+/// Structured output belongs in `fleetio-obs` events/metrics; stray
+/// `println!` in the hot path skews timing-sensitive benchmarks and
+/// pollutes exporter streams. CLI bins are grandfathered in `audit.toml`.
+fn no_println(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !in_quiet(&file.path) {
+        return;
+    }
+    const MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+    for (line_no, masked, raw) in file.code_lines() {
+        for mac in MACROS {
+            if contains_macro_call(masked, mac) {
+                out.push(Diagnostic {
+                    rule: "no-println",
+                    path: file.path.clone(),
+                    line: line_no,
+                    message: format!(
+                        "`{mac}!` in a quiet library crate; emit a fleetio-obs event or \
+                         metric instead (CLI bins go through audit.toml)"
+                    ),
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Whether `hay` invokes the macro `name` (`name` as a whole identifier
+/// immediately followed by `!`). The whole-identifier requirement keeps
+/// `print` from matching inside `println` or `eprint`.
+fn contains_macro_call(hay: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = hay.get(from..).and_then(|h| h.find(name)) {
+        let start = from + p;
+        let end = start + name.len();
+        let before_ok = start == 0
+            || !hay[..start]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && hay[end..].starts_with('!') {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
 /// Whether `needle` occurs in `hay` as a whole identifier (not as part of
 /// a longer identifier).
 fn contains_identifier(hay: &str, needle: &str) -> bool {
@@ -347,6 +421,39 @@ mod tests {
         assert_eq!(diags("crates/workloads/src/gen.rs", src).len(), 1);
         assert!(diags("crates/des/src/rng.rs", src).is_empty());
         assert!(diags("crates/bench/src/harness.rs", src).is_empty());
+    }
+
+    #[test]
+    fn println_flagged_in_quiet_crates_only() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        assert_eq!(diags("crates/des/src/queue.rs", src).len(), 1);
+        assert_eq!(diags("crates/rl/src/ppo.rs", src).len(), 1);
+        assert_eq!(diags("crates/obs/src/main.rs", src).len(), 1);
+        assert!(diags("crates/bench/src/harness.rs", src).is_empty());
+        assert!(diags("crates/fleetio/src/driver.rs", src).is_empty());
+    }
+
+    #[test]
+    fn println_rule_covers_all_print_macros() {
+        for mac in ["println", "eprintln", "print", "eprint", "dbg"] {
+            let src = format!("fn f() {{ {mac}!(\"x\"); }}\n");
+            let d = diags("crates/ml/src/mlp.rs", &src);
+            assert_eq!(d.len(), 1, "{mac}: {d:?}");
+            assert_eq!(d[0].rule, "no-println");
+        }
+    }
+
+    #[test]
+    fn println_allowed_in_tests_and_ignores_lookalikes() {
+        let in_test = "#[cfg(test)]\nmod tests {\n fn t() { println!(\"x\"); }\n}\n";
+        assert!(diags("crates/des/src/queue.rs", in_test).is_empty());
+        // Not a macro call: identifier without `!`, or part of a longer name.
+        assert!(!contains_macro_call("self.print_report();", "print"));
+        assert!(!contains_macro_call("my_println!(\"x\")", "println"));
+        // `print` must not fire inside `println!`/`eprint!`.
+        assert!(!contains_macro_call("println!(\"x\")", "print"));
+        assert!(!contains_macro_call("eprint!(\"x\")", "print"));
+        assert!(contains_macro_call("eprintln!(\"x\")", "eprintln"));
     }
 
     #[test]

@@ -294,6 +294,25 @@ mod tests {
         assert_eq!(h.mean().unwrap().as_micros(), 200);
     }
 
+    /// Values below `SUB_COUNT` occupy one-value buckets (range 0), so
+    /// percentiles there are exact, not approximate: a 90/10 split of two
+    /// such values pins P50 to the low value and P95/P99/P100 to the high.
+    #[test]
+    fn exact_percentiles_in_linear_range() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(SimDuration::from_nanos(10));
+        }
+        for _ in 0..10 {
+            h.record(SimDuration::from_nanos(50));
+        }
+        assert_eq!(h.percentile(50.0).unwrap().as_nanos(), 10);
+        assert_eq!(h.percentile(90.0).unwrap().as_nanos(), 10);
+        assert_eq!(h.percentile(95.0).unwrap().as_nanos(), 50);
+        assert_eq!(h.percentile(99.0).unwrap().as_nanos(), 50);
+        assert_eq!(h.percentile(100.0).unwrap().as_nanos(), 50);
+    }
+
     /// Property: every value falls inside its own bucket's [low, high].
     #[test]
     fn prop_bucket_index_brackets_value() {

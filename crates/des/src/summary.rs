@@ -143,7 +143,21 @@ mod tests {
         let r = Running::new();
         assert_eq!(r.mean(), 0.0);
         assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.std_dev(), 0.0);
+        assert_eq!(r.count(), 0);
+        // No observations: min/max must be None, never a sentinel value.
         assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+    }
+
+    #[test]
+    fn single_observation_min_max_coincide() {
+        let mut r = Running::new();
+        r.push(-3.5);
+        assert_eq!(r.min(), Some(-3.5));
+        assert_eq!(r.max(), Some(-3.5));
+        assert_eq!(r.mean(), -3.5);
+        assert_eq!(r.variance(), 0.0);
     }
 
     #[test]

@@ -257,6 +257,16 @@ impl ChannelSim {
     pub fn note_gc_bytes(&mut self, bytes: u64) {
         self.gc_bytes += bytes;
     }
+
+    /// Number of chips still busy (booked past `now`).
+    pub fn busy_chips(&self, now: SimTime) -> u16 {
+        self.chip_free.iter().filter(|&&f| f > now).count() as u16
+    }
+
+    /// How far past `now` the bus is booked (zero when idle).
+    pub fn bus_backlog(&self, now: SimTime) -> SimDuration {
+        self.bus_free.saturating_since(now)
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,24 @@ use crate::channel::{ChannelSim, OpTimes};
 use crate::config::FlashConfig;
 use crate::stats::DeviceStats;
 
+/// Point-in-time occupancy snapshot of one channel, taken via
+/// [`FlashDevice::channel_obs`] for observability gauges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelObs {
+    /// Chips booked past the snapshot time.
+    pub busy_chips: u16,
+    /// How far past the snapshot time the bus is booked.
+    pub bus_backlog: SimDuration,
+    /// Cumulative bus-busy time.
+    pub bus_busy: SimDuration,
+    /// Cumulative bytes moved over the bus.
+    pub bytes_moved: u64,
+    /// Cumulative GC migration bytes.
+    pub gc_bytes: u64,
+    /// Per-chip booking backlog past the snapshot time.
+    pub chip_backlog: Vec<SimDuration>,
+}
+
 /// A simulated open-channel flash device.
 #[derive(Debug, Clone)]
 pub struct FlashDevice {
@@ -394,6 +412,25 @@ impl FlashDevice {
         for chip in &self.chips {
             chip.audit_invariants();
         }
+    }
+
+    /// Point-in-time occupancy snapshot of every channel, in channel
+    /// order. Read-only: built for observability gauges at window
+    /// boundaries, never consulted by the simulation itself.
+    pub fn channel_obs(&self, now: SimTime) -> Vec<ChannelObs> {
+        self.channels
+            .iter()
+            .map(|ch| ChannelObs {
+                busy_chips: ch.busy_chips(now),
+                bus_backlog: ch.bus_backlog(now),
+                bus_busy: ch.bus_busy(),
+                bytes_moved: ch.bytes_moved(),
+                gc_bytes: ch.gc_bytes(),
+                chip_backlog: (0..ch.chips())
+                    .map(|c| ch.chip_free_at(c).saturating_since(now))
+                    .collect(),
+            })
+            .collect()
     }
 
     /// Total bytes moved over all channel buses so far.

@@ -44,5 +44,5 @@ pub mod timing;
 
 pub use addr::{BlockAddr, ChannelId, Lpa, Ppa};
 pub use config::FlashConfig;
-pub use device::FlashDevice;
+pub use device::{ChannelObs, FlashDevice};
 pub use timing::FlashTiming;

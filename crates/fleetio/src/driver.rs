@@ -111,6 +111,23 @@ impl Colocation {
         &self.engine
     }
 
+    /// Installs an observability sink on the engine, returning the previous
+    /// one. Every [`Colocation::run_window`] then streams the request
+    /// lifecycle, NAND spans, GC/gSB activity and per-tenant window flushes
+    /// into it; sinks never change simulation results.
+    pub fn set_obs_sink(
+        &mut self,
+        sink: Box<dyn fleetio_obs::ObsSink>,
+    ) -> Box<dyn fleetio_obs::ObsSink> {
+        self.engine.set_obs_sink(sink)
+    }
+
+    /// Removes the engine's sink (restoring the no-op default) so its
+    /// captured trace can be exported.
+    pub fn take_obs_sink(&mut self) -> Box<dyn fleetio_obs::ObsSink> {
+        self.engine.take_obs_sink()
+    }
+
     /// Tenant ids in registration order.
     pub fn tenant_ids(&self) -> Vec<VssdId> {
         self.tenants.iter().map(|t| t.id).collect()

@@ -1,0 +1,567 @@
+//! Typed observability events and their JSONL encoding.
+//!
+//! One [`ObsEvent`] is one fact about the simulation, timestamped in
+//! simulated time. The set mirrors the paper's moving parts: the request
+//! lifecycle (`submit → admit → chip-issue → complete`), NAND operations,
+//! GC runs, gSB harvest/lend/reclaim transitions, token-bucket throttles
+//! and per-window statistics flushes.
+//!
+//! Encoding is hand-rolled JSON (pure std): integers and `bool`s render
+//! exactly, `f64`s use Rust's shortest-roundtrip `Display` (valid JSON,
+//! deterministic), and non-finite floats are clamped to `0` so a line is
+//! always parseable.
+
+use std::fmt::Write as _;
+
+use fleetio_des::{SimDuration, SimTime};
+
+/// What a [`ObsEvent::NandOp`] span occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NandKind {
+    /// Whole-page read (cell read + bus transfer).
+    Read,
+    /// Whole-page program (bus transfer + cell program).
+    Program,
+    /// One bus grant of a time-sliced transfer.
+    BusGrant,
+    /// Cell-only occupancy (the chip half of a time-sliced op).
+    ChipOccupy,
+}
+
+impl NandKind {
+    /// Stable lowercase tag used in exports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            NandKind::Read => "read",
+            NandKind::Program => "program",
+            NandKind::BusGrant => "bus_grant",
+            NandKind::ChipOccupy => "chip_occupy",
+        }
+    }
+}
+
+/// A ghost-superblock lifecycle transition (§3.6 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GsbKind {
+    /// `Make_Harvestable` materialized a new gSB into the pool.
+    Created,
+    /// A harvester acquired the gSB (`Harvest`).
+    Harvested,
+    /// The harvester released the gSB back (level decrease).
+    Released,
+    /// The home vSSD asked for it back; live data drains through GC.
+    ReclaimRequested,
+    /// The gSB's last block was returned; it no longer exists.
+    Destroyed,
+}
+
+impl GsbKind {
+    /// Stable lowercase tag used in exports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            GsbKind::Created => "created",
+            GsbKind::Harvested => "harvested",
+            GsbKind::Released => "released",
+            GsbKind::ReclaimRequested => "reclaim_requested",
+            GsbKind::Destroyed => "destroyed",
+        }
+    }
+}
+
+/// One structured observability record. All timestamps are simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// A host request entered the engine (`Engine::submit`).
+    RequestSubmit {
+        /// Arrival time the request was stamped with.
+        at: SimTime,
+        /// Engine-assigned request id.
+        req: u64,
+        /// Owning vSSD.
+        vssd: u32,
+        /// Read (`true`) or write.
+        read: bool,
+        /// Request length in bytes.
+        bytes: u64,
+    },
+    /// The request's arrival was processed and its page ops were queued.
+    RequestAdmit {
+        /// Admission time.
+        at: SimTime,
+        /// Engine-assigned request id.
+        req: u64,
+        /// Owning vSSD.
+        vssd: u32,
+        /// Page operations the request fanned out into.
+        pages: u32,
+    },
+    /// One of the request's page ops was issued to a chip.
+    ChipIssue {
+        /// Issue time.
+        at: SimTime,
+        /// Engine-assigned request id.
+        req: u64,
+        /// Owning vSSD.
+        vssd: u32,
+        /// Flash channel the op was issued on.
+        channel: u16,
+        /// Chip behind that channel.
+        chip: u16,
+        /// Read (`true`) or program.
+        read: bool,
+    },
+    /// The request's last page op finished.
+    RequestComplete {
+        /// Completion time.
+        at: SimTime,
+        /// Engine-assigned request id.
+        req: u64,
+        /// Owning vSSD.
+        vssd: u32,
+        /// Read (`true`) or write.
+        read: bool,
+        /// Request length in bytes.
+        bytes: u64,
+        /// Original arrival time (latency = `at - arrival`).
+        arrival: SimTime,
+        /// First time any of its ops touched hardware.
+        service_start: SimTime,
+    },
+    /// A NAND-level occupancy span (device timing, one track per
+    /// channel/chip in the Chrome exporter).
+    NandOp {
+        /// When the op began occupying its first resource.
+        start: SimTime,
+        /// When it released its last resource.
+        end: SimTime,
+        /// vSSD the op was issued for.
+        vssd: u32,
+        /// Flash channel.
+        channel: u16,
+        /// Chip behind that channel.
+        chip: u16,
+        /// What the span occupied.
+        kind: NandKind,
+        /// Whether this was internal GC traffic.
+        gc: bool,
+        /// Bytes moved (0 for cell-only occupancy).
+        bytes: u64,
+    },
+    /// A garbage-collection job started on `(channel, chip)`.
+    GcStart {
+        /// Start time.
+        at: SimTime,
+        /// Job id, or `None` for the synchronous emergency path.
+        job: Option<u64>,
+        /// vSSD owning the victim block's resources.
+        vssd: u32,
+        /// Victim channel.
+        channel: u16,
+        /// Victim chip.
+        chip: u16,
+        /// Live pages that must migrate.
+        live_pages: u32,
+        /// Whether this was an out-of-space emergency collection.
+        emergency: bool,
+    },
+    /// A garbage-collection job finished (victim erased and released).
+    GcEnd {
+        /// Completion time.
+        at: SimTime,
+        /// Job id.
+        job: u64,
+        /// vSSD owning the victim block's resources.
+        vssd: u32,
+        /// Victim channel.
+        channel: u16,
+        /// Victim chip.
+        chip: u16,
+        /// Wall-to-wall busy time of the job.
+        busy: SimDuration,
+    },
+    /// A ghost-superblock transition.
+    GsbTransition {
+        /// Transition time.
+        at: SimTime,
+        /// gSB id.
+        gsb: u64,
+        /// Home vSSD (resource owner).
+        home: u32,
+        /// Harvester, when one is attached.
+        harvester: Option<u32>,
+        /// Which transition.
+        kind: GsbKind,
+        /// Channels the gSB spans.
+        channels: u16,
+    },
+    /// Every runnable op on a channel was token-bucket blocked; a retry
+    /// was scheduled.
+    Throttle {
+        /// When the dispatcher gave up.
+        at: SimTime,
+        /// The starved channel.
+        channel: u16,
+        /// Earliest token-availability time (the retry time).
+        until: SimTime,
+    },
+    /// A per-vSSD statistics window was frozen (`Engine::finish_window`).
+    WindowFlush {
+        /// Window end time.
+        at: SimTime,
+        /// vSSD the window belongs to.
+        vssd: u32,
+        /// Average bandwidth over the window, bytes/s.
+        avg_bandwidth: f64,
+        /// Average operations per second.
+        avg_iops: f64,
+        /// P99 request latency.
+        p99_latency: SimDuration,
+        /// Fraction of requests violating the SLO.
+        slo_violation_rate: f64,
+        /// Fraction of the window with GC active.
+        gc_busy_frac: f64,
+        /// Bytes moved in the window.
+        total_bytes: u64,
+        /// Operations completed in the window.
+        total_ops: u64,
+    },
+}
+
+impl ObsEvent {
+    /// Stable `type` tag of the event's JSONL encoding.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ObsEvent::RequestSubmit { .. } => "request_submit",
+            ObsEvent::RequestAdmit { .. } => "request_admit",
+            ObsEvent::ChipIssue { .. } => "chip_issue",
+            ObsEvent::RequestComplete { .. } => "request_complete",
+            ObsEvent::NandOp { .. } => "nand_op",
+            ObsEvent::GcStart { .. } => "gc_start",
+            ObsEvent::GcEnd { .. } => "gc_end",
+            ObsEvent::GsbTransition { .. } => "gsb",
+            ObsEvent::Throttle { .. } => "throttle",
+            ObsEvent::WindowFlush { .. } => "window_flush",
+        }
+    }
+
+    /// The event's primary timestamp (span events use their start).
+    pub fn at(&self) -> SimTime {
+        match *self {
+            ObsEvent::RequestSubmit { at, .. }
+            | ObsEvent::RequestAdmit { at, .. }
+            | ObsEvent::ChipIssue { at, .. }
+            | ObsEvent::RequestComplete { at, .. }
+            | ObsEvent::GcStart { at, .. }
+            | ObsEvent::GcEnd { at, .. }
+            | ObsEvent::GsbTransition { at, .. }
+            | ObsEvent::Throttle { at, .. }
+            | ObsEvent::WindowFlush { at, .. } => at,
+            ObsEvent::NandOp { start, .. } => start,
+        }
+    }
+
+    /// Appends the event's one-line JSON encoding (no trailing newline).
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"type\":\"");
+        out.push_str(self.tag());
+        out.push('"');
+        match *self {
+            ObsEvent::RequestSubmit {
+                at,
+                req,
+                vssd,
+                read,
+                bytes,
+            } => {
+                field_u64(out, "at", at.as_nanos());
+                field_u64(out, "req", req);
+                field_u64(out, "vssd", u64::from(vssd));
+                field_bool(out, "read", read);
+                field_u64(out, "bytes", bytes);
+            }
+            ObsEvent::RequestAdmit {
+                at,
+                req,
+                vssd,
+                pages,
+            } => {
+                field_u64(out, "at", at.as_nanos());
+                field_u64(out, "req", req);
+                field_u64(out, "vssd", u64::from(vssd));
+                field_u64(out, "pages", u64::from(pages));
+            }
+            ObsEvent::ChipIssue {
+                at,
+                req,
+                vssd,
+                channel,
+                chip,
+                read,
+            } => {
+                field_u64(out, "at", at.as_nanos());
+                field_u64(out, "req", req);
+                field_u64(out, "vssd", u64::from(vssd));
+                field_u64(out, "channel", u64::from(channel));
+                field_u64(out, "chip", u64::from(chip));
+                field_bool(out, "read", read);
+            }
+            ObsEvent::RequestComplete {
+                at,
+                req,
+                vssd,
+                read,
+                bytes,
+                arrival,
+                service_start,
+            } => {
+                field_u64(out, "at", at.as_nanos());
+                field_u64(out, "req", req);
+                field_u64(out, "vssd", u64::from(vssd));
+                field_bool(out, "read", read);
+                field_u64(out, "bytes", bytes);
+                field_u64(out, "arrival", arrival.as_nanos());
+                field_u64(out, "service_start", service_start.as_nanos());
+            }
+            ObsEvent::NandOp {
+                start,
+                end,
+                vssd,
+                channel,
+                chip,
+                kind,
+                gc,
+                bytes,
+            } => {
+                field_u64(out, "start", start.as_nanos());
+                field_u64(out, "end", end.as_nanos());
+                field_u64(out, "vssd", u64::from(vssd));
+                field_u64(out, "channel", u64::from(channel));
+                field_u64(out, "chip", u64::from(chip));
+                field_str(out, "kind", kind.tag());
+                field_bool(out, "gc", gc);
+                field_u64(out, "bytes", bytes);
+            }
+            ObsEvent::GcStart {
+                at,
+                job,
+                vssd,
+                channel,
+                chip,
+                live_pages,
+                emergency,
+            } => {
+                field_u64(out, "at", at.as_nanos());
+                match job {
+                    Some(j) => field_u64(out, "job", j),
+                    None => out.push_str(",\"job\":null"),
+                }
+                field_u64(out, "vssd", u64::from(vssd));
+                field_u64(out, "channel", u64::from(channel));
+                field_u64(out, "chip", u64::from(chip));
+                field_u64(out, "live_pages", u64::from(live_pages));
+                field_bool(out, "emergency", emergency);
+            }
+            ObsEvent::GcEnd {
+                at,
+                job,
+                vssd,
+                channel,
+                chip,
+                busy,
+            } => {
+                field_u64(out, "at", at.as_nanos());
+                field_u64(out, "job", job);
+                field_u64(out, "vssd", u64::from(vssd));
+                field_u64(out, "channel", u64::from(channel));
+                field_u64(out, "chip", u64::from(chip));
+                field_u64(out, "busy", busy.as_nanos());
+            }
+            ObsEvent::GsbTransition {
+                at,
+                gsb,
+                home,
+                harvester,
+                kind,
+                channels,
+            } => {
+                field_u64(out, "at", at.as_nanos());
+                field_u64(out, "gsb", gsb);
+                field_u64(out, "home", u64::from(home));
+                match harvester {
+                    Some(h) => field_u64(out, "harvester", u64::from(h)),
+                    None => out.push_str(",\"harvester\":null"),
+                }
+                field_str(out, "kind", kind.tag());
+                field_u64(out, "channels", u64::from(channels));
+            }
+            ObsEvent::Throttle { at, channel, until } => {
+                field_u64(out, "at", at.as_nanos());
+                field_u64(out, "channel", u64::from(channel));
+                field_u64(out, "until", until.as_nanos());
+            }
+            ObsEvent::WindowFlush {
+                at,
+                vssd,
+                avg_bandwidth,
+                avg_iops,
+                p99_latency,
+                slo_violation_rate,
+                gc_busy_frac,
+                total_bytes,
+                total_ops,
+            } => {
+                field_u64(out, "at", at.as_nanos());
+                field_u64(out, "vssd", u64::from(vssd));
+                field_f64(out, "avg_bandwidth", avg_bandwidth);
+                field_f64(out, "avg_iops", avg_iops);
+                field_u64(out, "p99_latency", p99_latency.as_nanos());
+                field_f64(out, "slo_violation_rate", slo_violation_rate);
+                field_f64(out, "gc_busy_frac", gc_busy_frac);
+                field_u64(out, "total_bytes", total_bytes);
+                field_u64(out, "total_ops", total_ops);
+            }
+        }
+        out.push('}');
+    }
+
+    /// The event's one-line JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        self.write_json(&mut s);
+        s
+    }
+}
+
+fn field_u64(out: &mut String, key: &str, v: u64) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn field_bool(out: &mut String, key: &str, v: bool) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn field_str(out: &mut String, key: &str, v: &str) {
+    let _ = write!(out, ",\"{key}\":\"{v}\"");
+}
+
+/// Writes a finite float; non-finite values clamp to `0` so the line
+/// stays valid JSON.
+fn field_f64(out: &mut String, key: &str, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, ",\"{key}\":{v}");
+    } else {
+        let _ = write!(out, ",\"{key}\":0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_encodes_all_fields() {
+        let ev = ObsEvent::RequestSubmit {
+            at: SimTime::from_micros(3),
+            req: 7,
+            vssd: 1,
+            read: true,
+            bytes: 4096,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"type\":\"request_submit\",\"at\":3000,\"req\":7,\"vssd\":1,\
+             \"read\":true,\"bytes\":4096}"
+        );
+        assert_eq!(ev.at(), SimTime::from_micros(3));
+    }
+
+    #[test]
+    fn every_event_parses_as_json() {
+        let events = vec![
+            ObsEvent::RequestAdmit {
+                at: SimTime::ZERO,
+                req: 0,
+                vssd: 0,
+                pages: 2,
+            },
+            ObsEvent::ChipIssue {
+                at: SimTime::ZERO,
+                req: 0,
+                vssd: 0,
+                channel: 1,
+                chip: 2,
+                read: false,
+            },
+            ObsEvent::RequestComplete {
+                at: SimTime::from_micros(9),
+                req: 0,
+                vssd: 0,
+                read: false,
+                bytes: 512,
+                arrival: SimTime::ZERO,
+                service_start: SimTime::from_micros(1),
+            },
+            ObsEvent::NandOp {
+                start: SimTime::ZERO,
+                end: SimTime::from_micros(5),
+                vssd: 0,
+                channel: 0,
+                chip: 0,
+                kind: NandKind::BusGrant,
+                gc: true,
+                bytes: 4096,
+            },
+            ObsEvent::GcStart {
+                at: SimTime::ZERO,
+                job: None,
+                vssd: 0,
+                channel: 0,
+                chip: 0,
+                live_pages: 3,
+                emergency: true,
+            },
+            ObsEvent::GcEnd {
+                at: SimTime::from_millis(1),
+                job: 4,
+                vssd: 0,
+                channel: 0,
+                chip: 0,
+                busy: SimDuration::from_micros(800),
+            },
+            ObsEvent::GsbTransition {
+                at: SimTime::ZERO,
+                gsb: 1,
+                home: 0,
+                harvester: Some(1),
+                kind: GsbKind::Harvested,
+                channels: 2,
+            },
+            ObsEvent::Throttle {
+                at: SimTime::ZERO,
+                channel: 3,
+                until: SimTime::from_micros(50),
+            },
+            ObsEvent::WindowFlush {
+                at: SimTime::from_secs(2),
+                vssd: 1,
+                avg_bandwidth: 1.5e8,
+                avg_iops: 4000.0,
+                p99_latency: SimDuration::from_micros(900),
+                slo_violation_rate: 0.01,
+                gc_busy_frac: f64::NAN,
+                total_bytes: 1 << 30,
+                total_ops: 12345,
+            },
+        ];
+        for ev in events {
+            let line = ev.to_json();
+            let v = crate::json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            let obj = v.as_object().expect("event encodes as a JSON object");
+            assert_eq!(
+                obj.get("type").and_then(|t| t.as_str()),
+                Some(ev.tag()),
+                "{line}"
+            );
+        }
+    }
+}

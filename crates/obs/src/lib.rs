@@ -1,0 +1,44 @@
+//! `fleetio-obs`: deterministic observability for the FleetIO stack.
+//!
+//! The simulator's headline claims are distributional (P95/P99 latency
+//! under harvesting, per-window bandwidth reallocation, GC interference),
+//! so end-of-run aggregates are not enough to explain *why* a window went
+//! bad. This crate provides the always-available, zero-dependency layer
+//! the rest of the workspace reports into:
+//!
+//! * [`ObsSink`] — the cheap trait the engine calls on its hot path. The
+//!   default [`NullSink`] makes every hook a predictable no-op branch;
+//!   installing a [`RecordingSink`] turns the same hooks into a bounded
+//!   ring of typed [`ObsEvent`] records plus a [`MetricsRegistry`].
+//! * [`MetricsRegistry`] — counters, gauges and fixed-bucket log2
+//!   histograms ([`Log2Histogram`], P50/P95/P99 extraction) with typed
+//!   handles registered per vSSD / per channel / per chip.
+//! * [`export`] — JSONL event dumps, Chrome `trace_event` JSON
+//!   (loadable in `chrome://tracing` / Perfetto, one track per
+//!   channel/chip) and a plain-text metrics snapshot.
+//! * [`TrainingSeries`] — per-update PPO telemetry (losses, entropy, KL,
+//!   clip fraction, reward) as a JSONL time series.
+//!
+//! # Determinism
+//!
+//! Every timestamp in every record is a [`fleetio_des::SimTime`] — never
+//! wall clock — and every emission point sits on the single-threaded
+//! engine event loop, so two same-seed runs produce *byte-identical*
+//! JSONL streams (enforced by `tests/determinism.rs` at the workspace
+//! root). Installing or removing a sink never changes simulation state.
+//!
+//! The `fleetio-obs` binary (`cargo run -p fleetio-obs -- summarize
+//! trace.jsonl`) validates a JSONL trace line by line and renders a
+//! human-readable report.
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod training;
+
+pub use event::{GsbKind, NandKind, ObsEvent};
+pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricsRegistry};
+pub use sink::{NullSink, ObsSink, RecordingSink};
+pub use training::{TrainingRecord, TrainingSeries};

@@ -1,0 +1,191 @@
+//! `fleetio-obs` CLI: turn a JSONL event trace into a readable report.
+//!
+//! Usage: `fleetio-obs summarize <trace.jsonl>`
+//!
+//! Validates every line as JSON (exit code 2 on the first malformed
+//! line, reporting its line number), then aggregates: per-type event
+//! counts, request latency percentiles, per-vSSD traffic, GC activity,
+//! throttles and window flushes.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use fleetio_obs::json::{self, Value};
+use fleetio_obs::Log2Histogram;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("summarize") => {
+            let Some(path) = args.get(2) else {
+                eprintln!("usage: fleetio-obs summarize <trace.jsonl>");
+                return ExitCode::from(2);
+            };
+            summarize(path)
+        }
+        _ => {
+            eprintln!("usage: fleetio-obs summarize <trace.jsonl>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[derive(Default)]
+struct VssdStats {
+    completed: u64,
+    bytes: u64,
+    reads: u64,
+}
+
+fn summarize(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fleetio-obs: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut type_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut latency = Log2Histogram::new();
+    let mut queue_delay = Log2Histogram::new();
+    let mut per_vssd: BTreeMap<u64, VssdStats> = BTreeMap::new();
+    let mut gc_starts = 0u64;
+    let mut gc_emergencies = 0u64;
+    let mut gc_busy_ns = 0u64;
+    let mut gc_live_pages = 0u64;
+    let mut gsb: BTreeMap<String, u64> = BTreeMap::new();
+    let mut throttles = 0u64;
+    let mut windows = 0u64;
+    let mut lines = 0u64;
+    let mut last_ns = 0u64;
+
+    for (idx, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let value = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("fleetio-obs: {path}:{}: invalid JSON: {e}", idx + 1);
+                return ExitCode::from(2);
+            }
+        };
+        lines += 1;
+        let Some(obj) = value.as_object() else {
+            eprintln!("fleetio-obs: {path}:{}: line is not a JSON object", idx + 1);
+            return ExitCode::from(2);
+        };
+        let ty = obj
+            .get("type")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        *type_counts.entry(ty.clone()).or_insert(0) += 1;
+        for key in ["at", "end", "start"] {
+            if let Some(ns) = obj.get(key).and_then(Value::as_u64) {
+                last_ns = last_ns.max(ns);
+            }
+        }
+        match ty.as_str() {
+            "request_complete" => {
+                let at = obj.get("at").and_then(Value::as_u64).unwrap_or(0);
+                let arrival = obj.get("arrival").and_then(Value::as_u64).unwrap_or(at);
+                let service = obj
+                    .get("service_start")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(at);
+                latency.record(at.saturating_sub(arrival));
+                queue_delay.record(service.saturating_sub(arrival));
+                let vssd = obj.get("vssd").and_then(Value::as_u64).unwrap_or(0);
+                let entry = per_vssd.entry(vssd).or_default();
+                entry.completed += 1;
+                entry.bytes += obj.get("bytes").and_then(Value::as_u64).unwrap_or(0);
+                if obj.get("read").and_then(Value::as_bool) == Some(true) {
+                    entry.reads += 1;
+                }
+            }
+            "gc_start" => {
+                gc_starts += 1;
+                if obj.get("emergency").and_then(Value::as_bool) == Some(true) {
+                    gc_emergencies += 1;
+                }
+                gc_live_pages += obj.get("live_pages").and_then(Value::as_u64).unwrap_or(0);
+            }
+            "gc_end" => {
+                gc_busy_ns += obj.get("busy").and_then(Value::as_u64).unwrap_or(0);
+            }
+            "gsb" => {
+                let kind = obj
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown")
+                    .to_string();
+                *gsb.entry(kind).or_insert(0) += 1;
+            }
+            "throttle" => throttles += 1,
+            "window_flush" => windows += 1,
+            _ => {}
+        }
+    }
+
+    println!("trace: {path}");
+    println!("  {lines} events, sim end {:.3} ms", last_ns as f64 / 1e6);
+    println!();
+    println!("event counts:");
+    for (ty, n) in &type_counts {
+        println!("  {ty:<18} {n}");
+    }
+    if latency.count() > 0 {
+        println!();
+        println!("request latency (ns, log2-bucket upper bounds):");
+        println!(
+            "  count {}  mean {:.0}  p50 {}  p95 {}  p99 {}  max {}",
+            latency.count(),
+            latency.mean().unwrap_or(0.0),
+            latency.p50().unwrap_or(0),
+            latency.p95().unwrap_or(0),
+            latency.p99().unwrap_or(0),
+            latency.max().unwrap_or(0),
+        );
+        println!(
+            "queue delay (ns): p50 {}  p99 {}",
+            queue_delay.p50().unwrap_or(0),
+            queue_delay.p99().unwrap_or(0),
+        );
+    }
+    if !per_vssd.is_empty() {
+        println!();
+        println!("per-vSSD completions:");
+        for (id, s) in &per_vssd {
+            let read_pct = if s.completed > 0 {
+                100.0 * s.reads as f64 / s.completed as f64
+            } else {
+                0.0
+            };
+            println!(
+                "  vssd{id}: {} requests, {:.1} MiB, {read_pct:.0}% reads",
+                s.completed,
+                s.bytes as f64 / (1024.0 * 1024.0),
+            );
+        }
+    }
+    if gc_starts > 0 || gc_busy_ns > 0 {
+        println!();
+        println!(
+            "gc: {gc_starts} runs ({gc_emergencies} emergency), {gc_live_pages} live pages migrated, {:.3} ms busy",
+            gc_busy_ns as f64 / 1e6
+        );
+    }
+    if !gsb.is_empty() {
+        let parts: Vec<String> = gsb.iter().map(|(k, n)| format!("{k} {n}")).collect();
+        println!("gsb transitions: {}", parts.join(", "));
+    }
+    if throttles > 0 {
+        println!("token-bucket throttles: {throttles}");
+    }
+    if windows > 0 {
+        println!("window flushes: {windows}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,221 @@
+//! The [`ObsSink`] trait and its two stock implementations.
+//!
+//! The engine owns a `Box<dyn ObsSink>` and calls [`ObsSink::enabled`]
+//! before building any event — with the default [`NullSink`] installed
+//! every hook is a single predictable branch and no allocation happens.
+//! [`RecordingSink`] captures events into a bounded ring plus a
+//! [`MetricsRegistry`].
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::event::ObsEvent;
+use crate::export;
+use crate::metrics::MetricsRegistry;
+
+/// Receiver for observability events and metrics.
+///
+/// Implementations must never influence simulation state: the engine
+/// produces identical event streams and identical results whether a
+/// sink is installed or not. `Send` is required because RL rollouts run
+/// engines on scoped worker threads.
+pub trait ObsSink: fmt::Debug + Send {
+    /// Whether event construction is worth the cost. Emission sites
+    /// check this before allocating or formatting anything.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Accepts one event. The default discards it.
+    fn record(&mut self, ev: ObsEvent) {
+        let _ = ev;
+    }
+
+    /// The sink's metrics registry, when it keeps one.
+    fn metrics(&mut self) -> Option<&mut MetricsRegistry> {
+        None
+    }
+
+    /// Downcast support for retrieving a concrete sink after a run.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Consuming downcast support.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// The default sink: drops everything, reports disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl ObsSink for NullSink {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Ring-buffered in-memory sink with a metrics registry.
+///
+/// Memory is bounded: once `cap` events are held, each new event evicts
+/// the oldest and increments [`RecordingSink::dropped`]. The default
+/// capacity (1 Mi events) is plenty for the workspace's short traced
+/// runs while keeping worst-case memory around a hundred MB.
+#[derive(Debug, Clone)]
+pub struct RecordingSink {
+    events: VecDeque<ObsEvent>,
+    cap: usize,
+    dropped: u64,
+    metrics: MetricsRegistry,
+}
+
+impl Default for RecordingSink {
+    fn default() -> Self {
+        Self::with_capacity(1 << 20)
+    }
+}
+
+impl RecordingSink {
+    /// A sink with the default event capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink that keeps at most `cap` events (minimum 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        RecordingSink {
+            events: VecDeque::new(),
+            cap: cap.max(1),
+            dropped: 0,
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> &VecDeque<ObsEvent> {
+        &self.events
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Read access to the metrics registry.
+    pub fn metrics_ref(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Count of held [`ObsEvent::RequestComplete`] events.
+    pub fn completed_requests(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::RequestComplete { .. }))
+            .count() as u64
+    }
+
+    /// Held events as a JSONL string (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        export::jsonl(self.events.iter())
+    }
+
+    /// Held events as a Chrome `trace_event` JSON document.
+    pub fn chrome_trace(&self) -> String {
+        export::chrome_trace(self.events.iter())
+    }
+
+    /// Metrics snapshot as plain text, sorted by name.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.render_text()
+    }
+}
+
+impl ObsSink for RecordingSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, ev: ObsEvent) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    fn metrics(&mut self) -> Option<&mut MetricsRegistry> {
+        Some(&mut self.metrics)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleetio_des::SimTime;
+
+    fn throttle(n: u64) -> ObsEvent {
+        ObsEvent::Throttle {
+            at: SimTime::from_nanos(n),
+            channel: 0,
+            until: SimTime::from_nanos(n + 1),
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_metricless() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(throttle(0));
+        assert!(s.metrics().is_none());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut s = RecordingSink::with_capacity(2);
+        assert!(s.enabled());
+        s.record(throttle(1));
+        s.record(throttle(2));
+        s.record(throttle(3));
+        assert_eq!(s.events().len(), 2);
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.events()[0], throttle(2));
+        assert_eq!(s.events()[1], throttle(3));
+    }
+
+    #[test]
+    fn downcast_round_trip() {
+        let boxed: Box<dyn ObsSink> = Box::new(RecordingSink::with_capacity(4));
+        let back = boxed
+            .into_any()
+            .downcast::<RecordingSink>()
+            .expect("downcast to RecordingSink");
+        assert_eq!(back.dropped(), 0);
+    }
+
+    #[test]
+    fn completed_requests_counts_only_completions() {
+        let mut s = RecordingSink::new();
+        s.record(throttle(0));
+        s.record(ObsEvent::RequestComplete {
+            at: SimTime::from_nanos(5),
+            req: 1,
+            vssd: 0,
+            read: true,
+            bytes: 4096,
+            arrival: SimTime::ZERO,
+            service_start: SimTime::from_nanos(2),
+        });
+        assert_eq!(s.completed_requests(), 1);
+    }
+}

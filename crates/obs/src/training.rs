@@ -1,0 +1,140 @@
+//! RL training telemetry: per-update PPO statistics as a JSONL series.
+//!
+//! `PpoTrainer` pushes one [`TrainingRecord`] per optimizer update when
+//! telemetry is enabled; the accumulated [`TrainingSeries`] renders as
+//! JSONL so training curves (loss, entropy, KL, clip fraction, reward)
+//! become a first-class run artifact next to the event trace.
+
+use std::fmt::Write as _;
+
+/// One PPO update's summary statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrainingRecord {
+    /// Zero-based update index within the trainer's lifetime.
+    pub update: u64,
+    /// Mean clipped-surrogate policy loss.
+    pub policy_loss: f64,
+    /// Mean value-function loss.
+    pub value_loss: f64,
+    /// Mean policy entropy.
+    pub entropy: f64,
+    /// Approximate KL divergence old‖new (mean of `logp_old - logp_new`).
+    pub kl: f64,
+    /// Fraction of samples whose ratio was clipped.
+    pub clip_fraction: f64,
+    /// Mean per-step reward over the update's batch.
+    pub mean_reward: f64,
+    /// Transitions the update consumed.
+    pub samples: u64,
+}
+
+impl TrainingRecord {
+    /// The record's one-line JSON encoding.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> f64 {
+            if v.is_finite() {
+                v
+            } else {
+                0.0
+            }
+        }
+        let mut s = String::with_capacity(160);
+        let _ = write!(
+            s,
+            "{{\"update\":{},\"policy_loss\":{},\"value_loss\":{},\"entropy\":{},\
+             \"kl\":{},\"clip_fraction\":{},\"mean_reward\":{},\"samples\":{}}}",
+            self.update,
+            num(self.policy_loss),
+            num(self.value_loss),
+            num(self.entropy),
+            num(self.kl),
+            num(self.clip_fraction),
+            num(self.mean_reward),
+            self.samples,
+        );
+        s
+    }
+}
+
+/// An append-only series of [`TrainingRecord`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainingSeries {
+    records: Vec<TrainingRecord>,
+}
+
+impl TrainingSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: TrainingRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records, in push order.
+    pub fn records(&self) -> &[TrainingRecord] {
+        &self.records
+    }
+
+    /// Renders the series as JSONL, one record per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_render_as_parseable_jsonl() {
+        let mut series = TrainingSeries::new();
+        series.push(TrainingRecord {
+            update: 0,
+            policy_loss: -0.02,
+            value_loss: 1.5,
+            entropy: 1.09,
+            kl: 0.003,
+            clip_fraction: 0.12,
+            mean_reward: 0.4,
+            samples: 256,
+        });
+        series.push(TrainingRecord {
+            update: 1,
+            kl: f64::NAN,
+            ..TrainingRecord::default()
+        });
+        assert_eq!(series.len(), 2);
+        let text = series.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            let v = crate::json::parse(line).expect("line parses");
+            let obj = v.as_object().expect("object");
+            assert!(obj.contains_key("kl"));
+            assert!(obj.contains_key("clip_fraction"));
+        }
+        // NaN clamps to 0 so the artifact always parses.
+        let second = crate::json::parse(text.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(
+            second.as_object().unwrap().get("kl").unwrap().as_f64(),
+            Some(0.0)
+        );
+    }
+}

@@ -88,6 +88,9 @@ pub struct PpoStats {
     pub value_loss: f64,
     /// Mean policy entropy.
     pub entropy: f64,
+    /// Approximate KL divergence old‖new (mean of `logp_old − logp_new`
+    /// over the update's samples, measured against the moving policy).
+    pub kl: f64,
     /// Fraction of samples where the ratio was clipped.
     pub clip_fraction: f64,
     /// Mean reward of the transitions consumed by this update (raw
@@ -108,6 +111,10 @@ pub struct PpoTrainer {
     critic_opt: Adam,
     cfg: PpoConfig,
     rng: SmallRng,
+    /// Lifetime count of [`PpoTrainer::update`] calls that consumed data.
+    updates: u64,
+    /// Per-update telemetry series, populated when enabled.
+    telemetry: Option<fleetio_obs::TrainingSeries>,
 }
 
 impl PpoTrainer {
@@ -129,12 +136,33 @@ impl PpoTrainer {
             critic_opt,
             cfg,
             rng: SmallRng::seed_from_u64(seed),
+            updates: 0,
+            telemetry: None,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &PpoConfig {
         &self.cfg
+    }
+
+    /// Starts recording one [`fleetio_obs::TrainingRecord`] per update.
+    /// Telemetry never affects training; it only mirrors the returned
+    /// [`PpoStats`].
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(fleetio_obs::TrainingSeries::new());
+        }
+    }
+
+    /// The recorded telemetry series, when enabled.
+    pub fn telemetry(&self) -> Option<&fleetio_obs::TrainingSeries> {
+        self.telemetry.as_ref()
+    }
+
+    /// Removes and returns the telemetry series, disabling recording.
+    pub fn take_telemetry(&mut self) -> Option<fleetio_obs::TrainingSeries> {
+        self.telemetry.take()
     }
 
     /// Collects `steps` environment steps, updating the normalizer as it
@@ -231,11 +259,13 @@ impl PpoTrainer {
                 let mut critic_grads = self.policy.critic.zero_grads();
                 for &i in chunk {
                     let t = &buffer.transitions()[i];
-                    let (ploss, ent, clipped) = self.accumulate_policy_grad(t, &mut actor_grads);
+                    let (ploss, ent, logp_new, clipped) =
+                        self.accumulate_policy_grad(t, &mut actor_grads);
                     let vloss = self.accumulate_value_grad(t, &mut critic_grads);
                     stats.policy_loss += ploss;
                     stats.value_loss += vloss;
                     stats.entropy += ent;
+                    stats.kl += t.logp - logp_new;
                     if clipped {
                         stats.clip_fraction += 1.0;
                     }
@@ -255,7 +285,21 @@ impl PpoTrainer {
             stats.policy_loss /= c;
             stats.value_loss /= c;
             stats.entropy /= c;
+            stats.kl /= c;
             stats.clip_fraction /= c;
+        }
+        self.updates += 1;
+        if let Some(series) = &mut self.telemetry {
+            series.push(fleetio_obs::TrainingRecord {
+                update: self.updates,
+                policy_loss: stats.policy_loss,
+                value_loss: stats.value_loss,
+                entropy: stats.entropy,
+                kl: stats.kl,
+                clip_fraction: stats.clip_fraction,
+                mean_reward: stats.mean_reward,
+                samples: n as u64,
+            });
         }
         stats
     }
@@ -267,12 +311,12 @@ impl PpoTrainer {
     }
 
     /// Accumulates the clipped-surrogate + entropy gradient for one sample.
-    /// Returns `(policy_loss, entropy, was_clipped)`.
+    /// Returns `(policy_loss, entropy, logp_new, was_clipped)`.
     fn accumulate_policy_grad(
         &self,
         t: &Transition,
         grads: &mut fleetio_ml::MlpGrads,
-    ) -> (f64, f64, bool) {
+    ) -> (f64, f64, f64, bool) {
         let cache = self.policy.actor.forward_cached(&t.obs);
         let logits = cache.output().to_vec();
         let heads = self.policy.split_heads(&logits);
@@ -334,7 +378,7 @@ impl PpoTrainer {
             off += p.len();
         }
         self.policy.actor.backward(&cache, &dlogits, grads);
-        (loss, entropy, clipped)
+        (loss, entropy, logp_new, clipped)
     }
 
     /// Accumulates the squared-error value gradient. Returns the loss.
@@ -374,6 +418,31 @@ mod tests {
         let mut trainer = PpoTrainer::new(policy, 2, PpoConfig::default(), 0);
         let stats = trainer.update(RolloutBuffer::new());
         assert_eq!(stats.samples, 0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_update_stats() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let policy = PpoPolicy::new(2, &[3], &[8], &mut rng);
+        let mut trainer = PpoTrainer::new(policy, 2, PpoConfig::default(), 3);
+        trainer.enable_telemetry();
+        let mut env = BanditEnv {
+            steps: 0,
+            horizon: 16,
+        };
+        let stats = trainer.train_iteration(&mut env, 32);
+        let series = trainer.take_telemetry().expect("telemetry enabled");
+        assert_eq!(series.len(), 1);
+        let rec = &series.records()[0];
+        assert_eq!(rec.update, 1);
+        assert_eq!(rec.samples as usize, stats.samples);
+        assert!((rec.policy_loss - stats.policy_loss).abs() < 1e-12);
+        assert!((rec.kl - stats.kl).abs() < 1e-12);
+        assert!(rec.kl.is_finite());
+        // Empty updates are not recorded and do not advance the counter.
+        trainer.enable_telemetry();
+        trainer.update(RolloutBuffer::new());
+        assert!(trainer.telemetry().expect("enabled").is_empty());
     }
 
     #[test]

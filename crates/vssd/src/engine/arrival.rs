@@ -63,6 +63,14 @@ impl Engine {
         if let Some(r) = self.reqs.get_mut(&req_id) {
             r.remaining = ops.len() as u32;
         }
+        if self.obs_on {
+            self.obs.record(fleetio_obs::ObsEvent::RequestAdmit {
+                at: self.now,
+                req: req_id,
+                vssd: req.vssd.0,
+                pages: ops.len() as u32,
+            });
+        }
         let prio = self.vssds[idx].priority;
         let mut touched: Vec<u16> = Vec::new();
         for (ch, op) in ops {

@@ -114,6 +114,19 @@ impl Engine {
         let channel = ChannelId(ch);
         let tag = op.req.or(op.gc.map(|g| GC_OP_BIT | g));
         self.chans[usize::from(ch)].in_flight += 1;
+        let vssd_id = self.vssds[op.vssd].cfg.id.0;
+        if self.obs_on {
+            if let Some(req_id) = op.req {
+                self.obs.record(fleetio_obs::ObsEvent::ChipIssue {
+                    at: now,
+                    req: req_id,
+                    vssd: vssd_id,
+                    channel: ch,
+                    chip: op.chip,
+                    read: op.read,
+                });
+            }
+        }
         if (rank == crate::request::Priority::Low.rank() || op.gc.is_some())
             && op.bytes > GRANT_BYTES
         {
@@ -124,6 +137,7 @@ impl Engine {
                 }
             }
             let grant = GrantOp {
+                vssd: op.vssd,
                 read: op.read,
                 chip: op.chip,
                 tag,
@@ -133,7 +147,20 @@ impl Engine {
             let t0 = if op.read {
                 // Cell read first; transfers start when the data is in the
                 // chip register.
-                self.device.chip_read_occupy(now, channel, op.chip).end
+                let occupy = self.device.chip_read_occupy(now, channel, op.chip);
+                if self.obs_on {
+                    self.obs.record(fleetio_obs::ObsEvent::NandOp {
+                        start: occupy.start,
+                        end: occupy.end,
+                        vssd: vssd_id,
+                        channel: ch,
+                        chip: op.chip,
+                        kind: fleetio_obs::NandKind::ChipOccupy,
+                        gc: grant.gc,
+                        bytes: 0,
+                    });
+                }
+                occupy.end
             } else {
                 now
             };
@@ -151,6 +178,22 @@ impl Engine {
             (true, true) => self.device.gc_read_page(now, channel, op.chip, op.bytes),
             (false, true) => self.device.gc_write_page(now, channel, op.chip, op.bytes),
         };
+        if self.obs_on {
+            self.obs.record(fleetio_obs::ObsEvent::NandOp {
+                start: times.start,
+                end: times.end,
+                vssd: vssd_id,
+                channel: ch,
+                chip: op.chip,
+                kind: if op.read {
+                    fleetio_obs::NandKind::Read
+                } else {
+                    fleetio_obs::NandKind::Program
+                },
+                gc: op.gc.is_some(),
+                bytes: op.bytes,
+            });
+        }
         if let Some(req_id) = op.req {
             if let Some(r) = self.reqs.get_mut(&req_id) {
                 r.first_start = Some(match r.first_start {
@@ -166,11 +209,24 @@ impl Engine {
     /// (program for writes) when the last grant lands.
     pub(crate) fn process_grant(&mut self, ch: u16, mut op: GrantOp) {
         let channel = ChannelId(ch);
+        let vssd_id = self.vssds[op.vssd].cfg.id.0;
         if op.remaining == 0 {
             if op.read {
                 self.events.push(self.now, Ev::PageDone { ch, req: op.tag });
             } else {
                 let p = self.device.chip_program_occupy(self.now, channel, op.chip);
+                if self.obs_on {
+                    self.obs.record(fleetio_obs::ObsEvent::NandOp {
+                        start: p.start,
+                        end: p.end,
+                        vssd: vssd_id,
+                        channel: ch,
+                        chip: op.chip,
+                        kind: fleetio_obs::NandKind::ChipOccupy,
+                        gc: op.gc,
+                        bytes: 0,
+                    });
+                }
                 self.events.push(p.end, Ev::PageDone { ch, req: op.tag });
             }
             return;
@@ -179,6 +235,18 @@ impl Engine {
         let g = self
             .device
             .bus_grant(self.now, channel, bytes, op.read, op.gc);
+        if self.obs_on {
+            self.obs.record(fleetio_obs::ObsEvent::NandOp {
+                start: g.start,
+                end: g.end,
+                vssd: vssd_id,
+                channel: ch,
+                chip: op.chip,
+                kind: fleetio_obs::NandKind::BusGrant,
+                gc: op.gc,
+                bytes,
+            });
+        }
         op.remaining -= bytes;
         self.events.push(g.end, Ev::Grant { ch, op });
     }
@@ -237,6 +305,17 @@ impl Engine {
                     cum.slo_violations += 1;
                 }
                 cum.latency.record(latency);
+                if self.obs_on {
+                    self.obs.record(fleetio_obs::ObsEvent::RequestComplete {
+                        at: completion,
+                        req: req_id,
+                        vssd: r.vssd.0,
+                        read: r.op.is_read(),
+                        bytes: r.len,
+                        arrival: r.arrival,
+                        service_start: record.service_start,
+                    });
+                }
                 self.completed.push(record);
             }
         }
@@ -275,6 +354,13 @@ impl Engine {
             // Guard against a zero-delay livelock.
             let at = at.max(now + fleetio_des::SimDuration::from_micros(1));
             self.chans[usize::from(ch)].retry_pending = true;
+            if self.obs_on {
+                self.obs.record(fleetio_obs::ObsEvent::Throttle {
+                    at: now,
+                    channel: ch,
+                    until: at,
+                });
+            }
             self.events.push(at, Ev::TokenRetry { ch });
         }
     }

@@ -91,6 +91,17 @@ impl Engine {
                 owns_chip_slot: true,
             },
         );
+        if self.obs_on {
+            self.obs.record(fleetio_obs::ObsEvent::GcStart {
+                at: self.now,
+                job: Some(job_id),
+                vssd: owner.0,
+                channel: ch.0,
+                chip,
+                live_pages: live.len() as u32,
+                emergency: false,
+            });
+        }
         self.detach_from_gsb(victim);
         let mut ops: Vec<(u16, PageOp)> = Vec::with_capacity(live.len() * 2);
         for (page, lpa) in &live {
@@ -310,6 +321,16 @@ impl Engine {
             owned_slot = j.owns_chip_slot;
             self.release_victim(j.victim);
         }
+        if self.obs_on {
+            self.obs.record(fleetio_obs::ObsEvent::GcEnd {
+                at: self.now,
+                job,
+                vssd: vssd.0,
+                channel: ch,
+                chip,
+                busy,
+            });
+        }
         let idx = self.idx(vssd);
         self.vssds[idx].window.record_gc(busy);
         if !owned_slot {
@@ -366,6 +387,17 @@ impl Engine {
                 owns_chip_slot: false,
             },
         );
+        if self.obs_on {
+            self.obs.record(fleetio_obs::ObsEvent::GcStart {
+                at: self.now,
+                job: Some(job_id),
+                vssd: owner.0,
+                channel: blk.channel.0,
+                chip: blk.chip,
+                live_pages: 0,
+                emergency: false,
+            });
+        }
         self.detach_from_gsb(blk);
         self.finish_gc_job(job_id);
     }
@@ -393,6 +425,17 @@ impl Engine {
             .map(|m| m.data_owner)
             .unwrap_or_else(|| self.vssds[0].cfg.id);
         let dst_idx = self.idx(data_owner);
+        if self.obs_on {
+            self.obs.record(fleetio_obs::ObsEvent::GcStart {
+                at: self.now,
+                job: None,
+                vssd: data_owner.0,
+                channel: ch.0,
+                chip,
+                live_pages: live.len() as u32,
+                emergency: true,
+            });
+        }
         for (page, lpa) in live {
             let dst_ch = self.next_home_channel(dst_idx);
             let (dst_blk, dst_page) = self.append_home_page(dst_idx, dst_ch, lpa);

@@ -80,6 +80,19 @@ impl Engine {
                     Ok(gsb) => {
                         self.vssds[idx].harvested.push(gsb);
                         self.rebuild_stripe_of(idx);
+                        if self.obs_on {
+                            if let Some(g) = self.pool.get(gsb) {
+                                let ev = fleetio_obs::ObsEvent::GsbTransition {
+                                    at: self.now,
+                                    gsb: gsb.0,
+                                    home: g.home.0,
+                                    harvester: Some(id.0),
+                                    kind: fleetio_obs::GsbKind::Harvested,
+                                    channels: g.n_chls() as u16,
+                                };
+                                self.obs.record(ev);
+                            }
+                        }
                     }
                     Err(_) => return,
                 }
@@ -143,7 +156,18 @@ impl Engine {
         if blocks.is_empty() {
             return;
         }
+        let n_chosen = chosen.len() as u16;
         let gsb = self.pool.create(id, chosen, blocks.clone());
+        if self.obs_on {
+            self.obs.record(fleetio_obs::ObsEvent::GsbTransition {
+                at: self.now,
+                gsb: gsb.0,
+                home: id.0,
+                harvester: None,
+                kind: fleetio_obs::GsbKind::Created,
+                channels: n_chosen,
+            });
+        }
         for blk in blocks {
             self.hbt.mark_harvested(blk);
             self.block_meta.insert(
@@ -183,6 +207,16 @@ impl Engine {
                 break;
             }
             if let Some(g) = self.pool.destroy_available(gsb) {
+                if self.obs_on {
+                    self.obs.record(fleetio_obs::ObsEvent::GsbTransition {
+                        at: self.now,
+                        gsb: gsb.0,
+                        home: home.0,
+                        harvester: None,
+                        kind: fleetio_obs::GsbKind::Destroyed,
+                        channels: n as u16,
+                    });
+                }
                 for blk in g.blocks {
                     self.return_gsb_block(blk);
                 }
@@ -209,6 +243,16 @@ impl Engine {
                 let idx = self.idx(harvester);
                 if self.vssds[idx].harvested.contains(&gsb) {
                     self.retire_gsb_from_stripe(idx, gsb);
+                    if self.obs_on {
+                        self.obs.record(fleetio_obs::ObsEvent::GsbTransition {
+                            at: self.now,
+                            gsb: gsb.0,
+                            home: home.0,
+                            harvester: Some(harvester.0),
+                            kind: fleetio_obs::GsbKind::ReclaimRequested,
+                            channels: n as u16,
+                        });
+                    }
                     excess_chls = excess_chls.saturating_sub(n);
                 }
             }
@@ -218,6 +262,19 @@ impl Engine {
     /// Releases a gSB this vSSD was harvesting. Untouched gSBs go straight
     /// back to the home vSSD; written ones become GC-reclaimed zombies.
     fn release_harvested_gsb(&mut self, id: GsbId) {
+        if self.obs_on {
+            if let Some(g) = self.pool.get(id) {
+                let ev = fleetio_obs::ObsEvent::GsbTransition {
+                    at: self.now,
+                    gsb: id.0,
+                    home: g.home.0,
+                    harvester: g.harvester.map(|h| h.0),
+                    kind: fleetio_obs::GsbKind::Released,
+                    channels: g.n_chls() as u16,
+                };
+                self.obs.record(ev);
+            }
+        }
         let untouched = self.pool.get(id).is_some_and(|g| {
             g.blocks.iter().all(|b| {
                 self.device
@@ -250,6 +307,19 @@ impl Engine {
 
     /// Destroys a harvested gSB whose last block was collected.
     pub(crate) fn destroy_emptied_gsb(&mut self, id: GsbId) {
+        if self.obs_on {
+            if let Some(g) = self.pool.get(id) {
+                let ev = fleetio_obs::ObsEvent::GsbTransition {
+                    at: self.now,
+                    gsb: id.0,
+                    home: g.home.0,
+                    harvester: g.harvester.map(|h| h.0),
+                    kind: fleetio_obs::GsbKind::Destroyed,
+                    channels: g.n_chls() as u16,
+                };
+                self.obs.record(ev);
+            }
+        }
         if let Some(g) = self.pool.get(id) {
             if let Some(harvester) = g.harvester {
                 let idx = self.idx(harvester);

@@ -32,6 +32,7 @@ use fleetio_des::{EventQueue, SimDuration, SimTime};
 use fleetio_flash::addr::BlockAddr;
 use fleetio_flash::config::FlashConfig;
 use fleetio_flash::device::FlashDevice;
+use fleetio_obs::{NullSink, ObsEvent, ObsSink};
 
 use crate::admission::{AdmissionControl, HarvestAction};
 use crate::gsb::GsbPool;
@@ -164,6 +165,8 @@ pub(crate) enum Ev {
 /// State of a time-sliced (grant-by-grant) page operation in flight.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct GrantOp {
+    /// Index of the vSSD the op was issued for (observability attribution).
+    pub vssd: usize,
     pub read: bool,
     pub chip: u16,
     /// PageDone tag (request id, or GC bit | job id).
@@ -247,6 +250,13 @@ pub struct Engine {
     /// bookkeeping (they have not reached the queues yet, but write
     /// placement must see them to spread a multi-page request).
     pub(crate) planned: Vec<u32>,
+    /// Observability sink. [`NullSink`] by default; every emission site
+    /// checks [`Engine::obs_on`] first, and sinks never influence
+    /// simulation state (same-seed runs are identical traced or not).
+    pub(crate) obs: Box<dyn ObsSink>,
+    /// Cached [`ObsSink::enabled`] of `obs`, so per-event guards are a
+    /// plain bool test instead of a virtual call.
+    pub(crate) obs_on: bool,
     /// Runtime invariant auditor (see [`audit`]).
     #[cfg(feature = "audit")]
     pub(crate) auditor: fleetio_des::audit::SimAuditor,
@@ -327,6 +337,8 @@ impl Engine {
             warming: false,
             in_emergency: false,
             planned: vec![0; n_channels],
+            obs: Box::new(NullSink),
+            obs_on: false,
             #[cfg(feature = "audit")]
             auditor: fleetio_des::audit::SimAuditor::new(),
         }
@@ -350,6 +362,27 @@ impl Engine {
     /// Admission-control stage (for configuring permissions/policies).
     pub fn admission_mut(&mut self) -> &mut AdmissionControl {
         &mut self.admission
+    }
+
+    /// Installs an observability sink, returning the previous one.
+    ///
+    /// Sinks only observe: installing or removing one never changes the
+    /// simulation's behavior or results.
+    pub fn set_obs_sink(&mut self, sink: Box<dyn ObsSink>) -> Box<dyn ObsSink> {
+        self.obs_on = sink.enabled();
+        std::mem::replace(&mut self.obs, sink)
+    }
+
+    /// Removes the current sink (restoring the no-op default) so its
+    /// captured events and metrics can be exported.
+    pub fn take_obs_sink(&mut self) -> Box<dyn ObsSink> {
+        self.obs_on = false;
+        std::mem::replace(&mut self.obs, Box::new(NullSink))
+    }
+
+    /// The installed observability sink.
+    pub fn obs_sink(&self) -> &dyn ObsSink {
+        self.obs.as_ref()
     }
 
     pub(crate) fn idx(&self, id: VssdId) -> usize {
@@ -415,6 +448,15 @@ impl Engine {
         let _ = self.idx(req.vssd);
         let id = self.next_req;
         self.next_req += 1;
+        if self.obs_on {
+            self.obs.record(ObsEvent::RequestSubmit {
+                at: req.arrival,
+                req: id,
+                vssd: req.vssd.0,
+                read: req.op.is_read(),
+                bytes: req.len,
+            });
+        }
         self.reqs.insert(
             id,
             InflightReq {
@@ -537,7 +579,64 @@ impl Engine {
         let start = self.window_start[idx];
         let len = self.now.saturating_since(start);
         self.window_start[idx] = self.now;
-        self.vssds[idx].window.finish(start, len)
+        let summary = self.vssds[idx].window.finish(start, len);
+        if self.obs_on {
+            self.obs.record(ObsEvent::WindowFlush {
+                at: self.now,
+                vssd: id.0,
+                avg_bandwidth: summary.avg_bandwidth,
+                avg_iops: summary.avg_iops,
+                p99_latency: summary.p99_latency,
+                slo_violation_rate: summary.slo_violation_rate,
+                gc_busy_frac: summary.gc_busy_frac,
+                total_bytes: summary.total_bytes,
+                total_ops: summary.total_ops,
+            });
+            self.flush_window_metrics(id, &summary);
+        }
+        summary
+    }
+
+    /// Updates the sink's metrics registry at a window boundary: per-vSSD
+    /// traffic counters and window-P99 histogram, plus per-channel
+    /// queue-depth / occupancy gauges sampled from the dispatcher and the
+    /// device.
+    fn flush_window_metrics(&mut self, id: VssdId, summary: &WindowSummary) {
+        if !self.obs_on {
+            return;
+        }
+        let chan_obs = self.device.channel_obs(self.now);
+        let queue_depths: Vec<u32> = self
+            .chans
+            .iter()
+            .map(|c| c.pending.iter().sum::<u32>() + c.in_flight)
+            .collect();
+        let Some(reg) = self.obs.metrics() else {
+            return;
+        };
+        let vssd = id.0;
+        let ops = reg.counter(&format!("vssd{vssd}.ops"));
+        reg.add(ops, summary.total_ops);
+        let bytes = reg.counter(&format!("vssd{vssd}.bytes"));
+        reg.add(bytes, summary.total_bytes);
+        let gc_events = reg.counter(&format!("vssd{vssd}.gc_events"));
+        reg.add(gc_events, summary.gc_events);
+        let p99 = reg.histogram(&format!("vssd{vssd}.window_p99_ns"));
+        reg.observe(p99, summary.p99_latency.as_nanos());
+        for (ch, (obs, qd)) in chan_obs.iter().zip(&queue_depths).enumerate() {
+            let g = reg.gauge(&format!("chan{ch}.queue_depth"));
+            reg.set(g, i64::from(*qd));
+            let g = reg.gauge(&format!("chan{ch}.busy_chips"));
+            reg.set(g, i64::from(obs.busy_chips));
+            let g = reg.gauge(&format!("chan{ch}.bus_backlog_ns"));
+            reg.set(g, obs.bus_backlog.as_nanos() as i64);
+            let g = reg.gauge(&format!("chan{ch}.bytes_moved"));
+            reg.set(g, obs.bytes_moved as i64);
+            for (chip, backlog) in obs.chip_backlog.iter().enumerate() {
+                let g = reg.gauge(&format!("chan{ch}.chip{chip}.backlog_ns"));
+                reg.set(g, backlog.as_nanos() as i64);
+            }
+        }
     }
 
     /// RL-facing snapshot of a vSSD's non-window states.

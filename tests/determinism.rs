@@ -14,7 +14,6 @@ use fleetio_suite::des::rng::SmallRng;
 use fleetio_suite::des::SimDuration;
 use fleetio_suite::flash::config::FlashConfig;
 use fleetio_suite::fleetio::baselines::HeuristicPolicy;
-#[cfg(feature = "audit")]
 use fleetio_suite::fleetio::driver::Colocation;
 use fleetio_suite::fleetio::env::FleetIoEnv;
 use fleetio_suite::fleetio::experiment::{
@@ -101,6 +100,50 @@ fn parallel_rollouts_are_bit_identical() {
     assert!(a == b, "same-seed parallel rollouts diverged");
     let c = parallel_rollout_fingerprint(24);
     assert!(a != c, "seed change did not affect the parallel rollout");
+}
+
+/// One traced colocation run, returned as its full JSONL event stream.
+/// Every simulated timestamp, request id, GC job, and byte count appears
+/// in the stream, so it is a much finer-grained fingerprint than the
+/// summary metrics above.
+fn traced_run_jsonl(seed: u64) -> String {
+    use fleetio_suite::obs::RecordingSink;
+
+    let cfg = small_cfg();
+    let tenants = hardware_layout(
+        &cfg,
+        &[WorkloadKind::Tpce, WorkloadKind::TeraSort],
+        &[None, None],
+        seed,
+    );
+    let mut coloc = Colocation::new(cfg.engine.clone(), tenants, cfg.decision_interval);
+    coloc.set_obs_sink(Box::new(RecordingSink::with_capacity(1 << 21)));
+    coloc.warm_up(0.4);
+    coloc.run_windows(3);
+    let sink = coloc
+        .take_obs_sink()
+        .into_any()
+        .downcast::<RecordingSink>()
+        .expect("a RecordingSink was installed above");
+    assert_eq!(sink.dropped(), 0, "trace ring evicted events");
+    sink.to_jsonl()
+}
+
+/// The observability layer's determinism claim: same seed → byte-identical
+/// JSONL event stream, not just identical summary metrics.
+#[test]
+fn traced_event_streams_are_byte_identical() {
+    let a = traced_run_jsonl(41);
+    let b = traced_run_jsonl(41);
+    assert!(!a.is_empty(), "traced run produced no events");
+    assert!(
+        a.len() > 10_000,
+        "suspiciously small trace ({} bytes)",
+        a.len()
+    );
+    assert!(a == b, "same-seed traced runs diverged");
+    let c = traced_run_jsonl(42);
+    assert!(a != c, "seed change did not affect the event stream");
 }
 
 /// With `--features audit`, every event of these runs flows through the
