@@ -15,8 +15,12 @@
 //! * [`entropy`](rules) — randomness and wall-clock reads only via
 //!   `des::rng` seeds and `SimTime`.
 //! * [`no-println`](rules) — no `println!`/`eprintln!`/`print!`/`eprint!`/
-//!   `dbg!` in quiet library crates (`des`/`flash`/`vssd`/`ml`/`rl`/`obs`);
-//!   reporting goes through `fleetio-obs` sinks and exporters.
+//!   `dbg!` in quiet library crates (`des`/`flash`/`vssd`/`ml`/`rl`/`model`/
+//!   `obs`); reporting goes through `fleetio-obs` sinks and exporters.
+//! * [`atomic-io`](rules) — no direct `fs::write`/`File::create`/
+//!   `OpenOptions` in simulation crates; persistent state (checkpoints,
+//!   registries) goes through `fleetio_model::atomic_write` so a crash can
+//!   never leave a half-written file behind.
 //!
 //! Run `cargo run -p fleetio-audit -- check` from anywhere in the
 //! workspace; `audit.toml` at the repo root grandfathers legacy sites with

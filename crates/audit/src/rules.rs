@@ -25,12 +25,13 @@ pub struct Diagnostic {
 }
 
 /// Stable identifiers for every rule, in reporting order.
-pub const RULE_IDS: [&str; 5] = [
+pub const RULE_IDS: [&str; 6] = [
     "raw-time-arith",
     "no-unwrap",
     "hash-iteration",
     "entropy",
     "no-println",
+    "atomic-io",
 ];
 
 /// Simulator core: the crates whose sources model the device and must be
@@ -51,6 +52,7 @@ fn in_sim(path: &str) -> bool {
         "crates/workloads/src/",
         "crates/ml/src/",
         "crates/rl/src/",
+        "crates/model/src/",
         "crates/fleetio/src/",
         "crates/obs/src/",
     ]
@@ -70,6 +72,7 @@ fn in_quiet(path: &str) -> bool {
         "crates/vssd/src/",
         "crates/ml/src/",
         "crates/rl/src/",
+        "crates/model/src/",
         "crates/obs/src/",
     ]
     .iter()
@@ -84,6 +87,7 @@ pub fn check_file(file: &ScannedFile) -> Vec<Diagnostic> {
     hash_iteration(file, &mut out);
     entropy(file, &mut out);
     no_println(file, &mut out);
+    atomic_io(file, &mut out);
     out
 }
 
@@ -293,6 +297,42 @@ fn no_println(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// `atomic-io`: direct file-writing APIs in simulation crates. A crash
+/// (or a concurrently-reading trainer) must never observe a half-written
+/// checkpoint, so every persistent write goes through
+/// `fleetio_model::atomic_write` (tmp file + fsync + rename) — the one
+/// file exempt from this rule. `fs::write`, `File::create` and
+/// `OpenOptions` anywhere else in the simulation scope are flagged;
+/// wall-clock crates (`bench`, `audit`) and CLI report exporters outside
+/// the scope stay free to write directly.
+fn atomic_io(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !in_sim(&file.path) || file.path == "crates/model/src/atomic.rs" {
+        return;
+    }
+    const APIS: [&str; 3] = ["fs::write", "File::create", "OpenOptions"];
+    for (line_no, masked, raw) in file.code_lines() {
+        for api in APIS {
+            let hit = match api {
+                // Path-qualified call: substring is unambiguous.
+                "fs::write" | "File::create" => masked.contains(api),
+                _ => contains_identifier(masked, api),
+            };
+            if hit {
+                out.push(Diagnostic {
+                    rule: "atomic-io",
+                    path: file.path.clone(),
+                    line: line_no,
+                    message: format!(
+                        "direct file write via `{api}` in a simulation crate; persist \
+                         through fleetio_model::atomic_write (crash-safe tmp+rename)"
+                    ),
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
 /// Whether `hay` invokes the macro `name` (`name` as a whole identifier
 /// immediately followed by `!`). The whole-identifier requirement keeps
 /// `print` from matching inside `println` or `eprint`.
@@ -454,6 +494,43 @@ mod tests {
         assert!(!contains_macro_call("println!(\"x\")", "print"));
         assert!(!contains_macro_call("eprint!(\"x\")", "print"));
         assert!(contains_macro_call("eprintln!(\"x\")", "eprintln"));
+    }
+
+    #[test]
+    fn atomic_io_flags_direct_writes_in_sim_scope() {
+        for src in [
+            "fn f() { std::fs::write(p, b).unwrap(); }\n",
+            "fn f() { let f = File::create(p)?; }\n",
+            "fn f() { let f = OpenOptions::new().write(true).open(p)?; }\n",
+        ] {
+            for path in [
+                "crates/rl/src/ppo.rs",
+                "crates/model/src/registry.rs",
+                "crates/fleetio/src/agent.rs",
+            ] {
+                let d: Vec<_> = diags(path, src)
+                    .into_iter()
+                    .filter(|d| d.rule == "atomic-io")
+                    .collect();
+                assert_eq!(d.len(), 1, "{path}: {src:?}: {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_io_exempts_writer_tests_and_wall_clock_crates() {
+        let src = "fn f() { let f = File::create(p)?; }\n";
+        assert!(diags("crates/model/src/atomic.rs", src).is_empty());
+        assert!(diags("crates/bench/src/harness.rs", src).is_empty());
+        assert!(diags("crates/audit/src/scan.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n fn t() { std::fs::write(p, b); }\n}\n";
+        assert!(diags("crates/model/src/registry.rs", in_test).is_empty());
+        // Lookalike identifiers don't fire.
+        assert!(diags(
+            "crates/rl/src/ppo.rs",
+            "let x = MyOpenOptionsLike::new();\n"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -98,6 +98,26 @@ impl SmallRng {
         }
         SmallRng { s }
     }
+
+    /// The raw xoshiro256++ state, for checkpointing. Restoring via
+    /// [`SmallRng::from_state`] continues the stream bit-identically.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`SmallRng::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state (the xoshiro fixed point), which no
+    /// [`SmallRng::seed_from_u64`]-constructed generator can ever reach.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s != [0, 0, 0, 0],
+            "all-zero xoshiro state is invalid (corrupt checkpoint?)"
+        );
+        SmallRng { s }
+    }
 }
 
 impl Rng for SmallRng {
@@ -323,6 +343,24 @@ mod tests {
         let want: Vec<u32> = (0..50).collect();
         assert_eq!(sorted, want);
         assert_ne!(a, want, "50-element shuffle left input untouched");
+    }
+
+    #[test]
+    fn state_roundtrip_continues_stream() {
+        let mut a = SmallRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let _ = a.next_u64();
+        }
+        let mut b = SmallRng::from_state(a.state());
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero xoshiro state")]
+    fn zero_state_rejected() {
+        let _ = SmallRng::from_state([0; 4]);
     }
 
     #[test]

@@ -103,6 +103,29 @@ pub fn pretrain(
     opts: PretrainOptions,
     seed: u64,
 ) -> PretrainedModel {
+    let mut trainer = pretrain_trainer(cfg, scenarios, warm_fraction, opts, seed);
+    trainer.normalizer.freeze();
+    PretrainedModel {
+        policy: trainer.policy,
+        normalizer: trainer.normalizer,
+    }
+}
+
+/// Like [`pretrain`] but returns the full trainer (optimizers, RNG,
+/// update counter, running normalizer) so training can continue — the
+/// input to checkpointing and guarded online fine-tuning in
+/// `fleetio-model`. [`pretrain`] is this plus a normalizer freeze.
+///
+/// # Panics
+///
+/// Panics if `scenarios` is empty or any configuration is invalid.
+pub fn pretrain_trainer(
+    cfg: &FleetIoConfig,
+    scenarios: &[Vec<TenantSpec>],
+    warm_fraction: f64,
+    opts: PretrainOptions,
+    seed: u64,
+) -> PpoTrainer {
     assert!(!scenarios.is_empty(), "need at least one scenario");
     let mut rng = SmallRng::seed_from_u64(seed);
     let policy = PpoPolicy::new(
@@ -233,11 +256,7 @@ pub fn pretrain(
             }
         }
     }
-    trainer.normalizer.freeze();
-    PretrainedModel {
-        policy: trainer.policy,
-        normalizer: trainer.normalizer,
-    }
+    trainer
 }
 
 /// Parameters conditioning the scripted reference policy on the paper's

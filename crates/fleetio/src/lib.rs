@@ -13,6 +13,8 @@
 //! * [`typing`] — workload-type clustering and per-type α fine-tuning
 //!   (§3.4, Figure 6),
 //! * [`agent`] — per-vSSD deployment agents and offline pre-training,
+//! * [`warmstart`] — registry-backed model selection at vSSD attach
+//!   time (typing index + checkpoint loading via `fleetio-model`),
 //! * [`baselines`] — Hardware/Software Isolation, Adaptive, SSDKeeper and
 //!   Mixed Isolation comparison policies (§4.1),
 //! * [`experiment`] — the evaluation harness reproducing every figure,
@@ -29,9 +31,10 @@ pub mod mixes;
 pub mod reward;
 pub mod states;
 pub mod typing;
+pub mod warmstart;
 
 pub use actions::AgentAction;
-pub use agent::{pretrain, FleetIoAgent, PretrainedModel};
+pub use agent::{pretrain, pretrain_trainer, FleetIoAgent, PretrainedModel};
 pub use config::FleetIoConfig;
 pub use driver::{Colocation, TenantSpec};
 pub use env::FleetIoEnv;

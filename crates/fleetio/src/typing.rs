@@ -63,7 +63,7 @@ pub fn alpha_for_category(cfg: &FleetIoConfig, category: WorkloadCategory) -> f6
 /// this, k-means spends its clusters subdividing the high-variance
 /// bandwidth-intensive windows instead of separating YCSB's low-entropy
 /// cluster.
-fn log_features(f: &WindowFeatures) -> Vec<f64> {
+pub fn log_features(f: &WindowFeatures) -> Vec<f64> {
     vec![
         (1.0 + f.read_bw).ln(),
         (1.0 + f.write_bw).ln(),
@@ -179,6 +179,71 @@ impl TypingModel {
             Some(t) => alpha_for_type(cfg, t),
             None => cfg.unified_alpha,
         }
+    }
+
+    /// Rebuilds a typing model from its serialized parts (registry
+    /// warm-start path; see `fleetio-model`'s `TypingIndex`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the parts are mutually inconsistent:
+    /// centroid dimensionality differing from the scaler's, a
+    /// cluster-type list of the wrong length, or out-of-range scalars.
+    pub fn from_parts(
+        scaler: StandardScaler,
+        kmeans: KMeans,
+        cluster_type: Vec<WorkloadType>,
+        test_accuracy: f64,
+        unknown_distance: f64,
+    ) -> Result<TypingModel, String> {
+        let dim = scaler.mean().len();
+        let centroids = kmeans.centroids();
+        if centroids.iter().any(|c| c.len() != dim) {
+            return Err(format!(
+                "centroid dimensionality disagrees with scaler ({dim} features)"
+            ));
+        }
+        if cluster_type.len() != centroids.len() {
+            return Err(format!(
+                "{} centroids but {} cluster types",
+                centroids.len(),
+                cluster_type.len()
+            ));
+        }
+        if !(0.0..=1.0).contains(&test_accuracy) {
+            return Err(format!("test accuracy {test_accuracy} outside [0, 1]"));
+        }
+        if !(unknown_distance.is_finite() && unknown_distance > 0.0) {
+            return Err("unknown_distance must be positive and finite".to_string());
+        }
+        Ok(TypingModel {
+            scaler,
+            kmeans,
+            cluster_type,
+            test_accuracy,
+            unknown_distance,
+        })
+    }
+
+    /// The fitted feature scaler.
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.scaler
+    }
+
+    /// The fitted k-means model.
+    pub fn kmeans(&self) -> &KMeans {
+        &self.kmeans
+    }
+
+    /// Majority workload type per cluster (same order as
+    /// [`TypingModel::centroids`]).
+    pub fn cluster_types(&self) -> &[WorkloadType] {
+        &self.cluster_type
+    }
+
+    /// Distance beyond which a window is declared unknown.
+    pub fn unknown_distance(&self) -> f64 {
+        self.unknown_distance
     }
 
     /// Held-out classification accuracy from fitting.

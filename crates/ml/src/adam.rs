@@ -2,6 +2,28 @@
 
 use crate::mlp::{Mlp, MlpGrads};
 
+/// The full serializable state of an [`Adam`] optimizer: hyper-parameters,
+/// both moment vectors and the step count. Produced by
+/// [`Adam::export_state`], consumed by [`Adam::from_state`]; resuming from
+/// the round trip continues optimization bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Denominator fuzz ε.
+    pub eps: f32,
+    /// First moments, one per parameter.
+    pub m: Vec<f32>,
+    /// Second moments, one per parameter.
+    pub v: Vec<f32>,
+    /// Steps taken (drives bias correction).
+    pub t: u64,
+}
+
 /// Adam state for one network's parameters.
 ///
 /// # Example
@@ -58,6 +80,11 @@ impl Adam {
         self.lr
     }
 
+    /// Number of parameters this optimizer is sized for.
+    pub fn n_params(&self) -> usize {
+        self.m.len()
+    }
+
     /// Updates the learning rate (e.g. for schedules).
     ///
     /// # Panics
@@ -66,6 +93,52 @@ impl Adam {
     pub fn set_lr(&mut self, lr: f32) {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
         self.lr = lr;
+    }
+
+    /// Snapshots the optimizer for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            m: self.m.clone(),
+            v: self.v.clone(),
+            t: self.t,
+        }
+    }
+
+    /// Rebuilds an optimizer from an exported state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the state is inconsistent (moment vectors of
+    /// different lengths, non-positive learning rate, β outside [0, 1)).
+    pub fn from_state(state: AdamState) -> Result<Adam, String> {
+        if state.m.len() != state.v.len() {
+            return Err(format!(
+                "moment vectors disagree: {} vs {}",
+                state.m.len(),
+                state.v.len()
+            ));
+        }
+        if !(state.lr.is_finite() && state.lr > 0.0) {
+            return Err("learning rate must be positive".to_string());
+        }
+        for (name, b) in [("beta1", state.beta1), ("beta2", state.beta2)] {
+            if !(0.0..1.0).contains(&b) {
+                return Err(format!("{name} {b} outside [0, 1)"));
+            }
+        }
+        Ok(Adam {
+            lr: state.lr,
+            beta1: state.beta1,
+            beta2: state.beta2,
+            eps: state.eps,
+            m: state.m,
+            v: state.v,
+            t: state.t,
+        })
     }
 
     /// Applies one Adam step to `net` using accumulated `grads`.
@@ -136,6 +209,45 @@ mod tests {
             .sum::<f32>()
             / data.len() as f32;
         assert!(mse < 0.01, "mse {mse}");
+    }
+
+    #[test]
+    fn state_roundtrip_continues_identically() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Linear, &mut rng);
+        let mut opt = Adam::new(net.n_params(), 1e-2);
+        let step = |net: &mut Mlp, opt: &mut Adam| {
+            let cache = net.forward_cached(&[0.4, -0.2]);
+            let err = cache.output()[0] - 1.0;
+            let mut grads = net.zero_grads();
+            net.backward(&cache, &[2.0 * err], &mut grads);
+            opt.step(net, &grads);
+        };
+        for _ in 0..5 {
+            step(&mut net, &mut opt);
+        }
+        let mut net2 = Mlp::from_state(net.export_state()).expect("valid");
+        let mut opt2 = Adam::from_state(opt.export_state()).expect("valid");
+        for _ in 0..5 {
+            step(&mut net, &mut opt);
+            step(&mut net2, &mut opt2);
+        }
+        assert_eq!(net.export_state(), net2.export_state());
+        assert_eq!(opt.export_state(), opt2.export_state());
+    }
+
+    #[test]
+    fn from_state_rejects_bad_fields() {
+        let opt = Adam::new(4, 1e-3);
+        let mut bad = opt.export_state();
+        bad.v.pop();
+        assert!(Adam::from_state(bad).is_err());
+        let mut bad = opt.export_state();
+        bad.lr = -1.0;
+        assert!(Adam::from_state(bad).is_err());
+        let mut bad = opt.export_state();
+        bad.beta2 = 1.0;
+        assert!(Adam::from_state(bad).is_err());
     }
 
     #[test]

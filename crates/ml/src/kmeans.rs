@@ -130,6 +130,32 @@ impl KMeans {
         best.expect("at least one fit").1
     }
 
+    /// Rebuilds a fitted model from saved centroids (the model's entire
+    /// state), so workload-typing fingerprints survive restarts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `centroids` is empty, dimensions are
+    /// inconsistent, or any coordinate is non-finite.
+    pub fn from_centroids(centroids: Vec<Vec<f64>>) -> Result<Self, String> {
+        let Some(first) = centroids.first() else {
+            return Err("k-means state has no centroids".to_string());
+        };
+        if first.is_empty() {
+            return Err("zero-dimensional centroids".to_string());
+        }
+        let dim = first.len();
+        for (i, c) in centroids.iter().enumerate() {
+            if c.len() != dim {
+                return Err(format!("centroid {i}: dim {} != {dim}", c.len()));
+            }
+            if c.iter().any(|x| !x.is_finite()) {
+                return Err(format!("centroid {i} has a non-finite coordinate"));
+            }
+        }
+        Ok(KMeans { centroids })
+    }
+
     /// Number of clusters.
     pub fn k(&self) -> usize {
         self.centroids.len()
@@ -230,6 +256,27 @@ mod tests {
         let km = KMeans::fit(&data, 2, 10, &mut rng);
         assert_eq!(km.k(), 2);
         assert_eq!(km.inertia(&data), 0.0);
+    }
+
+    #[test]
+    fn centroid_roundtrip_preserves_predictions() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut data = blob(&[0.0, 0.0], 30, 0.5, &mut rng);
+        data.extend(blob(&[9.0, 9.0], 30, 0.5, &mut rng));
+        let km = KMeans::fit(&data, 2, 30, &mut rng);
+        let back = KMeans::from_centroids(km.centroids().to_vec()).expect("valid centroids");
+        for p in &data {
+            assert_eq!(km.predict(p), back.predict(p));
+            assert_eq!(km.distance_to_nearest(p), back.distance_to_nearest(p));
+        }
+    }
+
+    #[test]
+    fn from_centroids_rejects_bad_state() {
+        assert!(KMeans::from_centroids(vec![]).is_err());
+        assert!(KMeans::from_centroids(vec![vec![]]).is_err());
+        assert!(KMeans::from_centroids(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(KMeans::from_centroids(vec![vec![f64::NAN]]).is_err());
     }
 
     #[test]

@@ -21,8 +21,8 @@ pub mod mlp;
 pub mod pca;
 pub mod scaler;
 
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use kmeans::KMeans;
-pub use mlp::{Activation, Mlp, MlpGrads};
+pub use mlp::{Activation, DenseState, Mlp, MlpGrads, MlpState};
 pub use pca::Pca;
 pub use scaler::StandardScaler;

@@ -18,6 +18,29 @@ pub enum Activation {
 }
 
 impl Activation {
+    /// Stable small integer tag used by checkpoint serialization.
+    pub fn tag(self) -> u8 {
+        match self {
+            Activation::Tanh => 0,
+            Activation::Relu => 1,
+            Activation::Linear => 2,
+        }
+    }
+
+    /// Inverse of [`Activation::tag`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown tag back.
+    pub fn from_tag(tag: u8) -> Result<Self, u8> {
+        match tag {
+            0 => Ok(Activation::Tanh),
+            1 => Ok(Activation::Relu),
+            2 => Ok(Activation::Linear),
+            t => Err(t),
+        }
+    }
+
     fn apply(self, x: f32) -> f32 {
         match self {
             Activation::Tanh => x.tanh(),
@@ -163,6 +186,30 @@ impl MlpGrads {
             self.scale(max_norm / norm);
         }
     }
+}
+
+/// Serializable parameters of one dense layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseState {
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+    /// Activation applied after the affine map.
+    pub act: Activation,
+    /// Row-major weights (`out_dim × in_dim`).
+    pub w: Vec<f32>,
+    /// Biases (`out_dim`).
+    pub b: Vec<f32>,
+}
+
+/// The full serializable state of an [`Mlp`]: architecture + parameters.
+/// Produced by [`Mlp::export_state`], consumed by [`Mlp::from_state`];
+/// the round trip is bit-exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpState {
+    /// Per-layer states, input side first.
+    pub layers: Vec<DenseState>,
 }
 
 impl Mlp {
@@ -335,6 +382,74 @@ impl Mlp {
             a.b.copy_from_slice(&b.b);
         }
     }
+
+    /// Snapshots architecture and parameters for checkpointing.
+    pub fn export_state(&self) -> MlpState {
+        MlpState {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| DenseState {
+                    in_dim: l.in_dim,
+                    out_dim: l.out_dim,
+                    act: l.act,
+                    w: l.w.clone(),
+                    b: l.b.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a network from an exported state, validating shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the state is internally inconsistent
+    /// (mismatched layer widths or parameter vector lengths).
+    pub fn from_state(state: MlpState) -> Result<Mlp, String> {
+        if state.layers.is_empty() {
+            return Err("MLP state has no layers".to_string());
+        }
+        let mut layers = Vec::with_capacity(state.layers.len());
+        let mut prev_out: Option<usize> = None;
+        for (i, l) in state.layers.into_iter().enumerate() {
+            if l.in_dim == 0 || l.out_dim == 0 {
+                return Err(format!("layer {i}: zero-width layer"));
+            }
+            if let Some(p) = prev_out {
+                if p != l.in_dim {
+                    return Err(format!(
+                        "layer {i}: in_dim {} does not match previous out_dim {p}",
+                        l.in_dim
+                    ));
+                }
+            }
+            if l.w.len() != l.in_dim * l.out_dim {
+                return Err(format!(
+                    "layer {i}: {} weights for {}x{}",
+                    l.w.len(),
+                    l.out_dim,
+                    l.in_dim
+                ));
+            }
+            if l.b.len() != l.out_dim {
+                return Err(format!(
+                    "layer {i}: {} biases for out_dim {}",
+                    l.b.len(),
+                    l.out_dim
+                ));
+            }
+            prev_out = Some(l.out_dim);
+            layers.push(Dense {
+                w: l.w,
+                b: l.b,
+                in_dim: l.in_dim,
+                out_dim: l.out_dim,
+                act: l.act,
+            });
+        }
+        Ok(Mlp { layers })
+    }
 }
 
 /// Softmax over `logits`, numerically stabilized.
@@ -483,6 +598,36 @@ mod tests {
         assert_ne!(a.forward(&[0.5, 0.5]), b.forward(&[0.5, 0.5]));
         b.copy_from(&a);
         assert_eq!(a.forward(&[0.5, 0.5]), b.forward(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_exact() {
+        let net = Mlp::new(&[3, 5, 2], Activation::Relu, Activation::Linear, &mut rng());
+        let state = net.export_state();
+        let back = Mlp::from_state(state.clone()).expect("valid state");
+        assert_eq!(back.export_state(), state);
+        let x = [0.3, -0.9, 0.1];
+        assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_shapes() {
+        let net = Mlp::new(&[3, 5, 2], Activation::Tanh, Activation::Linear, &mut rng());
+        let mut bad = net.export_state();
+        bad.layers[0].w.pop();
+        assert!(Mlp::from_state(bad).is_err());
+        let mut bad = net.export_state();
+        bad.layers[1].in_dim = 4;
+        assert!(Mlp::from_state(bad).is_err());
+        assert!(Mlp::from_state(MlpState { layers: vec![] }).is_err());
+    }
+
+    #[test]
+    fn activation_tags_roundtrip() {
+        for act in [Activation::Tanh, Activation::Relu, Activation::Linear] {
+            assert_eq!(Activation::from_tag(act.tag()), Ok(act));
+        }
+        assert_eq!(Activation::from_tag(9), Err(9));
     }
 
     #[test]

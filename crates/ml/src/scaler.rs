@@ -46,6 +46,42 @@ impl StandardScaler {
         StandardScaler { mean, std }
     }
 
+    /// Rebuilds a fitted scaler from saved parameters (its entire state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the vectors are empty, disagree in length,
+    /// or contain non-finite or negative-std entries.
+    pub fn from_params(mean: Vec<f64>, std: Vec<f64>) -> Result<Self, String> {
+        if mean.is_empty() {
+            return Err("scaler state has no features".to_string());
+        }
+        if mean.len() != std.len() {
+            return Err(format!(
+                "mean/std length mismatch: {} vs {}",
+                mean.len(),
+                std.len()
+            ));
+        }
+        if mean.iter().any(|x| !x.is_finite()) {
+            return Err("non-finite mean entry".to_string());
+        }
+        if std.iter().any(|x| !x.is_finite() || *x < 0.0) {
+            return Err("std entries must be finite and non-negative".to_string());
+        }
+        Ok(StandardScaler { mean, std })
+    }
+
+    /// Per-feature means (for serialization).
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-feature standard deviations (for serialization).
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
+
     /// Standardizes one point.
     ///
     /// # Panics
@@ -87,6 +123,24 @@ mod tests {
         let s = StandardScaler::fit(&data);
         assert_eq!(s.transform(&[5.0]), vec![0.0]);
         assert_eq!(s.transform(&[99.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn params_roundtrip_is_exact() {
+        let data = vec![vec![1.0, 10.0], vec![3.0, 14.0], vec![7.0, 12.0]];
+        let s = StandardScaler::fit(&data);
+        let back =
+            StandardScaler::from_params(s.mean().to_vec(), s.std().to_vec()).expect("valid params");
+        assert_eq!(s, back);
+        assert_eq!(s.transform(&[2.5, 11.0]), back.transform(&[2.5, 11.0]));
+    }
+
+    #[test]
+    fn from_params_rejects_bad_state() {
+        assert!(StandardScaler::from_params(vec![], vec![]).is_err());
+        assert!(StandardScaler::from_params(vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(StandardScaler::from_params(vec![f64::INFINITY], vec![1.0]).is_err());
+        assert!(StandardScaler::from_params(vec![0.0], vec![-1.0]).is_err());
     }
 
     #[test]

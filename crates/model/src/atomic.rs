@@ -1,0 +1,96 @@
+//! Crash-safe file replacement.
+//!
+//! This is the **only** place in the simulation crates allowed to open a
+//! file for writing (enforced by the `atomic-io` audit rule): everything
+//! else goes through [`atomic_write`], so a crash mid-save can never
+//! leave a half-written checkpoint under the final name. Readers either
+//! see the old complete file or the new complete file.
+//!
+//! The temp name is derived deterministically from the final name (no
+//! PIDs, timestamps or random suffixes — the `entropy` audit rule bans
+//! ambient randomness). The registry is single-writer by design, so a
+//! fixed temp name cannot race with itself.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: write to `<path>.tmp`, fsync,
+/// rename over `path`, then fsync the parent directory so the rename
+/// itself is durable.
+///
+/// # Errors
+///
+/// Any I/O failure from create/write/sync/rename. On error the final
+/// file is untouched (a stale `.tmp` may remain; the next save truncates
+/// it).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Durability of the rename requires syncing the directory entry.
+    // Not every platform supports opening a directory for sync; failure
+    // here downgrades durability, not atomicity, so it is best-effort.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The deterministic temp name used by [`atomic_write`]: `<path>.tmp`.
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("fleetio-model-atomic").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir creates");
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = scratch_dir("writes_and_replaces");
+        let target = dir.join("a.ckpt");
+        atomic_write(&target, b"one").expect("first write succeeds");
+        assert_eq!(fs::read(&target).expect("file readable"), b"one");
+        atomic_write(&target, b"two-longer").expect("replace succeeds");
+        assert_eq!(fs::read(&target).expect("file readable"), b"two-longer");
+        // No temp file lingers after a successful write.
+        assert!(!tmp_path(&target).exists());
+    }
+
+    #[test]
+    fn stale_tmp_is_overwritten() {
+        let dir = scratch_dir("stale_tmp");
+        let target = dir.join("b.ckpt");
+        fs::write(tmp_path(&target), b"torn garbage from a crash").expect("stale tmp plants");
+        atomic_write(&target, b"fresh").expect("write over stale tmp succeeds");
+        assert_eq!(fs::read(&target).expect("file readable"), b"fresh");
+        assert!(!tmp_path(&target).exists());
+    }
+
+    #[test]
+    fn failed_write_leaves_final_file_untouched() {
+        let dir = scratch_dir("failed_write");
+        let target = dir.join("c.ckpt");
+        atomic_write(&target, b"good").expect("seed write succeeds");
+        // Writing into a missing directory fails before any rename.
+        let bad = dir.join("missing-subdir").join("c.ckpt");
+        assert!(atomic_write(&bad, b"never").is_err());
+        assert_eq!(fs::read(&target).expect("file readable"), b"good");
+    }
+}

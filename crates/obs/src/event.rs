@@ -68,6 +68,32 @@ impl GsbKind {
     }
 }
 
+/// A model-lifecycle action (checkpoint management in `fleetio-model`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// A checkpoint was written (atomic tmp + sync + rename).
+    Saved,
+    /// A checkpoint was decoded and a trainer/agent restored from it.
+    Loaded,
+    /// The trainer was rolled back to the last-good snapshot after a
+    /// reward regression.
+    RolledBack,
+    /// A checkpoint failed verification (bad magic/CRC/truncation).
+    CorruptDetected,
+}
+
+impl ModelKind {
+    /// Stable lowercase tag used in exports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ModelKind::Saved => "saved",
+            ModelKind::Loaded => "loaded",
+            ModelKind::RolledBack => "rolled_back",
+            ModelKind::CorruptDetected => "corrupt_detected",
+        }
+    }
+}
+
 /// One structured observability record. All timestamps are simulated time.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ObsEvent {
@@ -225,6 +251,22 @@ pub enum ObsEvent {
         /// Operations completed in the window.
         total_ops: u64,
     },
+    /// A model checkpoint was saved, loaded or rolled back
+    /// (`fleetio-model`). Timestamped in simulated time because autosaves
+    /// ride the sim-time cadence of online fine-tuning.
+    ModelLifecycle {
+        /// When the lifecycle action happened (sim time of the driving
+        /// training loop; [`SimTime::ZERO`] for offline tooling).
+        at: SimTime,
+        /// Which action.
+        kind: ModelKind,
+        /// Registry tag of the checkpoint. Must stay within
+        /// `[a-z0-9_-]` (enforced by `fleetio-model`): the JSON encoder
+        /// does not escape strings.
+        tag: String,
+        /// Trainer update counter at the time of the action.
+        update: u64,
+    },
 }
 
 impl ObsEvent {
@@ -241,6 +283,7 @@ impl ObsEvent {
             ObsEvent::GsbTransition { .. } => "gsb",
             ObsEvent::Throttle { .. } => "throttle",
             ObsEvent::WindowFlush { .. } => "window_flush",
+            ObsEvent::ModelLifecycle { .. } => "model",
         }
     }
 
@@ -255,7 +298,8 @@ impl ObsEvent {
             | ObsEvent::GcEnd { at, .. }
             | ObsEvent::GsbTransition { at, .. }
             | ObsEvent::Throttle { at, .. }
-            | ObsEvent::WindowFlush { at, .. } => at,
+            | ObsEvent::WindowFlush { at, .. }
+            | ObsEvent::ModelLifecycle { at, .. } => at,
             ObsEvent::NandOp { start, .. } => start,
         }
     }
@@ -420,6 +464,17 @@ impl ObsEvent {
                 field_u64(out, "total_bytes", total_bytes);
                 field_u64(out, "total_ops", total_ops);
             }
+            ObsEvent::ModelLifecycle {
+                at,
+                kind,
+                ref tag,
+                update,
+            } => {
+                field_u64(out, "at", at.as_nanos());
+                field_str(out, "kind", kind.tag());
+                field_str(out, "tag", tag);
+                field_u64(out, "update", update);
+            }
         }
         out.push('}');
     }
@@ -551,6 +606,12 @@ mod tests {
                 gc_busy_frac: f64::NAN,
                 total_bytes: 1 << 30,
                 total_ops: 12345,
+            },
+            ObsEvent::ModelLifecycle {
+                at: SimTime::from_secs(3),
+                kind: ModelKind::RolledBack,
+                tag: "lc1".to_string(),
+                update: 42,
             },
         ];
         for ev in events {

@@ -252,6 +252,14 @@ where
                     .or_insert_with(|| "gsb".to_string());
                 instant(&mut out, &format!("gsb{gsb}_{}", kind.tag()), PID_GC, 0, at);
             }
+            ObsEvent::ModelLifecycle { at, kind, .. } => {
+                // Model lifecycle events live on the GC process's tid 0
+                // track alongside other cluster-wide transitions.
+                named
+                    .entry((PID_GC, 0))
+                    .or_insert_with(|| "gsb".to_string());
+                instant(&mut out, &format!("model_{}", kind.tag()), PID_GC, 0, at);
+            }
             // Per-request bookkeeping events add noise in the timeline
             // view; the JSONL export retains them in full.
             ObsEvent::RequestSubmit { .. }

@@ -38,7 +38,7 @@ pub mod metrics;
 pub mod sink;
 pub mod training;
 
-pub use event::{GsbKind, NandKind, ObsEvent};
+pub use event::{GsbKind, ModelKind, NandKind, ObsEvent};
 pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricsRegistry};
 pub use sink::{NullSink, ObsSink, RecordingSink};
 pub use training::{TrainingRecord, TrainingSeries};

@@ -26,6 +26,6 @@ pub mod reward;
 
 pub use buffer::{RolloutBuffer, Transition};
 pub use env::{MultiAgentEnv, StepResult};
-pub use normalize::ObsNormalizer;
-pub use policy::PpoPolicy;
-pub use ppo::{PpoConfig, PpoTrainer};
+pub use normalize::{NormalizerState, ObsNormalizer};
+pub use policy::{PolicyState, PpoPolicy};
+pub use ppo::{PpoConfig, PpoTrainer, TrainerState};

@@ -15,6 +15,23 @@ pub struct ObsNormalizer {
     clip: f64,
 }
 
+/// The full serializable state of an [`ObsNormalizer`]. Produced by
+/// [`ObsNormalizer::export_state`], consumed by
+/// [`ObsNormalizer::from_state`]; the round trip is bit-exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizerState {
+    /// Running per-feature means.
+    pub mean: Vec<f64>,
+    /// Running per-feature sums of squared deviations (Welford M2).
+    pub m2: Vec<f64>,
+    /// Observations folded in.
+    pub count: u64,
+    /// Whether statistics are frozen.
+    pub frozen: bool,
+    /// Output clip in standard deviations.
+    pub clip: f64,
+}
+
 impl ObsNormalizer {
     /// Creates a normalizer for `dim` features, clipping outputs to
     /// ±`clip` standard deviations (10 by default in callers).
@@ -99,6 +116,52 @@ impl ObsNormalizer {
         self.update(obs);
         self.normalize(obs)
     }
+
+    /// Snapshots the running statistics for checkpointing.
+    pub fn export_state(&self) -> NormalizerState {
+        NormalizerState {
+            mean: self.mean.clone(),
+            m2: self.m2.clone(),
+            count: self.count,
+            frozen: self.frozen,
+            clip: self.clip,
+        }
+    }
+
+    /// Rebuilds a normalizer from an exported state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the state is inconsistent (empty or
+    /// mismatched vectors, non-positive clip, negative M2).
+    pub fn from_state(state: NormalizerState) -> Result<ObsNormalizer, String> {
+        if state.mean.is_empty() {
+            return Err("normalizer state has no features".to_string());
+        }
+        if state.mean.len() != state.m2.len() {
+            return Err(format!(
+                "mean/m2 length mismatch: {} vs {}",
+                state.mean.len(),
+                state.m2.len()
+            ));
+        }
+        if !(state.clip.is_finite() && state.clip > 0.0) {
+            return Err("clip must be positive".to_string());
+        }
+        if state.mean.iter().any(|x| !x.is_finite()) {
+            return Err("non-finite mean entry".to_string());
+        }
+        if state.m2.iter().any(|x| !x.is_finite() || *x < 0.0) {
+            return Err("M2 entries must be finite and non-negative".to_string());
+        }
+        Ok(ObsNormalizer {
+            mean: state.mean,
+            m2: state.m2,
+            count: state.count,
+            frozen: state.frozen,
+            clip: state.clip,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +204,32 @@ mod tests {
         }
         assert_eq!(n.normalize(&[0.5]), before);
         assert_eq!(n.count(), 2);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_exact() {
+        let mut n = ObsNormalizer::new(3, 7.0);
+        for i in 0..50 {
+            n.update(&[i as f32, -2.0 * i as f32, 0.5]);
+        }
+        let back = ObsNormalizer::from_state(n.export_state()).expect("valid state");
+        assert_eq!(back.export_state(), n.export_state());
+        let probe = [13.0, -5.0, 0.25];
+        assert_eq!(n.normalize(&probe), back.normalize(&probe));
+    }
+
+    #[test]
+    fn from_state_rejects_bad_fields() {
+        let n = ObsNormalizer::new(2, 5.0);
+        let mut bad = n.export_state();
+        bad.m2.pop();
+        assert!(ObsNormalizer::from_state(bad).is_err());
+        let mut bad = n.export_state();
+        bad.clip = 0.0;
+        assert!(ObsNormalizer::from_state(bad).is_err());
+        let mut bad = n.export_state();
+        bad.m2[0] = -1.0;
+        assert!(ObsNormalizer::from_state(bad).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use fleetio_des::rng::Rng;
 use fleetio_ml::mlp::{log_softmax, softmax};
-use fleetio_ml::{Activation, Mlp};
+use fleetio_ml::{Activation, Mlp, MlpState};
 
 /// A PPO actor-critic: one MLP produces the concatenated logits of every
 /// discrete action head, a second MLP estimates the state value.
@@ -24,6 +24,19 @@ pub struct PpoPolicy {
     pub(crate) actor: Mlp,
     pub(crate) critic: Mlp,
     action_dims: Vec<usize>,
+}
+
+/// The full serializable state of a [`PpoPolicy`]: both networks plus the
+/// discrete head layout. Produced by [`PpoPolicy::export_state`], consumed
+/// by [`PpoPolicy::from_state`]; the round trip is bit-exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyState {
+    /// Actor network (concatenated head logits).
+    pub actor: MlpState,
+    /// Critic network (scalar value).
+    pub critic: MlpState,
+    /// Sizes of the discrete action heads.
+    pub action_dims: Vec<usize>,
 }
 
 impl PpoPolicy {
@@ -57,6 +70,52 @@ impl PpoPolicy {
     /// Sizes of the discrete action heads.
     pub fn action_dims(&self) -> &[usize] {
         &self.action_dims
+    }
+
+    /// Snapshots actor, critic and head layout for checkpointing.
+    pub fn export_state(&self) -> PolicyState {
+        PolicyState {
+            actor: self.actor.export_state(),
+            critic: self.critic.export_state(),
+            action_dims: self.action_dims.clone(),
+        }
+    }
+
+    /// Rebuilds a policy from an exported state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when networks or head layout are inconsistent
+    /// (logit width ≠ sum of head sizes, critic not scalar, observation
+    /// dimensions differing between actor and critic).
+    pub fn from_state(state: PolicyState) -> Result<PpoPolicy, String> {
+        if state.action_dims.is_empty() || state.action_dims.contains(&0) {
+            return Err("action heads must be non-empty with positive sizes".to_string());
+        }
+        let actor = Mlp::from_state(state.actor).map_err(|e| format!("actor: {e}"))?;
+        let critic = Mlp::from_state(state.critic).map_err(|e| format!("critic: {e}"))?;
+        let logits: usize = state.action_dims.iter().sum();
+        if actor.out_dim() != logits {
+            return Err(format!(
+                "actor emits {} logits but heads sum to {logits}",
+                actor.out_dim()
+            ));
+        }
+        if critic.out_dim() != 1 {
+            return Err(format!("critic emits {} outputs, not 1", critic.out_dim()));
+        }
+        if actor.in_dim() != critic.in_dim() {
+            return Err(format!(
+                "actor obs dim {} != critic obs dim {}",
+                actor.in_dim(),
+                critic.in_dim()
+            ));
+        }
+        Ok(PpoPolicy {
+            actor,
+            critic,
+            action_dims: state.action_dims,
+        })
     }
 
     /// Total trainable parameters (actor + critic).
@@ -314,6 +373,31 @@ mod tests {
         assert!(ce < 0.1, "final cross-entropy {ce}");
         assert_eq!(p.act_greedy(&[1.0, 0.0]), vec![2, 0]);
         assert_eq!(p.act_greedy(&[0.0, 1.0]), vec![0, 1]);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_behaviour() {
+        let (p, _) = policy();
+        let back = PpoPolicy::from_state(p.export_state()).expect("valid state");
+        let obs = [0.4, -0.1, 0.9];
+        assert_eq!(p.act_greedy(&obs), back.act_greedy(&obs));
+        assert_eq!(p.value(&obs), back.value(&obs));
+        assert_eq!(p.log_prob(&obs, &[1, 0]), back.log_prob(&obs, &[1, 0]));
+        assert_eq!(back.export_state(), p.export_state());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_heads() {
+        let (p, _) = policy();
+        let mut bad = p.export_state();
+        bad.action_dims = vec![4, 3]; // sums to 7, actor emits 6 logits
+        assert!(PpoPolicy::from_state(bad).is_err());
+        let mut bad = p.export_state();
+        bad.action_dims.clear();
+        assert!(PpoPolicy::from_state(bad).is_err());
+        let mut bad = p.export_state();
+        bad.critic.layers.last_mut().expect("has layers").out_dim = 2;
+        assert!(PpoPolicy::from_state(bad).is_err());
     }
 
     #[test]

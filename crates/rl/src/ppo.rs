@@ -10,8 +10,8 @@ use fleetio_ml::Adam;
 
 use crate::buffer::{RolloutBuffer, Transition};
 use crate::env::MultiAgentEnv;
-use crate::normalize::ObsNormalizer;
-use crate::policy::PpoPolicy;
+use crate::normalize::{NormalizerState, ObsNormalizer};
+use crate::policy::{PolicyState, PpoPolicy};
 
 /// PPO hyper-parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +100,31 @@ pub struct PpoStats {
     pub samples: usize,
 }
 
+/// The full serializable state of a [`PpoTrainer`]: policy, both Adam
+/// optimizers, hyper-parameters, shuffle/sampling RNG, update counter and
+/// observation-normalizer statistics. Produced by
+/// [`PpoTrainer::export_state`], consumed by [`PpoTrainer::from_state`];
+/// resuming from the round trip continues training **bit-identically**
+/// (telemetry recording is the one thing not carried across — re-enable it
+/// after restoring if needed; it never affects training).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerState {
+    /// Actor/critic networks and head layout.
+    pub policy: PolicyState,
+    /// Actor optimizer moments.
+    pub actor_opt: fleetio_ml::AdamState,
+    /// Critic optimizer moments.
+    pub critic_opt: fleetio_ml::AdamState,
+    /// Hyper-parameters.
+    pub cfg: PpoConfig,
+    /// Raw xoshiro256++ state of the trainer's RNG.
+    pub rng: [u64; 4],
+    /// Lifetime count of updates that consumed data.
+    pub updates: u64,
+    /// Observation-normalizer running statistics.
+    pub normalizer: NormalizerState,
+}
+
 /// The PPO trainer: policy + optimizers + observation normalizer.
 #[derive(Debug, Clone)]
 pub struct PpoTrainer {
@@ -144,6 +169,69 @@ impl PpoTrainer {
     /// The configuration.
     pub fn config(&self) -> &PpoConfig {
         &self.cfg
+    }
+
+    /// Lifetime count of updates that consumed data.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Snapshots everything training depends on, for checkpointing.
+    pub fn export_state(&self) -> TrainerState {
+        TrainerState {
+            policy: self.policy.export_state(),
+            actor_opt: self.actor_opt.export_state(),
+            critic_opt: self.critic_opt.export_state(),
+            cfg: self.cfg.clone(),
+            rng: self.rng.state(),
+            updates: self.updates,
+            normalizer: self.normalizer.export_state(),
+        }
+    }
+
+    /// Rebuilds a trainer from an exported state. The restored trainer
+    /// continues training bit-identically to the snapshotted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when any component is internally inconsistent or
+    /// the components disagree (optimizer moment counts vs. network sizes,
+    /// normalizer width vs. policy observation width, zero RNG state).
+    pub fn from_state(state: TrainerState) -> Result<PpoTrainer, String> {
+        state.cfg.validate().map_err(|e| format!("config: {e}"))?;
+        let policy = PpoPolicy::from_state(state.policy).map_err(|e| format!("policy: {e}"))?;
+        let actor_opt =
+            fleetio_ml::Adam::from_state(state.actor_opt).map_err(|e| format!("actor opt: {e}"))?;
+        let critic_opt = fleetio_ml::Adam::from_state(state.critic_opt)
+            .map_err(|e| format!("critic opt: {e}"))?;
+        let normalizer =
+            ObsNormalizer::from_state(state.normalizer).map_err(|e| format!("normalizer: {e}"))?;
+        if actor_opt.n_params() != policy.actor.n_params() {
+            return Err("actor optimizer sized for a different network".to_string());
+        }
+        if critic_opt.n_params() != policy.critic.n_params() {
+            return Err("critic optimizer sized for a different network".to_string());
+        }
+        if normalizer.dim() != policy.actor.in_dim() {
+            return Err(format!(
+                "normalizer dim {} != policy obs dim {}",
+                normalizer.dim(),
+                policy.actor.in_dim()
+            ));
+        }
+        if state.rng == [0, 0, 0, 0] {
+            return Err("all-zero RNG state".to_string());
+        }
+        Ok(PpoTrainer {
+            policy,
+            normalizer,
+            actor_opt,
+            critic_opt,
+            cfg: state.cfg,
+            rng: SmallRng::from_state(state.rng),
+            updates: state.updates,
+            telemetry: None,
+        })
     }
 
     /// Starts recording one [`fleetio_obs::TrainingRecord`] per update.
@@ -443,6 +531,56 @@ mod tests {
         trainer.enable_telemetry();
         trainer.update(RolloutBuffer::new());
         assert!(trainer.telemetry().expect("enabled").is_empty());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bit_identically() {
+        // Run A: 6 uninterrupted iterations. Run B: 3 iterations, export →
+        // restore, 3 more. The final full trainer states must match bit
+        // for bit (Debug rendering compares every float exactly).
+        let run = |interrupt: bool| -> String {
+            let mut rng = SmallRng::seed_from_u64(17);
+            let policy = PpoPolicy::new(2, &[3], &[8], &mut rng);
+            let mut trainer = PpoTrainer::new(policy, 2, PpoConfig::default(), 17);
+            let mut env = BanditEnv {
+                steps: 0,
+                horizon: 8,
+            };
+            for _ in 0..3 {
+                trainer.train_iteration(&mut env, 16);
+            }
+            if interrupt {
+                trainer =
+                    PpoTrainer::from_state(trainer.export_state()).expect("exported state valid");
+            }
+            for _ in 0..3 {
+                trainer.train_iteration(&mut env, 16);
+            }
+            assert_eq!(trainer.updates(), 6);
+            format!("{:?}", trainer.export_state())
+        };
+        assert_eq!(run(false), run(true), "resume diverged from straight run");
+    }
+
+    #[test]
+    fn from_state_rejects_cross_component_mismatch() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let policy = PpoPolicy::new(2, &[3], &[8], &mut rng);
+        let trainer = PpoTrainer::new(policy, 2, PpoConfig::default(), 1);
+        let mut bad = trainer.export_state();
+        bad.actor_opt.m.push(0.0);
+        bad.actor_opt.v.push(0.0);
+        assert!(PpoTrainer::from_state(bad).is_err());
+        let mut bad = trainer.export_state();
+        bad.rng = [0; 4];
+        assert!(PpoTrainer::from_state(bad).is_err());
+        let mut bad = trainer.export_state();
+        bad.cfg.minibatch = 0;
+        assert!(PpoTrainer::from_state(bad).is_err());
+        let mut bad = trainer.export_state();
+        bad.normalizer.mean.push(0.0);
+        bad.normalizer.m2.push(0.0);
+        assert!(PpoTrainer::from_state(bad).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ use fleetio_suite::fleetio::FleetIoConfig;
 use fleetio_suite::rl::normalize::ObsNormalizer;
 use fleetio_suite::rl::parallel::collect_parallel;
 use fleetio_suite::rl::policy::PpoPolicy;
+use fleetio_suite::rl::ppo::{PpoConfig, PpoTrainer};
 use fleetio_suite::workloads::WorkloadKind;
 
 fn small_cfg() -> FleetIoConfig {
@@ -144,6 +145,95 @@ fn traced_event_streams_are_byte_identical() {
     assert!(a == b, "same-seed traced runs diverged");
     let c = traced_run_jsonl(42);
     assert!(a != c, "seed change did not affect the event stream");
+}
+
+/// A small FleetIO training environment for checkpoint-resume tests.
+fn training_env(seed: u64) -> FleetIoEnv {
+    let cfg = small_cfg();
+    let tenants = hardware_layout(
+        &cfg,
+        &[WorkloadKind::Tpce, WorkloadKind::TeraSort],
+        &[None, None],
+        seed,
+    );
+    let rewards = FleetIoEnv::default_rewards(&cfg, &tenants);
+    // Fresh device per episode: the training-test device is far too small
+    // to absorb many windows of sustained writes on one instance.
+    FleetIoEnv::new(cfg.clone(), tenants, rewards, 0.3, 4, seed).with_fresh_episodes()
+}
+
+fn fresh_trainer(seed: u64) -> PpoTrainer {
+    let cfg = small_cfg();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let policy = PpoPolicy::new(cfg.obs_dim(), &cfg.action_dims(), &[16, 16], &mut rng);
+    let ppo = PpoConfig {
+        epochs: 2,
+        minibatch: 8,
+        ..PpoConfig::default()
+    };
+    PpoTrainer::new(policy, cfg.obs_dim(), ppo, seed)
+}
+
+/// The checkpoint format's determinism claim: interrupting training with a
+/// full serialize → container-encode → decode → restore round trip, then
+/// continuing, is bit-identical to never having stopped. The trainer state
+/// crosses the *wire format* (the same bytes `fleetio-model` writes to
+/// disk), so any lossy field — a truncated float, a skipped RNG word, a
+/// re-derived optimizer moment — diverges the resumed run.
+#[test]
+fn checkpoint_resume_is_bit_identical_to_uninterrupted_run() {
+    use fleetio_suite::model::{decode_container, encode_container, ModelCheckpoint, PayloadKind};
+
+    const TOTAL_ITERS: usize = 4;
+    const SPLIT: usize = 2;
+    const STEPS: usize = 4; // one horizon per iteration
+    let seed = 71;
+
+    // Run A: uninterrupted.
+    let mut env = training_env(seed);
+    let mut trainer = fresh_trainer(seed);
+    for _ in 0..TOTAL_ITERS {
+        trainer.train_iteration(&mut env, STEPS);
+    }
+    let uninterrupted = format!("{:?}", trainer.export_state());
+
+    // Run B: same seed, but serialized through the on-disk container
+    // format at the split point and resumed from the decoded bytes.
+    let mut env = training_env(seed);
+    let mut trainer = fresh_trainer(seed);
+    for _ in 0..SPLIT {
+        trainer.train_iteration(&mut env, STEPS);
+    }
+    let ckpt = fleetio_suite::fleetio::warmstart::checkpoint_from_trainer(&trainer, seed, "lc1");
+    let bytes = encode_container(PayloadKind::ModelCheckpoint, &ckpt.encode());
+    let (kind, payload) = decode_container(&bytes).expect("freshly encoded container decodes");
+    assert_eq!(kind, PayloadKind::ModelCheckpoint);
+    let restored = ModelCheckpoint::decode(payload).expect("freshly encoded payload decodes");
+    assert_eq!(restored.meta.tag, "lc1");
+    let mut trainer = PpoTrainer::from_state(restored.trainer)
+        .expect("round-tripped trainer state is internally consistent");
+    for _ in 0..TOTAL_ITERS - SPLIT {
+        trainer.train_iteration(&mut env, STEPS);
+    }
+    let resumed = format!("{:?}", trainer.export_state());
+
+    assert!(
+        uninterrupted == resumed,
+        "resume from checkpoint diverged from the uninterrupted run"
+    );
+
+    // Control: a trainer that skips the first SPLIT iterations must differ,
+    // or the fingerprint is vacuous.
+    let mut env = training_env(seed);
+    let mut trainer = fresh_trainer(seed);
+    for _ in 0..TOTAL_ITERS - SPLIT {
+        trainer.train_iteration(&mut env, STEPS);
+    }
+    let shorter = format!("{:?}", trainer.export_state());
+    assert!(
+        uninterrupted != shorter,
+        "fingerprint insensitive to training length"
+    );
 }
 
 /// With `--features audit`, every event of these runs flows through the
