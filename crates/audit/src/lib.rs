@@ -12,8 +12,10 @@
 //!   `.expect()` needs an invariant-documenting message.
 //! * [`hash-iteration`](rules) — no `HashMap`/`HashSet` in the core;
 //!   iteration order must be deterministic.
-//! * [`entropy`](rules) — randomness and wall-clock reads only via
-//!   `des::rng` seeds and `SimTime`.
+//! * [`entropy`](rules) — randomness only via `des::rng` seeds.
+//! * [`host-time-scope`](rules) — wall clock (`Instant`/`SystemTime`)
+//!   only in `crates/bench` and the profiler (`crates/obs/src/prof*`);
+//!   simulation crates take time from `SimTime`.
 //! * [`no-println`](rules) — no `println!`/`eprintln!`/`print!`/`eprint!`/
 //!   `dbg!` in quiet library crates (`des`/`flash`/`vssd`/`ml`/`rl`/`model`/
 //!   `obs`); reporting goes through `fleetio-obs` sinks and exporters.

@@ -25,11 +25,12 @@ pub struct Diagnostic {
 }
 
 /// Stable identifiers for every rule, in reporting order.
-pub const RULE_IDS: [&str; 6] = [
+pub const RULE_IDS: [&str; 7] = [
     "raw-time-arith",
     "no-unwrap",
     "hash-iteration",
     "entropy",
+    "host-time-scope",
     "no-println",
     "atomic-io",
 ];
@@ -60,6 +61,13 @@ fn in_sim(path: &str) -> bool {
     .any(|p| path.starts_with(p))
 }
 
+/// The host-time profiler sources (`crates/obs/src/prof.rs` and any
+/// future `prof/` submodules): the one sanctioned home for wall-clock
+/// measurement inside the simulation scope.
+fn is_prof_path(path: &str) -> bool {
+    path.starts_with("crates/obs/src/prof")
+}
+
 /// Library crates whose sources must stay silent on stdout/stderr: the
 /// simulator core plus the ML/RL stack and the observability layer. All
 /// reporting goes through `fleetio-obs` sinks/exporters or the CLI bins;
@@ -86,6 +94,7 @@ pub fn check_file(file: &ScannedFile) -> Vec<Diagnostic> {
     no_unwrap(file, &mut out);
     hash_iteration(file, &mut out);
     entropy(file, &mut out);
+    host_time_scope(file, &mut out);
     no_println(file, &mut out);
     atomic_io(file, &mut out);
     out
@@ -101,7 +110,9 @@ pub fn check_file(file: &ScannedFile) -> Vec<Diagnostic> {
 /// requirement keeps byte-scale literals (`bytes as f64 / 1e9` for GB)
 /// out of scope.
 fn raw_time_arith(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
-    if !in_sim(&file.path) || file.path == "crates/des/src/time.rs" {
+    // The profiler formats *host* nanoseconds for reports; it never
+    // produces simulated time, so the drift concern does not apply.
+    if !in_sim(&file.path) || file.path == "crates/des/src/time.rs" || is_prof_path(&file.path) {
         return;
     }
     const NS_LITERALS: [&str; 5] = ["1_000_000_000", "1e9", "1E9", "1e+9", "999_999_999"];
@@ -238,20 +249,14 @@ fn hash_iteration(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// `entropy`: ambient randomness or wall-clock reads in simulation crates.
-/// Every random stream must derive from `des::rng` seeds so runs replay
-/// bit-identically; every timestamp must be simulated time.
+/// `entropy`: ambient randomness in simulation crates. Every random
+/// stream must derive from `des::rng` seeds so runs replay
+/// bit-identically. (Wall-clock reads are the `host-time-scope` rule.)
 fn entropy(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
     if !in_sim(&file.path) || file.path == "crates/des/src/rng.rs" {
         return;
     }
-    const SOURCES: [&str; 5] = [
-        "thread_rng",
-        "from_entropy",
-        "SystemTime",
-        "Instant",
-        "getrandom",
-    ];
+    const SOURCES: [&str; 3] = ["thread_rng", "from_entropy", "getrandom"];
     for (line_no, masked, raw) in file.code_lines() {
         for src in SOURCES {
             if contains_identifier(masked, src) {
@@ -260,8 +265,35 @@ fn entropy(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
                     path: file.path.clone(),
                     line: line_no,
                     message: format!(
-                        "entropy/wall-clock source `{src}` outside des::rng; seed explicitly \
-                         via fleetio_des::rng"
+                        "entropy source `{src}` outside des::rng; seed explicitly via \
+                         fleetio_des::rng"
+                    ),
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `host-time-scope`: wall-clock reads (`Instant`, `SystemTime`) in the
+/// simulation scope. Host time is quarantined to `crates/bench` and the
+/// profiler (`crates/obs/src/prof*`); anywhere else it could leak into
+/// deterministic sim logic, where two same-seed runs would diverge.
+fn host_time_scope(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !in_sim(&file.path) || is_prof_path(&file.path) {
+        return;
+    }
+    const SOURCES: [&str; 2] = ["Instant", "SystemTime"];
+    for (line_no, masked, raw) in file.code_lines() {
+        for src in SOURCES {
+            if contains_identifier(masked, src) {
+                out.push(Diagnostic {
+                    rule: "host-time-scope",
+                    path: file.path.clone(),
+                    line: line_no,
+                    message: format!(
+                        "wall-clock source `{src}` outside crates/bench and obs::prof; take \
+                         time from fleetio_des::SimTime or profile via fleetio_obs::prof"
                     ),
                     snippet: raw.trim().to_string(),
                 });
@@ -457,10 +489,45 @@ mod tests {
 
     #[test]
     fn entropy_flagged_outside_rng() {
-        let src = "let t = std::time::Instant::now();\n";
+        let src = "let mut rng = thread_rng();\n";
         assert_eq!(diags("crates/workloads/src/gen.rs", src).len(), 1);
+        assert_eq!(diags("crates/workloads/src/gen.rs", src)[0].rule, "entropy");
         assert!(diags("crates/des/src/rng.rs", src).is_empty());
         assert!(diags("crates/bench/src/harness.rs", src).is_empty());
+    }
+
+    #[test]
+    fn host_time_flagged_outside_bench_and_prof() {
+        let src = "let t = std::time::Instant::now();\n";
+        for path in [
+            "crates/workloads/src/gen.rs",
+            "crates/des/src/queue.rs",
+            "crates/vssd/src/engine/mod.rs",
+            "crates/rl/src/ppo.rs",
+            "crates/fleetio/src/driver.rs",
+            "crates/model/src/registry.rs",
+            "crates/obs/src/sink.rs",
+        ] {
+            let d = diags(path, src);
+            assert_eq!(d.len(), 1, "{path}: {d:?}");
+            assert_eq!(d[0].rule, "host-time-scope");
+        }
+        let sys = "let now = SystemTime::now();\n";
+        assert_eq!(
+            diags("crates/rl/src/ppo.rs", sys)[0].rule,
+            "host-time-scope"
+        );
+        // The two sanctioned homes for wall clock.
+        assert!(diags("crates/bench/src/harness.rs", src).is_empty());
+        assert!(diags("crates/obs/src/prof.rs", src).is_empty());
+        assert!(diags("crates/obs/src/prof/alloc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn prof_path_exempt_from_raw_time_arith() {
+        let src = "let s = total_ns / 1_000_000_000.0;\n";
+        assert!(diags("crates/obs/src/prof.rs", src).is_empty());
+        assert_eq!(diags("crates/obs/src/export.rs", src).len(), 1);
     }
 
     #[test]

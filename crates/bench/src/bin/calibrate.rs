@@ -3,9 +3,11 @@
 use fleetio::baselines::StaticPolicy;
 use fleetio::experiment::*;
 use fleetio::FleetIoConfig;
+use fleetio_obs::prof;
 use fleetio_workloads::WorkloadKind;
 
 fn main() {
+    prof::enable();
     let cfg = FleetIoConfig::default();
     let opts = ExperimentOptions {
         cfg: cfg.clone(),
@@ -14,27 +16,21 @@ fn main() {
         warm_fraction: 0.5,
         seed: 42,
     };
-    let t0 = std::time::Instant::now();
-    let peak = measure_device_peak(&cfg, 1);
+    let peak = prof::time("calibrate.device_peak", || measure_device_peak(&cfg, 1));
     println!(
-        "device peak: {:.1} MB/s  (theory {:.1})  [{:?}]",
+        "device peak: {:.1} MB/s  (theory {:.1})",
         peak / 1e6,
         cfg.engine.flash.device_peak_bytes_per_sec() / 1e6,
-        t0.elapsed()
     );
 
     for (lc, bi) in [
         (WorkloadKind::VdiWeb, WorkloadKind::TeraSort),
         (WorkloadKind::Ycsb, WorkloadKind::PageRank),
     ] {
-        let slo_t = std::time::Instant::now();
-        let slo = calibrate_slo(&cfg, lc, 8, 6, 7);
-        println!(
-            "\n== {lc} + {bi} ==  slo(P99@8ch)={slo} [{:?}]",
-            slo_t.elapsed()
-        );
+        let slo = prof::time("calibrate.slo", || calibrate_slo(&cfg, lc, 8, 6, 7));
+        println!("\n== {lc} + {bi} ==  slo(P99@8ch)={slo}");
         for mode in ["hw", "sw"] {
-            let t = std::time::Instant::now();
+            let _run = prof::span(&format!("calibrate.run.{mode}"));
             let tenants = if mode == "hw" {
                 hardware_layout(&opts.cfg, &[lc, bi], &[Some(slo), None], opts.seed)
             } else {
@@ -47,12 +43,17 @@ fn main() {
             };
             let m = run_collocation(&mut pol, tenants, &opts, peak, None);
             println!(
-                "{mode}: util {:.1}% (p95 {:.1}%) | {} bw {:.1} MB/s | {} p99 {} p95 {} vio {:.2}% [{:?}]",
-                m.avg_utilization * 100.0, m.p95_utilization * 100.0,
-                bi, m.bi_bandwidth().unwrap() / 1e6,
-                lc, m.lc_p99().unwrap(), m.tenants[0].p95, m.tenants[0].slo_violation_rate * 100.0,
-                t.elapsed()
+                "{mode}: util {:.1}% (p95 {:.1}%) | {} bw {:.1} MB/s | {} p99 {} p95 {} vio {:.2}%",
+                m.avg_utilization * 100.0,
+                m.p95_utilization * 100.0,
+                bi,
+                m.bi_bandwidth().unwrap() / 1e6,
+                lc,
+                m.lc_p99().unwrap(),
+                m.tenants[0].p95,
+                m.tenants[0].slo_violation_rate * 100.0,
             );
         }
     }
+    println!("\ntiming:\n{}", prof::take_report().to_text());
 }

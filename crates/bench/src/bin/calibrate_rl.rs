@@ -5,9 +5,11 @@ use fleetio::agent::{pretrain, PretrainOptions};
 use fleetio::baselines::{FleetIoPolicy, StaticPolicy};
 use fleetio::experiment::*;
 use fleetio::{FleetIoConfig, TenantSpec};
+use fleetio_obs::prof;
 use fleetio_workloads::WorkloadKind;
 
 fn main() {
+    prof::enable();
     let cfg = FleetIoConfig::default();
     let opts = ExperimentOptions {
         cfg: cfg.clone(),
@@ -24,7 +26,6 @@ fn main() {
 
     // Pre-train on the PRETRAINING workloads (paper §3.8), evaluate on the
     // evaluation pair.
-    let t0 = std::time::Instant::now();
     let slo_pre = calibrate_slo(&cfg, WorkloadKind::Tpce, 8, 4, 8);
     let scen = |lc_k: WorkloadKind, bi_k: WorkloadKind, s: u64| -> Vec<TenantSpec> {
         let mut t = hardware_layout(&cfg, &[lc_k, bi_k], &[Some(slo_pre), None], s);
@@ -54,11 +55,12 @@ fn main() {
             }
         }),
     };
-    let model = pretrain(&cfg, &scenarios, 0.5, popts, 99);
-    println!("pretrain took {:?}", t0.elapsed());
+    let model = prof::time("calibrate_rl.pretrain", || {
+        pretrain(&cfg, &scenarios, 0.5, popts, 99)
+    });
 
     for mode in ["hw", "fleetio", "sw"] {
-        let t = std::time::Instant::now();
+        let _run = prof::span(&format!("calibrate_rl.run.{mode}"));
         let tenants = if mode == "sw" {
             software_layout(&opts.cfg, &[lc, bi], &[Some(slo), None], opts.seed)
         } else {
@@ -74,12 +76,12 @@ fn main() {
         };
         m.policy = mode.to_string();
         println!(
-            "{mode:8}: util {:5.1}% | bi bw {:6.1} MB/s | lc p99 {} vio {:.2}% [{:?}]",
+            "{mode:8}: util {:5.1}% | bi bw {:6.1} MB/s | lc p99 {} vio {:.2}%",
             m.avg_utilization * 100.0,
             m.bi_bandwidth().unwrap() / 1e6,
             m.lc_p99().unwrap(),
             m.tenants[0].slo_violation_rate * 100.0,
-            t.elapsed()
         );
     }
+    println!("\ntiming:\n{}", prof::take_report().to_text());
 }

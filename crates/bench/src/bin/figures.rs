@@ -9,11 +9,10 @@
 //! Default scale is `quick` (minutes, preserves orderings/crossovers);
 //! `--full` runs paper-length spans and a larger training budget.
 
-use std::time::Instant;
-
 use fleetio_bench::figures;
 use fleetio_bench::report::FigureReport;
 use fleetio_bench::{Scale, SharedContext};
+use fleetio_obs::prof;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,7 +25,8 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let mut ctx = SharedContext::new(scale, 0xF1EE710);
 
-    let t0 = Instant::now();
+    prof::enable();
+    let run = prof::span(&format!("figures.{target}"));
     let reports: Vec<FigureReport> = match target.as_str() {
         "fig2" | "fig3" => figures::fig2_3(&mut ctx),
         "fig6" => vec![figures::fig6(&mut ctx)],
@@ -58,6 +58,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    drop(run);
     for r in &reports {
         if json {
             println!("{}", r.to_json());
@@ -65,10 +66,16 @@ fn main() {
             println!("{}", r.to_text());
         }
     }
+    let timing = prof::take_report();
+    let run_key = format!("figures.{target}");
+    let total = timing
+        .find(&[run_key.as_str()])
+        .map(|s| prof::format_ns(s.stats.total_ns as f64))
+        .unwrap_or_else(|| "?".to_string());
     eprintln!(
-        "[{} report(s) at {:?} scale in {:?}]",
+        "[{} report(s) at {:?} scale in {total}]\n{}",
         reports.len(),
         scale,
-        t0.elapsed()
+        timing.to_text()
     );
 }

@@ -605,6 +605,18 @@ pub fn overheads(ctx: &mut SharedContext) -> FigureReport {
     use fleetio_vssd::vssd::{VssdConfig, VssdId};
     use std::time::Instant;
 
+    /// The one timed loop of this figure: runs `f` `ops` times, records
+    /// the total under a profiler span, returns mean microseconds/op.
+    fn per_op_us(span: &str, ops: u32, mut f: impl FnMut()) -> f64 {
+        let t0 = Instant::now();
+        for _ in 0..ops {
+            f();
+        }
+        let total = t0.elapsed();
+        fleetio_obs::prof::record_span(span, total);
+        total.as_secs_f64() * 1e6 / f64::from(ops)
+    }
+
     let mut report = FigureReport::new(
         "overheads",
         "§4.7 overheads (measured wall-clock on this host)",
@@ -622,20 +634,17 @@ pub fn overheads(ctx: &mut SharedContext) -> FigureReport {
             VssdConfig::hardware(VssdId(1), other),
         ],
     );
-    let t0 = Instant::now();
-    let rounds = 2000u32;
-    for i in 0..rounds {
-        engine.set_harvestable_target(VssdId(0), if i % 2 == 0 { 4 } else { 0 });
-    }
-    let gsb_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(rounds);
+    let mut i = 0u32;
+    let gsb_us = per_op_us("overheads.gsb_cycle", 2000, || {
+        engine.set_harvestable_target(VssdId(0), if i.is_multiple_of(2) { 4 } else { 0 });
+        i += 1;
+    });
     report.row("gsb_create_reclaim_cycle", vec![gsb_us, 1.0]);
 
     // Admission control: a batch of 1 000 actions (0.8 ms in the paper).
     let mut ac = AdmissionControl::new();
     let ch_bw = ctx.cfg.engine.flash.channel_peak_bytes_per_sec();
-    let t0 = Instant::now();
-    let batches = 200;
-    for _ in 0..batches {
+    let batch_us = per_op_us("overheads.admission_batch", 200, || {
         for i in 0..1000u32 {
             let v = VssdId(i % 8);
             if i % 2 == 0 {
@@ -651,20 +660,16 @@ pub fn overheads(ctx: &mut SharedContext) -> FigureReport {
             }
         }
         let _ = ac.drain_batch(8, &std::collections::BTreeMap::new(), ch_bw);
-    }
-    let batch_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(batches);
+    });
     report.row("admission_batch_1000_actions", vec![batch_us, 1.0]);
 
     // Inference: one greedy decision (1.1 ms per window in the paper).
     let model = ctx.model(ModelVariant::Full);
     let mut agent = fleetio::FleetIoAgent::new(&model, ctx.cfg.history_windows);
     let state = fleetio::StateVector::zero();
-    let t0 = Instant::now();
-    let n = 10_000u32;
-    for _ in 0..n {
+    let infer_us = per_op_us("overheads.inference", 10_000, || {
         let _ = agent.decide(state);
-    }
-    let infer_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(n);
+    });
     report.row("inference_per_decision", vec![infer_us, 1.0]);
 
     // Model footprint (2.2 MB / ~9 K parameters in the paper).

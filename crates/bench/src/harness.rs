@@ -4,16 +4,38 @@
 //! targets time themselves with `std::time::Instant` instead of criterion.
 //! Each benchmark auto-calibrates its iteration count to a target budget,
 //! then reports mean / median / p95 nanoseconds per iteration over a fixed
-//! number of samples. Wall-clock use is confined to this crate: simulator
-//! crates must take time from `fleetio_des::SimTime` (enforced by
-//! `fleetio-audit`).
+//! number of samples. Sample statistics and unit formatting are shared
+//! with the span profiler (`fleetio_obs::prof::{summarize_ns, format_ns}`)
+//! so every timing number in the workspace renders identically, and each
+//! benchmark's total wall time is recorded as a profiler span. Wall-clock
+//! use is confined to this crate: simulator crates must take time from
+//! `fleetio_des::SimTime` (enforced by `fleetio-audit`).
 
 use std::time::Instant;
+
+use fleetio_obs::prof::{format_ns, summarize_ns, NsSummary};
 
 /// Per-sample measurement budget.
 const SAMPLE_TARGET_NANOS: u128 = 50_000_000; // 50 ms
 /// Samples per benchmark.
 const SAMPLES: usize = 12;
+
+/// Records the measured samples under a `bench.<name>` profiler span and
+/// prints the shared one-line summary. Returns the median ns/iter.
+fn report(name: &str, per_iter: &mut [f64], iters: u64, total: std::time::Duration) -> f64 {
+    fleetio_obs::prof::record_span(&format!("bench.{name}"), total);
+    let NsSummary {
+        mean, median, p95, ..
+    } = summarize_ns(per_iter);
+    println!(
+        "{name:<40} {:>14} /iter   (mean {}, p95 {}, {iters} iters x {})",
+        format_ns(median),
+        format_ns(mean),
+        format_ns(p95),
+        per_iter.len(),
+    );
+    median
+}
 
 /// Times `f`, printing a one-line summary. Returns median ns/iter.
 pub fn bench_function<F: FnMut()>(name: &str, mut f: F) -> f64 {
@@ -32,6 +54,7 @@ pub fn bench_function<F: FnMut()>(name: &str, mut f: F) -> f64 {
         }
         iters *= 8;
     }
+    let run_start = Instant::now();
     let mut per_iter: Vec<f64> = (0..SAMPLES)
         .map(|_| {
             let t0 = Instant::now();
@@ -41,17 +64,7 @@ pub fn bench_function<F: FnMut()>(name: &str, mut f: F) -> f64 {
             t0.elapsed().as_nanos() as f64 / iters as f64
         })
         .collect();
-    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
-    let median = per_iter[per_iter.len() / 2];
-    let p95 = per_iter[(per_iter.len() * 95 / 100).min(per_iter.len() - 1)];
-    println!(
-        "{name:<40} {:>14} /iter   (mean {}, p95 {}, {iters} iters x {SAMPLES})",
-        fmt_ns(median),
-        fmt_ns(mean),
-        fmt_ns(p95),
-    );
-    median
+    report(name, &mut per_iter, iters, run_start.elapsed())
 }
 
 /// Times `f` with a fresh `setup()` product per iteration (setup excluded
@@ -61,36 +74,16 @@ where
     S: FnMut() -> T,
 {
     let mut per_iter: Vec<f64> = Vec::with_capacity(SAMPLES * 4);
+    let mut timed = std::time::Duration::ZERO;
     for _ in 0..SAMPLES * 4 {
         let input = setup();
         let t0 = Instant::now();
         f(input);
-        per_iter.push(t0.elapsed().as_nanos() as f64);
+        let spent = t0.elapsed();
+        timed += spent;
+        per_iter.push(spent.as_nanos() as f64);
     }
-    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
-    let median = per_iter[per_iter.len() / 2];
-    let p95 = per_iter[(per_iter.len() * 95 / 100).min(per_iter.len() - 1)];
-    println!(
-        "{name:<40} {:>14} /iter   (mean {}, p95 {}, {} iters)",
-        fmt_ns(median),
-        fmt_ns(mean),
-        fmt_ns(p95),
-        per_iter.len(),
-    );
-    median
-}
-
-fn fmt_ns(ns: f64) -> String {
-    if ns < 1_000.0 {
-        format!("{ns:.0} ns")
-    } else if ns < 1_000_000.0 {
-        format!("{:.2} us", ns / 1_000.0)
-    } else if ns < 1_000_000_000.0 {
-        format!("{:.2} ms", ns / 1_000_000.0)
-    } else {
-        format!("{:.3} s", ns / 1_000_000_000.0)
-    }
+    report(name, &mut per_iter, 1, timed)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 pub mod context;
 pub mod figures;
 pub mod harness;
+pub mod perf;
 pub mod report;
 pub mod scale;
 

@@ -133,7 +133,9 @@ impl FlashDevice {
         chip: u16,
         bytes: u64,
     ) -> OpTimes {
+        let _prof = fleetio_obs::prof::span("flash.read_page");
         self.stats.host_read_bytes += bytes;
+        self.stats.nand_ops += 1;
         let timing = self.config.timing.clone();
         self.channels[usize::from(channel.0)].read_page(now, chip, bytes, &timing)
     }
@@ -151,8 +153,10 @@ impl FlashDevice {
         chip: u16,
         bytes: u64,
     ) -> OpTimes {
+        let _prof = fleetio_obs::prof::span("flash.write_page");
         self.stats.host_write_bytes += bytes;
         self.stats.flash_write_bytes += bytes;
+        self.stats.nand_ops += 1;
         let timing = self.config.timing.clone();
         self.channels[usize::from(channel.0)].write_page(now, chip, bytes, &timing)
     }
@@ -170,7 +174,9 @@ impl FlashDevice {
         chip: u16,
         bytes: u64,
     ) -> OpTimes {
+        let _prof = fleetio_obs::prof::span("flash.read_page_preempting");
         self.stats.host_read_bytes += bytes;
+        self.stats.nand_ops += 1;
         let timing = self.config.timing.clone();
         self.channels[usize::from(channel.0)].read_page_preempting(now, chip, bytes, &timing)
     }
@@ -188,6 +194,8 @@ impl FlashDevice {
         chip: u16,
         bytes: u64,
     ) -> OpTimes {
+        let _prof = fleetio_obs::prof::span("flash.gc_read_page");
+        self.stats.nand_ops += 1;
         let timing = self.config.timing.clone();
         let times = self.channels[usize::from(channel.0)].read_page(now, chip, bytes, &timing);
         self.channels[usize::from(channel.0)].note_gc_bytes(bytes);
@@ -207,6 +215,8 @@ impl FlashDevice {
         chip: u16,
         bytes: u64,
     ) -> OpTimes {
+        let _prof = fleetio_obs::prof::span("flash.gc_write_page");
+        self.stats.nand_ops += 1;
         let timing = self.config.timing.clone();
         let times = self.channels[usize::from(channel.0)].write_page(now, chip, bytes, &timing);
         self.stats.flash_write_bytes += bytes;
@@ -231,6 +241,8 @@ impl FlashDevice {
         dst: (ChannelId, u16),
         bytes: u64,
     ) -> OpTimes {
+        let _prof = fleetio_obs::prof::span("flash.migrate_page");
+        self.stats.nand_ops += 2;
         let timing = self.config.timing.clone();
         let read = self.channels[usize::from(src.0 .0)].read_page(now, src.1, bytes, &timing);
         let write =
@@ -258,6 +270,7 @@ impl FlashDevice {
         read: bool,
         gc: bool,
     ) -> OpTimes {
+        let _prof = fleetio_obs::prof::span("flash.bus_grant");
         match (read, gc) {
             (true, false) => self.stats.host_read_bytes += bytes,
             (false, false) => {
@@ -284,6 +297,8 @@ impl FlashDevice {
     ///
     /// Panics if the address is out of range.
     pub fn chip_read_occupy(&mut self, now: SimTime, channel: ChannelId, chip: u16) -> OpTimes {
+        let _prof = fleetio_obs::prof::span("flash.chip_read_occupy");
+        self.stats.nand_ops += 1;
         let dur = self.config.timing.read_latency;
         self.channels[usize::from(channel.0)].chip_occupy(now, chip, dur, false)
     }
@@ -294,6 +309,8 @@ impl FlashDevice {
     ///
     /// Panics if the address is out of range.
     pub fn chip_program_occupy(&mut self, now: SimTime, channel: ChannelId, chip: u16) -> OpTimes {
+        let _prof = fleetio_obs::prof::span("flash.chip_program_occupy");
+        self.stats.nand_ops += 1;
         let dur = self.config.timing.program_latency;
         // Low-priority programs issued grant-by-grant are suspendable.
         self.channels[usize::from(channel.0)].chip_occupy(now, chip, dur, true)
@@ -305,7 +322,9 @@ impl FlashDevice {
     ///
     /// Panics if the address is out of range.
     pub fn erase(&mut self, now: SimTime, channel: ChannelId, chip: u16) -> OpTimes {
+        let _prof = fleetio_obs::prof::span("flash.erase");
         self.stats.erases += 1;
+        self.stats.nand_ops += 1;
         let timing = self.config.timing.clone();
         self.channels[usize::from(channel.0)].erase_block(now, chip, &timing)
     }

@@ -19,6 +19,10 @@ pub struct DeviceStats {
     pub erases: u64,
     /// GC invocations.
     pub gc_runs: u64,
+    /// NAND array operations issued (page reads, page programs, chip
+    /// occupies and erases; host + GC). Bus grants are transfer slices,
+    /// not array operations, and are excluded.
+    pub nand_ops: u64,
 }
 
 impl DeviceStats {

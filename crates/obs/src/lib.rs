@@ -18,6 +18,10 @@
 //!   channel/chip) and a plain-text metrics snapshot.
 //! * [`TrainingSeries`] — per-update PPO telemetry (losses, entropy, KL,
 //!   clip fraction, reward) as a JSONL time series.
+//! * [`prof`] — the host-time span profiler: RAII spans over per-thread
+//!   call trees, folded-stack and Chrome exporters, and (behind the
+//!   `prof-alloc` feature) per-span allocation accounting. The one
+//!   sanctioned home for wall-clock measurement outside `crates/bench`.
 //!
 //! # Determinism
 //!
@@ -35,10 +39,12 @@ pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod sink;
 pub mod training;
 
 pub use event::{GsbKind, ModelKind, NandKind, ObsEvent};
 pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricsRegistry};
+pub use prof::{ProfReport, ProfSpan, SpanGuard, SpanStats};
 pub use sink::{NullSink, ObsSink, RecordingSink};
 pub use training::{TrainingRecord, TrainingSeries};

@@ -57,6 +57,7 @@ fn summarize(path: &str) -> ExitCode {
     let mut gsb: BTreeMap<String, u64> = BTreeMap::new();
     let mut throttles = 0u64;
     let mut windows = 0u64;
+    let mut evicted = 0u64;
     let mut lines = 0u64;
     let mut last_ns = 0u64;
 
@@ -125,12 +126,20 @@ fn summarize(path: &str) -> ExitCode {
             }
             "throttle" => throttles += 1,
             "window_flush" => windows += 1,
+            "trace_truncated" => {
+                evicted += obj.get("dropped").and_then(Value::as_u64).unwrap_or(0);
+            }
             _ => {}
         }
     }
 
-    println!("trace: {path}");
-    println!("  {lines} events, sim end {:.3} ms", last_ns as f64 / 1e6);
+    println!(
+        "trace: {path}\n  {lines} events, sim end {:.3} ms",
+        last_ns as f64 / 1e6
+    );
+    if evicted > 0 {
+        println!("  {evicted} events evicted (trace truncated, ring full)");
+    }
     println!();
     println!("event counts:");
     for (ty, n) in &type_counts {

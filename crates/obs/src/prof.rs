@@ -1,0 +1,876 @@
+//! Host-time span profiler: where does the *simulator* spend wall time?
+//!
+//! Everything else in `fleetio-obs` observes simulated time; this module
+//! is the one sanctioned home for wall-clock measurement outside
+//! `crates/bench` (enforced by the `host-time-scope` audit rule). Host
+//! time flows one way — out of the simulator into reports — and never
+//! back into simulation state, so determinism is preserved.
+//!
+//! Model:
+//! * [`span`] returns an RAII guard; guards nest on a per-thread span
+//!   stack and build a per-thread call tree keyed by span name.
+//! * Each tree node aggregates call count, total/self wall time, min/max
+//!   per call, and (with the `prof-alloc` feature) allocation count and
+//!   bytes attributed to the span (inclusive of children).
+//! * Per-thread trees merge into a process-global table — automatically
+//!   at thread exit (covering `std::thread::scope` rollout workers) or
+//!   explicitly via [`flush_thread`]. Merging only sums, mins and maxes,
+//!   so aggregate counts are independent of thread join order.
+//! * Profiling is off by default behind a cached [`enabled`] flag (the
+//!   same trick as `ObsSink`): a disabled [`span`] call is one relaxed
+//!   atomic load and touches no thread-local state.
+//!
+//! Reports export as an indented text tree ([`ProfReport::to_text`]),
+//! folded stacks for flamegraph tooling ([`ProfReport::folded`]), and a
+//! host-time track merged into the Chrome trace document
+//! ([`crate::export::chrome_trace_with_host`]).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Process-wide on/off switch, read with a single relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Merged span statistics from flushed threads, keyed by root-to-span
+/// name path.
+static GLOBAL: Mutex<BTreeMap<Vec<String>, SpanStats>> = Mutex::new(BTreeMap::new());
+
+/// Turns profiling on for subsequently created spans.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns profiling off; live guards created while enabled still record.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether profiling is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn global_lock() -> MutexGuard<'static, BTreeMap<Vec<String>, SpanStats>> {
+    // A poisoned profiler table is still structurally valid; keep the
+    // data rather than losing the whole report to an unrelated panic.
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Aggregate statistics for one span (one path in the call tree).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed calls.
+    pub calls: u64,
+    /// Total wall time across calls, nanoseconds (inclusive of children).
+    pub total_ns: u64,
+    /// Wall time spent in direct children, nanoseconds.
+    pub child_ns: u64,
+    /// Shortest single call, nanoseconds (valid when `calls > 0`).
+    pub min_ns: u64,
+    /// Longest single call, nanoseconds.
+    pub max_ns: u64,
+    /// Heap allocations made while the span (or a child) was active.
+    /// Always zero unless the `prof-alloc` feature is enabled.
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
+impl SpanStats {
+    /// Wall time not attributed to any child span.
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+
+    fn record(&mut self, ns: u64) {
+        if self.calls == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.calls += 1;
+        self.total_ns += ns;
+    }
+
+    /// Commutative, associative merge: aggregate counts are independent
+    /// of the order threads flush in.
+    fn merge(&mut self, other: &SpanStats) {
+        if other.calls == 0 && other.alloc_count == 0 {
+            return;
+        }
+        if self.calls == 0 {
+            let (min, max) = (other.min_ns, other.max_ns);
+            self.min_ns = min;
+            self.max_ns = max;
+        } else if other.calls > 0 {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+        self.calls += other.calls;
+        self.total_ns += other.total_ns;
+        self.child_ns += other.child_ns;
+        self.alloc_count += other.alloc_count;
+        self.alloc_bytes += other.alloc_bytes;
+    }
+}
+
+struct Node {
+    name: String,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    stats: SpanStats,
+}
+
+/// One thread's call tree plus the live span stack.
+struct ThreadProfiler {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+    /// Bumped by [`reset`]; guards from an older epoch no-op on drop so
+    /// a reset under a live guard can never corrupt the tree.
+    epoch: u64,
+}
+
+impl ThreadProfiler {
+    fn child_node(&mut self, parent: Option<usize>, name: &str) -> usize {
+        let found = {
+            let siblings: &[usize] = match parent {
+                Some(p) => &self.nodes[p].children,
+                None => &self.roots,
+            };
+            siblings
+                .iter()
+                .copied()
+                .find(|&i| self.nodes[i].name == name)
+        };
+        if let Some(i) = found {
+            return i;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name: name.to_string(),
+            parent,
+            children: Vec::new(),
+            stats: SpanStats::default(),
+        });
+        match parent {
+            Some(p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+
+    fn enter(&mut self, name: &str) -> usize {
+        let idx = self.child_node(self.stack.last().copied(), name);
+        self.stack.push(idx);
+        idx
+    }
+
+    fn exit(&mut self, idx: usize, ns: u64, allocs: (u64, u64)) {
+        // Guards drop LIFO under normal RAII scoping; pop defensively in
+        // case one was kept alive past a sibling.
+        while let Some(top) = self.stack.pop() {
+            if top == idx {
+                break;
+            }
+        }
+        let stats = &mut self.nodes[idx].stats;
+        stats.record(ns);
+        stats.alloc_count += allocs.0;
+        stats.alloc_bytes += allocs.1;
+        if let Some(p) = self.nodes[idx].parent {
+            self.nodes[p].stats.child_ns += ns;
+        }
+    }
+
+    /// Records a completed leaf span without touching the stack, for
+    /// timings measured externally (see [`record_span`]).
+    fn record_leaf(&mut self, name: &str, ns: u64) {
+        let idx = self.child_node(self.stack.last().copied(), name);
+        self.nodes[idx].stats.record(ns);
+        if let Some(p) = self.nodes[idx].parent {
+            self.nodes[p].stats.child_ns += ns;
+        }
+    }
+
+    fn flush_into(&mut self, global: &mut BTreeMap<Vec<String>, SpanStats>) {
+        for i in 0..self.nodes.len() {
+            let stats = self.nodes[i].stats;
+            if stats.calls == 0 && stats.alloc_count == 0 {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = Some(i);
+            while let Some(c) = cur {
+                path.push(self.nodes[c].name.clone());
+                cur = self.nodes[c].parent;
+            }
+            path.reverse();
+            global.entry(path).or_default().merge(&stats);
+            self.nodes[i].stats = SpanStats::default();
+        }
+    }
+}
+
+/// Wrapper whose `Drop` flushes the thread's tree into the global table
+/// at thread exit, so scoped worker threads merge automatically at join.
+struct TlsProfiler(RefCell<ThreadProfiler>);
+
+impl Drop for TlsProfiler {
+    fn drop(&mut self) {
+        let mut p = self.0.borrow_mut();
+        p.flush_into(&mut global_lock());
+    }
+}
+
+thread_local! {
+    static PROF: TlsProfiler = const {
+        TlsProfiler(RefCell::new(ThreadProfiler {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            stack: Vec::new(),
+            epoch: 0,
+        }))
+    };
+}
+
+/// RAII guard for one span activation. Dropping it records the elapsed
+/// wall time into this thread's call tree.
+#[must_use = "a span records its duration when the guard drops"]
+pub struct SpanGuard {
+    /// `None` when profiling was disabled at creation: drop is a no-op.
+    start: Option<Instant>,
+    node: usize,
+    epoch: u64,
+    #[cfg(feature = "prof-alloc")]
+    alloc0: (u64, u64),
+    /// Span attribution is thread-local; keep the guard on its thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a span named `name` under the thread's innermost open span.
+///
+/// When profiling is disabled this is one relaxed atomic load and the
+/// returned guard does nothing on drop.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            start: None,
+            node: 0,
+            epoch: 0,
+            #[cfg(feature = "prof-alloc")]
+            alloc0: (0, 0),
+            _not_send: PhantomData,
+        };
+    }
+    span_enabled(name)
+}
+
+fn span_enabled(name: &str) -> SpanGuard {
+    let entered = PROF.try_with(|h| {
+        let mut p = h.0.borrow_mut();
+        let node = p.enter(name);
+        (node, p.epoch)
+    });
+    match entered {
+        Ok((node, epoch)) => SpanGuard {
+            #[cfg(feature = "prof-alloc")]
+            alloc0: alloc::counters(),
+            // Taken last so tree bookkeeping is excluded from the span.
+            start: Some(Instant::now()),
+            node,
+            epoch,
+            _not_send: PhantomData,
+        },
+        // Thread-local storage already torn down (span opened from
+        // another destructor): record nothing.
+        Err(_) => SpanGuard {
+            start: None,
+            node: 0,
+            epoch: 0,
+            #[cfg(feature = "prof-alloc")]
+            alloc0: (0, 0),
+            _not_send: PhantomData,
+        },
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        // Taken first so guard bookkeeping is excluded from the span.
+        let ns = start.elapsed().as_nanos() as u64;
+        #[cfg(feature = "prof-alloc")]
+        let allocs = {
+            let (count, bytes) = alloc::counters();
+            (
+                count.saturating_sub(self.alloc0.0),
+                bytes.saturating_sub(self.alloc0.1),
+            )
+        };
+        #[cfg(not(feature = "prof-alloc"))]
+        let allocs = (0, 0);
+        let _ = PROF.try_with(|h| {
+            let mut p = h.0.borrow_mut();
+            if p.epoch == self.epoch {
+                p.exit(self.node, ns, allocs);
+            }
+        });
+    }
+}
+
+/// Runs `f` inside a span named `name`.
+pub fn time<T, F: FnOnce() -> T>(name: &str, f: F) -> T {
+    let _guard = span(name);
+    f()
+}
+
+/// Records an externally measured duration as one call of a leaf span
+/// under the current innermost span. For timings the guard API cannot
+/// capture (e.g. per-sample harness loops).
+pub fn record_span(name: &str, wall: Duration) {
+    if !enabled() {
+        return;
+    }
+    let ns = wall.as_nanos() as u64;
+    let _ = PROF.try_with(|h| h.0.borrow_mut().record_leaf(name, ns));
+}
+
+/// Merges the calling thread's completed span statistics into the global
+/// table. Threads flush automatically at exit; long-lived threads call
+/// this before a report is taken.
+pub fn flush_thread() {
+    let _ = PROF.try_with(|h| {
+        let mut p = h.0.borrow_mut();
+        p.flush_into(&mut global_lock());
+    });
+}
+
+/// Flushes the calling thread and returns the merged report, clearing
+/// the global table. Worker threads that already exited (e.g.
+/// `std::thread::scope` rollouts) are included; other still-live threads
+/// must [`flush_thread`] first to be seen.
+pub fn take_report() -> ProfReport {
+    flush_thread();
+    let map = std::mem::take(&mut *global_lock());
+    ProfReport::from_map(map)
+}
+
+/// Like [`take_report`] but leaves the accumulated data in place.
+pub fn snapshot() -> ProfReport {
+    flush_thread();
+    ProfReport::from_map(global_lock().clone())
+}
+
+/// Clears all accumulated data: the global table and the calling
+/// thread's tree. Live guards on this thread become no-ops (their epoch
+/// no longer matches); other threads' trees are untouched.
+pub fn reset() {
+    global_lock().clear();
+    let _ = PROF.try_with(|h| {
+        let mut p = h.0.borrow_mut();
+        p.nodes.clear();
+        p.roots.clear();
+        p.stack.clear();
+        p.epoch += 1;
+    });
+}
+
+/// One aggregated span in a [`ProfReport`], identified by its
+/// root-to-span name path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfSpan {
+    /// Span names from the root down to (and including) this span.
+    pub path: Vec<String>,
+    /// Aggregated statistics across all calls and threads.
+    pub stats: SpanStats,
+}
+
+impl ProfSpan {
+    /// The span's own name (last path element).
+    pub fn name(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// Nesting depth: 0 for root spans.
+    pub fn depth(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// The path joined with `;` (the folded-stacks key).
+    pub fn folded_key(&self) -> String {
+        self.path.join(";")
+    }
+}
+
+/// A merged profiling report: spans in depth-first path order (parents
+/// before children, siblings in name order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfReport {
+    /// All aggregated spans, sorted by path.
+    pub spans: Vec<ProfSpan>,
+}
+
+impl ProfReport {
+    fn from_map(map: BTreeMap<Vec<String>, SpanStats>) -> Self {
+        ProfReport {
+            spans: map
+                .into_iter()
+                .map(|(path, stats)| ProfSpan { path, stats })
+                .collect(),
+        }
+    }
+
+    /// Whether the report contains no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Looks up one span by exact path.
+    pub fn find(&self, path: &[&str]) -> Option<&ProfSpan> {
+        self.spans.iter().find(|s| {
+            s.path.len() == path.len() && s.path.iter().map(String::as_str).eq(path.iter().copied())
+        })
+    }
+
+    /// The `n` spans with the most self time, descending.
+    pub fn top_by_self(&self, n: usize) -> Vec<&ProfSpan> {
+        let mut sorted: Vec<&ProfSpan> = self.spans.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.stats
+                .self_ns()
+                .cmp(&a.stats.self_ns())
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Renders the call tree as indented text with per-span statistics.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.spans.is_empty() {
+            out.push_str("(no spans recorded)\n");
+            return out;
+        }
+        let name_w = self
+            .spans
+            .iter()
+            .map(|s| 2 * s.depth() + s.name().len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let has_allocs = self.spans.iter().any(|s| s.stats.alloc_count > 0);
+        let _ = write!(
+            out,
+            "{:<name_w$} {:>9} {:>11} {:>11} {:>11} {:>11}",
+            "span", "calls", "total", "self", "min", "max"
+        );
+        if has_allocs {
+            let _ = write!(out, " {:>9} {:>11}", "allocs", "alloc B");
+        }
+        out.push('\n');
+        for s in &self.spans {
+            let indented = format!("{:indent$}{}", "", s.name(), indent = 2 * s.depth());
+            let _ = write!(
+                out,
+                "{:<name_w$} {:>9} {:>11} {:>11} {:>11} {:>11}",
+                indented,
+                s.stats.calls,
+                format_ns(s.stats.total_ns as f64),
+                format_ns(s.stats.self_ns() as f64),
+                format_ns(s.stats.min_ns as f64),
+                format_ns(s.stats.max_ns as f64),
+            );
+            if has_allocs {
+                let _ = write!(
+                    out,
+                    " {:>9} {:>11}",
+                    s.stats.alloc_count, s.stats.alloc_bytes
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders folded stacks (`a;b;c self_ns` per line), the input format
+    /// of `flamegraph.pl` / `inferno-flamegraph`. Spans with zero self
+    /// time are omitted, as collapse tools do.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let self_ns = s.stats.self_ns();
+            if self_ns == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "{} {}", s.folded_key(), self_ns);
+        }
+        out
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit (the one timing
+/// formatter for all bench/profiling output).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Sample statistics over nanosecond timings (sorts `samples` in place).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NsSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median sample.
+    pub median: f64,
+    /// 95th-percentile sample.
+    pub p95: f64,
+    /// Number of samples summarized.
+    pub samples: usize,
+}
+
+/// Computes mean/median/p95 over `samples`, the shared statistics step
+/// of the bench harness. Returns zeros for an empty slice.
+pub fn summarize_ns(samples: &mut [f64]) -> NsSummary {
+    if samples.is_empty() {
+        return NsSummary {
+            mean: 0.0,
+            median: 0.0,
+            p95: 0.0,
+            samples: 0,
+        };
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = samples.len();
+    NsSummary {
+        mean: samples.iter().sum::<f64>() / n as f64,
+        median: samples[n / 2],
+        p95: samples[(n * 95 / 100).min(n - 1)],
+        samples: n,
+    }
+}
+
+/// Opt-in allocation accounting (`prof-alloc` feature): a counting
+/// global allocator that lets spans attribute heap traffic.
+///
+/// Install it in a binary's root:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: fleetio_obs::prof::alloc::CountingAllocator =
+///     fleetio_obs::prof::alloc::CountingAllocator;
+/// ```
+#[cfg(feature = "prof-alloc")]
+pub mod alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static COUNT: Cell<u64> = const { Cell::new(0) };
+        static BYTES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Delegates to [`System`] while counting allocations per thread.
+    /// Deallocation is free (counters are cumulative-alloc, not live).
+    pub struct CountingAllocator;
+
+    // SAFETY: delegates allocation to `System` unchanged; the counters
+    // are plain thread-local cells and never allocate themselves.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            note(layout.size() as u64);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            note(new_size as u64);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            note(layout.size() as u64);
+            System.alloc_zeroed(layout)
+        }
+    }
+
+    #[inline]
+    fn note(bytes: u64) {
+        // try_with: allocations during TLS teardown are simply uncounted.
+        let _ = COUNT.try_with(|c| c.set(c.get().wrapping_add(1)));
+        let _ = BYTES.try_with(|b| b.set(b.get().wrapping_add(bytes)));
+    }
+
+    /// This thread's cumulative (allocation count, bytes requested).
+    pub fn counters() -> (u64, u64) {
+        (
+            COUNT.try_with(Cell::get).unwrap_or(0),
+            BYTES.try_with(Cell::get).unwrap_or(0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Profiler state is process-global; tests touching it serialize here.
+    fn lock() -> MutexGuard<'static, ()> {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Restores "profiling off, state clear" even if a test panics.
+    struct Scope(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+    fn scoped() -> Scope {
+        let guard = lock();
+        reset();
+        enable();
+        Scope(guard)
+    }
+
+    impl Drop for Scope {
+        fn drop(&mut self) {
+            disable();
+            reset();
+        }
+    }
+
+    #[test]
+    fn nesting_builds_tree_and_self_time_is_total_minus_children() {
+        let _s = scoped();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                std::hint::black_box(vec![1u8; 64]);
+            }
+            {
+                let _inner = span("inner");
+            }
+            let _other = span("other");
+        }
+        let report = take_report();
+        let outer = report.find(&["outer"]).expect("outer span").stats;
+        let inner = report.find(&["outer", "inner"]).expect("inner span").stats;
+        let other = report.find(&["outer", "other"]).expect("other span").stats;
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 2);
+        assert_eq!(other.calls, 1);
+        // Children's totals are exactly the parent's child time, so
+        // self = total − children holds as an identity.
+        assert_eq!(outer.child_ns, inner.total_ns + other.total_ns);
+        assert_eq!(outer.self_ns(), outer.total_ns - outer.child_ns);
+        assert!(outer.total_ns >= inner.total_ns + other.total_ns);
+        assert!(inner.min_ns <= inner.max_ns);
+        assert!(inner.total_ns >= inner.max_ns);
+    }
+
+    #[test]
+    fn per_thread_trees_merge_deterministic_counts() {
+        let _s = scoped();
+        let per_thread = [3usize, 5, 7, 11];
+        std::thread::scope(|scope| {
+            for &reps in &per_thread {
+                scope.spawn(move || {
+                    for _ in 0..reps {
+                        let _work = span("work");
+                        let _step = span("step");
+                    }
+                    // No explicit flush: thread exit flushes.
+                });
+            }
+        });
+        let report = take_report();
+        let total: u64 = per_thread.iter().map(|&r| r as u64).sum();
+        assert_eq!(report.find(&["work"]).expect("work").stats.calls, total);
+        assert_eq!(
+            report.find(&["work", "step"]).expect("step").stats.calls,
+            total
+        );
+        // Merge is commutative: a second identical run aggregates the same.
+        std::thread::scope(|scope| {
+            for &reps in per_thread.iter().rev() {
+                scope.spawn(move || {
+                    for _ in 0..reps {
+                        let _work = span("work");
+                        let _step = span("step");
+                    }
+                });
+            }
+        });
+        let again = take_report();
+        assert_eq!(again.find(&["work"]).expect("work").stats.calls, total);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing_and_stay_cheap() {
+        let _s = scoped();
+        disable();
+        let t0 = Instant::now();
+        for _ in 0..100_000 {
+            let _g = span("hot");
+        }
+        let spent = t0.elapsed();
+        assert!(snapshot().is_empty(), "disabled spans must not record");
+        // Generous smoke bound: 100k disabled spans in well under a
+        // second even on a loaded CI machine (~10 µs/span budget).
+        assert!(spent < Duration::from_secs(1), "took {spent:?}");
+    }
+
+    #[test]
+    fn record_span_attaches_leaf_under_current_span() {
+        let _s = scoped();
+        {
+            let _outer = span("phase");
+            record_span("sample", Duration::from_nanos(1500));
+            record_span("sample", Duration::from_nanos(500));
+        }
+        let report = take_report();
+        let leaf = report.find(&["phase", "sample"]).expect("leaf").stats;
+        assert_eq!(leaf.calls, 2);
+        assert_eq!(leaf.total_ns, 2000);
+        assert_eq!(leaf.min_ns, 500);
+        assert_eq!(leaf.max_ns, 1500);
+        let phase = report.find(&["phase"]).expect("phase").stats;
+        assert_eq!(phase.child_ns, 2000);
+    }
+
+    #[test]
+    fn reset_under_live_guard_is_safe() {
+        let _s = scoped();
+        let guard = span("doomed");
+        reset();
+        drop(guard); // Epoch mismatch: must not panic or record.
+        assert!(take_report().is_empty());
+    }
+
+    #[test]
+    fn folded_output_matches_collapse_format() {
+        let _s = scoped();
+        {
+            let _a = span("a");
+            let _b = span("b");
+            // Real work so span `b` has nonzero self time on any clock.
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            std::hint::black_box(acc);
+        }
+        let report = take_report();
+        for line in report.folded().lines() {
+            let (key, val) = line.rsplit_once(' ').expect("key value");
+            assert!(!key.is_empty());
+            assert!(val.parse::<u64>().is_ok(), "self ns parses: {line}");
+        }
+        assert!(report.folded().contains("a;b "));
+    }
+
+    #[test]
+    fn top_by_self_sorts_descending() {
+        let report = ProfReport {
+            spans: vec![
+                ProfSpan {
+                    path: vec!["small".into()],
+                    stats: SpanStats {
+                        calls: 1,
+                        total_ns: 10,
+                        ..Default::default()
+                    },
+                },
+                ProfSpan {
+                    path: vec!["big".into()],
+                    stats: SpanStats {
+                        calls: 1,
+                        total_ns: 100,
+                        ..Default::default()
+                    },
+                },
+            ],
+        };
+        let top = report.top_by_self(1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].name(), "big");
+    }
+
+    #[test]
+    fn merge_combines_min_max_and_sums() {
+        let mut a = SpanStats {
+            calls: 2,
+            total_ns: 30,
+            child_ns: 5,
+            min_ns: 10,
+            max_ns: 20,
+            ..Default::default()
+        };
+        let b = SpanStats {
+            calls: 1,
+            total_ns: 5,
+            child_ns: 0,
+            min_ns: 5,
+            max_ns: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.calls, 3);
+        assert_eq!(a.total_ns, 35);
+        assert_eq!(a.min_ns, 5);
+        assert_eq!(a.max_ns, 20);
+        assert_eq!(a.self_ns(), 30);
+    }
+
+    #[test]
+    fn format_ns_picks_adaptive_units() {
+        assert_eq!(format_ns(12.0), "12 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 us");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(format_ns(3_000_000_000.0), "3.000 s");
+    }
+
+    #[test]
+    fn summarize_ns_computes_order_statistics() {
+        let mut samples = vec![3.0, 1.0, 2.0];
+        let s = summarize_ns(&mut samples);
+        assert_eq!(s.samples, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.p95, 3.0);
+        assert_eq!(summarize_ns(&mut []).samples, 0);
+    }
+
+    #[test]
+    fn text_report_renders_indented_tree() {
+        let _s = scoped();
+        {
+            let _a = span("alpha");
+            let _b = span("beta");
+        }
+        let report = take_report();
+        let text = report.to_text();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("  beta"), "child indented: {text}");
+        assert!(text.starts_with("span"));
+    }
+}

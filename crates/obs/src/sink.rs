@@ -117,9 +117,20 @@ impl RecordingSink {
             .count() as u64
     }
 
-    /// Held events as a JSONL string (one event per line).
+    /// Held events as a JSONL string (one event per line). When the ring
+    /// evicted events, a final `trace_truncated` meta line records how
+    /// many, so downstream tooling can tell a short run from a clipped
+    /// one. Untruncated traces are byte-identical to the plain export.
     pub fn to_jsonl(&self) -> String {
-        export::jsonl(self.events.iter())
+        let mut out = export::jsonl(self.events.iter());
+        if self.dropped > 0 {
+            let at = self.events.front().map_or(0, |e| e.at().as_nanos());
+            out.push_str(&format!(
+                "{{\"type\":\"trace_truncated\",\"at\":{at},\"dropped\":{}}}\n",
+                self.dropped
+            ));
+        }
+        out
     }
 
     /// Held events as a Chrome `trace_event` JSON document.
@@ -127,9 +138,14 @@ impl RecordingSink {
         export::chrome_trace(self.events.iter())
     }
 
-    /// Metrics snapshot as plain text, sorted by name.
+    /// Metrics snapshot as plain text, sorted by name, plus an eviction
+    /// note when the ring overflowed.
     pub fn metrics_text(&self) -> String {
-        self.metrics.render_text()
+        let mut out = self.metrics.render_text();
+        if self.dropped > 0 {
+            out.push_str(&format!("{} events evicted (ring full)\n", self.dropped));
+        }
+        out
     }
 }
 
@@ -191,6 +207,22 @@ mod tests {
         assert_eq!(s.dropped(), 1);
         assert_eq!(s.events()[0], throttle(2));
         assert_eq!(s.events()[1], throttle(3));
+    }
+
+    #[test]
+    fn jsonl_appends_truncation_meta_only_when_dropped() {
+        let mut s = RecordingSink::with_capacity(1);
+        s.record(throttle(1));
+        assert!(!s.to_jsonl().contains("trace_truncated"));
+        assert!(!s.metrics_text().contains("evicted"));
+        s.record(throttle(2));
+        let jsonl = s.to_jsonl();
+        let meta = jsonl.lines().last().expect("meta line");
+        assert_eq!(
+            meta,
+            "{\"type\":\"trace_truncated\",\"at\":2,\"dropped\":1}"
+        );
+        assert!(s.metrics_text().contains("1 events evicted (ring full)"));
     }
 
     #[test]

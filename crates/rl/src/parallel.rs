@@ -106,6 +106,7 @@ where
                 let policy = policy.clone();
                 let normalizer = normalizer.clone();
                 scope.spawn(move || {
+                    let _prof = fleetio_obs::prof::span("rollout.worker");
                     let mut env = factory();
                     collect_frozen(
                         &mut env,
@@ -153,6 +154,7 @@ where
                 let policy = policy.clone();
                 let normalizer = normalizer.clone();
                 scope.spawn(move || {
+                    let _prof = fleetio_obs::prof::span("rollout.worker");
                     collect_frozen(
                         env,
                         &policy,

@@ -261,6 +261,7 @@ impl PpoTrainer {
         env: &mut E,
         steps: usize,
     ) -> RolloutBuffer {
+        let _prof = fleetio_obs::prof::span("rollout.collect");
         let n = env.n_agents();
         let mut per_agent: Vec<Vec<Transition>> = vec![Vec::new(); n];
         let mut obs: Vec<Vec<f32>> = env
@@ -324,7 +325,11 @@ impl PpoTrainer {
 
     /// Runs one PPO update over `buffer` (GAE is computed here).
     pub fn update(&mut self, mut buffer: RolloutBuffer) -> PpoStats {
-        buffer.compute_gae(self.cfg.gamma, self.cfg.lambda);
+        let _prof = fleetio_obs::prof::span("ppo.update");
+        {
+            let _gae = fleetio_obs::prof::span("ppo.gae");
+            buffer.compute_gae(self.cfg.gamma, self.cfg.lambda);
+        }
         let n = buffer.len();
         if n == 0 {
             return PpoStats::default();
@@ -343,6 +348,7 @@ impl PpoTrainer {
         for _ in 0..self.cfg.epochs {
             self.rng.shuffle(&mut indices);
             for chunk in indices.chunks(self.cfg.minibatch) {
+                let _mb_prof = fleetio_obs::prof::span("ppo.minibatch");
                 let mut actor_grads = self.policy.actor.zero_grads();
                 let mut critic_grads = self.policy.critic.zero_grads();
                 for &i in chunk {

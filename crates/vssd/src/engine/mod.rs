@@ -480,8 +480,20 @@ impl Engine {
     /// Panics if `t` is before the current time.
     pub fn run_until(&mut self, t: SimTime) {
         assert!(t >= self.now, "cannot run backwards");
+        let _prof = fleetio_obs::prof::span("engine.run_until");
         while let Some(ev) = self.events.pop_before(t) {
             self.now = ev.at;
+            // One host-time span per event kind: the DES dispatch loop is
+            // the simulator's hottest path, and the per-kind breakdown is
+            // what the perf baseline tracks.
+            let _ev_prof = fleetio_obs::prof::span(match ev.payload {
+                Ev::Arrival { .. } => "engine.ev.arrival",
+                Ev::PageDone { .. } => "engine.ev.page_done",
+                Ev::GcDone { .. } => "engine.ev.gc_done",
+                Ev::AdmissionTick => "engine.ev.admission_tick",
+                Ev::TokenRetry { .. } => "engine.ev.token_retry",
+                Ev::Grant { .. } => "engine.ev.grant",
+            });
             match ev.payload {
                 Ev::Arrival { id, req } => self.process_arrival(id, req),
                 Ev::PageDone { ch, req } => self.process_page_done(ch, req),
@@ -503,6 +515,12 @@ impl Engine {
             self.audit_event();
         }
         self.now = t;
+    }
+
+    /// Lifetime count of DES events processed by this engine (the
+    /// sim-events/sec numerator for throughput reporting).
+    pub fn events_processed(&self) -> u64 {
+        self.events.popped()
     }
 
     /// Drains all requests completed since the last call.
@@ -575,6 +593,7 @@ impl Engine {
     ///
     /// Panics if `id` is unknown or no time has passed since the last call.
     pub fn finish_window(&mut self, id: VssdId) -> WindowSummary {
+        let _prof = fleetio_obs::prof::span("engine.finish_window");
         let idx = self.idx(id);
         let start = self.window_start[idx];
         let len = self.now.saturating_since(start);
