@@ -25,7 +25,7 @@ pub struct Diagnostic {
 }
 
 /// Stable identifiers for every rule, in reporting order.
-pub const RULE_IDS: [&str; 7] = [
+pub const RULE_IDS: [&str; 8] = [
     "raw-time-arith",
     "no-unwrap",
     "hash-iteration",
@@ -33,6 +33,7 @@ pub const RULE_IDS: [&str; 7] = [
     "host-time-scope",
     "no-println",
     "atomic-io",
+    "hot-path-collections",
 ];
 
 /// Simulator core: the crates whose sources model the device and must be
@@ -68,6 +69,13 @@ fn is_prof_path(path: &str) -> bool {
     path.starts_with("crates/obs/src/prof")
 }
 
+/// The engine's event-handler scope: every source under
+/// `crates/vssd/src/engine/` runs (transitively) from `dispatch_event`,
+/// so per-event work there is the simulator's hot path.
+fn in_engine_hot_path(path: &str) -> bool {
+    path.starts_with("crates/vssd/src/engine/")
+}
+
 /// Library crates whose sources must stay silent on stdout/stderr: the
 /// simulator core plus the ML/RL stack and the observability layer. All
 /// reporting goes through `fleetio-obs` sinks/exporters or the CLI bins;
@@ -97,6 +105,7 @@ pub fn check_file(file: &ScannedFile) -> Vec<Diagnostic> {
     host_time_scope(file, &mut out);
     no_println(file, &mut out);
     atomic_io(file, &mut out);
+    hot_path_collections(file, &mut out);
     out
 }
 
@@ -365,6 +374,39 @@ fn atomic_io(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// `hot-path-collections`: node-based map/set types in the engine's
+/// event-handler scope (`crates/vssd/src/engine/`). Everything under that
+/// directory runs from `dispatch_event`, so a `BTreeMap` lookup there is a
+/// pointer-chasing tree walk paid per simulated event — per-event state
+/// belongs in slab/dense-vec storage indexed by handle (see
+/// `vssd::engine::vstate` and `vssd::stride::DenseStride`). `HashMap`/
+/// `HashSet` are additionally nondeterministic (also `hash-iteration`).
+/// Genuinely cold control-plane maps (vSSD create/destroy, per-admission-
+/// tick snapshots) are grandfathered per-file in `audit.toml`.
+fn hot_path_collections(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !in_engine_hot_path(&file.path) {
+        return;
+    }
+    const TYPES: [&str; 4] = ["BTreeMap", "BTreeSet", "HashMap", "HashSet"];
+    for (line_no, masked, raw) in file.code_lines() {
+        for ty in TYPES {
+            if contains_identifier(masked, ty) {
+                out.push(Diagnostic {
+                    rule: "hot-path-collections",
+                    path: file.path.clone(),
+                    line: line_no,
+                    message: format!(
+                        "{ty} in the engine event-handler scope: per-event lookups must \
+                         use slab/dense-vec storage indexed by handle; cold control-plane \
+                         maps go through audit.toml"
+                    ),
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
 /// Whether `hay` invokes the macro `name` (`name` as a whole identifier
 /// immediately followed by `!`). The whole-identifier requirement keeps
 /// `print` from matching inside `println` or `eprint`.
@@ -483,8 +525,38 @@ mod tests {
     #[test]
     fn hashmap_flagged_in_core() {
         let src = "use std::collections::HashMap;\n";
-        assert_eq!(diags("crates/vssd/src/engine/mod.rs", src).len(), 1);
+        assert_eq!(diags("crates/vssd/src/gsb.rs", src).len(), 1);
         assert!(diags("crates/bench/src/context.rs", src).is_empty());
+        // Inside the engine scope the same line also trips the hot-path rule.
+        let d = diags("crates/vssd/src/engine/mod.rs", src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|d| d.rule == "hash-iteration"));
+        assert!(d.iter().any(|d| d.rule == "hot-path-collections"));
+    }
+
+    #[test]
+    fn tree_maps_flagged_in_engine_scope_only() {
+        for src in [
+            "use std::collections::BTreeMap;\n",
+            "let mut claimed = std::collections::BTreeSet::new();\n",
+            "pub(crate) id_to_idx: BTreeMap<VssdId, usize>,\n",
+        ] {
+            let d = diags("crates/vssd/src/engine/harvest.rs", src);
+            assert_eq!(d.len(), 1, "{src:?}: {d:?}");
+            assert_eq!(d[0].rule, "hot-path-collections");
+        }
+        // BTree types are fine (deterministic) outside the engine scope...
+        assert!(diags("crates/vssd/src/gsb.rs", "use std::collections::BTreeMap;\n").is_empty());
+        assert!(diags("crates/des/src/queue.rs", "use std::collections::BTreeSet;\n").is_empty());
+        // ...and in engine test modules.
+        let in_test = "#[cfg(test)]\nmod tests {\n use std::collections::BTreeMap;\n}\n";
+        assert!(diags("crates/vssd/src/engine/mod.rs", in_test).is_empty());
+        // Lookalike identifiers and doc comments don't fire.
+        assert!(diags(
+            "crates/vssd/src/engine/vstate.rs",
+            "/// replaces a `BTreeMap<u64, Ppa>` walk with one array index\nlet x = MyBTreeMapLike::new();\n"
+        )
+        .is_empty());
     }
 
     #[test]

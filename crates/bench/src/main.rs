@@ -4,9 +4,11 @@
 //!   runs the perf suite and writes the schema-versioned BENCH JSON
 //!   (default `BENCH_fleetio.json`); `--folded` also writes folded stacks
 //!   for flamegraph tooling.
-//! - `fleetio-bench compare <old.json> <new.json>` diffs two reports and
-//!   exits 1 when any metric regresses past the fail threshold (the CI
-//!   gate), 0 otherwise (warnings print but stay green).
+//! - `fleetio-bench compare <old.json> <new.json> [--allow-new]` diffs two
+//!   reports and exits 1 when any metric regresses past the fail threshold,
+//!   goes missing, or (without `--allow-new`) appears without a baseline;
+//!   0 otherwise (warnings print but stay green). CI passes `--allow-new`
+//!   so intentionally added metrics land without a chicken-and-egg dance.
 
 use std::process::ExitCode;
 
@@ -21,7 +23,7 @@ static ALLOC: fleetio_obs::prof::alloc::CountingAllocator =
 
 const USAGE: &str = "usage:
   fleetio-bench perf [--scale ci|smoke] [--out PATH] [--folded PATH]
-  fleetio-bench compare <old.json> <new.json>";
+  fleetio-bench compare <old.json> <new.json> [--allow-new]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -94,16 +96,25 @@ fn cmd_perf(args: &[String]) -> ExitCode {
 }
 
 fn cmd_compare(args: &[String]) -> ExitCode {
-    let [old_path, new_path] = args else {
+    let mut paths = Vec::new();
+    let mut allow_new = false;
+    for arg in args {
+        match arg.as_str() {
+            "--allow-new" => allow_new = true,
+            _ => paths.push(arg.as_str()),
+        }
+    }
+    let [old_path, new_path] = paths[..] else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    ExitCode::from(compare_paths(old_path, new_path))
+    ExitCode::from(compare_paths(old_path, new_path, allow_new))
 }
 
 /// The CI gate: 0 = within thresholds (warnings allowed), 1 = fail
-/// breach or missing metric, 2 = unreadable/invalid report.
-fn compare_paths(old_path: &str, new_path: &str) -> u8 {
+/// breach, missing metric, or (strict mode) unbaselined metric,
+/// 2 = unreadable/invalid report.
+fn compare_paths(old_path: &str, new_path: &str, allow_new: bool) -> u8 {
     let load = |path: &str| -> Result<PerfReport, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         PerfReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
@@ -115,7 +126,13 @@ fn compare_paths(old_path: &str, new_path: &str) -> u8 {
             return 2;
         }
     };
-    let result = perf::compare(&old, &new, perf::WARN_THRESHOLD, perf::FAIL_THRESHOLD);
+    let result = perf::compare(
+        &old,
+        &new,
+        perf::WARN_THRESHOLD,
+        perf::FAIL_THRESHOLD,
+        allow_new,
+    );
     print!(
         "{}",
         result.render_text(perf::WARN_THRESHOLD, perf::FAIL_THRESHOLD)
@@ -147,11 +164,42 @@ mod tests {
         for (name, rate, expect) in [("pass", 990.0, 0u8), ("warn", 850.0, 0), ("fail", 700.0, 1)] {
             let new = write_report(name, rate);
             assert_eq!(
-                compare_paths(old.to_str().unwrap(), new.to_str().unwrap()),
+                compare_paths(old.to_str().unwrap(), new.to_str().unwrap(), false),
                 expect,
                 "{name}"
             );
         }
-        assert_eq!(compare_paths(old.to_str().unwrap(), "/nonexistent.json"), 2);
+        assert_eq!(
+            compare_paths(old.to_str().unwrap(), "/nonexistent.json", false),
+            2
+        );
+    }
+
+    #[test]
+    fn compare_gates_unbaselined_metrics_unless_allowed() {
+        let old = write_report("strict-old", 1000.0);
+        let extra = {
+            let mut metrics = BTreeMap::new();
+            metrics.insert("sim_events_per_sec".to_string(), 1000.0);
+            metrics.insert("brand_new_metric".to_string(), 5.0);
+            let report = PerfReport {
+                schema: perf::SCHEMA.to_string(),
+                metrics,
+                spans: Vec::new(),
+            };
+            let path = std::env::temp_dir().join("fleetio-bench-test-strict-new.json");
+            std::fs::write(&path, report.to_json()).expect("write temp report");
+            path
+        };
+        assert_eq!(
+            compare_paths(old.to_str().unwrap(), extra.to_str().unwrap(), false),
+            1,
+            "strict mode must fail on an unbaselined metric"
+        );
+        assert_eq!(
+            compare_paths(old.to_str().unwrap(), extra.to_str().unwrap(), true),
+            0,
+            "--allow-new accepts it"
+        );
     }
 }

@@ -58,6 +58,8 @@ pub struct PerfOptions {
     pub ppo_transitions: usize,
     /// PPO updates timed.
     pub ppo_updates: usize,
+    /// Push/pop pairs timed by the event-queue microbench.
+    pub queue_ops: usize,
     /// Root random seed.
     pub seed: u64,
 }
@@ -72,6 +74,7 @@ impl PerfOptions {
             rollout_steps: 16,
             ppo_transitions: 512,
             ppo_updates: 6,
+            queue_ops: 2_000_000,
             seed: 42,
         }
     }
@@ -86,6 +89,7 @@ impl PerfOptions {
             rollout_steps: 4,
             ppo_transitions: 64,
             ppo_updates: 1,
+            queue_ops: 20_000,
             seed: 42,
         }
     }
@@ -245,14 +249,21 @@ pub struct CompareResult {
     /// Metrics in the baseline but missing from the new report (a fail:
     /// a silently dropped metric must not pass the gate).
     pub missing: Vec<String>,
-    /// Metrics only in the new report (informational).
+    /// Metrics only in the new report. A fail in strict mode (a metric
+    /// nobody baselined must not silently skip the gate); informational
+    /// under `allow_new` (how new metrics are introduced intentionally).
     pub added: Vec<String>,
+    /// Whether `added` metrics are tolerated (the `--allow-new` mode).
+    pub allow_new: bool,
 }
 
 impl CompareResult {
-    /// Whether any metric breached the fail threshold or went missing.
+    /// Whether any metric breached the fail threshold, went missing, or
+    /// (in strict mode) appeared without a baseline.
     pub fn failed(&self) -> bool {
-        !self.missing.is_empty() || self.deltas.iter().any(|d| d.severity == Severity::Fail)
+        !self.missing.is_empty()
+            || (!self.allow_new && !self.added.is_empty())
+            || self.deltas.iter().any(|d| d.severity == Severity::Fail)
     }
 
     /// Whether any metric breached the warn threshold (without failing).
@@ -292,11 +303,17 @@ impl CompareResult {
             out.push_str(&format!("{name:<name_w$} missing from new report  FAIL\n"));
         }
         for name in &self.added {
-            out.push_str(&format!("{name:<name_w$} new metric (no baseline)\n"));
+            if self.allow_new {
+                out.push_str(&format!("{name:<name_w$} new metric (no baseline)\n"));
+            } else {
+                out.push_str(&format!(
+                    "{name:<name_w$} new metric without a baseline  FAIL (re-run with --allow-new to accept)\n"
+                ));
+            }
         }
         if self.failed() {
             out.push_str(&format!(
-                "FAIL: regression beyond {:.0}% (or missing metric)\n",
+                "FAIL: regression beyond {:.0}% (or missing/unbaselined metric)\n",
                 fail * 100.0
             ));
         } else if self.warned() {
@@ -312,18 +329,34 @@ impl CompareResult {
     }
 }
 
-/// Compares two reports. Every metric is a higher-is-better rate; the
-/// regression fraction is `(old - new) / old`. Metrics present in the
-/// baseline but absent from the new report fail outright.
-pub fn compare(old: &PerfReport, new: &PerfReport, warn: f64, fail: f64) -> CompareResult {
+/// Compares two reports. Metrics are higher-is-better rates, except
+/// names starting with `allocs_` (heap traffic), which are
+/// lower-is-better and compared inverted. The regression fraction is
+/// `(old - new) / old` (or its negation for inverted metrics). Metrics
+/// present in the baseline but absent from the new report fail outright;
+/// metrics present only in the new report fail unless `allow_new` is set.
+pub fn compare(
+    old: &PerfReport,
+    new: &PerfReport,
+    warn: f64,
+    fail: f64,
+    allow_new: bool,
+) -> CompareResult {
     let mut deltas = Vec::new();
     let mut missing = Vec::new();
     for (name, &old_rate) in &old.metrics {
         match new.metrics.get(name) {
             None => missing.push(name.clone()),
             Some(&new_rate) => {
+                // `allocs_*` counts heap traffic: more is worse.
+                let lower_is_better = name.starts_with("allocs_");
                 let regression = if old_rate > 0.0 {
-                    (old_rate - new_rate) / old_rate
+                    let drop = (old_rate - new_rate) / old_rate;
+                    if lower_is_better {
+                        -drop
+                    } else {
+                        drop
+                    }
                 } else {
                     0.0
                 };
@@ -354,6 +387,7 @@ pub fn compare(old: &PerfReport, new: &PerfReport, warn: f64, fail: f64) -> Comp
         deltas,
         missing,
         added,
+        allow_new,
     }
 }
 
@@ -394,6 +428,8 @@ fn colocation_scenario(opts: &PerfOptions, metrics: &mut BTreeMap<String, f64>) 
         events = c.engine().events_processed();
         nand_ops = c.engine().device().stats().nand_ops;
     };
+    #[cfg(feature = "prof-alloc")]
+    let allocs0 = prof::alloc::counters().0;
     let t0 = Instant::now();
     let _ = run_collocation(
         &mut StaticPolicy::hardware(),
@@ -407,6 +443,20 @@ fn colocation_scenario(opts: &PerfOptions, metrics: &mut BTreeMap<String, f64>) 
     metrics.insert("sim_events_per_sec".to_string(), events as f64 / secs);
     metrics.insert("nand_ops_per_sec".to_string(), nand_ops as f64 / secs);
     metrics.insert("windows_per_sec".to_string(), windows / secs);
+    // Heap traffic per simulated event — only meaningful (and only
+    // counted) when the counting global allocator is installed, i.e. the
+    // binary was built with `--features prof-alloc`. Wall-clock-free, so
+    // it is the one metric immune to machine noise.
+    #[cfg(feature = "prof-alloc")]
+    {
+        let allocs = prof::alloc::counters().0.saturating_sub(allocs0);
+        if events > 0 {
+            metrics.insert(
+                "allocs_per_sim_event".to_string(),
+                allocs as f64 / events as f64,
+            );
+        }
+    }
 }
 
 /// Parallel rollout scenario: frozen-policy collection from persistent
@@ -511,6 +561,51 @@ fn run_scenarios(opts: &PerfOptions, metrics: &mut BTreeMap<String, f64>) {
     colocation_scenario(opts, metrics);
     rollout_scenario(opts, metrics);
     ppo_scenario(opts, metrics);
+    queue_scenario(opts, metrics);
+}
+
+/// Event-queue microbench: steady-state push/pop pairs over an
+/// engine-like arrival-time distribution (most completions land within a
+/// bucket width of `now`, a tail spans the ring, admission-tick-style
+/// events overflow the horizon). Fills `queue_ops_per_sec` so a queue
+/// regression is visible even when engine-level metrics move for other
+/// reasons.
+fn queue_scenario(opts: &PerfOptions, metrics: &mut BTreeMap<String, f64>) {
+    use fleetio_des::{EventQueue, SimTime};
+    let _prof = prof::span("perf.queue");
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x5eed_9_0e0e);
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut now = 0u64;
+    // Steady-state population comparable to a busy engine.
+    const PENDING: usize = 4_096;
+    let deltas: Vec<u64> = (0..opts.queue_ops + PENDING)
+        .map(|_| match rng.gen_range(0u64..100) {
+            // Same-bucket completion (reads, bus grants).
+            0..=59 => rng.gen_range(0u64..16_384),
+            // Ring-resident (programs, erases, GC busy times).
+            60..=94 => rng.gen_range(16_384u64..2_000_000),
+            // Same-instant cascade.
+            95..=97 => 0,
+            // Beyond the ring horizon (pre-submitted arrivals).
+            _ => rng.gen_range(70_000_000u64..200_000_000),
+        })
+        .collect();
+    let mut di = deltas.iter();
+    for _ in 0..PENDING {
+        q.push(SimTime::from_nanos(now + di.next().expect("prefill delta")), 0);
+    }
+    let t0 = Instant::now();
+    for _ in 0..opts.queue_ops {
+        let ev = q.pop().expect("queue holds PENDING events");
+        now = ev.at.as_nanos();
+        q.push(SimTime::from_nanos(now + di.next().expect("steady delta")), 0);
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    // One op = one push + one pop.
+    metrics.insert(
+        "queue_ops_per_sec".to_string(),
+        (opts.queue_ops * 2) as f64 / secs,
+    );
 }
 
 /// Runs the perf suite: a timing pass with the profiler **disabled**
@@ -599,7 +694,7 @@ mod tests {
         ] {
             new.metrics
                 .insert("sim_events_per_sec".to_string(), 1_000_000.0 * (1.0 - drop));
-            let result = compare(&old, &new, WARN_THRESHOLD, FAIL_THRESHOLD);
+            let result = compare(&old, &new, WARN_THRESHOLD, FAIL_THRESHOLD, true);
             let delta = result
                 .deltas
                 .iter()
@@ -615,7 +710,7 @@ mod tests {
         let old = sample_report();
         let mut new = old.clone();
         new.metrics.insert("sim_events_per_sec".to_string(), 2e6);
-        let result = compare(&old, &new, WARN_THRESHOLD, FAIL_THRESHOLD);
+        let result = compare(&old, &new, WARN_THRESHOLD, FAIL_THRESHOLD, true);
         assert!(!result.failed() && !result.warned());
     }
 
@@ -625,13 +720,59 @@ mod tests {
         let mut new = old.clone();
         new.metrics.remove("ppo_updates_per_sec");
         new.metrics.insert("new_metric".to_string(), 1.0);
-        let result = compare(&old, &new, WARN_THRESHOLD, FAIL_THRESHOLD);
+        let result = compare(&old, &new, WARN_THRESHOLD, FAIL_THRESHOLD, true);
         assert_eq!(result.missing, vec!["ppo_updates_per_sec".to_string()]);
         assert_eq!(result.added, vec!["new_metric".to_string()]);
         assert!(result.failed());
         assert!(result
             .render_text(WARN_THRESHOLD, FAIL_THRESHOLD)
             .contains("missing from new report"));
+    }
+
+    /// Strict mode (the default CLI behaviour) fails on a metric the
+    /// baseline lacks; `--allow-new` reports it informationally.
+    #[test]
+    fn unbaselined_metric_fails_strict_and_passes_allow_new() {
+        let old = sample_report();
+        let mut new = old.clone();
+        new.metrics.insert("queue_ops_per_sec".to_string(), 1e7);
+        let strict = compare(&old, &new, WARN_THRESHOLD, FAIL_THRESHOLD, false);
+        assert_eq!(strict.added, vec!["queue_ops_per_sec".to_string()]);
+        assert!(strict.failed(), "strict mode must gate unbaselined metrics");
+        assert!(strict
+            .render_text(WARN_THRESHOLD, FAIL_THRESHOLD)
+            .contains("--allow-new"));
+        let lenient = compare(&old, &new, WARN_THRESHOLD, FAIL_THRESHOLD, true);
+        assert!(!lenient.failed());
+        assert!(lenient
+            .render_text(WARN_THRESHOLD, FAIL_THRESHOLD)
+            .contains("new metric (no baseline)"));
+    }
+
+    /// `allocs_*` metrics are lower-is-better: an increase regresses, a
+    /// decrease improves, and the thresholds gate in that direction.
+    #[test]
+    fn alloc_metrics_compare_inverted() {
+        let mut old = sample_report();
+        old.metrics.insert("allocs_per_sim_event".to_string(), 10.0);
+        let mut new = old.clone();
+
+        new.metrics.insert("allocs_per_sim_event".to_string(), 5.0);
+        let result = compare(&old, &new, WARN_THRESHOLD, FAIL_THRESHOLD, true);
+        assert!(
+            !result.failed() && !result.warned(),
+            "halving heap traffic is an improvement"
+        );
+
+        new.metrics.insert("allocs_per_sim_event".to_string(), 14.0);
+        let result = compare(&old, &new, WARN_THRESHOLD, FAIL_THRESHOLD, true);
+        let delta = result
+            .deltas
+            .iter()
+            .find(|d| d.name == "allocs_per_sim_event")
+            .unwrap();
+        assert_eq!(delta.severity, Severity::Fail, "+40% heap traffic fails");
+        assert!(result.failed());
     }
 
     #[test]
@@ -644,6 +785,7 @@ mod tests {
             "windows_per_sec",
             "rollout_steps_per_sec",
             "ppo_updates_per_sec",
+            "queue_ops_per_sec",
         ] {
             let rate = report.metrics.get(metric).copied().unwrap_or(0.0);
             assert!(rate > 0.0, "{metric} should be positive, got {rate}");

@@ -31,11 +31,13 @@ pub mod audit;
 pub mod hist;
 pub mod queue;
 pub mod rng;
+pub mod slab;
 pub mod summary;
 pub mod time;
 pub mod window;
 
 pub use hist::LatencyHistogram;
-pub use queue::{Event, EventQueue};
+pub use queue::{BinaryHeapQueue, Event, EventQueue};
+pub use slab::{Handle, Slab};
 pub use time::{SimDuration, SimTime};
 pub use window::WindowStats;

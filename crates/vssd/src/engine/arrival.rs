@@ -5,28 +5,37 @@
 //! tracking in-flight writes, at the cost of treating data as durable the
 //! moment it is accepted — indistinguishable for the bandwidth/latency
 //! metrics this simulation reports.
+//!
+//! This is the hottest event handler in the engine, so its working vectors
+//! (`arrival_ops`, `arrival_touched`, `stripe_candidates`,
+//! `home_candidates`) live on the [`Engine`] and are reused across events:
+//! at steady state an arrival performs no heap allocation.
 
+use fleetio_des::Handle;
 use fleetio_flash::addr::{BlockAddr, ChannelId, Ppa};
 
-use crate::request::{IoOp, IoRequest};
+use crate::request::IoOp;
 
 use super::vstate::BlockMeta;
 use super::{Engine, PageOp};
 
 impl Engine {
-    pub(crate) fn process_arrival(&mut self, req_id: u64, req: IoRequest) {
-        let idx = self.idx(req.vssd);
+    pub(crate) fn process_arrival(&mut self, h: Handle) {
+        let r = self.reqs[h];
+        let idx = r.vssd_idx as usize;
         let page_bytes = u64::from(self.cfg.flash.page_bytes);
-        let (first, last) = req.page_span(page_bytes);
+        let first = r.offset / page_bytes;
+        let last = (r.offset + r.len - 1) / page_bytes;
         self.planned.fill(0);
-        let mut ops: Vec<(u16, PageOp)> = Vec::with_capacity((last - first + 1) as usize);
+        let mut ops = std::mem::take(&mut self.arrival_ops);
+        ops.clear();
         for lpa in first..=last {
             // Bytes of this request that fall inside page `lpa`.
             let page_start = lpa * page_bytes;
-            let lo = req.offset.max(page_start);
-            let hi = (req.offset + req.len).min(page_start + page_bytes);
+            let lo = r.offset.max(page_start);
+            let hi = (r.offset + r.len).min(page_start + page_bytes);
             let portion = hi - lo;
-            match req.op {
+            match r.op {
                 IoOp::Read => {
                     let ppa = self.read_page_lookup(idx, lpa);
                     self.planned[usize::from(ppa.channel().0)] += 1;
@@ -37,7 +46,7 @@ impl Engine {
                             read: true,
                             bytes: portion,
                             chip: ppa.chip(),
-                            req: Some(req_id),
+                            req: Some(h),
                             gc: None,
                         },
                     ));
@@ -53,29 +62,30 @@ impl Engine {
                             read: false,
                             bytes: page_bytes,
                             chip: ppa.chip(),
-                            req: Some(req_id),
+                            req: Some(h),
                             gc: None,
                         },
                     ));
                 }
             }
         }
-        if let Some(r) = self.reqs.get_mut(&req_id) {
+        if let Some(r) = self.reqs.get_mut(h) {
             r.remaining = ops.len() as u32;
         }
         if self.obs_on {
             self.obs.record(fleetio_obs::ObsEvent::RequestAdmit {
                 at: self.now,
-                req: req_id,
-                vssd: req.vssd.0,
+                req: r.ext_id,
+                vssd: self.vssds[idx].cfg.id.0,
                 pages: ops.len() as u32,
             });
         }
         let prio = self.vssds[idx].priority;
-        let mut touched: Vec<u16> = Vec::new();
-        for (ch, op) in ops {
+        let mut touched = std::mem::take(&mut self.arrival_touched);
+        touched.clear();
+        for (ch, op) in ops.drain(..) {
             let chan = &mut self.chans[usize::from(ch)];
-            if !chan.stride.contains(&idx) {
+            if !chan.stride.contains(idx) {
                 chan.stride.add_client(idx, self.vssds[idx].cfg.tickets);
                 chan.members.push(idx);
             }
@@ -85,17 +95,20 @@ impl Engine {
                 touched.push(ch);
             }
         }
-        for ch in touched {
-            self.try_dispatch(ch);
+        self.arrival_ops = ops;
+        for i in 0..touched.len() {
+            self.try_dispatch(touched[i]);
         }
+        touched.clear();
+        self.arrival_touched = touched;
     }
 
     /// Maps a logical page for reading. Unwritten pages read from a
     /// deterministic home location (real devices return zeroes but still
     /// occupy the channel).
     pub(crate) fn read_page_lookup(&mut self, idx: usize, lpa: u64) -> Ppa {
-        if let Some(ppa) = self.vssds[idx].map.get(&lpa) {
-            return *ppa;
+        if let Some(ppa) = self.vssds[idx].map.get(lpa) {
+            return ppa;
         }
         let homes = &self.vssds[idx].cfg.channels;
         let ch = homes[(lpa as usize) % homes.len()];
@@ -111,7 +124,7 @@ impl Engine {
     pub(crate) fn write_page_bookkeeping(&mut self, idx: usize, lpa: u64) -> Ppa {
         // Invalidate the previous version, if any; a loaned (harvested)
         // block whose last live page dies goes straight back to its home.
-        if let Some(old) = self.vssds[idx].map.get(&lpa).copied() {
+        if let Some(old) = self.vssds[idx].map.get(lpa) {
             self.device.invalidate_page(old.block, old.page);
             self.maybe_reclaim_dead_harvested(old.block);
         } else {
@@ -119,7 +132,7 @@ impl Engine {
         }
         let (block, page) = self.append_page_striped(idx, lpa);
         let ppa = Ppa { block, page };
-        self.vssds[idx].map.insert(lpa, ppa);
+        self.vssds[idx].map.set(lpa, ppa);
         if !self.warming {
             self.maybe_trigger_gc(block.channel, block.chip, idx);
         }
@@ -134,15 +147,12 @@ impl Engine {
     /// channel never gates a striped request. Exhausted gSBs are retired
     /// on encounter so the harvest level frees up for a fresh one.
     fn append_page_striped(&mut self, idx: usize, lpa: u64) -> (BlockAddr, u32) {
-        loop {
+        let mut candidates = std::mem::take(&mut self.stripe_candidates);
+        let out = loop {
             // Candidate channels: (channel, via-gSB). Home channels listed
             // first so ties favour them.
-            let mut candidates: Vec<(ChannelId, Option<crate::gsb::GsbId>)> = self.vssds[idx]
-                .cfg
-                .channels
-                .iter()
-                .map(|&c| (c, None))
-                .collect();
+            candidates.clear();
+            candidates.extend(self.vssds[idx].cfg.channels.iter().map(|&c| (c, None)));
             for &g in &self.vssds[idx].harvested {
                 if let Some(gsb) = self.pool.get(g) {
                     for &c in &gsb.channels {
@@ -154,29 +164,36 @@ impl Engine {
             let start = self.vssds[idx].stripe_pos % candidates.len();
             self.vssds[idx].stripe_pos = self.vssds[idx].stripe_pos.wrapping_add(1);
             let mut best: Option<(u32, usize)> = None;
-            for off in 0..candidates.len() {
-                let i = (start + off) % candidates.len();
+            let mut i = start;
+            for _ in 0..candidates.len() {
                 let load = self.channel_load(candidates[i].0);
                 if best.is_none_or(|(l, _)| load < l) {
                     best = Some((load, i));
                 }
+                i += 1;
+                if i == candidates.len() {
+                    i = 0;
+                }
             }
             let (ch, via) = candidates[best.expect("candidates non-empty").1];
             match via {
-                None => return self.append_home_page(idx, ch, lpa),
+                None => break self.append_home_page(idx, ch, lpa),
                 Some(g) => {
                     if let Some(out) = self.append_gsb_page_on(idx, g, ch, lpa) {
-                        return out;
+                        break out;
                     }
                     // No room on that channel: if the whole gSB is
                     // exhausted retire it, else fall back to any gSB slot.
                     if let Some(out) = self.append_gsb_page(idx, g, lpa) {
-                        return out;
+                        break out;
                     }
                     self.retire_gsb_from_stripe(idx, g);
                 }
             }
-        }
+        };
+        candidates.clear();
+        self.stripe_candidates = candidates;
+        out
     }
 
     /// Queued + in-flight page ops on a channel (the write-placement load
@@ -208,7 +225,7 @@ impl Engine {
         };
         let page = self.device.append_page(blk, fleetio_flash::addr::Lpa(lpa));
         let harvester = self.vssds[idx].cfg.id;
-        if let Some(meta) = self.block_meta.get_mut(&blk) {
+        if let Some(meta) = self.block_meta_get_mut(blk) {
             meta.data_owner = harvester;
         }
         Some((blk, page))
@@ -235,7 +252,7 @@ impl Engine {
                 let page = self.device.append_page(blk, fleetio_flash::addr::Lpa(lpa));
                 // First write into a gSB block stamps its data owner.
                 let harvester = self.vssds[idx].cfg.id;
-                if let Some(meta) = self.block_meta.get_mut(&blk) {
+                if let Some(meta) = self.block_meta_get_mut(blk) {
                     meta.data_owner = harvester;
                 }
                 return Some((blk, page));
@@ -265,28 +282,36 @@ impl Engine {
         let start_chip = self.device.channel_mut(ch).rotate_chip();
         // Try the rotated chip, then the rest of the channel, then the
         // vSSD's other home channels.
-        let home: Vec<ChannelId> = self.vssds[idx].cfg.channels.clone();
-        let mut candidates: Vec<(ChannelId, u16)> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.home_candidates);
+        candidates.clear();
         for off in 0..chips {
             candidates.push((ch, (start_chip + off) % chips));
         }
-        for &other in home.iter().filter(|c| **c != ch) {
+        for i in 0..self.vssds[idx].cfg.channels.len() {
+            let other = self.vssds[idx].cfg.channels[i];
+            if other == ch {
+                continue;
+            }
             for chip in 0..chips {
                 candidates.push((other, chip));
             }
         }
-        for (c, chip) in &candidates {
-            if let Some((blk, page)) = self.try_append_on(idx, *c, *chip, lpa) {
+        for pos in 0..candidates.len() {
+            let (c, chip) = candidates[pos];
+            if let Some((blk, page)) = self.try_append_on(idx, c, chip, lpa) {
+                self.home_candidates = candidates;
                 return (blk, page);
             }
         }
         // Out of space everywhere: emergency synchronous GC, then retry.
         if !self.in_emergency {
             self.in_emergency = true;
-            for (c, chip) in &candidates {
-                if self.run_gc_emergency(*c, *chip) {
-                    if let Some((blk, page)) = self.try_append_on(idx, *c, *chip, lpa) {
+            for pos in 0..candidates.len() {
+                let (c, chip) = candidates[pos];
+                if self.run_gc_emergency(c, chip) {
+                    if let Some((blk, page)) = self.try_append_on(idx, c, chip, lpa) {
                         self.in_emergency = false;
+                        self.home_candidates = candidates;
                         return (blk, page);
                     }
                 }
@@ -311,8 +336,8 @@ impl Engine {
         chip: u16,
         lpa: u64,
     ) -> Option<(BlockAddr, u32)> {
-        let key = (ch.0, chip);
-        let need_new = match self.vssds[idx].open_blocks.get(&key) {
+        let slot = self.chip_slot(ch.0, chip);
+        let need_new = match self.vssds[idx].open_blocks[slot] {
             Some(blk) => self.device.chip(ch, chip).block(blk.block).free_pages() == 0,
             None => true,
         };
@@ -323,7 +348,7 @@ impl Engine {
                 self.device.allocate_block(ch, chip)?
             };
             let id = self.vssds[idx].cfg.id;
-            self.block_meta.insert(
+            self.block_meta_insert(
                 blk,
                 BlockMeta {
                     resource_owner: id,
@@ -331,13 +356,10 @@ impl Engine {
                     gsb: None,
                 },
             );
-            self.chip_blocks.entry(key).or_default().push(blk);
-            self.vssds[idx].open_blocks.insert(key, blk);
+            self.chip_blocks[slot].push(blk);
+            self.vssds[idx].open_blocks[slot] = Some(blk);
         }
-        let blk = *self.vssds[idx]
-            .open_blocks
-            .get(&key)
-            .expect("open block exists");
+        let blk = self.vssds[idx].open_blocks[slot].expect("open block exists");
         let page = self.device.append_page(blk, fleetio_flash::addr::Lpa(lpa));
         Some((blk, page))
     }

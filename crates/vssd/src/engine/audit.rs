@@ -59,10 +59,11 @@ impl Engine {
     fn audit_block_registry(&self) {
         let f = &self.cfg.flash;
         let per_chip = f.blocks_per_chip as usize;
+        let chips = usize::from(f.chips_per_channel);
         let mut registered_total = 0usize;
         for ch in 0..f.channels {
             for chip in 0..f.chips_per_channel {
-                let registered = self.chip_blocks.get(&(ch, chip)).map_or(0, Vec::len);
+                let registered = self.chip_blocks[self.chip_slot(ch, chip)].len();
                 registered_total += registered;
                 let free = self
                     .device
@@ -77,14 +78,15 @@ impl Engine {
             }
         }
         debug_assert!(
-            registered_total == self.block_meta.len(),
+            registered_total == self.n_block_meta,
             "{registered_total} blocks in chip_blocks but {} block_meta entries",
-            self.block_meta.len()
+            self.n_block_meta
         );
-        for ((ch, chip), list) in &self.chip_blocks {
+        for (slot, list) in self.chip_blocks.iter().enumerate() {
+            let (ch, chip) = ((slot / chips) as u16, (slot % chips) as u16);
             for blk in list {
                 debug_assert!(
-                    (blk.channel.0, blk.chip) == (*ch, *chip),
+                    (blk.channel.0, blk.chip) == (ch, chip),
                     "{blk:?} filed under chip ({ch}, {chip})"
                 );
                 debug_assert!(
@@ -95,7 +97,7 @@ impl Engine {
                         != BlockPhase::Free,
                     "{blk:?} is registered as allocated but free on the device"
                 );
-                let meta = self.block_meta.get(blk);
+                let meta = self.block_meta_get(*blk);
                 debug_assert!(
                     meta.is_some(),
                     "{blk:?} is in chip_blocks but has no block_meta"

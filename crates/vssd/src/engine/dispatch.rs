@@ -1,14 +1,18 @@
 //! Per-channel dispatch: priority levels, stride scheduling, token buckets.
 
-use fleetio_des::SimTime;
+use fleetio_des::{Handle, SimTime};
 use fleetio_flash::addr::ChannelId;
 
 use crate::request::CompletedRequest;
 
 use super::{Engine, Ev, GrantOp, PageOp};
 
-/// High bit of a `PageDone` tag marks a GC op (low bits = GC job id).
+/// High bit of a `PageDone` tag marks a GC op (low bits = GC job handle).
 const GC_OP_BIT: u64 = 1 << 63;
+
+/// `PageDone` tag meaning "no attached request or GC job". Slab handles
+/// never collide with it: their slot half is never `u32::MAX`.
+const NONE_TAG: u64 = u64::MAX;
 
 /// Bus-grant granularity for time-sliced low-priority transfers. Real
 /// controllers arbitrate the channel bus in sub-page units, which is what
@@ -17,6 +21,22 @@ const GC_OP_BIT: u64 = 1 << 63;
 const GRANT_BYTES: u64 = 4096;
 
 impl Engine {
+    /// Packs a page op's owner into a `PageDone` tag: request handle bits,
+    /// GC job handle bits with [`GC_OP_BIT`] set, or [`NONE_TAG`].
+    fn page_done_tag(op: &PageOp) -> u64 {
+        if let Some(h) = op.req {
+            let bits = h.to_bits();
+            debug_assert!(bits & GC_OP_BIT == 0, "request handle collides with GC bit");
+            bits
+        } else if let Some(g) = op.gc {
+            let bits = g.to_bits();
+            debug_assert!(bits & GC_OP_BIT == 0, "gc handle collides with GC bit");
+            GC_OP_BIT | bits
+        } else {
+            NONE_TAG
+        }
+    }
+
     /// Dispatches queued page ops on channel `ch` while in-flight slots
     /// remain, honouring priority levels, stride shares and token buckets.
     pub(crate) fn try_dispatch(&mut self, ch: u16) {
@@ -24,10 +44,9 @@ impl Engine {
         // in-flight slot in reserve for it: combined with time-sliced bus
         // grants this bounds both the bus wait (one grant) and the number
         // of concurrent low-priority chip programs a latency-critical read
-        // can collide with.
-        let high_present = self.chans[usize::from(ch)]
-            .stride_members()
-            .any(|idx| self.vssds[idx].priority == crate::request::Priority::High);
+        // can collide with. Computed lazily: most calls select nothing (or
+        // only rank-0 ops) and never need the membership scan.
+        let mut high_present: Option<bool> = None;
         let low_cap = self.cfg.dispatch_ahead.saturating_sub(1).max(1);
         loop {
             if self.chans[usize::from(ch)].in_flight >= self.cfg.dispatch_ahead {
@@ -35,8 +54,13 @@ impl Engine {
             }
             match self.select_op(ch) {
                 Some((vssd_idx, rank)) => {
-                    if high_present && rank > 0 && self.chans[usize::from(ch)].in_flight >= low_cap
-                    {
+                    let high = rank > 0
+                        && *high_present.get_or_insert_with(|| {
+                            self.chans[usize::from(ch)]
+                                .stride_members()
+                                .any(|idx| self.vssds[idx].priority == crate::request::Priority::High)
+                        });
+                    if high && self.chans[usize::from(ch)].in_flight >= low_cap {
                         self.maybe_schedule_token_retry(ch);
                         return;
                     }
@@ -59,23 +83,22 @@ impl Engine {
     /// vSSDs runnable at that level, token buckets gating runnability.
     fn select_op(&mut self, ch: u16) -> Option<(usize, usize)> {
         let now = self.now;
+        let mut runnable = std::mem::take(&mut self.runnable_buf);
+        let mut result = None;
         for rank in 0..3 {
             if self.chans[usize::from(ch)].pending[rank] == 0 {
                 continue;
             }
-            let mut runnable: Vec<usize> = Vec::new();
+            runnable.clear();
             for idx in 0..self.vssds.len() {
-                let head_bytes = {
+                let (head_bytes, is_gc) = {
                     let q = &self.chans[usize::from(ch)].queues[idx][rank];
                     match q.front() {
-                        Some(op) => op.bytes,
+                        Some(op) => (op.bytes, op.gc.is_some()),
                         None => continue,
                     }
                 };
                 // GC ops bypass tenant rate limits (internal traffic).
-                let is_gc = self.chans[usize::from(ch)].queues[idx][rank]
-                    .front()
-                    .is_some_and(|op| op.gc.is_some());
                 let ok = is_gc
                     || match self.vssds[idx].bucket.as_mut() {
                         Some(bucket) => bucket.would_allow(now, head_bytes),
@@ -91,10 +114,17 @@ impl Engine {
                 continue;
             }
             let chan = &mut self.chans[usize::from(ch)];
-            let pick = chan.stride.pick(runnable.iter().copied())?;
-            return Some((pick, rank));
+            // A `None` pick (nothing registered) aborts selection entirely,
+            // matching the historical `?` behaviour.
+            result = chan
+                .stride
+                .pick(runnable.iter().copied())
+                .map(|pick| (pick, rank));
+            break;
         }
-        None
+        runnable.clear();
+        self.runnable_buf = runnable;
+        result
     }
 
     /// Issues one page op on the device and schedules its completion.
@@ -112,14 +142,15 @@ impl Engine {
             }
         }
         let channel = ChannelId(ch);
-        let tag = op.req.or(op.gc.map(|g| GC_OP_BIT | g));
+        let tag = Self::page_done_tag(&op);
         self.chans[usize::from(ch)].in_flight += 1;
         let vssd_id = self.vssds[op.vssd].cfg.id.0;
         if self.obs_on {
-            if let Some(req_id) = op.req {
+            if let Some(h) = op.req {
+                let ext_id = self.reqs[h].ext_id;
                 self.obs.record(fleetio_obs::ObsEvent::ChipIssue {
                     at: now,
-                    req: req_id,
+                    req: ext_id,
                     vssd: vssd_id,
                     channel: ch,
                     chip: op.chip,
@@ -131,8 +162,8 @@ impl Engine {
             && op.bytes > GRANT_BYTES
         {
             // Time-sliced path.
-            if let Some(req_id) = op.req {
-                if let Some(r) = self.reqs.get_mut(&req_id) {
+            if let Some(h) = op.req {
+                if let Some(r) = self.reqs.get_mut(h) {
                     r.first_start = Some(r.first_start.map_or(now, |t| t.min(now)));
                 }
             }
@@ -164,7 +195,8 @@ impl Engine {
             } else {
                 now
             };
-            self.events.push(t0, Ev::Grant { ch, op: grant });
+            let h = self.grants.insert(grant);
+            self.events.push(t0, Ev::Grant { ch, h });
             return;
         }
         let times = match (op.read, op.gc.is_some()) {
@@ -194,25 +226,27 @@ impl Engine {
                 bytes: op.bytes,
             });
         }
-        if let Some(req_id) = op.req {
-            if let Some(r) = self.reqs.get_mut(&req_id) {
+        if let Some(h) = op.req {
+            if let Some(r) = self.reqs.get_mut(h) {
                 r.first_start = Some(match r.first_start {
                     Some(t) => t.min(times.start),
                     None => times.start,
                 });
             }
         }
-        self.events.push(times.end, Ev::PageDone { ch, req: tag });
+        self.events.push(times.end, Ev::PageDone { ch, tag });
     }
 
     /// Advances a time-sliced transfer by one bus grant; finishes the op
     /// (program for writes) when the last grant lands.
-    pub(crate) fn process_grant(&mut self, ch: u16, mut op: GrantOp) {
+    pub(crate) fn process_grant(&mut self, ch: u16, h: Handle) {
         let channel = ChannelId(ch);
+        let op = self.grants[h];
         let vssd_id = self.vssds[op.vssd].cfg.id.0;
         if op.remaining == 0 {
+            self.grants.remove(h);
             if op.read {
-                self.events.push(self.now, Ev::PageDone { ch, req: op.tag });
+                self.events.push(self.now, Ev::PageDone { ch, tag: op.tag });
             } else {
                 let p = self.device.chip_program_occupy(self.now, channel, op.chip);
                 if self.obs_on {
@@ -227,7 +261,7 @@ impl Engine {
                         bytes: 0,
                     });
                 }
-                self.events.push(p.end, Ev::PageDone { ch, req: op.tag });
+                self.events.push(p.end, Ev::PageDone { ch, tag: op.tag });
             }
             return;
         }
@@ -247,77 +281,76 @@ impl Engine {
                 bytes,
             });
         }
-        op.remaining -= bytes;
-        self.events.push(g.end, Ev::Grant { ch, op });
+        self.grants[h].remaining -= bytes;
+        self.events.push(g.end, Ev::Grant { ch, h });
     }
 
     /// Handles a page-op completion: frees the slot, finishes the request
     /// if this was its last op, and keeps the channel busy.
-    pub(crate) fn process_page_done(&mut self, ch: u16, req: Option<u64>) {
+    pub(crate) fn process_page_done(&mut self, ch: u16, tag: u64) {
         self.chans[usize::from(ch)].in_flight -= 1;
-        if let Some(tag) = req {
-            if tag & GC_OP_BIT != 0 {
-                self.process_gc_op_done(tag & !GC_OP_BIT);
-                self.try_dispatch(ch);
-                return;
-            }
+        if tag == NONE_TAG {
+            self.try_dispatch(ch);
+            return;
         }
-        if let Some(req_id) = req {
-            let finished = {
-                let r = self
-                    .reqs
-                    .get_mut(&req_id)
-                    .expect("page op for unknown request");
-                r.remaining -= 1;
-                r.remaining == 0
+        if tag & GC_OP_BIT != 0 {
+            self.process_gc_op_done(Handle::from_bits(tag & !GC_OP_BIT));
+            self.try_dispatch(ch);
+            return;
+        }
+        let h = Handle::from_bits(tag);
+        let finished = {
+            let r = self.reqs.get_mut(h).expect("page op for unknown request");
+            r.remaining -= 1;
+            r.remaining == 0
+        };
+        if finished {
+            let r = self.reqs.remove(h);
+            let idx = r.vssd_idx as usize;
+            let vssd = self.vssds[idx].cfg.id;
+            let completion = self.now;
+            let record = CompletedRequest {
+                id: crate::request::RequestId(r.ext_id),
+                vssd,
+                op: r.op,
+                offset: r.offset,
+                len: r.len,
+                arrival: r.arrival,
+                service_start: r.first_start.unwrap_or(r.arrival),
+                completion,
             };
-            if finished {
-                let r = self.reqs.remove(&req_id).expect("request exists");
-                let completion = self.now;
-                let record = CompletedRequest {
-                    id: crate::request::RequestId(req_id),
-                    vssd: r.vssd,
-                    op: r.op,
-                    offset: r.offset,
-                    len: r.len,
-                    arrival: r.arrival,
-                    service_start: r.first_start.unwrap_or(r.arrival),
-                    completion,
-                };
-                let idx = self.idx(r.vssd);
-                let latency = record.latency();
-                let violated = self.vssds[idx]
-                    .cfg
-                    .slo
-                    .map(|slo| latency > slo)
-                    .unwrap_or(false);
-                self.vssds[idx].window.record_request(
-                    r.op.is_read(),
-                    r.len,
-                    latency,
-                    record.queue_delay(),
-                    violated,
-                );
-                let cum = &mut self.vssds[idx].cumulative;
-                cum.bytes += r.len;
-                cum.requests += 1;
-                if violated {
-                    cum.slo_violations += 1;
-                }
-                cum.latency.record(latency);
-                if self.obs_on {
-                    self.obs.record(fleetio_obs::ObsEvent::RequestComplete {
-                        at: completion,
-                        req: req_id,
-                        vssd: r.vssd.0,
-                        read: r.op.is_read(),
-                        bytes: r.len,
-                        arrival: r.arrival,
-                        service_start: record.service_start,
-                    });
-                }
-                self.completed.push(record);
+            let latency = record.latency();
+            let violated = self.vssds[idx]
+                .cfg
+                .slo
+                .map(|slo| latency > slo)
+                .unwrap_or(false);
+            self.vssds[idx].window.record_request(
+                r.op.is_read(),
+                r.len,
+                latency,
+                record.queue_delay(),
+                violated,
+            );
+            let cum = &mut self.vssds[idx].cumulative;
+            cum.bytes += r.len;
+            cum.requests += 1;
+            if violated {
+                cum.slo_violations += 1;
             }
+            cum.latency.record(latency);
+            if self.obs_on {
+                self.obs.record(fleetio_obs::ObsEvent::RequestComplete {
+                    at: completion,
+                    req: r.ext_id,
+                    vssd: vssd.0,
+                    read: r.op.is_read(),
+                    bytes: r.len,
+                    arrival: r.arrival,
+                    service_start: record.service_start,
+                });
+            }
+            self.completed.push(record);
         }
         self.try_dispatch(ch);
     }

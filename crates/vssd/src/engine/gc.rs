@@ -15,13 +15,12 @@
 //! escalate to higher priorities, and an out-of-space allocation falls back
 //! to a fully synchronous emergency collection.
 
-use fleetio_des::SimDuration;
+use fleetio_des::{Handle, SimDuration};
 use fleetio_flash::addr::{BlockAddr, ChannelId};
 use fleetio_flash::block::BlockPhase;
 
 use crate::hbt::BlockClass;
 use crate::request::Priority;
-use crate::vssd::VssdId;
 
 use super::{Engine, Ev, GcJob, PageOp};
 
@@ -29,7 +28,7 @@ impl Engine {
     /// Checks GC pressure on `(ch, chip)` after a write by vSSD `idx` and
     /// starts a GC job if needed.
     pub(crate) fn maybe_trigger_gc(&mut self, ch: ChannelId, chip: u16, idx: usize) {
-        if self.warming || self.gc_running.contains(&(ch.0, chip)) {
+        if self.warming || self.gc_running[self.chip_slot(ch.0, chip)] {
             return;
         }
         if self.device.chip(ch, chip).free_fraction() >= self.cfg.gc_free_threshold {
@@ -49,13 +48,13 @@ impl Engine {
             return;
         };
         let owner = self
-            .block_meta
-            .get(&victim)
+            .block_meta_get(victim)
             .map(|m| m.resource_owner)
             .unwrap_or(self.vssds[idx].cfg.id);
         let owner_idx = self.idx(owner);
         self.device.note_gc_run();
-        self.gc_running.insert((ch.0, chip));
+        let slot = self.chip_slot(ch.0, chip);
+        self.gc_running[slot] = true;
         self.vssds[owner_idx].gc_active += 1;
 
         let priority = self.gc_priority(ch, chip);
@@ -68,33 +67,30 @@ impl Engine {
             .map(|(p, lpa)| (p, lpa.0))
             .collect();
         let data_owner = self
-            .block_meta
-            .get(&victim)
+            .block_meta_get(victim)
             .map(|m| m.data_owner)
             .unwrap_or(owner);
         let dst_idx = self.idx(data_owner);
 
-        let job_id = self.next_gc_job;
+        let ext_id = self.next_gc_job;
         self.next_gc_job += 1;
         // Register the job *before* allocating migration destinations: a
         // destination append can trigger emergency GC, which must not pick
         // this victim (it would erase it mid-migration).
-        self.gc_jobs.insert(
-            job_id,
-            GcJob {
-                owner,
-                ch: ch.0,
-                chip,
-                victim,
-                remaining: u32::MAX,
-                started: self.now,
-                owns_chip_slot: true,
-            },
-        );
+        let job = self.gc_jobs.insert(GcJob {
+            ext_id,
+            owner,
+            ch: ch.0,
+            chip,
+            victim,
+            remaining: u32::MAX,
+            started: self.now,
+            owns_chip_slot: true,
+        });
         if self.obs_on {
             self.obs.record(fleetio_obs::ObsEvent::GcStart {
                 at: self.now,
-                job: Some(job_id),
+                job: Some(ext_id),
                 vssd: owner.0,
                 channel: ch.0,
                 chip,
@@ -103,7 +99,8 @@ impl Engine {
             });
         }
         self.detach_from_gsb(victim);
-        let mut ops: Vec<(u16, PageOp)> = Vec::with_capacity(live.len() * 2);
+        let mut ops = std::mem::take(&mut self.gc_op_buf);
+        ops.clear();
         for (page, lpa) in &live {
             let dst_ch = self.next_home_channel(dst_idx);
             let (dst_blk, dst_page) = self.append_home_page(dst_idx, dst_ch, *lpa);
@@ -111,7 +108,7 @@ impl Engine {
                 block: dst_blk,
                 page: dst_page,
             };
-            self.vssds[dst_idx].map.insert(*lpa, ppa);
+            self.vssds[dst_idx].map.set(*lpa, ppa);
             self.device.invalidate_page(victim, *page);
             ops.push((
                 victim.channel.0,
@@ -121,7 +118,7 @@ impl Engine {
                     bytes: page_bytes,
                     chip: victim.chip,
                     req: None,
-                    gc: Some(job_id),
+                    gc: Some(job),
                 },
             ));
             ops.push((
@@ -132,25 +129,27 @@ impl Engine {
                     bytes: page_bytes,
                     chip: dst_blk.chip,
                     req: None,
-                    gc: Some(job_id),
+                    gc: Some(job),
                 },
             ));
         }
         self.gc_jobs
-            .get_mut(&job_id)
+            .get_mut(job)
             .expect("job registered")
             .remaining = ops.len() as u32;
         if ops.is_empty() {
             // Fully dead block: erase right away.
-            self.finish_gc_job(job_id);
+            self.gc_op_buf = ops;
+            self.finish_gc_job(job);
             return;
         }
         let rank = priority.rank();
-        let mut touched: Vec<u16> = Vec::new();
-        for (channel, op) in ops {
+        let mut touched = std::mem::take(&mut self.gc_touched);
+        touched.clear();
+        for (channel, op) in ops.drain(..) {
             let tickets = self.vssds[op.vssd].cfg.tickets;
             let chan = &mut self.chans[usize::from(channel)];
-            if !chan.stride.contains(&op.vssd) {
+            if !chan.stride.contains(op.vssd) {
                 chan.stride.add_client(op.vssd, tickets);
                 chan.members.push(op.vssd);
             }
@@ -160,9 +159,12 @@ impl Engine {
                 touched.push(channel);
             }
         }
-        for channel in touched {
-            self.try_dispatch(channel);
+        self.gc_op_buf = ops;
+        for i in 0..touched.len() {
+            self.try_dispatch(touched[i]);
         }
+        touched.clear();
+        self.gc_touched = touched;
     }
 
     /// GC scheduling priority from space pressure. The default matches the
@@ -181,51 +183,34 @@ impl Engine {
     }
 
     /// Called by the dispatcher when a GC page op completes.
-    pub(crate) fn process_gc_op_done(&mut self, job_id: u64) {
+    pub(crate) fn process_gc_op_done(&mut self, job: Handle) {
         let done = {
-            let job = self
-                .gc_jobs
-                .get_mut(&job_id)
-                .expect("GC op for unknown job");
-            job.remaining -= 1;
-            job.remaining == 0
+            let j = self.gc_jobs.get_mut(job).expect("GC op for unknown job");
+            j.remaining -= 1;
+            j.remaining == 0
         };
         if done {
-            self.finish_gc_job(job_id);
+            self.finish_gc_job(job);
         }
     }
 
     /// Erases the victim and schedules the job's completion.
-    fn finish_gc_job(&mut self, job_id: u64) {
-        let job = *self
-            .gc_jobs
-            .get(&job_id)
-            .expect("GC job stays registered until finish_gc_job");
-        let erase = self
-            .device
-            .erase(self.now, job.victim.channel, job.victim.chip);
-        let busy = erase.end.saturating_since(job.started);
-        self.events.push(
-            erase.end,
-            Ev::GcDone {
-                vssd: job.owner,
-                ch: job.ch,
-                chip: job.chip,
-                busy,
-                job: job_id,
-            },
-        );
+    fn finish_gc_job(&mut self, job: Handle) {
+        let j = self.gc_jobs[job];
+        let erase = self.device.erase(self.now, j.victim.channel, j.victim.chip);
+        let busy = erase.end.saturating_since(j.started);
+        self.events.push(erase.end, Ev::GcDone { job, busy });
     }
 
     /// Picks a GC victim among the full blocks on `(ch, chip)`, preferring
     /// harvested/reclaimed blocks (per the HBT), then fewest live pages.
     fn select_victim(&self, ch: ChannelId, chip: u16) -> Option<BlockAddr> {
-        let blocks = self.chip_blocks.get(&(ch.0, chip))?;
+        let blocks = &self.chip_blocks[self.chip_slot(ch.0, chip)];
         // Sort key: harvested-class blocks first (false < true, so negate),
         // then fewest live pages (greedy).
         let mut best: Option<(BlockAddr, (bool, u32))> = None;
         for &blk in blocks {
-            if !self.block_meta.contains_key(&blk) {
+            if self.block_meta_get(blk).is_none() {
                 continue;
             }
             // A block already being collected must not be picked twice
@@ -254,7 +239,7 @@ impl Engine {
     /// Detaches a victim from its ghost superblock at GC-bookkeeping time,
     /// so harvesters stop appending into it while its migration is queued.
     fn detach_from_gsb(&mut self, victim: BlockAddr) {
-        let Some(gsb_id) = self.block_meta.get(&victim).and_then(|m| m.gsb) else {
+        let Some(gsb_id) = self.block_meta_get(victim).and_then(|m| m.gsb) else {
             return;
         };
         let emptied = match self.pool.get_mut(gsb_id) {
@@ -274,12 +259,13 @@ impl Engine {
     fn release_victim(&mut self, victim: BlockAddr) {
         self.device.release_block(victim);
         self.hbt.mark_regular(victim);
-        if let Some(list) = self.chip_blocks.get_mut(&(victim.channel.0, victim.chip)) {
-            list.retain(|b| *b != victim);
-        }
-        let meta = self.block_meta.remove(&victim);
+        let slot = self.chip_slot(victim.channel.0, victim.chip);
+        self.chip_blocks[slot].retain(|b| *b != victim);
+        let meta = self.block_meta_remove(victim);
         for v in &mut self.vssds {
-            v.open_blocks.retain(|_, b| *b != victim);
+            if v.open_blocks[slot] == Some(victim) {
+                v.open_blocks[slot] = None;
+            }
         }
         if let Some(gsb_id) = meta.and_then(|m| m.gsb) {
             let emptied = {
@@ -308,44 +294,35 @@ impl Engine {
 
     /// Handles GC completion: releases the victim, clears flags, records
     /// the busy time in the owner's window, and re-checks pressure.
-    pub(crate) fn process_gc_done(
-        &mut self,
-        vssd: VssdId,
-        ch: u16,
-        chip: u16,
-        busy: SimDuration,
-        job: u64,
-    ) {
-        let mut owned_slot = true;
-        if let Some(j) = self.gc_jobs.remove(&job) {
-            owned_slot = j.owns_chip_slot;
-            self.release_victim(j.victim);
-        }
+    pub(crate) fn process_gc_done(&mut self, job: Handle, busy: SimDuration) {
+        let j = self.gc_jobs.remove(job);
+        self.release_victim(j.victim);
         if self.obs_on {
             self.obs.record(fleetio_obs::ObsEvent::GcEnd {
                 at: self.now,
-                job,
-                vssd: vssd.0,
-                channel: ch,
-                chip,
+                job: j.ext_id,
+                vssd: j.owner.0,
+                channel: j.ch,
+                chip: j.chip,
                 busy,
             });
         }
-        let idx = self.idx(vssd);
+        let idx = self.idx(j.owner);
         self.vssds[idx].window.record_gc(busy);
-        if !owned_slot {
+        if !j.owns_chip_slot {
             // Erase-only reclaims run outside the per-chip GC slot and
             // never set gc_active; they must not decrement it (masking a
             // concurrent real collection's In_GC state) nor retrigger a
             // second collection on a chip that already has one.
             return;
         }
-        self.gc_running.remove(&(ch, chip));
+        let slot = self.chip_slot(j.ch, j.chip);
+        self.gc_running[slot] = false;
         self.vssds[idx].gc_active = self.vssds[idx].gc_active.saturating_sub(1);
         // Still under pressure? Run another pass.
-        let channel = ChannelId(ch);
-        if self.device.chip(channel, chip).free_fraction() < self.cfg.gc_free_threshold {
-            self.run_gc(channel, chip, idx);
+        let channel = ChannelId(j.ch);
+        if self.device.chip(channel, j.chip).free_fraction() < self.cfg.gc_free_threshold {
+            self.run_gc(channel, j.chip, idx);
         }
     }
 
@@ -358,9 +335,10 @@ impl Engine {
         if self.warming {
             return;
         }
-        let Some(meta) = self.block_meta.get(&blk) else {
+        let Some(meta) = self.block_meta_get(blk) else {
             return;
         };
+        let owner = meta.resource_owner;
         if self.hbt.class(blk) != BlockClass::Harvested {
             return;
         }
@@ -371,26 +349,23 @@ impl Engine {
         if self.gc_jobs.values().any(|j| j.victim == blk) {
             return;
         }
-        let owner = meta.resource_owner;
         self.device.note_gc_run();
-        let job_id = self.next_gc_job;
+        let ext_id = self.next_gc_job;
         self.next_gc_job += 1;
-        self.gc_jobs.insert(
-            job_id,
-            GcJob {
-                owner,
-                ch: blk.channel.0,
-                chip: blk.chip,
-                victim: blk,
-                remaining: 0,
-                started: self.now,
-                owns_chip_slot: false,
-            },
-        );
+        let job = self.gc_jobs.insert(GcJob {
+            ext_id,
+            owner,
+            ch: blk.channel.0,
+            chip: blk.chip,
+            victim: blk,
+            remaining: 0,
+            started: self.now,
+            owns_chip_slot: false,
+        });
         if self.obs_on {
             self.obs.record(fleetio_obs::ObsEvent::GcStart {
                 at: self.now,
-                job: Some(job_id),
+                job: Some(ext_id),
                 vssd: owner.0,
                 channel: blk.channel.0,
                 chip: blk.chip,
@@ -399,7 +374,7 @@ impl Engine {
             });
         }
         self.detach_from_gsb(blk);
-        self.finish_gc_job(job_id);
+        self.finish_gc_job(job);
     }
 
     /// Emergency synchronous GC: frees one block on `(ch, chip)` with
@@ -420,8 +395,7 @@ impl Engine {
             .map(|(p, lpa)| (p, lpa.0))
             .collect();
         let data_owner = self
-            .block_meta
-            .get(&victim)
+            .block_meta_get(victim)
             .map(|m| m.data_owner)
             .unwrap_or_else(|| self.vssds[0].cfg.id);
         let dst_idx = self.idx(data_owner);
@@ -443,7 +417,7 @@ impl Engine {
                 block: dst_blk,
                 page: dst_page,
             };
-            self.vssds[dst_idx].map.insert(lpa, ppa);
+            self.vssds[dst_idx].map.set(lpa, ppa);
             self.device.invalidate_page(victim, page);
             let _ = self.device.migrate_page(
                 self.now,

@@ -170,7 +170,7 @@ impl Engine {
         }
         for blk in blocks {
             self.hbt.mark_harvested(blk);
-            self.block_meta.insert(
+            self.block_meta_insert(
                 blk,
                 super::vstate::BlockMeta {
                     resource_owner: id,
@@ -178,10 +178,8 @@ impl Engine {
                     gsb: Some(gsb),
                 },
             );
-            self.chip_blocks
-                .entry((blk.channel.0, blk.chip))
-                .or_default()
-                .push(blk);
+            let slot = self.chip_slot(blk.channel.0, blk.chip);
+            self.chip_blocks[slot].push(blk);
         }
     }
 
@@ -298,10 +296,9 @@ impl Engine {
     /// Returns one never/no-longer-needed gSB block to the device.
     fn return_gsb_block(&mut self, blk: BlockAddr) {
         self.hbt.mark_regular(blk);
-        self.block_meta.remove(&blk);
-        if let Some(list) = self.chip_blocks.get_mut(&(blk.channel.0, blk.chip)) {
-            list.retain(|b| *b != blk);
-        }
+        self.block_meta_remove(blk);
+        let slot = self.chip_slot(blk.channel.0, blk.chip);
+        self.chip_blocks[slot].retain(|b| *b != blk);
         self.device.release_block(blk);
     }
 

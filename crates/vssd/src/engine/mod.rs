@@ -25,11 +25,11 @@ mod vstate;
 
 pub use vstate::VssdCumulative;
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use fleetio_des::window::WindowSummary;
-use fleetio_des::{EventQueue, SimDuration, SimTime};
-use fleetio_flash::addr::BlockAddr;
+use fleetio_des::{Event, EventQueue, Handle, SimDuration, SimTime, Slab};
+use fleetio_flash::addr::{BlockAddr, ChannelId};
 use fleetio_flash::config::FlashConfig;
 use fleetio_flash::device::FlashDevice;
 use fleetio_obs::{NullSink, ObsEvent, ObsSink};
@@ -38,7 +38,7 @@ use crate::admission::{AdmissionControl, HarvestAction};
 use crate::gsb::GsbPool;
 use crate::hbt::HarvestedBlockTable;
 use crate::request::{CompletedRequest, IoOp, IoRequest, Priority, RequestId};
-use crate::stride::StrideScheduler;
+use crate::stride::DenseStride;
 use crate::vssd::{VssdConfig, VssdId};
 
 use self::vstate::{BlockMeta, VssdState};
@@ -106,10 +106,11 @@ pub(crate) struct PageOp {
     pub read: bool,
     pub bytes: u64,
     pub chip: u16,
-    /// Host request this op belongs to, if any.
-    pub req: Option<u64>,
-    /// GC job this op belongs to, if any (mutually exclusive with `req`).
-    pub gc: Option<u64>,
+    /// Slab handle of the host request this op belongs to, if any.
+    pub req: Option<Handle>,
+    /// Slab handle of the GC job this op belongs to, if any (mutually
+    /// exclusive with `req`).
+    pub gc: Option<Handle>,
 }
 
 /// Per-channel dispatcher state.
@@ -120,7 +121,7 @@ pub(crate) struct ChanState {
     /// Total queued ops per priority rank.
     pub pending: [u32; 3],
     pub in_flight: u32,
-    pub stride: StrideScheduler<usize>,
+    pub stride: DenseStride,
     pub retry_pending: bool,
     /// vSSD indices that have ever used this channel.
     pub members: Vec<usize>,
@@ -134,32 +135,28 @@ impl ChanState {
 }
 
 /// Engine events.
-#[derive(Debug, Clone)]
+///
+/// Payloads are small `Copy` values — state that used to ride inside the
+/// event (the full `IoRequest`, the whole `GrantOp`) now lives in engine
+/// slabs, referenced by generation-checked handles. That keeps queue
+/// buckets compact and makes a stale reference a loud panic instead of
+/// silent aliasing.
+#[derive(Debug, Clone, Copy)]
 pub(crate) enum Ev {
-    Arrival {
-        id: u64,
-        req: IoRequest,
-    },
-    PageDone {
-        ch: u16,
-        req: Option<u64>,
-    },
-    GcDone {
-        vssd: VssdId,
-        ch: u16,
-        chip: u16,
-        busy: SimDuration,
-        job: u64,
-    },
+    /// A submitted request reaches its arrival time; `h` is its
+    /// [`InflightReq`] slab handle.
+    Arrival { h: Handle },
+    /// A page op completed on channel `ch`; `tag` is a packed completion
+    /// tag (see [`Engine::page_done_tag`]).
+    PageDone { ch: u16, tag: u64 },
+    /// A GC job's erase finished; `job` is its [`GcJob`] slab handle
+    /// (owner/channel/chip are read from the job at completion time).
+    GcDone { job: Handle, busy: SimDuration },
     AdmissionTick,
-    TokenRetry {
-        ch: u16,
-    },
-    /// Next bus grant of a time-sliced low-priority transfer.
-    Grant {
-        ch: u16,
-        op: GrantOp,
-    },
+    TokenRetry { ch: u16 },
+    /// Next bus grant of a time-sliced low-priority transfer; `h` is the
+    /// [`GrantOp`] slab handle (progress is mutated in place per grant).
+    Grant { ch: u16, h: Handle },
 }
 
 /// State of a time-sliced (grant-by-grant) page operation in flight.
@@ -169,8 +166,8 @@ pub(crate) struct GrantOp {
     pub vssd: usize,
     pub read: bool,
     pub chip: u16,
-    /// PageDone tag (request id, or GC bit | job id).
-    pub tag: Option<u64>,
+    /// Packed PageDone tag (see [`Engine::page_done_tag`]).
+    pub tag: u64,
     pub gc: bool,
     pub remaining: u64,
 }
@@ -178,6 +175,9 @@ pub(crate) struct GrantOp {
 /// One in-flight garbage-collection job.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct GcJob {
+    /// Sequential external job id, used only for observability events (so
+    /// traced runs are independent of slab slot recycling).
+    pub ext_id: u64,
     pub owner: VssdId,
     pub ch: u16,
     pub chip: u16,
@@ -192,7 +192,12 @@ pub(crate) struct GcJob {
 /// An in-flight request's progress.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct InflightReq {
-    pub vssd: VssdId,
+    /// Sequential external request id ([`RequestId`]), carried on the
+    /// completion record and observability events.
+    pub ext_id: u64,
+    /// Index of the owning vSSD in `Engine::vssds` (its [`VssdId`] is
+    /// `vssds[idx].cfg.id`).
+    pub vssd_idx: u32,
     pub op: IoOp,
     pub offset: u64,
     pub len: u64,
@@ -229,15 +234,23 @@ pub struct Engine {
     pub(crate) pool: GsbPool,
     pub(crate) hbt: HarvestedBlockTable,
     pub(crate) admission: AdmissionControl,
-    pub(crate) block_meta: BTreeMap<BlockAddr, BlockMeta>,
-    /// Allocated blocks per `(channel, chip)` for victim scans.
-    pub(crate) chip_blocks: BTreeMap<(u16, u16), Vec<BlockAddr>>,
-    pub(crate) reqs: BTreeMap<u64, InflightReq>,
+    /// Per-block metadata, dense over the device geometry (indexed by
+    /// [`Engine::bidx`]); `None` for unallocated blocks.
+    pub(crate) block_meta: Vec<Option<BlockMeta>>,
+    /// Number of `Some` entries in `block_meta`.
+    pub(crate) n_block_meta: usize,
+    /// Allocated blocks per chip slot ([`Engine::chip_slot`]) for victim
+    /// scans.
+    pub(crate) chip_blocks: Vec<Vec<BlockAddr>>,
+    pub(crate) reqs: Slab<InflightReq>,
     pub(crate) next_req: u64,
     pub(crate) completed: Vec<CompletedRequest>,
-    pub(crate) gc_running: BTreeSet<(u16, u16)>,
-    pub(crate) gc_jobs: BTreeMap<u64, GcJob>,
+    /// Per chip slot: whether a slot-owning GC job is running there.
+    pub(crate) gc_running: Vec<bool>,
+    pub(crate) gc_jobs: Slab<GcJob>,
     pub(crate) next_gc_job: u64,
+    /// In-flight time-sliced transfers (see [`GrantOp`]).
+    pub(crate) grants: Slab<GrantOp>,
     /// Persistent per-vSSD (harvest, make-harvestable) channel targets,
     /// reconciled at every admission tick.
     pub(crate) harvest_targets: BTreeMap<VssdId, (usize, usize)>,
@@ -250,6 +263,18 @@ pub struct Engine {
     /// bookkeeping (they have not reached the queues yet, but write
     /// placement must see them to spread a multi-page request).
     pub(crate) planned: Vec<u32>,
+    /// Reusable event batch for [`Engine::run_until`].
+    pub(crate) batch: Vec<Event<Ev>>,
+    /// Scratch buffers for the per-event hot paths. All are drained before
+    /// their owning call returns; keeping them on the engine makes the
+    /// steady-state event loop allocation-free.
+    pub(crate) arrival_ops: Vec<(u16, PageOp)>,
+    pub(crate) arrival_touched: Vec<u16>,
+    pub(crate) gc_op_buf: Vec<(u16, PageOp)>,
+    pub(crate) gc_touched: Vec<u16>,
+    pub(crate) stripe_candidates: Vec<(ChannelId, Option<crate::gsb::GsbId>)>,
+    pub(crate) home_candidates: Vec<(ChannelId, u16)>,
+    pub(crate) runnable_buf: Vec<usize>,
     /// Observability sink. [`NullSink`] by default; every emission site
     /// checks [`Engine::obs_on`] first, and sinks never influence
     /// simulation state (same-seed runs are identical traced or not).
@@ -275,6 +300,8 @@ impl Engine {
         }
         let device = FlashDevice::new(cfg.flash.clone());
         let n_channels = usize::from(cfg.flash.channels);
+        let chip_slots = n_channels * usize::from(cfg.flash.chips_per_channel);
+        let total_blocks = chip_slots * cfg.flash.blocks_per_chip as usize;
         let mut states = Vec::with_capacity(vssds.len());
         let mut id_to_idx = BTreeMap::new();
         for (idx, vc) in vssds.into_iter().enumerate() {
@@ -294,14 +321,14 @@ impl Engine {
                 "duplicate vssd id {}",
                 vc.id
             );
-            states.push(VssdState::new(vc));
+            states.push(VssdState::new(vc, chip_slots));
         }
         let chans = (0..n_channels)
             .map(|_| ChanState {
                 queues: (0..states.len()).map(|_| Default::default()).collect(),
                 pending: [0; 3],
                 in_flight: 0,
-                stride: StrideScheduler::new(),
+                stride: DenseStride::new(),
                 retry_pending: false,
                 members: Vec::new(),
             })
@@ -313,6 +340,11 @@ impl Engine {
             Ev::AdmissionTick,
         );
         let n_vssds = states.len();
+        let hbt = HarvestedBlockTable::new(
+            cfg.flash.channels,
+            cfg.flash.chips_per_channel,
+            cfg.flash.blocks_per_chip,
+        );
         Engine {
             cfg,
             device,
@@ -322,21 +354,31 @@ impl Engine {
             id_to_idx,
             chans,
             pool: GsbPool::new(n_channels),
-            hbt: HarvestedBlockTable::new(),
+            hbt,
             admission,
-            block_meta: BTreeMap::new(),
-            chip_blocks: BTreeMap::new(),
-            reqs: BTreeMap::new(),
+            block_meta: vec![None; total_blocks],
+            n_block_meta: 0,
+            chip_blocks: (0..chip_slots).map(|_| Vec::new()).collect(),
+            reqs: Slab::new(),
             next_req: 0,
             completed: Vec::new(),
-            gc_running: BTreeSet::new(),
-            gc_jobs: BTreeMap::new(),
+            gc_running: vec![false; chip_slots],
+            gc_jobs: Slab::new(),
             next_gc_job: 0,
+            grants: Slab::new(),
             harvest_targets: BTreeMap::new(),
             window_start: vec![SimTime::ZERO; n_vssds],
             warming: false,
             in_emergency: false,
             planned: vec![0; n_channels],
+            batch: Vec::new(),
+            arrival_ops: Vec::new(),
+            arrival_touched: Vec::new(),
+            gc_op_buf: Vec::new(),
+            gc_touched: Vec::new(),
+            stripe_candidates: Vec::new(),
+            home_candidates: Vec::new(),
+            runnable_buf: Vec::new(),
             obs: Box::new(NullSink),
             obs_on: false,
             #[cfg(feature = "audit")]
@@ -392,6 +434,47 @@ impl Engine {
             .unwrap_or_else(|| panic!("unknown vssd {id}"))
     }
 
+    /// Dense index of a `(channel, chip)` pair into the per-chip tables
+    /// (`chip_blocks`, `gc_running`, per-vSSD `open_blocks`).
+    #[inline]
+    pub(crate) fn chip_slot(&self, ch: u16, chip: u16) -> usize {
+        usize::from(ch) * usize::from(self.cfg.flash.chips_per_channel) + usize::from(chip)
+    }
+
+    /// Dense index of a block into `block_meta`.
+    #[inline]
+    pub(crate) fn bidx(&self, blk: BlockAddr) -> usize {
+        self.chip_slot(blk.channel.0, blk.chip) * self.cfg.flash.blocks_per_chip as usize
+            + blk.block as usize
+    }
+
+    #[inline]
+    pub(crate) fn block_meta_get(&self, blk: BlockAddr) -> Option<&BlockMeta> {
+        self.block_meta[self.bidx(blk)].as_ref()
+    }
+
+    #[inline]
+    pub(crate) fn block_meta_get_mut(&mut self, blk: BlockAddr) -> Option<&mut BlockMeta> {
+        let i = self.bidx(blk);
+        self.block_meta[i].as_mut()
+    }
+
+    pub(crate) fn block_meta_insert(&mut self, blk: BlockAddr, meta: BlockMeta) {
+        let i = self.bidx(blk);
+        if self.block_meta[i].replace(meta).is_none() {
+            self.n_block_meta += 1;
+        }
+    }
+
+    pub(crate) fn block_meta_remove(&mut self, blk: BlockAddr) -> Option<BlockMeta> {
+        let i = self.bidx(blk);
+        let meta = self.block_meta[i].take();
+        if meta.is_some() {
+            self.n_block_meta -= 1;
+        }
+        meta
+    }
+
     /// Ids of all hosted vSSDs in registration order.
     pub fn vssd_ids(&self) -> Vec<VssdId> {
         self.vssds.iter().map(|v| v.cfg.id).collect()
@@ -445,7 +528,7 @@ impl Engine {
             self.now
         );
         assert!(req.len > 0, "request length must be positive");
-        let _ = self.idx(req.vssd);
+        let idx = self.idx(req.vssd);
         let id = self.next_req;
         self.next_req += 1;
         if self.obs_on {
@@ -457,23 +540,29 @@ impl Engine {
                 bytes: req.len,
             });
         }
-        self.reqs.insert(
-            id,
-            InflightReq {
-                vssd: req.vssd,
-                op: req.op,
-                offset: req.offset,
-                len: req.len,
-                arrival: req.arrival,
-                remaining: 0,
-                first_start: None,
-            },
-        );
-        self.events.push(req.arrival, Ev::Arrival { id, req });
+        let h = self.reqs.insert(InflightReq {
+            ext_id: id,
+            vssd_idx: idx as u32,
+            op: req.op,
+            offset: req.offset,
+            len: req.len,
+            arrival: req.arrival,
+            remaining: 0,
+            first_start: None,
+        });
+        self.events.push(req.arrival, Ev::Arrival { h });
         RequestId(id)
     }
 
     /// Advances simulated time to `t`, processing every event in order.
+    ///
+    /// Events are drained from the calendar queue in whole-bucket batches
+    /// ([`EventQueue::drain_before`]); events a handler schedules *during*
+    /// the batch are interleaved back in by a strictly-before inner pop.
+    /// Ordering is identical to one-at-a-time popping: a drained batch
+    /// took every event at each covered timestamp in seq order, and any
+    /// event pushed afterwards carries a larger seq, so among equal
+    /// timestamps the batch legitimately runs first.
     ///
     /// # Panics
     ///
@@ -481,40 +570,54 @@ impl Engine {
     pub fn run_until(&mut self, t: SimTime) {
         assert!(t >= self.now, "cannot run backwards");
         let _prof = fleetio_obs::prof::span("engine.run_until");
-        while let Some(ev) = self.events.pop_before(t) {
-            self.now = ev.at;
-            // One host-time span per event kind: the DES dispatch loop is
-            // the simulator's hottest path, and the per-kind breakdown is
-            // what the perf baseline tracks.
-            let _ev_prof = fleetio_obs::prof::span(match ev.payload {
-                Ev::Arrival { .. } => "engine.ev.arrival",
-                Ev::PageDone { .. } => "engine.ev.page_done",
-                Ev::GcDone { .. } => "engine.ev.gc_done",
-                Ev::AdmissionTick => "engine.ev.admission_tick",
-                Ev::TokenRetry { .. } => "engine.ev.token_retry",
-                Ev::Grant { .. } => "engine.ev.grant",
-            });
-            match ev.payload {
-                Ev::Arrival { id, req } => self.process_arrival(id, req),
-                Ev::PageDone { ch, req } => self.process_page_done(ch, req),
-                Ev::GcDone {
-                    vssd,
-                    ch,
-                    chip,
-                    busy,
-                    job,
-                } => self.process_gc_done(vssd, ch, chip, busy, job),
-                Ev::AdmissionTick => self.process_admission_tick(),
-                Ev::TokenRetry { ch } => {
-                    self.chans[usize::from(ch)].retry_pending = false;
-                    self.try_dispatch(ch);
-                }
-                Ev::Grant { ch, op } => self.process_grant(ch, op),
+        let mut batch = std::mem::take(&mut self.batch);
+        loop {
+            batch.clear();
+            self.events.drain_before(t, &mut batch);
+            if batch.is_empty() {
+                break;
             }
-            #[cfg(feature = "audit")]
-            self.audit_event();
+            for ev in &batch {
+                // Newly scheduled events that fire strictly before this
+                // batch entry run first (equal-time pushes have larger
+                // seqs and correctly wait their turn).
+                while let Some(inner) = self.events.pop_strictly_before(ev.at) {
+                    self.dispatch_event(inner.at, inner.payload);
+                }
+                self.dispatch_event(ev.at, ev.payload);
+            }
         }
+        self.batch = batch;
         self.now = t;
+    }
+
+    /// Dispatches one event at its timestamp.
+    fn dispatch_event(&mut self, at: SimTime, ev: Ev) {
+        self.now = at;
+        // One host-time span per event kind: the DES dispatch loop is
+        // the simulator's hottest path, and the per-kind breakdown is
+        // what the perf baseline tracks.
+        let _ev_prof = fleetio_obs::prof::span(match ev {
+            Ev::Arrival { .. } => "engine.ev.arrival",
+            Ev::PageDone { .. } => "engine.ev.page_done",
+            Ev::GcDone { .. } => "engine.ev.gc_done",
+            Ev::AdmissionTick => "engine.ev.admission_tick",
+            Ev::TokenRetry { .. } => "engine.ev.token_retry",
+            Ev::Grant { .. } => "engine.ev.grant",
+        });
+        match ev {
+            Ev::Arrival { h } => self.process_arrival(h),
+            Ev::PageDone { ch, tag } => self.process_page_done(ch, tag),
+            Ev::GcDone { job, busy } => self.process_gc_done(job, busy),
+            Ev::AdmissionTick => self.process_admission_tick(),
+            Ev::TokenRetry { ch } => {
+                self.chans[usize::from(ch)].retry_pending = false;
+                self.try_dispatch(ch);
+            }
+            Ev::Grant { ch, h } => self.process_grant(ch, h),
+        }
+        #[cfg(feature = "audit")]
+        self.audit_event();
     }
 
     /// Lifetime count of DES events processed by this engine (the
@@ -561,7 +664,7 @@ impl Engine {
         let idx = self.idx(id);
         self.vssds[idx].cfg.tickets = tickets;
         for chan in &mut self.chans {
-            chan.stride.set_tickets(&idx, tickets);
+            chan.stride.set_tickets(idx, tickets);
         }
     }
 

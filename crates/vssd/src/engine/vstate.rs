@@ -1,7 +1,5 @@
 //! Per-vSSD runtime state inside the engine.
 
-use std::collections::BTreeMap;
-
 use fleetio_des::window::WindowStats;
 use fleetio_des::LatencyHistogram;
 use fleetio_flash::addr::{BlockAddr, ChannelId, Ppa};
@@ -32,6 +30,54 @@ pub(crate) struct BlockMeta {
     pub gsb: Option<GsbId>,
 }
 
+/// The sentinel page index marking an unmapped [`PageMap`] slot (no real
+/// page index comes near `u32::MAX`).
+const UNMAPPED: u32 = u32::MAX;
+
+/// Dense LPA → PPA mapping table.
+///
+/// The FTL map is touched once or twice per written page (lookup + insert)
+/// and once per read — the single hottest lookup in the engine. A `Vec`
+/// indexed by LPA with an in-band "unmapped" sentinel replaces the old
+/// `BTreeMap<u64, Ppa>`'s pointer-chasing walk with one array index, and
+/// its ~3× per-entry node overhead with 12 bytes per page slot. The table
+/// grows geometrically to the highest LPA actually written, so sparse
+/// address spaces do not pay for their holes up front.
+#[derive(Debug, Default)]
+pub(crate) struct PageMap {
+    pages: Vec<Ppa>,
+}
+
+impl PageMap {
+    /// The physical location of `lpa`, if mapped.
+    #[inline]
+    pub fn get(&self, lpa: u64) -> Option<Ppa> {
+        let ppa = *self.pages.get(lpa as usize)?;
+        (ppa.page != UNMAPPED).then_some(ppa)
+    }
+
+    /// Maps `lpa` to `ppa` (insert or overwrite).
+    pub fn set(&mut self, lpa: u64, ppa: Ppa) {
+        debug_assert!(ppa.page != UNMAPPED, "real pages never use the sentinel");
+        let i = lpa as usize;
+        if i >= self.pages.len() {
+            let new_len = (i + 1).max(self.pages.len() * 2);
+            self.pages.resize(
+                new_len,
+                Ppa {
+                    block: BlockAddr {
+                        channel: ChannelId(0),
+                        chip: 0,
+                        block: 0,
+                    },
+                    page: UNMAPPED,
+                },
+            );
+        }
+        self.pages[i] = ppa;
+    }
+}
+
 /// Lifetime-cumulative per-vSSD counters (across all windows).
 #[derive(Debug, Clone, Default)]
 pub struct VssdCumulative {
@@ -50,9 +96,10 @@ pub struct VssdCumulative {
 pub(crate) struct VssdState {
     pub cfg: VssdConfig,
     /// LPA (page units) → physical page mapping.
-    pub map: BTreeMap<u64, Ppa>,
-    /// Open append block per `(channel, chip)` on home channels.
-    pub open_blocks: BTreeMap<(u16, u16), BlockAddr>,
+    pub map: PageMap,
+    /// Open append block per device chip slot (`channel × chips + chip`);
+    /// `None` until the vSSD first writes there.
+    pub open_blocks: Vec<Option<BlockAddr>>,
     /// Write-striping rotation (home channels + harvested gSB slots).
     pub stripe: Vec<StripeTarget>,
     pub stripe_pos: usize,
@@ -74,7 +121,9 @@ pub(crate) struct VssdState {
 }
 
 impl VssdState {
-    pub(crate) fn new(cfg: VssdConfig) -> Self {
+    /// Builds the state for one vSSD on a device with `chip_slots` total
+    /// chips (`channels × chips_per_channel`).
+    pub(crate) fn new(cfg: VssdConfig, chip_slots: usize) -> Self {
         let bucket = cfg
             .rate_limit
             .map(|rate| TokenBucket::new(rate, rate * 0.05));
@@ -85,8 +134,8 @@ impl VssdState {
             .collect();
         VssdState {
             cfg,
-            map: BTreeMap::new(),
-            open_blocks: BTreeMap::new(),
+            map: PageMap::default(),
+            open_blocks: vec![None; chip_slots],
             stripe,
             stripe_pos: 0,
             harvested: Vec::new(),
@@ -133,7 +182,7 @@ mod tests {
 
     #[test]
     fn stripe_starts_on_home_channels() {
-        let st = VssdState::new(cfg());
+        let st = VssdState::new(cfg(), 4);
         assert_eq!(
             st.stripe,
             vec![
@@ -142,18 +191,19 @@ mod tests {
             ]
         );
         assert!(st.bucket.is_none());
+        assert!(st.open_blocks.iter().all(Option::is_none));
     }
 
     #[test]
     fn rate_limit_creates_bucket() {
         let c = cfg().with_rate_limit(1e6);
-        let st = VssdState::new(c);
+        let st = VssdState::new(c, 4);
         assert!(st.bucket.is_some());
     }
 
     #[test]
     fn rebuild_stripe_adds_gsb_slots() {
-        let mut st = VssdState::new(cfg());
+        let mut st = VssdState::new(cfg(), 4);
         st.harvested.push(GsbId(5));
         st.rebuild_stripe(|_| 2);
         assert_eq!(st.stripe.len(), 4);
@@ -162,9 +212,32 @@ mod tests {
 
     #[test]
     fn in_gc_tracks_counter() {
-        let mut st = VssdState::new(cfg());
+        let mut st = VssdState::new(cfg(), 4);
         assert!(!st.in_gc());
         st.gc_active = 2;
         assert!(st.in_gc());
+    }
+
+    #[test]
+    fn page_map_grows_and_overwrites() {
+        let mut m = PageMap::default();
+        assert!(m.get(0).is_none());
+        assert!(m.get(1_000).is_none());
+        let ppa = |page| Ppa {
+            block: BlockAddr {
+                channel: ChannelId(1),
+                chip: 2,
+                block: 3,
+            },
+            page,
+        };
+        m.set(7, ppa(9));
+        assert_eq!(m.get(7), Some(ppa(9)));
+        assert!(m.get(6).is_none(), "growth must not fabricate mappings");
+        m.set(7, ppa(10));
+        assert_eq!(m.get(7), Some(ppa(10)));
+        m.set(100_000, ppa(1));
+        assert_eq!(m.get(100_000), Some(ppa(1)));
+        assert!(m.get(99_999).is_none());
     }
 }

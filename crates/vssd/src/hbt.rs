@@ -3,10 +3,10 @@
 //! FleetIO's GC prioritizes blocks that were harvested by another vSSD or
 //! reclaimed from a destroyed gSB over a vSSD's regular blocks. The paper
 //! tracks this with one bit per physical block (regular = 0,
-//! harvested/reclaimed = 1), costing at most 0.5 MB for a 1 TB SSD with 4 MB
-//! blocks; the table below stores the same bit keyed by block address.
-
-use std::collections::BTreeSet;
+//! harvested/reclaimed = 1), costing at most 0.5 MB for a 1 TB SSD with
+//! 4 MB blocks. The table below is exactly that: a dense bitmap over the
+//! device geometry, so the per-overwrite and per-victim-scan class checks
+//! on the engine's hot paths are a shift-and-mask, not a tree walk.
 
 use fleetio_flash::addr::BlockAddr;
 
@@ -20,7 +20,8 @@ pub enum BlockClass {
     Harvested,
 }
 
-/// One-bit-per-block table of harvested/reclaimed blocks.
+/// One-bit-per-block table of harvested/reclaimed blocks, laid out over a
+/// fixed device geometry.
 ///
 /// # Example
 ///
@@ -28,7 +29,7 @@ pub enum BlockClass {
 /// use fleetio_flash::addr::{BlockAddr, ChannelId};
 /// use fleetio_vssd::hbt::{BlockClass, HarvestedBlockTable};
 ///
-/// let mut hbt = HarvestedBlockTable::new();
+/// let mut hbt = HarvestedBlockTable::new(2, 4, 64);
 /// let blk = BlockAddr { channel: ChannelId(0), chip: 0, block: 7 };
 /// assert_eq!(hbt.class(blk), BlockClass::Regular);
 /// hbt.mark_harvested(blk);
@@ -36,18 +37,39 @@ pub enum BlockClass {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct HarvestedBlockTable {
-    harvested: BTreeSet<BlockAddr>,
+    bits: Vec<u64>,
+    chips_per_channel: u16,
+    blocks_per_chip: u32,
+    count: usize,
 }
 
 impl HarvestedBlockTable {
-    /// Creates an empty table (all blocks regular).
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates a table for `channels × chips_per_channel × blocks_per_chip`
+    /// physical blocks, all regular.
+    pub fn new(channels: u16, chips_per_channel: u16, blocks_per_chip: u32) -> Self {
+        let blocks = usize::from(channels) * usize::from(chips_per_channel)
+            * blocks_per_chip as usize;
+        HarvestedBlockTable {
+            bits: vec![0; blocks.div_ceil(64)],
+            chips_per_channel,
+            blocks_per_chip,
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, block: BlockAddr) -> usize {
+        (usize::from(block.channel.0) * usize::from(self.chips_per_channel)
+            + usize::from(block.chip))
+            * self.blocks_per_chip as usize
+            + block.block as usize
     }
 
     /// The class of `block`.
+    #[inline]
     pub fn class(&self, block: BlockAddr) -> BlockClass {
-        if self.harvested.contains(&block) {
+        let i = self.index(block);
+        if self.bits[i / 64] >> (i % 64) & 1 != 0 {
             BlockClass::Harvested
         } else {
             BlockClass::Regular
@@ -57,17 +79,27 @@ impl HarvestedBlockTable {
     /// Marks `block` as harvested/reclaimed. The gSB manager calls this for
     /// every block of a gSB at creation time.
     pub fn mark_harvested(&mut self, block: BlockAddr) {
-        self.harvested.insert(block);
+        let i = self.index(block);
+        let (word, mask) = (i / 64, 1u64 << (i % 64));
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.count += 1;
+        }
     }
 
     /// Marks `block` regular again. GC calls this after erasing the block.
     pub fn mark_regular(&mut self, block: BlockAddr) {
-        self.harvested.remove(&block);
+        let i = self.index(block);
+        let (word, mask) = (i / 64, 1u64 << (i % 64));
+        if self.bits[word] & mask != 0 {
+            self.bits[word] &= !mask;
+            self.count -= 1;
+        }
     }
 
     /// Number of blocks currently marked harvested/reclaimed.
     pub fn harvested_count(&self) -> usize {
-        self.harvested.len()
+        self.count
     }
 }
 
@@ -75,6 +107,10 @@ impl HarvestedBlockTable {
 mod tests {
     use super::*;
     use fleetio_flash::addr::ChannelId;
+
+    fn table() -> HarvestedBlockTable {
+        HarvestedBlockTable::new(2, 2, 32)
+    }
 
     fn blk(b: u32) -> BlockAddr {
         BlockAddr {
@@ -86,14 +122,14 @@ mod tests {
 
     #[test]
     fn default_class_is_regular() {
-        let hbt = HarvestedBlockTable::new();
+        let hbt = table();
         assert_eq!(hbt.class(blk(0)), BlockClass::Regular);
         assert_eq!(hbt.harvested_count(), 0);
     }
 
     #[test]
     fn mark_and_clear_roundtrip() {
-        let mut hbt = HarvestedBlockTable::new();
+        let mut hbt = table();
         hbt.mark_harvested(blk(1));
         hbt.mark_harvested(blk(2));
         assert_eq!(hbt.harvested_count(), 2);
@@ -105,12 +141,31 @@ mod tests {
 
     #[test]
     fn marks_are_idempotent() {
-        let mut hbt = HarvestedBlockTable::new();
+        let mut hbt = table();
         hbt.mark_harvested(blk(1));
         hbt.mark_harvested(blk(1));
         assert_eq!(hbt.harvested_count(), 1);
         hbt.mark_regular(blk(1));
         hbt.mark_regular(blk(1));
         assert_eq!(hbt.harvested_count(), 0);
+    }
+
+    #[test]
+    fn distinct_chips_and_channels_do_not_alias() {
+        let mut hbt = table();
+        let a = BlockAddr {
+            channel: ChannelId(0),
+            chip: 1,
+            block: 5,
+        };
+        let b = BlockAddr {
+            channel: ChannelId(1),
+            chip: 0,
+            block: 5,
+        };
+        hbt.mark_harvested(a);
+        assert_eq!(hbt.class(a), BlockClass::Harvested);
+        assert_eq!(hbt.class(b), BlockClass::Regular);
+        assert_eq!(hbt.class(blk(5)), BlockClass::Regular);
     }
 }

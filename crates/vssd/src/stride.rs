@@ -123,6 +123,90 @@ impl<K: Ord + Clone> StrideScheduler<K> {
     }
 }
 
+/// A stride scheduler specialized for small dense `usize` keys — the
+/// engine's per-channel vSSD indices. Client state lives in a flat vector
+/// indexed by key, so the per-dispatch [`DenseStride::pick`] costs two
+/// array loads per runnable candidate instead of tree walks. Semantics
+/// are identical to [`StrideScheduler<usize>`]: same pass/stride
+/// arithmetic, same first-minimal-in-iteration-order tie-break.
+#[derive(Debug, Clone, Default)]
+pub struct DenseStride {
+    clients: Vec<Option<StrideState>>,
+}
+
+impl DenseStride {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        DenseStride {
+            clients: Vec::new(),
+        }
+    }
+
+    /// Registers a client with `tickets` shares. Re-registering resets its
+    /// pass to the current minimum so it cannot monopolize after absence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tickets` is zero.
+    pub fn add_client(&mut self, key: usize, tickets: u32) {
+        assert!(tickets > 0, "tickets must be positive");
+        let min_pass = self
+            .clients
+            .iter()
+            .flatten()
+            .map(|c| c.pass)
+            .min()
+            .unwrap_or(0);
+        if key >= self.clients.len() {
+            self.clients.resize(key + 1, None);
+        }
+        self.clients[key] = Some(StrideState {
+            stride: STRIDE1 / u64::from(tickets),
+            pass: min_pass,
+        });
+    }
+
+    /// Changes a registered client's ticket count while *preserving* its
+    /// pass. Unknown keys are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tickets` is zero.
+    pub fn set_tickets(&mut self, key: usize, tickets: u32) {
+        assert!(tickets > 0, "tickets must be positive");
+        if let Some(Some(st)) = self.clients.get_mut(key) {
+            st.stride = STRIDE1 / u64::from(tickets);
+        }
+    }
+
+    /// Whether `key` is registered.
+    pub fn contains(&self, key: usize) -> bool {
+        self.clients.get(key).is_some_and(|c| c.is_some())
+    }
+
+    /// Picks the runnable client with the minimum pass and charges it one
+    /// quantum; the first minimal client in `runnable` iteration order
+    /// wins. Unregistered keys are ignored.
+    pub fn pick<I>(&mut self, runnable: I) -> Option<usize>
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let mut best: Option<(usize, u64)> = None;
+        for key in runnable {
+            if let Some(Some(st)) = self.clients.get(key) {
+                match &best {
+                    Some((_, pass)) if *pass <= st.pass => {}
+                    _ => best = Some((key, st.pass)),
+                }
+            }
+        }
+        let (key, _) = best?;
+        let st = self.clients[key].as_mut().expect("picked client exists");
+        st.pass = st.pass.saturating_add(st.stride);
+        Some(key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +285,40 @@ mod tests {
         s.set_tickets(&1, 300);
         for _ in 0..5 {
             assert_eq!(s.pick([1, 2]), Some(2));
+        }
+    }
+
+    /// Differential: `DenseStride` reproduces the generic scheduler's
+    /// pick stream over a mixed add/re-weight/pick sequence.
+    #[test]
+    fn dense_matches_generic_scheduler() {
+        let mut dense = DenseStride::new();
+        let mut tree: StrideScheduler<usize> = StrideScheduler::new();
+        let keys = [0usize, 1, 2, 3];
+        let tickets = [100u32, 300, 50, 100];
+        for (k, t) in keys.iter().zip(tickets) {
+            dense.add_client(*k, t);
+            tree.add_client(*k, t);
+        }
+        // Deterministic pseudo-random runnable subsets.
+        let mut x = 0x1234_5678u64;
+        for step in 0..2_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mask = (x >> 32) as usize & 0xf;
+            let runnable: Vec<usize> = keys.iter().copied().filter(|k| mask & (1 << k) != 0).collect();
+            assert_eq!(
+                dense.pick(runnable.iter().copied()),
+                tree.pick(runnable.iter().copied()),
+                "diverged at step {step}"
+            );
+            if step == 700 {
+                dense.set_tickets(1, 10);
+                tree.set_tickets(&1, 10);
+            }
+            if step == 1_200 {
+                dense.add_client(2, 400); // re-register resets pass
+                tree.add_client(2, 400);
+            }
         }
     }
 

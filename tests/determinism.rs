@@ -147,6 +147,47 @@ fn traced_event_streams_are_byte_identical() {
     assert!(a != c, "seed change did not affect the event stream");
 }
 
+/// FNV-1a 64-bit, the golden-fingerprint hash (stable, dependency-free).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Golden fingerprints captured from the pre-calendar-queue, pre-slab
+/// engine (BinaryHeap event queue, BTreeMap request/block state). The DES
+/// hot-path overhaul claims *byte identity*, not statistical equivalence:
+/// every request id, timestamp, and GC decision must land exactly where
+/// the reference implementation put it. If an intentional behavior change
+/// ever breaks these, recapture the hashes in the same commit and say so.
+#[test]
+fn engine_runs_match_pre_overhaul_goldens() {
+    let a = heuristic_run_fingerprint(11);
+    assert_eq!(a.len(), 573, "seed-11 fingerprint length drifted");
+    assert_eq!(
+        fnv64(a.as_bytes()),
+        0x941f_0994_2085_8eb8,
+        "seed-11 heuristic run diverged from the pre-overhaul engine"
+    );
+    let b = heuristic_run_fingerprint(12);
+    assert_eq!(b.len(), 572, "seed-12 fingerprint length drifted");
+    assert_eq!(
+        fnv64(b.as_bytes()),
+        0xddd8_3ace_35d0_669e,
+        "seed-12 heuristic run diverged from the pre-overhaul engine"
+    );
+    let t = traced_run_jsonl(41);
+    assert_eq!(t.len(), 5_218_495, "seed-41 trace length drifted");
+    assert_eq!(
+        fnv64(t.as_bytes()),
+        0xfdeb_2b2b_6e9a_4df3,
+        "seed-41 traced event stream diverged from the pre-overhaul engine"
+    );
+}
+
 /// A small FleetIO training environment for checkpoint-resume tests.
 fn training_env(seed: u64) -> FleetIoEnv {
     let cfg = small_cfg();
