@@ -15,6 +15,12 @@
 //! max = 2
 //! reason = "pre-audit sites, issue #2"
 //! ```
+//!
+//! Reachability rules (`determinism-taint`) additionally accept an
+//! optional `chain` key: a `" -> "`-joined fragment of the reported call
+//! chain. When present, the entry only suppresses findings whose chain
+//! contains that fragment, so an allowlisted path through one sanctioned
+//! helper cannot silently absorb a new, unrelated path into the same file.
 
 /// One grandfathered `(rule, path)` cap.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +33,9 @@ pub struct AllowEntry {
     pub max: usize,
     /// Why the site is grandfathered.
     pub reason: String,
+    /// For chain-carrying rules: a `" -> "`-joined call-chain fragment
+    /// the finding's chain must contain for this entry to apply.
+    pub chain: Option<String>,
 }
 
 /// A parse failure with its 1-based line number.
@@ -77,6 +86,7 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, ParseError> {
             "rule" => p.rule = Some(parse_string(value, line_no)?),
             "path" => p.path = Some(parse_string(value, line_no)?),
             "reason" => p.reason = Some(parse_string(value, line_no)?),
+            "chain" => p.chain = Some(parse_string(value, line_no)?),
             "max" => {
                 p.max = Some(value.parse().map_err(|_| ParseError {
                     line: line_no,
@@ -86,7 +96,7 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, ParseError> {
             other => {
                 return Err(ParseError {
                     line: line_no,
-                    message: format!("unknown key `{other}` (expected rule/path/max/reason)"),
+                    message: format!("unknown key `{other}` (expected rule/path/max/reason/chain)"),
                 })
             }
         }
@@ -103,6 +113,7 @@ struct PartialEntry {
     path: Option<String>,
     max: Option<usize>,
     reason: Option<String>,
+    chain: Option<String>,
 }
 
 impl PartialEntry {
@@ -123,6 +134,7 @@ impl PartialEntry {
             path: self.path.ok_or_else(|| missing("path"))?,
             max,
             reason: self.reason.ok_or_else(|| missing("reason"))?,
+            chain: self.chain,
         })
     }
 }
@@ -164,6 +176,17 @@ reason = "wall-clock progress logging"
         assert_eq!(e[0].rule, "no-unwrap");
         assert_eq!(e[0].max, 2);
         assert_eq!(e[1].path, "crates/rl/src/ppo.rs");
+    }
+
+    #[test]
+    fn chain_key_is_optional() {
+        let text =
+            "[[allow]]\nrule = \"determinism-taint\"\npath = \"crates/rl/src/parallel.rs\"\n\
+                    max = 1\nreason = \"r\"\nchain = \"collect_parallel -> merge\"\n";
+        let e = parse_allowlist(text).unwrap();
+        assert_eq!(e[0].chain.as_deref(), Some("collect_parallel -> merge"));
+        let without = "[[allow]]\nrule = \"x\"\npath = \"y\"\nmax = 1\nreason = \"r\"\n";
+        assert_eq!(parse_allowlist(without).unwrap()[0].chain, None);
     }
 
     #[test]

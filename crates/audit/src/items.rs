@@ -1,0 +1,343 @@
+//! Item extraction: per-file `fn` / `impl` / `mod` discovery over the
+//! token stream.
+//!
+//! This is the middle layer of the analysis pipeline: the tokenizer
+//! ([`crate::token`]) feeds it, and the workspace call graph
+//! ([`crate::graph`]) consumes its output. Extraction is a single linear
+//! pass with a brace-depth counter and a scope stack — no expression
+//! parsing — so it is deliberately approximate: good enough to name every
+//! function item, attribute every body token to its enclosing function,
+//! and recover the `impl` self type for `Type::method` call resolution.
+
+use crate::scan::ScannedFile;
+use crate::token::{Tok, TokKind};
+
+/// One `fn` item (free function, inherent/trait method, or nested fn).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Self type when declared inside `impl Ty` / `impl Trait for Ty`
+    /// (last path segment, generics stripped) or a `trait Ty` block.
+    pub self_ty: Option<String>,
+    /// Innermost enclosing inline `mod` name, if any.
+    pub module: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the item sits in a `#[cfg(test)]` / `#[test]` region.
+    pub is_test: bool,
+    /// Whether the item sits in a `#[cfg(feature = "audit")]` region.
+    pub is_audit: bool,
+}
+
+impl FnItem {
+    /// `Ty::name` when the item has a self type, else just `name`.
+    pub fn qualified(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Extraction result for one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// For each token index, the innermost `fn` (index into `fns`) whose
+    /// body contains it; `None` for tokens outside any function body.
+    pub owner: Vec<Option<usize>>,
+    /// `mod name;` declarations (out-of-line modules): `(name, line)`.
+    /// Used to propagate `cfg(feature = "audit")` gating to whole files.
+    pub mod_decls: Vec<(String, u32)>,
+}
+
+#[derive(Debug)]
+enum Scope {
+    Mod(String),
+    Impl(Option<String>),
+    Trait(String),
+    /// A fn body: index into `FileItems::fns`.
+    Fn(usize),
+    /// Any other brace pair (struct, match, block, ...).
+    Other,
+}
+
+/// Extracts items from a scanned file.
+pub fn extract(file: &ScannedFile) -> FileItems {
+    let toks = &file.toks;
+    let mut out = FileItems {
+        owner: vec![None; toks.len()],
+        ..FileItems::default()
+    };
+    // Scopes opened by a brace, with the depth they opened at.
+    let mut stack: Vec<(u32, Scope)> = Vec::new();
+    let mut pending: Option<Scope> = None;
+    let mut depth = 0u32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+            stack.push((depth, pending.take().unwrap_or(Scope::Other)));
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            while stack.last().is_some_and(|(d, _)| *d == depth) {
+                stack.pop();
+            }
+            depth = depth.saturating_sub(1);
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "impl" => {
+                    let (scope, next) = parse_impl_header(toks, i);
+                    if let Some(s) = scope {
+                        pending = Some(s);
+                    }
+                    record_owner(&mut out, &stack, i, next);
+                    i = next;
+                    continue;
+                }
+                "mod" => {
+                    if let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        match toks.get(i + 2) {
+                            Some(n) if n.is_punct(";") => {
+                                out.mod_decls.push((name_tok.text.clone(), t.line));
+                            }
+                            Some(n) if n.is_punct("{") => {
+                                pending = Some(Scope::Mod(name_tok.text.clone()));
+                            }
+                            _ => {}
+                        }
+                        record_owner(&mut out, &stack, i, i + 2);
+                        i += 2;
+                        continue;
+                    }
+                }
+                "trait" => {
+                    if let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        pending = Some(Scope::Trait(name_tok.text.clone()));
+                        // Skip the header (supertraits, generics) up to the
+                        // opening brace so `fn`-like idents in bounds are
+                        // not misread as items.
+                        let next = scan_to_block_or_semi(toks, i + 2);
+                        record_owner(&mut out, &stack, i, next);
+                        i = next;
+                        continue;
+                    }
+                }
+                "fn" => {
+                    if let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        let idx = out.fns.len();
+                        out.fns.push(FnItem {
+                            name: name_tok.text.clone(),
+                            self_ty: enclosing_ty(&stack),
+                            module: enclosing_mod(&stack),
+                            line: t.line,
+                            is_test: file.line_is_test(t.line as usize),
+                            is_audit: file.line_is_audit(t.line as usize),
+                        });
+                        // Skip the signature (params, return type, where
+                        // clause) to the body brace or the trailing `;` of
+                        // a body-less trait-method declaration.
+                        let next = scan_to_block_or_semi(toks, i + 2);
+                        record_owner(&mut out, &stack, i, next);
+                        if toks.get(next).is_some_and(|n| n.is_punct("{")) {
+                            pending = Some(Scope::Fn(idx));
+                        }
+                        i = next;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+        }
+        record_owner(&mut out, &stack, i, i + 1);
+        i += 1;
+    }
+    out
+}
+
+/// Assigns the innermost enclosing fn (if any) to tokens `[from, to)`.
+fn record_owner(out: &mut FileItems, stack: &[(u32, Scope)], from: usize, to: usize) {
+    let owner = stack.iter().rev().find_map(|(_, s)| match s {
+        Scope::Fn(idx) => Some(*idx),
+        _ => None,
+    });
+    if owner.is_some() {
+        let to = to.min(out.owner.len());
+        for slot in out.owner[from..to].iter_mut() {
+            *slot = owner;
+        }
+    }
+}
+
+/// Innermost `impl`/`trait` self type on the stack.
+fn enclosing_ty(stack: &[(u32, Scope)]) -> Option<String> {
+    stack.iter().rev().find_map(|(_, s)| match s {
+        Scope::Impl(ty) => ty.clone(),
+        Scope::Trait(name) => Some(name.clone()),
+        _ => None,
+    })
+}
+
+/// Innermost inline `mod` name on the stack.
+fn enclosing_mod(stack: &[(u32, Scope)]) -> Option<String> {
+    stack.iter().rev().find_map(|(_, s)| match s {
+        Scope::Mod(name) => Some(name.clone()),
+        _ => None,
+    })
+}
+
+/// Parses an `impl` header starting at token `start` (the `impl` ident).
+/// Returns the scope to open at the next `{` (None when this is not an
+/// item-position impl block, e.g. `-> impl Iterator`) and the index of
+/// the block-opening `{` or terminating token.
+fn parse_impl_header(toks: &[Tok], start: usize) -> (Option<Scope>, usize) {
+    let mut angle = 0i32;
+    let mut after_for = false;
+    let mut last_ident: Option<String> = None;
+    let mut last_ident_after_for: Option<String> = None;
+    let mut j = start + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("{") && angle == 0 {
+            let ty = last_ident_after_for.or(last_ident);
+            return (Some(Scope::Impl(ty)), j);
+        }
+        // `impl Trait` in return/argument position never reaches a brace
+        // before one of these terminators.
+        if angle == 0 && (t.is_punct(";") || t.is_punct(")") || t.is_punct(",") || t.is_punct("="))
+        {
+            return (None, j);
+        }
+        match t.kind {
+            TokKind::Punct if t.text == "<" => angle += 1,
+            TokKind::Punct if t.text == ">" => angle -= 1,
+            TokKind::Ident if angle == 0 => match t.text.as_str() {
+                "for" => after_for = true,
+                "where" => {
+                    // Type is settled; keep scanning for the brace.
+                }
+                "dyn" | "mut" | "const" | "unsafe" => {}
+                name => {
+                    if after_for {
+                        last_ident_after_for = Some(name.to_string());
+                    } else {
+                        last_ident = Some(name.to_string());
+                    }
+                }
+            },
+            _ => {}
+        }
+        j += 1;
+    }
+    (None, toks.len())
+}
+
+/// Scans from `start` to the first top-level `{` or `;` (angle-bracket
+/// aware, so `fn f<T: Iterator<Item = u8>>()` generics and fn-pointer
+/// parens don't confuse it). Returns the index of that token.
+fn scan_to_block_or_semi(toks: &[Tok], start: usize) -> usize {
+    let mut angle = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle = (angle - 1).max(0),
+                "{" | ";" if angle == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> FileItems {
+        extract(&ScannedFile::new("crates/x/src/lib.rs", src))
+    }
+
+    #[test]
+    fn free_fn_and_method_extraction() {
+        let fi = items(
+            "fn free() {}\n\
+             impl Engine {\n    pub fn dispatch_event(&mut self) { self.idx(); }\n}\n\
+             impl fmt::Display for Engine {\n    fn fmt(&self) {}\n}\n",
+        );
+        let names: Vec<String> = fi.fns.iter().map(|f| f.qualified()).collect();
+        assert_eq!(names, ["free", "Engine::dispatch_event", "Engine::fmt"]);
+        assert_eq!(fi.fns[1].line, 3);
+    }
+
+    #[test]
+    fn generic_impl_resolves_last_path_segment() {
+        let fi = items(
+            "impl<'a, T: Clone> Wrapper<'a, T> {\n    fn get(&self) {}\n}\n\
+             impl<T> From<T> for engine::Engine<T> {\n    fn from(t: T) {}\n}\n",
+        );
+        assert_eq!(fi.fns[0].self_ty.as_deref(), Some("Wrapper"));
+        assert_eq!(fi.fns[1].self_ty.as_deref(), Some("Engine"));
+    }
+
+    #[test]
+    fn trait_methods_and_nested_fns() {
+        let fi = items(
+            "trait Sink: Send {\n    fn emit(&self);\n    fn named(&self) -> &str { \"s\" }\n}\n\
+             fn outer() {\n    fn inner() {}\n    inner();\n}\n",
+        );
+        let names: Vec<String> = fi.fns.iter().map(|f| f.qualified()).collect();
+        assert_eq!(names, ["Sink::emit", "Sink::named", "outer", "inner"]);
+    }
+
+    #[test]
+    fn impl_in_return_position_is_not_a_scope() {
+        let fi = items(
+            "fn make() -> impl Iterator<Item = u8> {\n    std::iter::empty()\n}\nfn after() {}\n",
+        );
+        let names: Vec<String> = fi.fns.iter().map(|f| f.qualified()).collect();
+        assert_eq!(names, ["make", "after"]);
+        assert!(fi.fns[1].self_ty.is_none());
+    }
+
+    #[test]
+    fn owner_map_attributes_body_tokens() {
+        let src = "fn a() { callee(); }\nfn b() { other(); }\n";
+        let f = ScannedFile::new("crates/x/src/lib.rs", src);
+        let fi = extract(&f);
+        let callee_idx = f.toks.iter().position(|t| t.is_ident("callee")).unwrap();
+        let other_idx = f.toks.iter().position(|t| t.is_ident("other")).unwrap();
+        assert_eq!(fi.owner[callee_idx], Some(0));
+        assert_eq!(fi.owner[other_idx], Some(1));
+    }
+
+    #[test]
+    fn mod_scopes_and_declarations() {
+        let fi = items("mod inner {\n    fn f() {}\n}\nmod out_of_line;\nfn top() {}\n");
+        assert_eq!(fi.fns[0].module.as_deref(), Some("inner"));
+        assert!(fi.fns[1].module.is_none());
+        assert_eq!(fi.mod_decls, vec![("out_of_line".to_string(), 4)]);
+    }
+
+    #[test]
+    fn test_and_audit_flags_follow_line_maps() {
+        let fi = items(
+            "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n\
+             #[cfg(feature = \"audit\")]\nfn sweep() {}\nfn hot() {}\n",
+        );
+        assert!(fi.fns[0].is_test);
+        assert!(fi.fns[1].is_audit && !fi.fns[1].is_test);
+        assert!(!fi.fns[2].is_audit && !fi.fns[2].is_test);
+    }
+}

@@ -34,9 +34,12 @@
 use std::path::{Path, PathBuf};
 
 pub mod config;
+pub mod graph;
+pub mod items;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod token;
 
 use config::AllowEntry;
 use rules::Diagnostic;
@@ -90,18 +93,91 @@ pub fn run_check(root: &Path) -> Result<CheckOutcome, CheckError> {
         Err(e) => return Err(CheckError::Io(root.join("audit.toml"), e)),
     };
 
+    let scanned = scan_workspace(root)?;
+    let deps = parse_dep_graph(root)?;
+    let diagnostics = analyze(&scanned, &deps);
+    Ok(apply_allowlist(scanned.len(), diagnostics, allowlist))
+}
+
+/// Scans every `.rs` file under `root/crates/` in sorted path order.
+pub fn scan_workspace(root: &Path) -> Result<Vec<scan::ScannedFile>, CheckError> {
     let mut files = Vec::new();
     collect_rs_files(&root.join("crates"), &mut files)?;
     files.sort();
-
-    let mut diagnostics = Vec::new();
+    let mut scanned = Vec::with_capacity(files.len());
     for file in &files {
         let source = std::fs::read_to_string(file).map_err(|e| CheckError::Io(file.clone(), e))?;
-        let rel = relative_path(root, file);
-        let scanned = scan::ScannedFile::new(&rel, &source);
-        diagnostics.extend(rules::check_file(&scanned));
+        scanned.push(scan::ScannedFile::new(&relative_path(root, file), &source));
     }
-    Ok(apply_allowlist(files.len(), diagnostics, allowlist))
+    Ok(scanned)
+}
+
+/// Runs the full rule set — per-file rules plus the workspace-level
+/// determinism-taint reachability analysis — over already-scanned files.
+/// This is the shared entry point for `run_check` and the fixture tests.
+pub fn analyze(scanned: &[scan::ScannedFile], deps: &graph::DepGraph) -> Vec<Diagnostic> {
+    let ws = graph::build(scanned, deps);
+    let mut diagnostics = Vec::new();
+    for file in scanned {
+        diagnostics.extend(rules::check_file(file));
+    }
+    // Cost-based rules do not apply to whole files that are compiled only
+    // under the `audit` feature (gated at their `mod` declaration): that
+    // code is absent from release/perf builds, so it is never hot.
+    diagnostics.retain(|d| {
+        !(ws.file_is_audit_gated(&d.path)
+            && (d.rule == "hot-path-collections" || d.rule == "unchecked-ops"))
+    });
+    diagnostics.extend(graph::determinism_taint(&ws));
+    diagnostics
+}
+
+/// Builds the analyzed workspace (call graph + taint sources) alone, for
+/// the summary/golden-test path.
+pub fn build_workspace(scanned: &[scan::ScannedFile], deps: &graph::DepGraph) -> graph::Workspace {
+    graph::build(scanned, deps)
+}
+
+/// Parses every `crates/*/Cargo.toml` `[dependencies]` section into the
+/// crate dependency graph used to direction-restrict call resolution.
+/// Only `fleetio-*` entries matter; dev-dependencies are excluded (test
+/// code is outside the graph anyway, and dev edges may be cyclic).
+pub fn parse_dep_graph(root: &Path) -> Result<graph::DepGraph, CheckError> {
+    let crates_dir = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates_dir).map_err(|e| CheckError::Io(crates_dir.clone(), e))?;
+    let mut edges: Vec<(String, Vec<String>)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| CheckError::Io(crates_dir.clone(), e))?;
+        let manifest = entry.path().join("Cargo.toml");
+        let Ok(text) = std::fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let name = entry.file_name().to_string_lossy().to_string();
+        let mut deps = Vec::new();
+        let mut in_deps = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_deps = line == "[dependencies]";
+                continue;
+            }
+            if in_deps {
+                let key: String = line
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '-')
+                    .collect();
+                if let Some(dep) = key.strip_prefix("fleetio-") {
+                    deps.push(dep.to_string());
+                } else if key == "fleetio" {
+                    deps.push(key);
+                }
+            }
+        }
+        edges.push((name, deps));
+    }
+    edges.sort();
+    Ok(graph::DepGraph::new(&edges))
 }
 
 /// Splits raw diagnostics into suppressed (grandfathered) and failing
@@ -114,10 +190,12 @@ pub fn apply_allowlist(
     let mut violations = Vec::new();
     let mut counts: Vec<usize> = vec![0; allowlist.len()];
     for d in diagnostics {
-        match allowlist
-            .iter()
-            .position(|e| e.rule == d.rule && e.path == d.path)
-        {
+        let chain_str = d.chain.join(" -> ");
+        match allowlist.iter().position(|e| {
+            e.rule == d.rule
+                && e.path == d.path
+                && e.chain.as_ref().is_none_or(|frag| chain_str.contains(frag))
+        }) {
             Some(i) => {
                 counts[i] += 1;
                 if counts[i] > allowlist[i].max {
@@ -212,6 +290,7 @@ mod tests {
             line,
             message: String::new(),
             snippet: String::new(),
+            chain: Vec::new(),
         };
         let allow = vec![
             AllowEntry {
@@ -219,12 +298,14 @@ mod tests {
                 path: "crates/des/src/queue.rs".to_string(),
                 max: 1,
                 reason: "r".to_string(),
+                chain: None,
             },
             AllowEntry {
                 rule: "entropy".to_string(),
                 path: "crates/rl/src/ppo.rs".to_string(),
                 max: 3,
                 reason: "r".to_string(),
+                chain: None,
             },
         ];
         let diags = vec![
@@ -253,5 +334,37 @@ mod tests {
         assert!(!outcome.is_clean());
         assert_eq!(outcome.violations[0].line, 1);
         assert_eq!(outcome.violations[0].rule, "no-unwrap");
+    }
+
+    #[test]
+    fn chain_entries_only_match_their_fragment() {
+        let taint = |chain: &[&str]| Diagnostic {
+            rule: "determinism-taint",
+            path: "crates/rl/src/parallel.rs".to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: String::new(),
+            chain: chain.iter().map(|s| s.to_string()).collect(),
+        };
+        let allow = vec![AllowEntry {
+            rule: "determinism-taint".to_string(),
+            path: "crates/rl/src/parallel.rs".to_string(),
+            max: 1,
+            reason: "r".to_string(),
+            chain: Some("collect_parallel -> merge".to_string()),
+        }];
+        // Matching chain is grandfathered; a different path through the
+        // same file is not absorbed by the entry.
+        let outcome = apply_allowlist(
+            1,
+            vec![
+                taint(&["collect_parallel", "merge", "leaf"]),
+                taint(&["collect_frozen", "other"]),
+            ],
+            allow,
+        );
+        assert_eq!(outcome.violations.len(), 1);
+        assert_eq!(outcome.violations[0].chain[0], "collect_frozen");
+        assert_eq!(outcome.grandfathered.len(), 1);
     }
 }

@@ -1,4 +1,7 @@
-//! CLI entry point: `fleetio-audit check [--root DIR] [--json FILE]`.
+//! CLI entry point:
+//! `fleetio-audit check [--root DIR] [--json FILE] [--sarif FILE]` runs
+//! the full rule set; `fleetio-audit taint [--root DIR]` prints the
+//! call-graph/taint-analysis summary (the golden-test format).
 //!
 //! Exit codes: 0 clean, 1 violations (or stale allowlist entries),
 //! 2 usage / IO / allowlist-parse errors.
@@ -6,9 +9,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fleetio_audit::{default_root, report, run_check};
+use fleetio_audit::{default_root, graph, report, run_check};
 
-const USAGE: &str = "usage: fleetio-audit check [--root DIR] [--json FILE] [--quiet]";
+const USAGE: &str = "usage: fleetio-audit check [--root DIR] [--json FILE] [--sarif FILE] \
+                     [--quiet]\n       fleetio-audit taint [--root DIR]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -16,12 +20,16 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    if cmd == "taint" {
+        return taint_summary_cmd(args);
+    }
     if cmd != "check" {
         eprintln!("unknown command `{cmd}`\n{USAGE}");
         return ExitCode::from(2);
     }
     let mut root = default_root();
     let mut json_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut quiet = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,6 +40,10 @@ fn main() -> ExitCode {
             "--json" => match args.next() {
                 Some(v) => json_path = Some(PathBuf::from(v)),
                 None => return usage_error("--json needs a value"),
+            },
+            "--sarif" => match args.next() {
+                Some(v) => sarif_path = Some(PathBuf::from(v)),
+                None => return usage_error("--sarif needs a value"),
             },
             "--quiet" => quiet = true,
             other => return usage_error(&format!("unknown flag `{other}`")),
@@ -54,11 +66,47 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(path) = sarif_path {
+        if let Err(e) = std::fs::write(&path, report::render_sarif(&outcome)) {
+            eprintln!("fleetio-audit: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     if outcome.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }
+}
+
+fn taint_summary_cmd(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut root = default_root();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            other => return usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    let scanned = match fleetio_audit::scan_workspace(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fleetio-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let deps = match fleetio_audit::parse_dep_graph(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("fleetio-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ws = fleetio_audit::build_workspace(&scanned, &deps);
+    print!("{}", graph::taint_summary(&ws));
+    ExitCode::SUCCESS
 }
 
 fn usage_error(msg: &str) -> ExitCode {

@@ -11,6 +11,9 @@ pub fn render_text(outcome: &CheckOutcome) -> String {
             "{}:{}: [{}] {}\n    {}\n",
             d.path, d.line, d.rule, d.message, d.snippet
         ));
+        if !d.chain.is_empty() {
+            out.push_str(&format!("    call chain: {}\n", d.chain.join(" -> ")));
+        }
     }
     for s in &outcome.stale_allowlist {
         out.push_str(&format!(
@@ -46,7 +49,7 @@ pub fn render_text(outcome: &CheckOutcome) -> String {
 /// Renders the outcome as a JSON document (hand-rolled; zero-dep crate).
 pub fn render_json(outcome: &CheckOutcome) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"fleetio-audit/1\",\n");
+    out.push_str("  \"schema\": \"fleetio-audit/2\",\n");
     out.push_str(&format!(
         "  \"files_scanned\": {},\n",
         outcome.files_scanned
@@ -57,8 +60,15 @@ pub fn render_json(outcome: &CheckOutcome) -> String {
         if i > 0 {
             out.push(',');
         }
+        let chain = d
+            .chain
+            .iter()
+            .map(|c| json_str(c))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
-            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}, \
+             \"chain\": [{chain}]}}",
             json_str(d.rule),
             json_str(&d.path),
             d.line,
@@ -104,6 +114,78 @@ pub fn render_json(outcome: &CheckOutcome) -> String {
     out
 }
 
+/// Renders the outcome as a SARIF 2.1.0 log (hand-rolled; zero-dep
+/// crate), so CI can upload findings where code-scanning UIs annotate
+/// PRs. Violations map to `error` results; stale allowlist entries map to
+/// `warning` results anchored on `audit.toml`; taint chains ride in the
+/// result message (the chain fns have no resolved line numbers, so a full
+/// SARIF codeFlow would be fabricated location data).
+pub fn render_sarif(outcome: &CheckOutcome) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [{\n");
+    out.push_str("    \"tool\": {\"driver\": {\"name\": \"fleetio-audit\", \"rules\": [");
+    for (i, id) in crate::rules::RULE_IDS
+        .iter()
+        .chain(std::iter::once(&"stale-allowlist"))
+        .enumerate()
+    {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{{\"id\": {}}}", json_str(id)));
+    }
+    out.push_str("]}},\n");
+    out.push_str("    \"results\": [");
+    let mut first = true;
+    let mut push_result =
+        |out: &mut String, rule: &str, level: &str, msg: &str, uri: &str, line: usize| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n      {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+                json_str(rule),
+                json_str(level),
+                json_str(msg),
+                json_str(uri),
+                line.max(1)
+            ));
+        };
+    for d in &outcome.violations {
+        let msg = if d.chain.is_empty() {
+            d.message.clone()
+        } else {
+            format!("{}; call chain: {}", d.message, d.chain.join(" -> "))
+        };
+        push_result(&mut out, d.rule, "error", &msg, &d.path, d.line);
+    }
+    for s in &outcome.stale_allowlist {
+        let msg = format!(
+            "stale [[allow]] entry (rule \"{}\", path \"{}\"): no matching violations remain — \
+             delete it",
+            s.rule, s.path
+        );
+        push_result(
+            &mut out,
+            "stale-allowlist",
+            "warning",
+            &msg,
+            "audit.toml",
+            1,
+        );
+    }
+    if !first {
+        out.push_str("\n    ");
+    }
+    out.push_str("]\n  }]\n}\n");
+    out
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -137,6 +219,7 @@ mod tests {
                 line: 42,
                 message: "unwrap() in simulator core".to_string(),
                 snippet: "x.unwrap()".to_string(),
+                chain: Vec::new(),
             }],
             grandfathered: vec![(
                 AllowEntry {
@@ -144,9 +227,32 @@ mod tests {
                     path: "crates/rl/src/ppo.rs".to_string(),
                     max: 2,
                     reason: "r".to_string(),
+                    chain: None,
                 },
                 1,
             )],
+            stale_allowlist: vec![],
+        }
+    }
+
+    fn taint_outcome() -> CheckOutcome {
+        CheckOutcome {
+            files_scanned: 3,
+            violations: vec![Diagnostic {
+                rule: "determinism-taint",
+                path: "crates/vssd/src/engine/mod.rs".to_string(),
+                line: 7,
+                message: "nondeterminism source `Instant` (host-time) reachable from \
+                          `Engine::dispatch_event`"
+                    .to_string(),
+                snippet: "in fn leaf".to_string(),
+                chain: vec![
+                    "Engine::dispatch_event".to_string(),
+                    "Engine::helper".to_string(),
+                    "leaf".to_string(),
+                ],
+            }],
+            grandfathered: vec![],
             stale_allowlist: vec![],
         }
     }
@@ -157,6 +263,59 @@ mod tests {
         assert!(t.contains("crates/des/src/queue.rs:42: [no-unwrap]"), "{t}");
         assert!(t.contains("FAIL"), "{t}");
         assert!(t.contains("ratchet down to 1"), "{t}");
+    }
+
+    #[test]
+    fn text_and_json_carry_the_call_chain() {
+        let o = taint_outcome();
+        let t = render_text(&o);
+        assert!(
+            t.contains("call chain: Engine::dispatch_event -> Engine::helper -> leaf"),
+            "{t}"
+        );
+        let j = render_json(&o);
+        assert!(j.contains("\"schema\": \"fleetio-audit/2\""), "{j}");
+        assert!(
+            j.contains("\"chain\": [\"Engine::dispatch_event\", \"Engine::helper\", \"leaf\"]"),
+            "{j}"
+        );
+        // Chain-less diagnostics serialize an empty array, not a missing key.
+        assert!(render_json(&outcome()).contains("\"chain\": []"));
+    }
+
+    #[test]
+    fn sarif_is_balanced_and_locates_results() {
+        let mut o = taint_outcome();
+        o.stale_allowlist.push(AllowEntry {
+            rule: "no-println".to_string(),
+            path: "crates/obs/src/main.rs".to_string(),
+            max: 22,
+            reason: "r".to_string(),
+            chain: None,
+        });
+        let s = render_sarif(&o);
+        assert!(s.contains("\"version\": \"2.1.0\""), "{s}");
+        assert!(s.contains("\"ruleId\": \"determinism-taint\""), "{s}");
+        assert!(
+            s.contains("\"uri\": \"crates/vssd/src/engine/mod.rs\""),
+            "{s}"
+        );
+        assert!(s.contains("\"startLine\": 7"), "{s}");
+        assert!(s.contains("call chain: Engine::dispatch_event"), "{s}");
+        assert!(s.contains("\"ruleId\": \"stale-allowlist\""), "{s}");
+        assert!(s.contains("\"level\": \"warning\""), "{s}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(s.matches(open).count(), s.matches(close).count(), "{s}");
+        }
+        // An empty run still produces a well-formed log.
+        let empty = CheckOutcome {
+            files_scanned: 1,
+            violations: vec![],
+            grandfathered: vec![],
+            stale_allowlist: vec![],
+        };
+        let s = render_sarif(&empty);
+        assert!(s.contains("\"results\": []"), "{s}");
     }
 
     #[test]

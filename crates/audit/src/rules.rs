@@ -8,6 +8,7 @@
 //! legitimately measure host time.
 
 use crate::scan::{identifiers, ScannedFile};
+use crate::token::TokKind;
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,10 +23,13 @@ pub struct Diagnostic {
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// For reachability findings (`determinism-taint`): the call chain
+    /// from the root to the fn containing the source. Empty otherwise.
+    pub chain: Vec<String>,
 }
 
 /// Stable identifiers for every rule, in reporting order.
-pub const RULE_IDS: [&str; 8] = [
+pub const RULE_IDS: [&str; 10] = [
     "raw-time-arith",
     "no-unwrap",
     "hash-iteration",
@@ -34,6 +38,8 @@ pub const RULE_IDS: [&str; 8] = [
     "no-println",
     "atomic-io",
     "hot-path-collections",
+    "unchecked-ops",
+    "determinism-taint",
 ];
 
 /// Simulator core: the crates whose sources model the device and must be
@@ -46,7 +52,7 @@ fn in_core(path: &str) -> bool {
 
 /// Crates that participate in *simulated* time and seeded randomness.
 /// `bench` (wall-clock harness) and `audit` are exempt.
-fn in_sim(path: &str) -> bool {
+pub(crate) fn in_sim(path: &str) -> bool {
     [
         "crates/des/src/",
         "crates/flash/src/",
@@ -106,6 +112,7 @@ pub fn check_file(file: &ScannedFile) -> Vec<Diagnostic> {
     no_println(file, &mut out);
     atomic_io(file, &mut out);
     hot_path_collections(file, &mut out);
+    unchecked_ops(file, &mut out);
     out
 }
 
@@ -138,6 +145,7 @@ fn raw_time_arith(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
                           SimTime/SimDuration instead"
                     .to_string(),
                 snippet: raw.trim().to_string(),
+                chain: Vec::new(),
             });
         }
     }
@@ -171,6 +179,7 @@ fn no_unwrap(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
                           with an invariant-documenting message"
                     .to_string(),
                 snippet: raw.trim().to_string(),
+                chain: Vec::new(),
             });
         }
         if let Some(col) = masked.find(".expect(") {
@@ -185,6 +194,7 @@ fn no_unwrap(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
                          (need >= {MIN_EXPECT_MESSAGE} chars)"
                     ),
                     snippet: raw.trim().to_string(),
+                    chain: Vec::new(),
                 }),
                 None => out.push(Diagnostic {
                     rule: "no-unwrap",
@@ -192,6 +202,7 @@ fn no_unwrap(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
                     line: line_no,
                     message: "expect() without a literal invariant-documenting message".to_string(),
                     snippet: raw.trim().to_string(),
+                    chain: Vec::new(),
                 }),
             }
         }
@@ -252,6 +263,7 @@ fn hash_iteration(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
                         &ty[4..]
                     ),
                     snippet: raw.trim().to_string(),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -278,6 +290,7 @@ fn entropy(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
                          fleetio_des::rng"
                     ),
                     snippet: raw.trim().to_string(),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -305,6 +318,7 @@ fn host_time_scope(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
                          time from fleetio_des::SimTime or profile via fleetio_obs::prof"
                     ),
                     snippet: raw.trim().to_string(),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -332,6 +346,7 @@ fn no_println(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
                          metric instead (CLI bins go through audit.toml)"
                     ),
                     snippet: raw.trim().to_string(),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -368,6 +383,7 @@ fn atomic_io(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
                          through fleetio_model::atomic_write (crash-safe tmp+rename)"
                     ),
                     snippet: raw.trim().to_string(),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -388,21 +404,127 @@ fn hot_path_collections(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
         return;
     }
     const TYPES: [&str; 4] = ["BTreeMap", "BTreeSet", "HashMap", "HashSet"];
-    for (line_no, masked, raw) in file.code_lines() {
-        for ty in TYPES {
-            if contains_identifier(masked, ty) {
+    const OPS: [&str; 14] = [
+        "get",
+        "get_mut",
+        "insert",
+        "remove",
+        "entry",
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "range",
+        "contains_key",
+        "contains",
+        "pop_first",
+    ];
+    let toks = &file.toks;
+    let live = |line: u32| !file.line_is_test(line as usize) && !file.line_is_audit(line as usize);
+    // Pass 1: map-typed binding names (`let m = BTreeMap::new()`, struct
+    // fields and `let m: BTreeMap<..>` annotations).
+    let mut bindings: Vec<(String, &'static str)> = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !live(t.line) {
+            continue;
+        }
+        let Some(ty) = TYPES.iter().find(|ty| t.text == **ty) else {
+            continue;
+        };
+        // Walk back over `std :: collections ::`-style path segments.
+        let mut j = k;
+        while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        if j == 0 {
+            continue;
+        }
+        let bound = match toks[j - 1].text.as_str() {
+            ":" | "=" => toks.get(j.wrapping_sub(2)),
+            _ => None,
+        };
+        if let Some(name_tok) = bound.filter(|n| n.kind == TokKind::Ident) {
+            bindings.push((name_tok.text.clone(), ty));
+        }
+    }
+    // Pass 2: flag the type mentions themselves, plus per-event
+    // operations on the bindings found in pass 1 (lines that never name
+    // the type — the sites the line-local v1 rule could not see).
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !live(t.line) {
+            continue;
+        }
+        if let Some(ty) = TYPES.iter().find(|ty| t.text == **ty) {
+            out.push(Diagnostic {
+                rule: "hot-path-collections",
+                path: file.path.clone(),
+                line: t.line as usize,
+                message: format!(
+                    "{ty} in the engine event-handler scope: per-event lookups must \
+                     use slab/dense-vec storage indexed by handle; cold control-plane \
+                     maps go through audit.toml"
+                ),
+                snippet: file.snippet(t.line as usize),
+                chain: Vec::new(),
+            });
+            continue;
+        }
+        let is_op = OPS.contains(&t.text.as_str())
+            && k >= 2
+            && toks[k - 1].is_punct(".")
+            && toks[k - 2].kind == TokKind::Ident
+            && toks.get(k + 1).is_some_and(|n| n.is_punct("("));
+        if is_op {
+            let recv = &toks[k - 2].text;
+            if let Some((_, ty)) = bindings.iter().find(|(n, _)| n == recv) {
                 out.push(Diagnostic {
                     rule: "hot-path-collections",
                     path: file.path.clone(),
-                    line: line_no,
+                    line: t.line as usize,
                     message: format!(
-                        "{ty} in the engine event-handler scope: per-event lookups must \
-                         use slab/dense-vec storage indexed by handle; cold control-plane \
-                         maps go through audit.toml"
+                        "per-event `.{}()` on map-typed binding `{recv}` ({ty}) in the \
+                         engine event-handler scope; move this state to slab/dense-vec \
+                         storage indexed by handle",
+                        t.text
                     ),
-                    snippet: raw.trim().to_string(),
+                    snippet: file.snippet(t.line as usize),
+                    chain: Vec::new(),
                 });
             }
+        }
+    }
+}
+
+/// `unchecked-ops`: unchecked indexing/arithmetic in the engine's
+/// event-handler scope. `get_unchecked`, `unwrap_unchecked`,
+/// `unchecked_add` and friends trade the bounds/overflow check — the last
+/// line of defense behind the slab generation checks — for nanoseconds,
+/// and a wrong index there corrupts simulation state silently instead of
+/// panicking. The profiler shows none of these sites are hot enough to
+/// justify that.
+fn unchecked_ops(file: &ScannedFile, out: &mut Vec<Diagnostic>) {
+    if !in_engine_hot_path(&file.path) {
+        return;
+    }
+    for t in &file.toks {
+        let line = t.line as usize;
+        if t.kind != TokKind::Ident || file.line_is_test(line) || file.line_is_audit(line) {
+            continue;
+        }
+        if t.text.ends_with("_unchecked") || t.text.starts_with("unchecked_") {
+            out.push(Diagnostic {
+                rule: "unchecked-ops",
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "`{}` in the engine event-handler scope: keep the bounds/overflow \
+                     check; unchecked ops turn index bugs into silent state corruption",
+                    t.text
+                ),
+                snippet: file.snippet(line),
+                chain: Vec::new(),
+            });
         }
     }
 }
@@ -546,8 +668,16 @@ mod tests {
             assert_eq!(d[0].rule, "hot-path-collections");
         }
         // BTree types are fine (deterministic) outside the engine scope...
-        assert!(diags("crates/vssd/src/gsb.rs", "use std::collections::BTreeMap;\n").is_empty());
-        assert!(diags("crates/des/src/queue.rs", "use std::collections::BTreeSet;\n").is_empty());
+        assert!(diags(
+            "crates/vssd/src/gsb.rs",
+            "use std::collections::BTreeMap;\n"
+        )
+        .is_empty());
+        assert!(diags(
+            "crates/des/src/queue.rs",
+            "use std::collections::BTreeSet;\n"
+        )
+        .is_empty());
         // ...and in engine test modules.
         let in_test = "#[cfg(test)]\nmod tests {\n use std::collections::BTreeMap;\n}\n";
         assert!(diags("crates/vssd/src/engine/mod.rs", in_test).is_empty());

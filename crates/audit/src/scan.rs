@@ -1,12 +1,19 @@
 //! Source-text preprocessing for the lint rules.
 //!
-//! The rules work line-by-line on a *masked* copy of each file: comments and
-//! string/char literals are blanked out (replaced by spaces, newlines kept)
-//! so token searches cannot match prose, and every line is classified as
-//! test or non-test by tracking `#[cfg(test)]` / `#[test]` attribute blocks.
-//! This is deliberately not a full parser — the rules are conservative
-//! pattern checks, and keeping the scanner dumb keeps its behaviour easy to
-//! predict and to grep for.
+//! Each file is scanned once into three coordinated views:
+//!
+//! * **Masked lines** — comments and string/char literals blanked out
+//!   (replaced by spaces, newlines kept) so substring rules cannot match
+//!   prose. Masking is byte-for-byte: offsets and line/column positions in
+//!   the masked text equal those in the raw text.
+//! * **Tokens** — the [`crate::token`] lexer's stream, for the item
+//!   extractor, call graph, and flow-aware rules.
+//! * **Line classes** — every line is classified as test code (covered by
+//!   a `#[cfg(test)]` / `#[test]` attribute's item) and/or audit-only code
+//!   (covered by `#[cfg(feature = "audit")]`), by brace-matching from the
+//!   attribute to the end of the item it gates.
+
+use crate::token::{tokenize, Tok};
 
 /// A scanned source file ready for rule evaluation.
 #[derive(Debug)]
@@ -19,6 +26,12 @@ pub struct ScannedFile {
     pub masked_lines: Vec<String>,
     /// `true` for lines inside `#[cfg(test)]` / `#[test]` regions.
     pub is_test_line: Vec<bool>,
+    /// `true` for lines inside `#[cfg(feature = "audit")]` regions — code
+    /// compiled only when runtime invariant auditing is on, absent from
+    /// release/perf builds.
+    pub is_audit_line: Vec<bool>,
+    /// The file's token stream (comments and whitespace dropped).
+    pub toks: Vec<Tok>,
 }
 
 impl ScannedFile {
@@ -27,12 +40,17 @@ impl ScannedFile {
         let masked = mask_source(source);
         let raw_lines: Vec<String> = source.lines().map(str::to_string).collect();
         let masked_lines: Vec<String> = masked.lines().map(str::to_string).collect();
-        let is_test_line = test_line_map(&masked, raw_lines.len());
+        let n = raw_lines.len();
+        let is_test_line = attr_item_map(source, &masked, &["#[cfg(test)]", "#[test]"], n);
+        let is_audit_line = attr_item_map(source, &masked, &["#[cfg(feature = \"audit\")]"], n);
+        let toks = tokenize(source);
         ScannedFile {
             path: path.to_string(),
             raw_lines,
             masked_lines,
             is_test_line,
+            is_audit_line,
+            toks,
         }
     }
 
@@ -45,10 +63,28 @@ impl ScannedFile {
             .filter(|(i, _)| !self.is_test_line.get(*i).copied().unwrap_or(false))
             .map(|(i, (m, r))| (i + 1, m.as_str(), r.as_str()))
     }
+
+    /// Whether 1-based `line` is inside a test region.
+    pub fn line_is_test(&self, line: usize) -> bool {
+        line >= 1 && self.is_test_line.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Whether 1-based `line` is inside a `cfg(feature = "audit")` region.
+    pub fn line_is_audit(&self, line: usize) -> bool {
+        line >= 1 && self.is_audit_line.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The raw text of 1-based `line`, trimmed, for diagnostics.
+    pub fn snippet(&self, line: usize) -> String {
+        self.raw_lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
 }
 
 /// Replaces comments and string/char literals with spaces, preserving
-/// newlines so line/column positions survive.
+/// newlines (and total byte length) so line/column positions survive.
 pub fn mask_source(src: &str) -> String {
     #[derive(PartialEq)]
     enum St {
@@ -63,10 +99,15 @@ pub fn mask_source(src: &str) -> String {
     let mut out = Vec::with_capacity(b.len());
     let mut st = St::Code;
     let mut i = 0;
+    // Last raw byte emitted in Code state; a literal prefix (`r"`, `b"`)
+    // is only a prefix when it starts an identifier, so `herb"x"` keeps
+    // its `b`.
+    let mut prev_code = b' ';
     while i < b.len() {
         let c = b[i];
         match st {
             St::Code => {
+                let after_ident = prev_code.is_ascii_alphanumeric() || prev_code == b'_';
                 if c == b'/' && b.get(i + 1) == Some(&b'/') {
                     st = St::LineComment;
                     out.push(b' ');
@@ -76,7 +117,7 @@ pub fn mask_source(src: &str) -> String {
                 } else if c == b'"' {
                     st = St::Str;
                     out.push(b' ');
-                } else if c == b'r' || c == b'b' {
+                } else if (c == b'r' || c == b'b') && !after_ident {
                     // Possible raw/byte string start: r", r#", br", b"...
                     let mut j = i + 1;
                     if c == b'b' && b.get(j) == Some(&b'r') {
@@ -97,11 +138,20 @@ pub fn mask_source(src: &str) -> String {
                         out.push(c);
                     }
                 } else if c == b'\'' {
-                    // Char literal vs lifetime: a literal is 'x' or an
-                    // escape; a lifetime has no closing quote right after.
+                    // Char literal vs lifetime: a literal is one escape or
+                    // one scalar (of any UTF-8 width) followed by a
+                    // closing quote; a lifetime has no closing quote.
                     let is_char = match b.get(i + 1) {
                         Some(b'\\') => true,
-                        Some(_) => b.get(i + 2) == Some(&b'\''),
+                        Some(&n) => {
+                            let w = match n {
+                                0x00..=0x7f => 1,
+                                0xc0..=0xdf => 2,
+                                0xe0..=0xef => 3,
+                                _ => 4,
+                            };
+                            b.get(i + 1 + w) == Some(&b'\'')
+                        }
                         None => false,
                     };
                     if is_char {
@@ -111,6 +161,7 @@ pub fn mask_source(src: &str) -> String {
                 } else {
                     out.push(c);
                 }
+                prev_code = c;
             }
             St::LineComment => {
                 if c == b'\n' {
@@ -149,6 +200,7 @@ pub fn mask_source(src: &str) -> String {
                 } else if c == b'"' {
                     st = St::Code;
                     out.push(b' ');
+                    prev_code = b' ';
                 } else {
                     out.push(if c == b'\n' { b'\n' } else { b' ' });
                 }
@@ -165,6 +217,7 @@ pub fn mask_source(src: &str) -> String {
                         out.extend(std::iter::repeat_n(b' ', j - i));
                         i = j - 1;
                         st = St::Code;
+                        prev_code = b' ';
                     } else {
                         out.push(b' ');
                     }
@@ -182,6 +235,7 @@ pub fn mask_source(src: &str) -> String {
                 } else if c == b'\'' {
                     st = St::Code;
                     out.push(b' ');
+                    prev_code = b' ';
                 } else {
                     out.push(if c == b'\n' { b'\n' } else { b' ' });
                 }
@@ -192,20 +246,30 @@ pub fn mask_source(src: &str) -> String {
     String::from_utf8(out).expect("masking preserves UTF-8: replaced bytes are ASCII spaces")
 }
 
-/// Marks every line covered by a `#[cfg(test)]` or `#[test]` attribute's
-/// item (attribute line through the item's closing brace, or through the
-/// `;` for brace-less items).
-fn test_line_map(masked: &str, n_lines: usize) -> Vec<bool> {
+/// Marks every line covered by one of `attrs`'s items (attribute line
+/// through the item's closing brace, or through the `;` for brace-less
+/// items).
+///
+/// Attributes are located in the raw text (they may contain string
+/// literals, which masking blanks) and validated against the masked text
+/// (an attribute spelled inside a comment or string is masked to spaces
+/// there, so it cannot match). Brace matching runs on the masked text,
+/// where braces inside strings and comments do not exist.
+fn attr_item_map(raw: &str, masked: &str, attrs: &[&str], n_lines: usize) -> Vec<bool> {
     let mut map = vec![false; n_lines];
     let bytes = masked.as_bytes();
-    for attr in ["#[cfg(test)]", "#[test]"] {
+    for attr in attrs {
         let mut from = 0;
-        while let Some(pos) = find_from(masked, attr, from) {
+        while let Some(pos) = find_from(raw, attr, from) {
             from = pos + attr.len();
+            // Inside a comment or string, masking blanked the `#`.
+            if bytes.get(pos) != Some(&b'#') {
+                continue;
+            }
             let start_line = line_of(bytes, pos);
             let mut depth = 0i32;
             let mut started = false;
-            let mut end = bytes.len() - 1;
+            let mut end = bytes.len().saturating_sub(1);
             let mut j = pos + attr.len();
             while j < bytes.len() {
                 match bytes[j] {
@@ -295,6 +359,33 @@ mod tests {
     }
 
     #[test]
+    fn masking_preserves_byte_length() {
+        for src in [
+            "let r = r#\"unwrap()\"#; /* c /* d */ */ let c = '\\u{41}';",
+            "b\"bytes\"; br##\"raw\"## ; \"esc\\\"aped\"",
+        ] {
+            assert_eq!(mask_source(src).len(), src.len(), "{src}");
+        }
+    }
+
+    #[test]
+    fn masks_multibyte_char_literal_as_char() {
+        // 'é' is two bytes: an ASCII-only closing-quote check would
+        // misread it as a lifetime and leak the rest of the line.
+        let src = "let c = 'é'; let x = unwrap_me;";
+        let m = mask_source(src);
+        assert!(m.contains("unwrap_me"), "{m}");
+        assert!(!m.contains('é'), "{m}");
+    }
+
+    #[test]
+    fn ident_ending_in_b_keeps_its_last_letter() {
+        let src = "let herb\"x\" = 1;";
+        let m = mask_source(src);
+        assert!(m.contains("herb"), "{m}");
+    }
+
+    #[test]
     fn masks_nested_block_comments() {
         let src = "/* outer /* inner unwrap() */ still comment */ let z = 3;";
         let m = mask_source(src);
@@ -328,10 +419,37 @@ mod tests {
     }
 
     #[test]
+    fn audit_regions_cover_gated_items() {
+        let src = "#[cfg(feature = \"audit\")]\nfn sweep() {\n    check();\n}\nfn hot() {}\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(f.line_is_audit(1) && f.line_is_audit(2) && f.line_is_audit(3));
+        assert!(!f.line_is_audit(5));
+        // Statement-level gating ends at the semicolon.
+        let src =
+            "fn f() {\n    #[cfg(feature = \"audit\")]\n    self.audit_event();\n    other();\n}\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(f.line_is_audit(2) && f.line_is_audit(3));
+        assert!(!f.line_is_audit(4));
+    }
+
+    #[test]
+    fn attr_inside_string_or_comment_is_ignored() {
+        let src = "let s = \"#[cfg(test)]\";\n// #[cfg(test)]\nfn prod() { x.unwrap(); }\n";
+        let f = ScannedFile::new("x.rs", src);
+        assert!(f.is_test_line.iter().all(|t| !t), "{:?}", f.is_test_line);
+    }
+
+    #[test]
     fn identifiers_tokenize() {
         assert_eq!(
             identifiers("bus_ns_per_kib = x9 + Foo::BAR"),
             ["bus_ns_per_kib", "x9", "foo", "bar"]
         );
+    }
+
+    #[test]
+    fn scanned_file_carries_tokens() {
+        let f = ScannedFile::new("x.rs", "fn f() { g(); }\n");
+        assert!(f.toks.iter().any(|t| t.is_ident("g")));
     }
 }

@@ -1,0 +1,228 @@
+//! Masking/tokenizer corpus: the Rust surface syntax that broke (or could
+//! break) the v1 masked-line scanner. Every snippet is real, compilable
+//! Rust shape; each test pins both the masked text and the token stream so
+//! a regression in either layer fails with the exact snippet named.
+
+use fleetio_audit::scan::{mask_source, ScannedFile};
+use fleetio_audit::token::{tokenize, TokKind};
+
+/// Masking must be byte-length preserving (offsets in masked text ==
+/// offsets in raw text) and newline preserving on every corpus snippet.
+fn assert_mask_invariants(src: &str) {
+    let masked = mask_source(src);
+    assert_eq!(masked.len(), src.len(), "mask changed byte length:\n{src}");
+    assert_eq!(
+        masked.matches('\n').count(),
+        src.matches('\n').count(),
+        "mask changed line count:\n{src}"
+    );
+}
+
+#[test]
+fn lifetime_is_not_a_char_literal() {
+    // v1's naive `'` handling treated `'a` as an unterminated char literal
+    // and blanked the rest of the line, hiding `HashMap` from the rules.
+    let src = "fn first<'a>(m: &'a str, h: &'a HashMap<u8, u8>) -> &'a str { m }\n";
+    assert_mask_invariants(src);
+    let masked = mask_source(src);
+    assert!(masked.contains("HashMap"), "lifetime ate code: {masked}");
+    assert!(masked.contains("&'a str"), "lifetime blanked: {masked}");
+
+    let toks = tokenize(src);
+    assert!(
+        toks.iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"),
+        "no lifetime token: {toks:?}"
+    );
+    assert!(
+        toks.iter().all(|t| t.kind != TokKind::Char),
+        "lifetime lexed as char: {toks:?}"
+    );
+    assert!(toks.iter().any(|t| t.is_ident("HashMap")));
+}
+
+#[test]
+fn char_literals_including_escapes_are_blanked() {
+    let src = r#"let a = 'x'; let b = '\n'; let c = '\''; let d = '\u{1F600}'; let e = 'é';"#;
+    assert_mask_invariants(src);
+    let masked = mask_source(src);
+    assert!(!masked.contains('x') || masked.contains("x "), "{masked}");
+    for frag in ["'x'", "\\n", "\\'", "1F600", "é"] {
+        assert!(
+            !masked.contains(frag),
+            "char body `{frag}` survived: {masked}"
+        );
+    }
+    let toks = tokenize(src);
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+        5,
+        "{toks:?}"
+    );
+}
+
+#[test]
+fn raw_strings_with_hashes() {
+    // A raw string whose body contains `"#` must only close at `"##`.
+    let src = "let s = r##\"quote \"# inside, and Instant::now() too\"##; let after = 1;\n";
+    assert_mask_invariants(src);
+    let masked = mask_source(src);
+    assert!(
+        !masked.contains("Instant"),
+        "raw-string body survived masking: {masked}"
+    );
+    assert!(
+        masked.contains("after"),
+        "masking overshot the raw string: {masked}"
+    );
+    let toks = tokenize(src);
+    assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    assert!(toks.iter().any(|t| t.is_ident("after")));
+    assert!(!toks.iter().any(|t| t.is_ident("Instant")));
+}
+
+#[test]
+fn byte_strings_and_byte_literals() {
+    let src = "let b = b\"SystemTime bytes\"; let rb = br#\"raw \" body\"#; let x = b'\\n'; let ok = 2;\n";
+    assert_mask_invariants(src);
+    let masked = mask_source(src);
+    assert!(!masked.contains("SystemTime"), "{masked}");
+    assert!(!masked.contains("raw"), "{masked}");
+    assert!(masked.contains("ok"), "{masked}");
+    let toks = tokenize(src);
+    assert!(!toks.iter().any(|t| t.is_ident("SystemTime")));
+    assert!(toks.iter().any(|t| t.is_ident("ok")));
+}
+
+#[test]
+fn prefix_only_applies_at_identifier_start() {
+    // `herb"x"` is ident `herb` followed by a plain string — the trailing
+    // `b` must not be folded into the literal as a byte-string prefix.
+    let src = "let herb\"x\" = 1;\n"; // not valid Rust, but the lexer must not panic
+    assert_mask_invariants(src);
+    let masked = mask_source(src);
+    assert!(masked.contains("herb"), "{masked}");
+    assert!(!masked.contains('x'), "{masked}");
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "/* outer /* inner HashMap */ still comment Instant::now() */ let live = 3;\n";
+    assert_mask_invariants(src);
+    let masked = mask_source(src);
+    assert!(!masked.contains("HashMap"), "{masked}");
+    assert!(!masked.contains("Instant"), "{masked}");
+    assert!(masked.contains("live"), "{masked}");
+    let toks = tokenize(src);
+    assert!(toks.iter().any(|t| t.is_ident("live")));
+    assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+}
+
+#[test]
+fn multiline_string_keeps_line_numbers() {
+    let src = "let s = \"line one\nline two with HashMap\nline three\";\nlet after = 4;\n";
+    assert_mask_invariants(src);
+    let masked = mask_source(src);
+    assert!(!masked.contains("HashMap"), "{masked}");
+    // `after` sits on line 4 in both views.
+    assert_eq!(
+        masked.lines().nth(3).map(|l| l.contains("after")),
+        Some(true)
+    );
+    let toks = tokenize(src);
+    let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+    assert_eq!(after.line, 4);
+    // The string token carries its START line (1), so rules attributing a
+    // finding inside a multi-line literal point at the opening quote.
+    let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+    assert_eq!(s.line, 1);
+}
+
+#[test]
+fn escaped_quote_does_not_end_string() {
+    let src = r#"let s = "say \" HashMap \\"; let live = 5;"#;
+    assert_mask_invariants(src);
+    let masked = mask_source(src);
+    assert!(!masked.contains("HashMap"), "{masked}");
+    assert!(masked.contains("live"), "{masked}");
+}
+
+#[test]
+fn raw_identifiers_lex_as_their_name() {
+    let src = "fn r#match(r#type: u8) -> u8 { r#type }\n";
+    let toks = tokenize(src);
+    assert!(toks.iter().any(|t| t.is_ident("match")), "{toks:?}");
+    assert!(toks.iter().any(|t| t.is_ident("type")), "{toks:?}");
+}
+
+#[test]
+fn composed_puncts_and_numbers() {
+    let src = "let x: u64 = 0x9e37_79b9; let y = 1.5e3 + x as f64; v += 1; p::<u8>();\n";
+    let toks = tokenize(src);
+    assert!(
+        toks.iter()
+            .any(|t| t.kind == TokKind::Int && t.text == "0x9e37_79b9"),
+        "{toks:?}"
+    );
+    assert!(
+        toks.iter()
+            .any(|t| t.kind == TokKind::Float && t.text == "1.5e3"),
+        "{toks:?}"
+    );
+    assert!(toks.iter().any(|t| t.is_punct("+=")), "{toks:?}");
+    assert!(toks.iter().any(|t| t.is_punct("::")), "{toks:?}");
+}
+
+#[test]
+fn attribute_gating_sees_through_literal_laden_attrs() {
+    // The test attr search runs on RAW text because masking blanks the
+    // string inside `#[cfg(feature = "audit")]`.
+    let src = "\
+struct S;
+
+#[cfg(feature = \"audit\")]
+fn audit_only() {
+    let m = std::collections::HashMap::<u8, u8>::new();
+    drop(m);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let h = std::time::Instant::now();
+        drop(h);
+    }
+}
+
+fn live() {}
+";
+    let f = ScannedFile::new("crates/x/src/lib.rs", src);
+    assert!(f.line_is_audit(5), "HashMap line should be audit-gated");
+    assert!(!f.line_is_test(5));
+    assert!(f.line_is_test(13), "Instant line should be test-gated");
+    assert!(!f.line_is_audit(18));
+    assert!(!f.line_is_test(18));
+}
+
+#[test]
+fn lexer_never_panics_on_malformed_input() {
+    // Truncated / garbage inputs: the scanner runs over work-in-progress
+    // trees, so every state machine must terminate gracefully.
+    for src in [
+        "let s = \"unterminated",
+        "let c = 'u",
+        "r###\"never closed",
+        "/* never closed /* nested",
+        "'",
+        "\\",
+        "b'",
+        "r#",
+        "0x",
+        "ident\u{0}with\u{0}nul",
+    ] {
+        let _ = mask_source(src);
+        let _ = tokenize(src);
+        let _ = ScannedFile::new("x.rs", src);
+    }
+}

@@ -1,0 +1,42 @@
+//! scan-as: crates/vssd/src/engine/clean_fixture.rs
+//!
+//! Zero expected diagnostics: dense storage on the hot path, and every
+//! would-be violation properly gated behind `#[cfg(test)]` or
+//! `#[cfg(feature = "audit")]` (both exempt from line-local and
+//! cost-based rules).
+
+pub struct Dense {
+    slots: Vec<Option<u64>>,
+}
+
+impl Dense {
+    pub fn handle(&mut self, idx: usize) -> Option<u64> {
+        self.slots.get(idx).copied().flatten()
+    }
+}
+
+#[cfg(feature = "audit")]
+pub fn cross_check(slots: &[Option<u64>]) -> usize {
+    let mut seen = std::collections::BTreeMap::new();
+    for (i, s) in slots.iter().enumerate() {
+        if s.is_some() {
+            seen.insert(i, ());
+        }
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles() {
+        let mut d = Dense {
+            slots: vec![Some(7)],
+        };
+        let started = std::time::Instant::now();
+        assert_eq!(d.handle(0).unwrap(), 7);
+        assert!(started.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,37 @@
+//! scan-as: crates/vssd/src/core_fixture.rs
+//!
+//! One violating snippet per line-local rule that applies to the
+//! simulator core scope (`crates/vssd/src/` is in core, sim, and quiet
+//! scope, but outside the engine event-handler directory).
+
+pub fn convert(total_ns: u64) -> f64 {
+    total_ns as f64 / 1e9 //~ raw-time-arith
+}
+
+pub fn lookup(v: &[u32]) -> u32 {
+    *v.first().unwrap() //~ no-unwrap
+}
+
+pub fn lookup_expect(v: &[u32]) -> u32 {
+    *v.first().expect("short") //~ no-unwrap
+}
+
+pub fn count(keys: &[u32]) -> usize {
+    let mut seen = std::collections::HashMap::new(); //~ hash-iteration
+    for k in keys {
+        seen.insert(*k, ());
+    }
+    seen.len()
+}
+
+pub fn roll() -> u32 {
+    thread_rng().gen_range(0..4) //~ entropy
+}
+
+pub fn report(n: usize) {
+    println!("{n} events"); //~ no-println
+}
+
+pub fn persist(data: &[u8]) {
+    std::fs::write("out.bin", data).ok(); //~ atomic-io
+}

@@ -1,0 +1,21 @@
+//! scan-as: crates/vssd/src/engine/hot_fixture.rs
+//!
+//! Engine event-handler scope rules: the flow-aware
+//! `hot-path-collections` rule must flag both the map type mention (the
+//! struct field) and the per-event operation on the map-typed binding at
+//! a line that never names the type; `unchecked-ops` must flag unchecked
+//! indexing.
+
+pub struct Tracker {
+    index: std::collections::BTreeMap<u64, u64>, //~ hot-path-collections
+}
+
+impl Tracker {
+    pub fn handle(&mut self, key: u64) -> Option<u64> {
+        self.index.get(&key).copied() //~ hot-path-collections
+    }
+
+    pub fn first(&self, slots: &[u64]) -> u64 {
+        unsafe { *slots.get_unchecked(0) } //~ unchecked-ops
+    }
+}

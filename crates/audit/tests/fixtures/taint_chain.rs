@@ -1,0 +1,23 @@
+//! scan-as: crates/vssd/src/engine/taint_fixture.rs
+//!
+//! Synthetic taint chain: a nondeterminism source (`Instant::now`) two
+//! calls below `Engine::dispatch_event`. The taint rule must report the
+//! source line with the full root-to-source call chain; the line-local
+//! `host-time-scope` rule fires on the same line independently.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn dispatch_event(&self) {
+        self.helper();
+    }
+
+    fn helper(&self) {
+        leaf_timestamp();
+    }
+}
+
+fn leaf_timestamp() -> u64 {
+    let t = std::time::Instant::now(); //~ host-time-scope //~ determinism-taint
+    t.elapsed().as_nanos() as u64
+}

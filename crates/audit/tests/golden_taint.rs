@@ -1,0 +1,40 @@
+//! Golden test pinning the determinism-taint analysis on the real tree.
+//!
+//! The summary is deliberately line-number free (roots with their defining
+//! files, per-file nondeterminism-source counts with sanctioned markers,
+//! and the finding count), so ordinary refactors inside a file do not
+//! churn it — but a root failing to resolve, a source appearing or
+//! disappearing in sim scope, or a new reachable finding all do.
+//!
+//! To refresh after an intentional change:
+//!   cargo run -p fleetio-audit -- taint > crates/audit/tests/golden/taint_summary.txt
+
+use fleetio_audit::{build_workspace, default_root, graph, parse_dep_graph, scan_workspace};
+
+#[test]
+fn taint_summary_matches_golden() {
+    let root = default_root();
+    let scanned = scan_workspace(&root).unwrap();
+    let deps = parse_dep_graph(&root).unwrap();
+    let ws = build_workspace(&scanned, &deps);
+    let actual = graph::taint_summary(&ws);
+    let golden = include_str!("golden/taint_summary.txt");
+    assert_eq!(
+        actual, golden,
+        "taint summary drifted from golden; if intentional, regenerate with\n  \
+         cargo run -p fleetio-audit -- taint > crates/audit/tests/golden/taint_summary.txt"
+    );
+}
+
+#[test]
+fn all_roots_resolve_on_the_real_tree() {
+    // Belt-and-braces beyond the golden text: an unresolved root means the
+    // taint rule silently checks nothing from that entry point.
+    let root = default_root();
+    let scanned = scan_workspace(&root).unwrap();
+    let deps = parse_dep_graph(&root).unwrap();
+    let ws = build_workspace(&scanned, &deps);
+    for (name, ids) in ws.root_resolutions() {
+        assert!(!ids.is_empty(), "taint root `{name}` did not resolve");
+    }
+}

@@ -5,8 +5,6 @@
 //!
 //! Run with `cargo bench -p fleetio-bench --bench overheads`.
 
-use std::collections::BTreeMap;
-
 use fleetio::agent::{ppo_config, PretrainedModel};
 use fleetio::{FleetIoAgent, FleetIoConfig, StateVector};
 use fleetio_bench::harness::{bench_function, bench_with_setup};
@@ -75,7 +73,7 @@ fn bench_admission_batch() {
                 });
             }
         }
-        std::hint::black_box(ac.drain_batch(8, &BTreeMap::new(), ch_bw));
+        std::hint::black_box(ac.drain_batch(8, &[], ch_bw));
     });
 }
 

@@ -659,7 +659,7 @@ pub fn overheads(ctx: &mut SharedContext) -> FigureReport {
                 });
             }
         }
-        let _ = ac.drain_batch(8, &std::collections::BTreeMap::new(), ch_bw);
+        let _ = ac.drain_batch(8, &[], ch_bw);
     });
     report.row("admission_batch_1000_actions", vec![batch_us, 1.0]);
 

@@ -573,7 +573,7 @@ fn run_scenarios(opts: &PerfOptions, metrics: &mut BTreeMap<String, f64>) {
 fn queue_scenario(opts: &PerfOptions, metrics: &mut BTreeMap<String, f64>) {
     use fleetio_des::{EventQueue, SimTime};
     let _prof = prof::span("perf.queue");
-    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x5eed_9_0e0e);
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x0005_eed9_0e0e);
     let mut q: EventQueue<u32> = EventQueue::new();
     let mut now = 0u64;
     // Steady-state population comparable to a busy engine.
@@ -592,13 +592,19 @@ fn queue_scenario(opts: &PerfOptions, metrics: &mut BTreeMap<String, f64>) {
         .collect();
     let mut di = deltas.iter();
     for _ in 0..PENDING {
-        q.push(SimTime::from_nanos(now + di.next().expect("prefill delta")), 0);
+        q.push(
+            SimTime::from_nanos(now + di.next().expect("prefill delta")),
+            0,
+        );
     }
     let t0 = Instant::now();
     for _ in 0..opts.queue_ops {
         let ev = q.pop().expect("queue holds PENDING events");
         now = ev.at.as_nanos();
-        q.push(SimTime::from_nanos(now + di.next().expect("steady delta")), 0);
+        q.push(
+            SimTime::from_nanos(now + di.next().expect("steady delta")),
+            0,
+        );
     }
     let secs = t0.elapsed().as_secs_f64().max(1e-9);
     // One op = one push + one pop.

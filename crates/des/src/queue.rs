@@ -162,7 +162,10 @@ impl<T> EventQueue<T> {
     ///
     /// Panics if `ring_len` is not a power of two or `shift` ≥ 64.
     pub fn with_geometry(shift: u32, ring_len: usize) -> Self {
-        assert!(ring_len.is_power_of_two(), "ring_len must be a power of two");
+        assert!(
+            ring_len.is_power_of_two(),
+            "ring_len must be a power of two"
+        );
         assert!(shift < 64, "shift must leave time bits");
         EventQueue {
             shift,
@@ -264,11 +267,7 @@ impl<T> EventQueue<T> {
                 if self.bucket_of(peek.0.at) >= horizon {
                     break;
                 }
-                let ev = self
-                    .overflow
-                    .pop()
-                    .expect("peek observed an entry")
-                    .0;
+                let ev = self.overflow.pop().expect("peek observed an entry").0;
                 let b = self.bucket_of(ev.at);
                 debug_assert!(b >= self.cur, "overflow event migrated into the past");
                 self.buckets[(b & self.mask) as usize].push(ev);
@@ -283,7 +282,7 @@ impl<T> EventQueue<T> {
                 std::mem::swap(&mut self.cur_vec, &mut self.buckets[slot]);
                 self.ring_count -= self.cur_vec.len();
                 self.cur_vec
-                    .sort_unstable_by(|a, b| (b.at, b.seq).cmp(&(a.at, a.seq)));
+                    .sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
                 return true;
             }
         }
@@ -669,6 +668,7 @@ mod tests {
     /// Generates an engine-like schedule: bursts of same-time events,
     /// short cascades, occasional far-future jumps. Interleaves pushes
     /// and pops so the ring rotates and overflow migrates mid-stream.
+    #[allow(clippy::type_complexity)]
     fn adversarial_case(
         rng: &mut SmallRng,
         shift: u32,
@@ -705,8 +705,7 @@ mod tests {
                 // Far-future push beyond the ring horizon (overflow).
                 6 => {
                     let horizon = (ring as u64) << shift;
-                    let at =
-                        SimTime::from_nanos(now + horizon + rng.gen_range(0u64..4 * horizon));
+                    let at = SimTime::from_nanos(now + horizon + rng.gen_range(0u64..4 * horizon));
                     cal.push(at, payload);
                     heap.push(at, payload);
                     pushed.push((at, payload));

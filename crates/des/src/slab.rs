@@ -57,8 +57,12 @@ impl std::fmt::Display for Handle {
 #[derive(Debug, Clone)]
 enum Entry<T> {
     /// Next free slot index, or `u32::MAX` for the list tail.
-    Free { next: u32 },
-    Occupied { value: T },
+    Free {
+        next: u32,
+    },
+    Occupied {
+        value: T,
+    },
 }
 
 /// A dense slab with O(1) insert/lookup/remove and generation-checked

@@ -180,14 +180,15 @@ impl AdmissionControl {
     /// `Make_Harvestable()` actions come first (submission order), then
     /// `Harvest()` actions ranked per the contention policy;
     /// `harvested_holdings` maps each vSSD to its currently harvested
-    /// resource count (in gSB channels) and `supply_channels` is the total
+    /// resource count (in gSB channels, sorted by id for binary search;
+    /// absent vSSDs count as 0) and `supply_channels` is the total
     /// `n_chls` available in the pool *after* this batch's
     /// `Make_Harvestable()` actions execute (an estimate is fine — ranking
     /// only changes when demand exceeds it).
     pub fn drain_batch(
         &mut self,
         supply_channels: usize,
-        harvested_holdings: &BTreeMap<VssdId, usize>,
+        harvested_holdings: &[(VssdId, usize)],
         channel_bytes_per_sec: f64,
     ) -> Vec<HarvestAction> {
         let pending = std::mem::take(&mut self.pending);
@@ -201,7 +202,11 @@ impl AdmissionControl {
             .sum();
         if demand > supply_channels && self.policy == ContentionPolicy::FcfsFewestHarvestedFirst {
             // Stable sort keeps FCFS order among equal holders.
-            harvests.sort_by_key(|a| harvested_holdings.get(&a.vssd()).copied().unwrap_or(0));
+            harvests.sort_by_key(|a| {
+                harvested_holdings
+                    .binary_search_by_key(&a.vssd(), |(id, _)| *id)
+                    .map_or(0, |pos| harvested_holdings[pos].1)
+            });
         }
         self.admitted += (makes.len() + harvests.len()) as u64;
         makes.append(&mut harvests);
@@ -242,7 +247,7 @@ mod tests {
         ac.submit(make(2, CH_BW));
         ac.submit(harvest(3, CH_BW));
         ac.submit(make(4, CH_BW));
-        let batch = ac.drain_batch(10, &BTreeMap::new(), CH_BW);
+        let batch = ac.drain_batch(10, &[], CH_BW);
         assert_eq!(batch.len(), 4);
         assert!(matches!(
             batch[0],
@@ -297,9 +302,7 @@ mod tests {
         let mut ac = AdmissionControl::new();
         ac.submit(harvest(1, 2.0 * CH_BW));
         ac.submit(harvest(2, 2.0 * CH_BW));
-        let mut holdings = BTreeMap::new();
-        holdings.insert(VssdId(1), 3);
-        holdings.insert(VssdId(2), 0);
+        let holdings = [(VssdId(1), 3), (VssdId(2), 0)];
         // Demand (4 channels) exceeds supply (2): vssd2 (fewer holdings)
         // jumps ahead despite later submission.
         let batch = ac.drain_batch(2, &holdings, CH_BW);
@@ -312,8 +315,7 @@ mod tests {
         let mut ac = AdmissionControl::new();
         ac.submit(harvest(1, CH_BW));
         ac.submit(harvest(2, CH_BW));
-        let mut holdings = BTreeMap::new();
-        holdings.insert(VssdId(1), 5);
+        let holdings = [(VssdId(1), 5)];
         let batch = ac.drain_batch(10, &holdings, CH_BW);
         assert_eq!(batch[0].vssd(), VssdId(1));
     }
@@ -323,8 +325,7 @@ mod tests {
         let mut ac = AdmissionControl::new().with_policy(ContentionPolicy::StrictFcfs);
         ac.submit(harvest(1, 2.0 * CH_BW));
         ac.submit(harvest(2, 2.0 * CH_BW));
-        let mut holdings = BTreeMap::new();
-        holdings.insert(VssdId(1), 9);
+        let holdings = [(VssdId(1), 9)];
         let batch = ac.drain_batch(1, &holdings, CH_BW);
         assert_eq!(batch[0].vssd(), VssdId(1));
     }

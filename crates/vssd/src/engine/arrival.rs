@@ -96,8 +96,8 @@ impl Engine {
             }
         }
         self.arrival_ops = ops;
-        for i in 0..touched.len() {
-            self.try_dispatch(touched[i]);
+        for &ch in &touched {
+            self.try_dispatch(ch);
         }
         touched.clear();
         self.arrival_touched = touched;

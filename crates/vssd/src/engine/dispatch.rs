@@ -56,9 +56,9 @@ impl Engine {
                 Some((vssd_idx, rank)) => {
                     let high = rank > 0
                         && *high_present.get_or_insert_with(|| {
-                            self.chans[usize::from(ch)]
-                                .stride_members()
-                                .any(|idx| self.vssds[idx].priority == crate::request::Priority::High)
+                            self.chans[usize::from(ch)].stride_members().any(|idx| {
+                                self.vssds[idx].priority == crate::request::Priority::High
+                            })
                         });
                     if high && self.chans[usize::from(ch)].in_flight >= low_cap {
                         self.maybe_schedule_token_retry(ch);

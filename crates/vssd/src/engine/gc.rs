@@ -133,10 +133,7 @@ impl Engine {
                 },
             ));
         }
-        self.gc_jobs
-            .get_mut(job)
-            .expect("job registered")
-            .remaining = ops.len() as u32;
+        self.gc_jobs.get_mut(job).expect("job registered").remaining = ops.len() as u32;
         if ops.is_empty() {
             // Fully dead block: erase right away.
             self.gc_op_buf = ops;
@@ -160,8 +157,8 @@ impl Engine {
             }
         }
         self.gc_op_buf = ops;
-        for i in 0..touched.len() {
-            self.try_dispatch(touched[i]);
+        for &ch in &touched {
+            self.try_dispatch(ch);
         }
         touched.clear();
         self.gc_touched = touched;

@@ -7,8 +7,6 @@
 //! idempotent level-setting (issuing the same action twice is a no-op
 //! rather than doubling the harvest).
 
-use std::collections::BTreeMap;
-
 use fleetio_flash::addr::{BlockAddr, ChannelId};
 
 use crate::admission::HarvestAction;
@@ -334,11 +332,14 @@ impl Engine {
     /// Executes one admission batch (§3.5) and schedules the next tick.
     pub(crate) fn process_admission_tick(&mut self) {
         let supply = self.pool.available_channels_total();
-        let holdings: BTreeMap<VssdId, usize> = self
+        // Sorted by id (vssd construction order is arbitrary) so
+        // `drain_batch` can binary-search its per-vSSD holdings.
+        let mut holdings: Vec<(VssdId, usize)> = self
             .vssds
             .iter()
             .map(|v| (v.cfg.id, self.pool.harvested_channels_by(v.cfg.id)))
             .collect();
+        holdings.sort_unstable_by_key(|(id, _)| *id);
         let ch_bw = self.channel_peak_bytes_per_sec();
         let batch = self.admission.drain_batch(supply, &holdings, ch_bw);
         // Actions update the persistent level targets; afterwards every
@@ -352,25 +353,24 @@ impl Engine {
                     bytes_per_sec,
                 } => {
                     let target = self.channels_for_bandwidth(bytes_per_sec);
-                    self.harvest_targets.entry(vssd).or_insert((0, 0)).1 = target;
+                    let i = self.idx(vssd);
+                    self.harvest_targets[i].get_or_insert((0, 0)).1 = target;
                 }
                 HarvestAction::Harvest {
                     vssd,
                     bytes_per_sec,
                 } => {
                     let target = self.channels_for_bandwidth(bytes_per_sec);
-                    self.harvest_targets.entry(vssd).or_insert((0, 0)).0 = target;
+                    let i = self.idx(vssd);
+                    self.harvest_targets[i].get_or_insert((0, 0)).0 = target;
                 }
             }
         }
         let targets: Vec<(VssdId, usize, usize)> = self
             .vssds
             .iter()
-            .filter_map(|v| {
-                self.harvest_targets
-                    .get(&v.cfg.id)
-                    .map(|(h, m)| (v.cfg.id, *h, *m))
-            })
+            .enumerate()
+            .filter_map(|(i, v)| self.harvest_targets[i].map(|(h, m)| (v.cfg.id, h, m)))
             .collect();
         for (id, harvest, make) in targets {
             self.set_harvestable_target(id, make);

@@ -25,8 +25,6 @@ mod vstate;
 
 pub use vstate::VssdCumulative;
 
-use std::collections::BTreeMap;
-
 use fleetio_des::window::WindowSummary;
 use fleetio_des::{Event, EventQueue, Handle, SimDuration, SimTime, Slab};
 use fleetio_flash::addr::{BlockAddr, ChannelId};
@@ -145,18 +143,31 @@ impl ChanState {
 pub(crate) enum Ev {
     /// A submitted request reaches its arrival time; `h` is its
     /// [`InflightReq`] slab handle.
-    Arrival { h: Handle },
+    Arrival {
+        h: Handle,
+    },
     /// A page op completed on channel `ch`; `tag` is a packed completion
     /// tag (see [`Engine::page_done_tag`]).
-    PageDone { ch: u16, tag: u64 },
+    PageDone {
+        ch: u16,
+        tag: u64,
+    },
     /// A GC job's erase finished; `job` is its [`GcJob`] slab handle
     /// (owner/channel/chip are read from the job at completion time).
-    GcDone { job: Handle, busy: SimDuration },
+    GcDone {
+        job: Handle,
+        busy: SimDuration,
+    },
     AdmissionTick,
-    TokenRetry { ch: u16 },
+    TokenRetry {
+        ch: u16,
+    },
     /// Next bus grant of a time-sliced low-priority transfer; `h` is the
     /// [`GrantOp`] slab handle (progress is mutated in place per grant).
-    Grant { ch: u16, h: Handle },
+    Grant {
+        ch: u16,
+        h: Handle,
+    },
 }
 
 /// State of a time-sliced (grant-by-grant) page operation in flight.
@@ -229,7 +240,9 @@ pub struct Engine {
     pub(crate) now: SimTime,
     pub(crate) events: EventQueue<Ev>,
     pub(crate) vssds: Vec<VssdState>,
-    pub(crate) id_to_idx: BTreeMap<VssdId, usize>,
+    /// Dense vSSD index by id, sorted by id for binary search. Fixed at
+    /// construction; the engine never adds or removes vSSDs.
+    pub(crate) id_to_idx: Vec<(VssdId, usize)>,
     pub(crate) chans: Vec<ChanState>,
     pub(crate) pool: GsbPool,
     pub(crate) hbt: HarvestedBlockTable,
@@ -252,8 +265,10 @@ pub struct Engine {
     /// In-flight time-sliced transfers (see [`GrantOp`]).
     pub(crate) grants: Slab<GrantOp>,
     /// Persistent per-vSSD (harvest, make-harvestable) channel targets,
-    /// reconciled at every admission tick.
-    pub(crate) harvest_targets: BTreeMap<VssdId, (usize, usize)>,
+    /// reconciled at every admission tick. Dense over the vSSD index;
+    /// `None` until the first admission decision touches a vSSD (untouched
+    /// vSSDs are skipped by reconciliation entirely).
+    pub(crate) harvest_targets: Vec<Option<(usize, usize)>>,
     pub(crate) window_start: Vec<SimTime>,
     /// Suppresses GC and timing during warm-up pre-fill.
     pub(crate) warming: bool,
@@ -303,7 +318,7 @@ impl Engine {
         let chip_slots = n_channels * usize::from(cfg.flash.chips_per_channel);
         let total_blocks = chip_slots * cfg.flash.blocks_per_chip as usize;
         let mut states = Vec::with_capacity(vssds.len());
-        let mut id_to_idx = BTreeMap::new();
+        let mut id_to_idx = Vec::with_capacity(vssds.len());
         for (idx, vc) in vssds.into_iter().enumerate() {
             if let Err(e) = vc.validate() {
                 panic!("invalid vssd config: {e}");
@@ -316,12 +331,12 @@ impl Engine {
                     ch
                 );
             }
-            assert!(
-                id_to_idx.insert(vc.id, idx).is_none(),
-                "duplicate vssd id {}",
-                vc.id
-            );
+            id_to_idx.push((vc.id, idx));
             states.push(VssdState::new(vc, chip_slots));
+        }
+        id_to_idx.sort_unstable_by_key(|(id, _)| *id);
+        for pair in id_to_idx.windows(2) {
+            assert!(pair[0].0 != pair[1].0, "duplicate vssd id {}", pair[0].0);
         }
         let chans = (0..n_channels)
             .map(|_| ChanState {
@@ -366,7 +381,7 @@ impl Engine {
             gc_jobs: Slab::new(),
             next_gc_job: 0,
             grants: Slab::new(),
-            harvest_targets: BTreeMap::new(),
+            harvest_targets: vec![None; n_vssds],
             window_start: vec![SimTime::ZERO; n_vssds],
             warming: false,
             in_emergency: false,
@@ -428,10 +443,10 @@ impl Engine {
     }
 
     pub(crate) fn idx(&self, id: VssdId) -> usize {
-        *self
-            .id_to_idx
-            .get(&id)
-            .unwrap_or_else(|| panic!("unknown vssd {id}"))
+        match self.id_to_idx.binary_search_by_key(&id, |(k, _)| *k) {
+            Ok(pos) => self.id_to_idx[pos].1,
+            Err(_) => panic!("unknown vssd {id}"),
+        }
     }
 
     /// Dense index of a `(channel, chip)` pair into the per-chip tables

@@ -47,8 +47,8 @@ impl HarvestedBlockTable {
     /// Creates a table for `channels × chips_per_channel × blocks_per_chip`
     /// physical blocks, all regular.
     pub fn new(channels: u16, chips_per_channel: u16, blocks_per_chip: u32) -> Self {
-        let blocks = usize::from(channels) * usize::from(chips_per_channel)
-            * blocks_per_chip as usize;
+        let blocks =
+            usize::from(channels) * usize::from(chips_per_channel) * blocks_per_chip as usize;
         HarvestedBlockTable {
             bits: vec![0; blocks.div_ceil(64)],
             chips_per_channel,

@@ -303,9 +303,15 @@ mod tests {
         // Deterministic pseudo-random runnable subsets.
         let mut x = 0x1234_5678u64;
         for step in 0..2_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let mask = (x >> 32) as usize & 0xf;
-            let runnable: Vec<usize> = keys.iter().copied().filter(|k| mask & (1 << k) != 0).collect();
+            let runnable: Vec<usize> = keys
+                .iter()
+                .copied()
+                .filter(|k| mask & (1 << k) != 0)
+                .collect();
             assert_eq!(
                 dense.pick(runnable.iter().copied()),
                 tree.pick(runnable.iter().copied()),
