@@ -63,6 +63,7 @@ pub(crate) fn in_sim(path: &str) -> bool {
         "crates/model/src/",
         "crates/fleetio/src/",
         "crates/obs/src/",
+        "crates/store/src/",
     ]
     .iter()
     .any(|p| path.starts_with(p))
@@ -96,6 +97,7 @@ fn in_quiet(path: &str) -> bool {
         "crates/rl/src/",
         "crates/model/src/",
         "crates/obs/src/",
+        "crates/store/src/",
     ]
     .iter()
     .any(|p| path.starts_with(p))

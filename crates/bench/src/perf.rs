@@ -2,9 +2,9 @@
 //! a schema-versioned `BENCH_fleetio.json` report, and a thresholded
 //! comparator for CI gating.
 //!
-//! [`run_perf`] measures three scenarios — a two-tenant colocation run, a
-//! parallel rollout collection, and a PPO update microbench — in two
-//! passes: a **timing pass** with the profiler disabled (so the throughput
+//! [`run_perf`] measures five scenarios — a two-tenant colocation run, a
+//! parallel rollout collection, a PPO update microbench, an event-queue
+//! microbench, and a run-store ingest microbench — in two passes: a **timing pass** with the profiler disabled (so the throughput
 //! numbers carry no instrumentation overhead) and a **profiling pass**
 //! with `obs::prof` enabled that yields the span tree embedded in the
 //! report and the folded stacks for flamegraphs. [`compare`] diffs two
@@ -60,6 +60,8 @@ pub struct PerfOptions {
     pub ppo_updates: usize,
     /// Push/pop pairs timed by the event-queue microbench.
     pub queue_ops: usize,
+    /// Events streamed through the run-store ingest microbench.
+    pub store_events: usize,
     /// Root random seed.
     pub seed: u64,
 }
@@ -75,6 +77,7 @@ impl PerfOptions {
             ppo_transitions: 512,
             ppo_updates: 6,
             queue_ops: 2_000_000,
+            store_events: 400_000,
             seed: 42,
         }
     }
@@ -90,6 +93,7 @@ impl PerfOptions {
             ppo_transitions: 64,
             ppo_updates: 1,
             queue_ops: 20_000,
+            store_events: 5_000,
             seed: 42,
         }
     }
@@ -562,6 +566,91 @@ fn run_scenarios(opts: &PerfOptions, metrics: &mut BTreeMap<String, f64>) {
     rollout_scenario(opts, metrics);
     ppo_scenario(opts, metrics);
     queue_scenario(opts, metrics);
+    store_scenario(opts, metrics);
+}
+
+/// Run-store ingest microbench: a representative event mix streamed
+/// through a `StoreSink` (encode + CRC framing + fingerprint + segment
+/// seals with fsync) into a throwaway directory. Fills
+/// `store_ingest_events_per_sec` so recording overhead regressions are
+/// caught even though the simulator never waits on the store.
+fn store_scenario(opts: &PerfOptions, metrics: &mut BTreeMap<String, f64>) {
+    use fleetio_des::SimTime;
+    use fleetio_obs::{ObsEvent, ObsSink};
+    use fleetio_store::StoreSink;
+
+    let _prof = prof::span("perf.store");
+    let dir = std::env::temp_dir().join(format!(
+        "fleetio-bench-store-{}-{}",
+        std::process::id(),
+        opts.seed
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut sink = StoreSink::create(
+        &dir,
+        vec![0; 64],
+        0x5707_e9e9,
+        opts.seed,
+        500_000_000,
+        fleetio_store::DEFAULT_SEGMENT_BYTES,
+    )
+    .expect("create bench store");
+    let t0 = Instant::now();
+    for i in 0..opts.store_events as u64 {
+        let at = SimTime::from_nanos(i * 1_000);
+        // Deterministic mix weighted toward the hot event kinds.
+        let ev = match i % 8 {
+            0 => ObsEvent::RequestSubmit {
+                at,
+                req: i,
+                vssd: (i % 4) as u32,
+                read: i % 3 != 0,
+                bytes: 4096,
+            },
+            1 => ObsEvent::RequestAdmit {
+                at,
+                req: i,
+                vssd: (i % 4) as u32,
+                pages: 1,
+            },
+            2 | 3 => ObsEvent::ChipIssue {
+                at,
+                req: i,
+                vssd: (i % 4) as u32,
+                channel: (i % 8) as u16,
+                chip: (i % 4) as u16,
+                read: i % 3 != 0,
+            },
+            4 | 5 => ObsEvent::NandOp {
+                start: at,
+                end: SimTime::from_nanos(i * 1_000 + 40_000),
+                vssd: (i % 4) as u32,
+                channel: (i % 8) as u16,
+                chip: (i % 4) as u16,
+                kind: fleetio_obs::NandKind::Read,
+                gc: false,
+                bytes: 4096,
+            },
+            _ => ObsEvent::RequestComplete {
+                at,
+                req: i,
+                vssd: (i % 4) as u32,
+                read: i % 3 != 0,
+                bytes: 4096,
+                arrival: SimTime::from_nanos(i.saturating_sub(50) * 1_000),
+                service_start: at,
+            },
+        };
+        sink.record(ev);
+    }
+    let manifest = sink.finish().expect("seal bench store");
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(manifest.total_events, opts.store_events as u64);
+    metrics.insert(
+        "store_ingest_events_per_sec".to_string(),
+        opts.store_events as f64 / secs,
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Event-queue microbench: steady-state push/pop pairs over an
@@ -792,6 +881,7 @@ mod tests {
             "rollout_steps_per_sec",
             "ppo_updates_per_sec",
             "queue_ops_per_sec",
+            "store_ingest_events_per_sec",
         ] {
             let rate = report.metrics.get(metric).copied().unwrap_or(0.0);
             assert!(rate > 0.0, "{metric} should be positive, got {rate}");

@@ -1,0 +1,111 @@
+//! Dependency-free hashing primitives shared across the workspace.
+//!
+//! Two stable, seed-free functions used wherever the workspace needs a
+//! deterministic digest of bytes:
+//!
+//! * [`crc32`] — CRC-32/IEEE, zlib's parameterization. Integrity check
+//!   for every on-disk frame (`FIOM` checkpoint containers, run-store
+//!   segment records).
+//! * [`fnv1a64`] / [`Fnv64`] — FNV-1a 64-bit. The golden-fingerprint
+//!   hash for determinism tests and the run store's streaming event
+//!   fingerprint (cheap, incremental, order-sensitive).
+//!
+//! Both are tiny and fully specified, so fingerprints recorded in golden
+//! tests or run manifests stay comparable across machines and versions.
+
+/// CRC-32/IEEE (poly `0xEDB88320`, reflected, init/xorout `0xFFFFFFFF`) —
+/// the same parameterization as zlib's `crc32`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// One-shot FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a 64-bit hasher. Feeding the same byte sequence in
+/// any chunking produces the same digest as [`fnv1a64`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The current digest. The hasher remains usable (streaming
+    /// fingerprints snapshot mid-stream at checkpoint anchors).
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Fnv64::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), fnv1a64(data));
+        // Snapshotting mid-stream does not disturb the stream.
+        let mut h2 = Fnv64::new();
+        h2.update(&data[..10]);
+        let _mid = h2.finish();
+        h2.update(&data[10..]);
+        assert_eq!(h2.finish(), fnv1a64(data));
+    }
+}

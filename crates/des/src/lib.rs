@@ -13,7 +13,9 @@
 //!   queries, used for P95/P99/P99.9 tail-latency reporting,
 //! * [`window`] — per-decision-window counters (bandwidth, IOPS, SLO
 //!   violations) matching the paper's 2-second RL state windows,
-//! * [`summary`] — small numeric summaries (mean/std, exact percentiles).
+//! * [`summary`] — small numeric summaries (mean/std, exact percentiles),
+//! * [`hash`] — stable CRC-32/FNV-1a digests for on-disk framing and
+//!   determinism fingerprints.
 //!
 //! # Example
 //!
@@ -28,6 +30,7 @@
 
 #[cfg(feature = "audit")]
 pub mod audit;
+pub mod hash;
 pub mod hist;
 pub mod queue;
 pub mod rng;

@@ -16,7 +16,7 @@ use fleetio_workloads::gen::ClosedLoopWorkload;
 use fleetio_workloads::{SyntheticWorkload, TraceRecord, WorkloadKind};
 
 /// One tenant of a collocation: a vSSD plus the workload running on it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TenantSpec {
     /// The vSSD configuration (channels, isolation, SLO, throttling).
     pub config: VssdConfig,

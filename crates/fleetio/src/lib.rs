@@ -15,6 +15,8 @@
 //! * [`agent`] — per-vSSD deployment agents and offline pre-training,
 //! * [`warmstart`] — registry-backed model selection at vSSD attach
 //!   time (typing index + checkpoint loading via `fleetio-model`),
+//! * [`runspec`] — serializable run descriptions the deterministic run
+//!   store (`fleetio-store`) records and replays from,
 //! * [`baselines`] — Hardware/Software Isolation, Adaptive, SSDKeeper and
 //!   Mixed Isolation comparison policies (§4.1),
 //! * [`experiment`] — the evaluation harness reproducing every figure,
@@ -29,6 +31,7 @@ pub mod env;
 pub mod experiment;
 pub mod mixes;
 pub mod reward;
+pub mod runspec;
 pub mod states;
 pub mod typing;
 pub mod warmstart;
@@ -39,4 +42,5 @@ pub use config::FleetIoConfig;
 pub use driver::{Colocation, TenantSpec};
 pub use env::FleetIoEnv;
 pub use reward::RewardParams;
+pub use runspec::{FlashPreset, RunSpec};
 pub use states::{StateHistory, StateVector};

@@ -13,7 +13,7 @@
 use std::process::ExitCode;
 
 use fleetio_model::codec::{decode_container, PayloadKind};
-use fleetio_model::{ModelCheckpoint, ModelRegistry, TypingIndex};
+use fleetio_model::{ModelCheckpoint, ModelRegistry, RunAnchor, TypingIndex};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
@@ -42,6 +42,12 @@ fn usage() -> ExitCode {
 enum Loaded {
     Model(Box<ModelCheckpoint>),
     Typing(TypingIndex),
+    Anchor(RunAnchor),
+    /// A store manifest: the payload layout belongs to `fleetio-store`,
+    /// so only the container framing + CRC are verified here.
+    Manifest {
+        payload_len: usize,
+    },
 }
 
 fn load(path: &str) -> Result<(Loaded, usize), String> {
@@ -54,6 +60,12 @@ fn load(path: &str) -> Result<(Loaded, usize), String> {
         PayloadKind::TypingIndex => {
             Loaded::Typing(TypingIndex::decode(payload).map_err(|e| e.to_string())?)
         }
+        PayloadKind::RunAnchor => {
+            Loaded::Anchor(RunAnchor::decode(payload).map_err(|e| e.to_string())?)
+        }
+        PayloadKind::StoreManifest => Loaded::Manifest {
+            payload_len: payload.len(),
+        },
     };
     Ok((loaded, bytes.len()))
 }
@@ -114,6 +126,25 @@ fn describe(path: &str, loaded: &Loaded, file_len: usize) {
             println!("  tags         {}", idx.cluster_tags.join(", "));
             println!("  unknown_dist {}", idx.unknown_distance);
         }
+        Loaded::Anchor(a) => {
+            println!("{path}: run-anchor ({file_len} bytes)");
+            println!("  window       {}", a.window);
+            println!("  at           {} ns", a.at_ns);
+            println!("  events       {}", a.event_count);
+            println!("  stream_fp    {:#018x}", a.stream_fingerprint);
+            println!("  spec_fp      {:#010x}", a.spec_fingerprint);
+            println!("  seed         {}", a.seed);
+            if a.model_tag.is_empty() {
+                println!("  model_tag    (none)");
+            } else {
+                println!("  model_tag    {}", a.model_tag);
+            }
+        }
+        Loaded::Manifest { payload_len } => {
+            println!("{path}: store-manifest ({file_len} bytes)");
+            println!("  payload      {payload_len} bytes (CRC OK)");
+            println!("  use `fleetio-store` to query this run");
+        }
     }
 }
 
@@ -138,6 +169,8 @@ fn verify(paths: &[String]) -> ExitCode {
                 let what = match loaded {
                     Loaded::Model(ckpt) => format!("model-checkpoint tag={}", ckpt.meta.tag),
                     Loaded::Typing(_) => "typing-index".to_string(),
+                    Loaded::Anchor(a) => format!("run-anchor window={}", a.window),
+                    Loaded::Manifest { .. } => "store-manifest".to_string(),
                 };
                 println!("{path}: OK ({what})");
             }
@@ -189,6 +222,13 @@ fn ls(dir: &str) -> ExitCode {
                 idx.centroids.len(),
                 idx.cluster_tags.join(", ")
             ),
+            Ok((Loaded::Anchor(a), len)) => println!(
+                "  {name:<28} anchor window={} events={} ({len} bytes)",
+                a.window, a.event_count
+            ),
+            Ok((Loaded::Manifest { .. }, len)) => {
+                println!("  {name:<28} store-manifest ({len} bytes)")
+            }
             Err(e) => println!("  {name:<28} CORRUPT ({e})"),
         }
     }

@@ -38,6 +38,28 @@ impl NandKind {
             NandKind::ChipOccupy => "chip_occupy",
         }
     }
+
+    /// Stable one-byte tag used by the binary wire encoding
+    /// ([`crate::wire`]). Never renumber released values.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            NandKind::Read => 0,
+            NandKind::Program => 1,
+            NandKind::BusGrant => 2,
+            NandKind::ChipOccupy => 3,
+        }
+    }
+
+    /// Inverse of [`NandKind::wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(NandKind::Read),
+            1 => Some(NandKind::Program),
+            2 => Some(NandKind::BusGrant),
+            3 => Some(NandKind::ChipOccupy),
+            _ => None,
+        }
+    }
 }
 
 /// A ghost-superblock lifecycle transition (§3.6 of the paper).
@@ -66,6 +88,30 @@ impl GsbKind {
             GsbKind::Destroyed => "destroyed",
         }
     }
+
+    /// Stable one-byte tag used by the binary wire encoding
+    /// ([`crate::wire`]). Never renumber released values.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            GsbKind::Created => 0,
+            GsbKind::Harvested => 1,
+            GsbKind::Released => 2,
+            GsbKind::ReclaimRequested => 3,
+            GsbKind::Destroyed => 4,
+        }
+    }
+
+    /// Inverse of [`GsbKind::wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(GsbKind::Created),
+            1 => Some(GsbKind::Harvested),
+            2 => Some(GsbKind::Released),
+            3 => Some(GsbKind::ReclaimRequested),
+            4 => Some(GsbKind::Destroyed),
+            _ => None,
+        }
+    }
 }
 
 /// A model-lifecycle action (checkpoint management in `fleetio-model`).
@@ -90,6 +136,28 @@ impl ModelKind {
             ModelKind::Loaded => "loaded",
             ModelKind::RolledBack => "rolled_back",
             ModelKind::CorruptDetected => "corrupt_detected",
+        }
+    }
+
+    /// Stable one-byte tag used by the binary wire encoding
+    /// ([`crate::wire`]). Never renumber released values.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            ModelKind::Saved => 0,
+            ModelKind::Loaded => 1,
+            ModelKind::RolledBack => 2,
+            ModelKind::CorruptDetected => 3,
+        }
+    }
+
+    /// Inverse of [`ModelKind::wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(ModelKind::Saved),
+            1 => Some(ModelKind::Loaded),
+            2 => Some(ModelKind::RolledBack),
+            3 => Some(ModelKind::CorruptDetected),
+            _ => None,
         }
     }
 }
@@ -270,6 +338,52 @@ pub enum ObsEvent {
 }
 
 impl ObsEvent {
+    /// Number of distinct event kinds ([`ObsEvent::kind_index`] range).
+    pub const KIND_COUNT: usize = 11;
+
+    /// Stable `type` tags indexed by [`ObsEvent::kind_index`].
+    pub const KIND_TAGS: [&'static str; Self::KIND_COUNT] = [
+        "request_submit",
+        "request_admit",
+        "chip_issue",
+        "request_complete",
+        "nand_op",
+        "gc_start",
+        "gc_end",
+        "gsb",
+        "throttle",
+        "window_flush",
+        "model",
+    ];
+
+    /// Stable dense index of the event's kind, `0..KIND_COUNT`. Doubles
+    /// as the binary wire tag ([`crate::wire`]) and the bit position in
+    /// the run store's per-segment kind bitmap — never renumber released
+    /// values; append new kinds at the end.
+    pub fn kind_index(&self) -> u8 {
+        match self {
+            ObsEvent::RequestSubmit { .. } => 0,
+            ObsEvent::RequestAdmit { .. } => 1,
+            ObsEvent::ChipIssue { .. } => 2,
+            ObsEvent::RequestComplete { .. } => 3,
+            ObsEvent::NandOp { .. } => 4,
+            ObsEvent::GcStart { .. } => 5,
+            ObsEvent::GcEnd { .. } => 6,
+            ObsEvent::GsbTransition { .. } => 7,
+            ObsEvent::Throttle { .. } => 8,
+            ObsEvent::WindowFlush { .. } => 9,
+            ObsEvent::ModelLifecycle { .. } => 10,
+        }
+    }
+
+    /// Looks up a kind index by its stable `type` tag (CLI filters).
+    pub fn kind_index_of_tag(tag: &str) -> Option<u8> {
+        Self::KIND_TAGS
+            .iter()
+            .position(|t| *t == tag)
+            .map(|i| i as u8)
+    }
+
     /// Stable `type` tag of the event's JSONL encoding.
     pub fn tag(&self) -> &'static str {
         match self {
@@ -623,6 +737,9 @@ mod tests {
                 Some(ev.tag()),
                 "{line}"
             );
+            let idx = usize::from(ev.kind_index());
+            assert_eq!(ObsEvent::KIND_TAGS[idx], ev.tag());
+            assert_eq!(ObsEvent::kind_index_of_tag(ev.tag()), Some(idx as u8));
         }
     }
 }

@@ -42,6 +42,7 @@ pub mod metrics;
 pub mod prof;
 pub mod sink;
 pub mod training;
+pub mod wire;
 
 pub use event::{GsbKind, ModelKind, NandKind, ObsEvent};
 pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricsRegistry};

@@ -1,33 +1,66 @@
-//! `fleetio-obs` CLI: turn a JSONL event trace into a readable report.
+//! `fleetio-obs` CLI: turn an event trace into a readable report.
 //!
-//! Usage: `fleetio-obs summarize <trace.jsonl>`
+//! Usage: `fleetio-obs summarize <trace.jsonl | store-dir>`
 //!
-//! Validates every line as JSON (exit code 2 on the first malformed
-//! line, reporting its line number), then aggregates: per-type event
-//! counts, request latency percentiles, per-vSSD traffic, GC activity,
-//! throttles and window flushes.
+//! The input is either a JSONL trace file or a `fleetio-store` run
+//! directory (detected by being a directory): binary segments are
+//! decoded and summarized through the exact same aggregation path.
+//! Exit code 2 on the first malformed line (reporting its line number)
+//! or on a damaged segment (use `fleetio-store verify` to localize).
+//! Aggregates: per-type event counts, request latency percentiles,
+//! per-vSSD traffic, GC activity, throttles and window flushes.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use fleetio_obs::json::{self, Value};
-use fleetio_obs::Log2Histogram;
+use fleetio_obs::{export, wire, Log2Histogram};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("summarize") => {
             let Some(path) = args.get(2) else {
-                eprintln!("usage: fleetio-obs summarize <trace.jsonl>");
+                eprintln!("usage: fleetio-obs summarize <trace.jsonl | store-dir>");
                 return ExitCode::from(2);
             };
             summarize(path)
         }
         _ => {
-            eprintln!("usage: fleetio-obs summarize <trace.jsonl>");
+            eprintln!("usage: fleetio-obs summarize <trace.jsonl | store-dir>");
             ExitCode::from(2)
         }
     }
+}
+
+/// Reads the trace as JSONL text: verbatim for a file, decoded from
+/// binary segments (in sequence order) for a run-store directory.
+fn load_trace(path: &str) -> Result<String, String> {
+    if !std::path::Path::new(path).is_dir() {
+        return std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    }
+    let mut seg_files: Vec<String> = std::fs::read_dir(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?
+        .filter_map(|entry| entry.ok().and_then(|e| e.file_name().into_string().ok()))
+        .filter(|name| name.starts_with("seg-") && name.ends_with(".seg"))
+        .collect();
+    if seg_files.is_empty() {
+        return Err(format!("{path}: no seg-*.seg files (not a run store?)"));
+    }
+    seg_files.sort();
+    let mut events = Vec::new();
+    for name in &seg_files {
+        let bytes = std::fs::read(format!("{path}/{name}"))
+            .map_err(|e| format!("cannot read {path}/{name}: {e}"))?;
+        let (segment_events, damage) = wire::events_in_segment(&bytes);
+        if let Some(d) = damage {
+            return Err(format!(
+                "{path}/{name}: {d}; run `fleetio-store verify {path}` to localize the damage"
+            ));
+        }
+        events.extend(segment_events);
+    }
+    Ok(export::jsonl(events.iter()))
 }
 
 #[derive(Default)]
@@ -38,10 +71,10 @@ struct VssdStats {
 }
 
 fn summarize(path: &str) -> ExitCode {
-    let text = match std::fs::read_to_string(path) {
+    let text = match load_trace(path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("fleetio-obs: cannot read {path}: {e}");
+            eprintln!("fleetio-obs: {e}");
             return ExitCode::from(2);
         }
     };

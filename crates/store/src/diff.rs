@@ -1,0 +1,95 @@
+//! Same-seed run diff: lockstep byte comparison of two stored streams.
+//!
+//! Determinism makes equality checkable at the byte level: two runs of
+//! the same spec and seed must produce *identical* encoded event
+//! streams. The diff walks both stores' payloads in stream order and
+//! reports the first index where they disagree, with the decoded event
+//! from each side and a ring of the last few shared events for context.
+//! Anything weaker (field-by-field tolerance, reordering) would paper
+//! over exactly the bugs the store exists to catch.
+
+use fleetio_obs::wire;
+
+use crate::read::{RunStore, StoreError};
+
+/// Shared events kept as context before a divergence.
+pub const CONTEXT_EVENTS: usize = 5;
+
+/// Where and how two streams diverged.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Stream index of the first differing event.
+    pub index: u64,
+    /// The event at `index` on side A, rendered (`None` past A's end).
+    pub a_event: Option<String>,
+    /// The event at `index` on side B, rendered (`None` past B's end).
+    pub b_event: Option<String>,
+    /// The last up-to-[`CONTEXT_EVENTS`] events both sides shared,
+    /// rendered, oldest first.
+    pub context: Vec<String>,
+    /// Total events on side A.
+    pub a_total: u64,
+    /// Total events on side B.
+    pub b_total: u64,
+}
+
+/// Outcome of [`diff_stores`].
+#[derive(Debug, Clone)]
+pub enum DiffOutcome {
+    /// Streams are byte-identical.
+    Identical {
+        /// Events compared.
+        events: u64,
+    },
+    /// Streams differ; first divergence reported.
+    Diverged(Box<Divergence>),
+}
+
+fn render_payload(payload: &[u8]) -> String {
+    match wire::decode_event(payload) {
+        Ok(ev) => format!("{ev:?}"),
+        Err(e) => format!("<undecodable: {e}>"),
+    }
+}
+
+/// Compares two stores' event streams byte-for-byte, in stream order.
+///
+/// # Errors
+///
+/// Damage or I/O failure in either store — a diff over corrupt inputs
+/// would be meaningless.
+pub fn diff_stores(a: &RunStore, b: &RunStore) -> Result<DiffOutcome, StoreError> {
+    let pa = a.payloads()?;
+    let pb = b.payloads()?;
+    let shared = pa.len().min(pb.len());
+    let mut context: Vec<&[u8]> = Vec::with_capacity(CONTEXT_EVENTS);
+    for i in 0..shared {
+        if pa[i] != pb[i] {
+            return Ok(DiffOutcome::Diverged(Box::new(Divergence {
+                index: i as u64,
+                a_event: Some(render_payload(&pa[i])),
+                b_event: Some(render_payload(&pb[i])),
+                context: context.iter().map(|p| render_payload(p)).collect(),
+                a_total: pa.len() as u64,
+                b_total: pb.len() as u64,
+            })));
+        }
+        if context.len() == CONTEXT_EVENTS {
+            context.remove(0);
+        }
+        context.push(&pa[i]);
+    }
+    if pa.len() != pb.len() {
+        return Ok(DiffOutcome::Diverged(Box::new(Divergence {
+            index: shared as u64,
+            a_event: pa.get(shared).map(|p| render_payload(p)),
+            b_event: pb.get(shared).map(|p| render_payload(p)),
+            context: context.iter().map(|p| render_payload(p)).collect(),
+            a_total: pa.len() as u64,
+            b_total: pb.len() as u64,
+        })));
+    }
+    Ok(DiffOutcome::Identical {
+        events: shared as u64,
+    })
+}

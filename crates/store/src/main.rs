@@ -1,0 +1,357 @@
+//! `fleetio-store` CLI: record, inspect and interrogate run stores.
+//!
+//! ```text
+//! fleetio-store record <dir> [--seed N] [--windows N] [--checkpoint-every N] [--segment-bytes N]
+//! fleetio-store info   <dir>
+//! fleetio-store query  <dir> [--tenant N] [--from NS] [--to NS] [--kind TAG] [--windows]
+//! fleetio-store diff   <dir-a> <dir-b>
+//! fleetio-store replay <dir> <target-ns>
+//! fleetio-store verify <dir>
+//! ```
+//!
+//! Exit codes: 0 = OK; 1 = a *finding* (streams diverge, replay
+//! mismatch, store damage); 2 = usage or I/O error. `query` prints
+//! matching events as JSONL on stdout and a scan summary on stderr, so
+//! results pipe cleanly into `fleetio-obs summarize`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use fleetio::RunSpec;
+use fleetio_obs::ObsEvent;
+use fleetio_store::{
+    aggregate_windows, diff_stores, query, record_run, replay_run, DiffOutcome, EventFilter,
+    RunStore, DEFAULT_SEGMENT_BYTES,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("record") => cmd_record(&args[2..]),
+        Some("info") => cmd_info(&args[2..]),
+        Some("query") => cmd_query(&args[2..]),
+        Some("diff") => cmd_diff(&args[2..]),
+        Some("replay") => cmd_replay(&args[2..]),
+        Some("verify") => cmd_verify(&args[2..]),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fleetio-store record <dir> [--seed N] [--windows N] [--checkpoint-every N] [--segment-bytes N]\n       \
+         fleetio-store info   <dir>\n       \
+         fleetio-store query  <dir> [--tenant N] [--from NS] [--to NS] [--kind TAG] [--windows]\n       \
+         fleetio-store diff   <dir-a> <dir-b>\n       \
+         fleetio-store replay <dir> <target-ns>\n       \
+         fleetio-store verify <dir>\n\n       \
+         event kinds: {}",
+        ObsEvent::KIND_TAGS.join(" ")
+    );
+    ExitCode::from(2)
+}
+
+/// Parses `--flag value` pairs after the positional arguments.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v)),
+            None => Err(format!("{flag} needs a value")),
+        },
+        None => Ok(None),
+    }
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+fn open(dir: &str) -> Result<RunStore, ExitCode> {
+    RunStore::open(Path::new(dir)).map_err(|e| {
+        eprintln!("fleetio-store: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn cmd_record(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first() else {
+        return usage();
+    };
+    let parsed = (|| -> Result<(u64, u64, u64, u64), String> {
+        let seed = flag_value(args, "--seed")?.map_or(Ok(42), |v| parse_u64(v, "--seed"))?;
+        let windows =
+            flag_value(args, "--windows")?.map_or(Ok(6), |v| parse_u64(v, "--windows"))?;
+        let every = flag_value(args, "--checkpoint-every")?
+            .map_or(Ok(2), |v| parse_u64(v, "--checkpoint-every"))?;
+        let seg = flag_value(args, "--segment-bytes")?
+            .map_or(Ok(DEFAULT_SEGMENT_BYTES as u64), |v| {
+                parse_u64(v, "--segment-bytes")
+            })?;
+        Ok((seed, windows, every, seg))
+    })();
+    let (seed, windows, every, seg) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fleetio-store: {e}");
+            return usage();
+        }
+    };
+    let spec = RunSpec::demo(seed, windows as u32, every as u32);
+    match record_run(&spec, Path::new(dir.as_str()), seg as usize) {
+        Ok(report) => {
+            println!(
+                "recorded {} events in {} segments over {} windows ({} anchors) -> {dir}",
+                report.manifest.total_events,
+                report.manifest.segments.len(),
+                report.windows,
+                report.anchors,
+            );
+            println!(
+                "seed {} spec {:#010x} stream fingerprint {:#018x}",
+                report.manifest.seed,
+                report.manifest.spec_fingerprint,
+                report.manifest.stream_fingerprint,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fleetio-store: record: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first() else {
+        return usage();
+    };
+    let store = match open(dir) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let m = store.manifest();
+    println!("store     {dir}");
+    println!(
+        "run       seed {} window {} ns spec {:#010x} sealed {}",
+        m.seed, m.window_ns, m.spec_fingerprint, m.sealed
+    );
+    println!(
+        "stream    {} events, fingerprint {:#018x}",
+        m.total_events, m.stream_fingerprint
+    );
+    println!("segments  {}", m.segments.len());
+    for s in &m.segments {
+        println!(
+            "  {}  {:>8} events  {:>10} bytes  t=[{}..{}] ns  tenants {:#x} kinds {:#x}",
+            s.file_name(),
+            s.events,
+            s.bytes,
+            s.min_at_ns,
+            s.max_at_ns,
+            s.tenant_bits,
+            s.kind_bits
+        );
+    }
+    println!("anchors   {}", m.anchors.len());
+    for a in &m.anchors {
+        println!(
+            "  window {:>4}  t={} ns  {} events before",
+            a.window, a.at_ns, a.event_count
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_query(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first() else {
+        return usage();
+    };
+    let filter = (|| -> Result<EventFilter, String> {
+        let tenant = flag_value(args, "--tenant")?
+            .map(|v| parse_u64(v, "--tenant").map(|t| t as u32))
+            .transpose()?;
+        let from_ns = flag_value(args, "--from")?
+            .map(|v| parse_u64(v, "--from"))
+            .transpose()?;
+        let to_ns = flag_value(args, "--to")?
+            .map(|v| parse_u64(v, "--to"))
+            .transpose()?;
+        let kind = match flag_value(args, "--kind")? {
+            Some(tag) => Some(
+                ObsEvent::kind_index_of_tag(tag)
+                    .ok_or_else(|| format!("unknown event kind {tag:?}"))?,
+            ),
+            None => None,
+        };
+        Ok(EventFilter {
+            tenant,
+            from_ns,
+            to_ns,
+            kind,
+        })
+    })();
+    let filter = match filter {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fleetio-store: {e}");
+            return usage();
+        }
+    };
+    let store = match open(dir) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let result = match query(&store, &filter) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleetio-store: query: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.iter().any(|a| a == "--windows") {
+        for w in aggregate_windows(&result.events, store.manifest().window_ns) {
+            println!(
+                "{{\"window\":{},\"events\":{},\"bytes\":{}}}",
+                w.window, w.events, w.bytes
+            );
+        }
+    } else {
+        let mut line = String::new();
+        for ev in &result.events {
+            line.clear();
+            ev.write_json(&mut line);
+            println!("{line}");
+        }
+    }
+    eprintln!(
+        "fleetio-store: {} events matched; scanned {}/{} segments",
+        result.events.len(),
+        result.segments_scanned,
+        result.segments_total
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let (Some(a), Some(b)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let (sa, sb) = match (open(a), open(b)) {
+        (Ok(sa), Ok(sb)) => (sa, sb),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    match diff_stores(&sa, &sb) {
+        Ok(DiffOutcome::Identical { events }) => {
+            println!("identical: {events} events match byte-for-byte");
+            ExitCode::SUCCESS
+        }
+        Ok(DiffOutcome::Diverged(d)) => {
+            println!(
+                "diverged at event {} (a has {} events, b has {})",
+                d.index, d.a_total, d.b_total
+            );
+            for (i, ev) in d.context.iter().enumerate() {
+                println!("  shared[-{}] {ev}", d.context.len() - i);
+            }
+            println!("  a: {}", d.a_event.as_deref().unwrap_or("<end of stream>"));
+            println!("  b: {}", d.b_event.as_deref().unwrap_or("<end of stream>"));
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("fleetio-store: diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let (Some(dir), Some(target)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let target_ns = match parse_u64(target, "target sim-time") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fleetio-store: {e}");
+            return usage();
+        }
+    };
+    match replay_run(Path::new(dir.as_str()), target_ns) {
+        Ok(report) => {
+            match report.anchor_window {
+                Some(w) => println!(
+                    "anchor: window {w} ({} events fingerprint-verified)",
+                    report.anchor_event_count
+                ),
+                None => println!("anchor: none before target; full byte comparison"),
+            }
+            println!(
+                "replayed {} windows, {} events ({} byte-compared) to t={} ns",
+                report.windows_replayed, report.events_replayed, report.compared, report.target_ns
+            );
+            if report.ok() {
+                println!("replay matches the stored stream exactly");
+                ExitCode::SUCCESS
+            } else {
+                if !report.prefix_ok {
+                    println!("MISMATCH: prefix fingerprint differs from anchor");
+                }
+                if let Some(i) = report.mismatch {
+                    println!("MISMATCH: first divergent event at stream index {i}");
+                }
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("fleetio-store: replay: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first() else {
+        return usage();
+    };
+    let store = match open(dir) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let report = store.verify();
+    for s in &report.segments {
+        match &s.damage {
+            None if s.events_read == s.events_expected => {
+                println!("seg {:05}  OK        {} events", s.seq, s.events_read);
+            }
+            None => println!(
+                "seg {:05}  SHORT     {} of {} events",
+                s.seq, s.events_read, s.events_expected
+            ),
+            Some(d) => println!(
+                "seg {:05}  DAMAGED   {} of {} events recovered ({d})",
+                s.seq, s.events_read, s.events_expected
+            ),
+        }
+    }
+    println!(
+        "sealed {}  fingerprint {}",
+        report.sealed,
+        match report.fingerprint_ok {
+            Some(true) => "OK",
+            Some(false) => "MISMATCH",
+            None => "unverifiable (damage)",
+        }
+    );
+    if !report.recoverable_ns.is_empty() {
+        let ranges: Vec<String> = report
+            .recoverable_ns
+            .iter()
+            .map(|(lo, hi)| format!("[{lo}..{hi}]"))
+            .collect();
+        println!("recoverable sim-time ranges (ns): {}", ranges.join(" "));
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,273 @@
+//! Reading a run store: open, linear scan, damage-isolating verify.
+//!
+//! The reader trusts nothing: the manifest container is CRC-verified on
+//! open, every segment record is CRC-verified on scan, and damage is
+//! *isolated* — a truncated or bit-flipped segment yields its intact
+//! prefix plus a damage report, and never hides the other segments or
+//! panics. [`RunStore::verify`] cross-checks the scanned reality
+//! against the manifest index (event counts, stream fingerprint) and
+//! reports the sim-time ranges that remain recoverable.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use fleetio::RunSpec;
+use fleetio_des::hash::Fnv64;
+use fleetio_obs::wire;
+use fleetio_obs::ObsEvent;
+
+use crate::manifest::{Manifest, SegmentMeta, MANIFEST_FILE};
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Host I/O failed.
+    Io(String),
+    /// A manifest/spec/segment failed validation.
+    Corrupt(String),
+    /// The operation needs an undamaged (or sealed) store and this one
+    /// is not.
+    Unusable(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt(e) => write!(f, "corrupt store: {e}"),
+            StoreError::Unusable(e) => write!(f, "unusable store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// An opened run store.
+#[derive(Debug, Clone)]
+pub struct RunStore {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+/// Scan outcome of one segment during [`RunStore::verify`].
+#[derive(Debug, Clone)]
+pub struct SegmentVerify {
+    /// Segment sequence number (from the manifest).
+    pub seq: u32,
+    /// Events recovered from the file.
+    pub events_read: u64,
+    /// Events the manifest says the segment holds.
+    pub events_expected: u64,
+    /// Damage found in the file, if any.
+    pub damage: Option<String>,
+}
+
+impl SegmentVerify {
+    /// Whether the segment is fully intact.
+    pub fn ok(&self) -> bool {
+        self.damage.is_none() && self.events_read == self.events_expected
+    }
+}
+
+/// Result of [`RunStore::verify`].
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Per-segment outcomes, in sequence order.
+    pub segments: Vec<SegmentVerify>,
+    /// Sim-time ranges `[min_ns, max_ns]` still fully readable, merged
+    /// across runs of consecutive intact segments.
+    pub recoverable_ns: Vec<(u64, u64)>,
+    /// Whether the manifest says the run finished cleanly.
+    pub sealed: bool,
+    /// Whole-stream fingerprint check: `Some(true)` when every segment
+    /// is intact and the recomputed FNV-1a matches the manifest,
+    /// `Some(false)` on mismatch, `None` when damage made the check
+    /// impossible.
+    pub fingerprint_ok: Option<bool>,
+}
+
+impl VerifyReport {
+    /// Whether the store is fully intact.
+    pub fn clean(&self) -> bool {
+        self.sealed && self.fingerprint_ok == Some(true) && self.segments.iter().all(|s| s.ok())
+    }
+}
+
+impl RunStore {
+    /// Opens the store at `dir`, verifying the manifest container.
+    ///
+    /// # Errors
+    ///
+    /// Missing/unreadable/corrupt manifest.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let manifest = Manifest::load(dir)
+            .map_err(|e| StoreError::Corrupt(format!("{}/{MANIFEST_FILE}: {e}", dir.display())))?;
+        Ok(RunStore {
+            dir: dir.to_path_buf(),
+            manifest,
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The verified manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Decodes the embedded run spec.
+    ///
+    /// # Errors
+    ///
+    /// A spec blob that fails to decode or whose fingerprint disagrees
+    /// with the manifest.
+    pub fn spec(&self) -> Result<RunSpec, StoreError> {
+        let spec = RunSpec::decode(&self.manifest.spec)
+            .map_err(|e| StoreError::Corrupt(format!("embedded run spec: {e}")))?;
+        if spec.fingerprint() != self.manifest.spec_fingerprint {
+            return Err(StoreError::Corrupt(format!(
+                "spec fingerprint mismatch: manifest {:#010x}, spec {:#010x}",
+                self.manifest.spec_fingerprint,
+                spec.fingerprint()
+            )));
+        }
+        Ok(spec)
+    }
+
+    /// Reads one segment's raw bytes.
+    fn segment_bytes(&self, seq: u32) -> Result<Vec<u8>, StoreError> {
+        let path = self.manifest.segment_path(&self.dir, seq);
+        std::fs::read(&path).map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// Decodes one segment strictly: any damage is an error.
+    pub fn segment_events(&self, meta: &SegmentMeta) -> Result<Vec<ObsEvent>, StoreError> {
+        let bytes = self.segment_bytes(meta.seq)?;
+        let (events, damage) = wire::events_in_segment(&bytes);
+        match damage {
+            Some(d) => Err(StoreError::Corrupt(format!("{}: {d}", meta.file_name()))),
+            None => {
+                if events.len() as u64 != meta.events {
+                    return Err(StoreError::Corrupt(format!(
+                        "{}: {} events on disk, manifest says {}",
+                        meta.file_name(),
+                        events.len(),
+                        meta.events
+                    )));
+                }
+                Ok(events)
+            }
+        }
+    }
+
+    /// Every encoded event payload of the whole run, in stream order.
+    /// Strict: damage anywhere is an error. This is the byte-exact view
+    /// `diff` and `replay` compare against.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, damage, or a segment disagreeing with its index
+    /// entry.
+    pub fn payloads(&self) -> Result<Vec<Vec<u8>>, StoreError> {
+        let mut out = Vec::with_capacity(self.manifest.total_events as usize);
+        for meta in &self.manifest.segments {
+            let bytes = self.segment_bytes(meta.seq)?;
+            let scan = wire::scan_segment(&bytes);
+            if let Some(d) = scan.damage {
+                return Err(StoreError::Corrupt(format!("{}: {d}", meta.file_name())));
+            }
+            if scan.records.len() as u64 != meta.events {
+                return Err(StoreError::Corrupt(format!(
+                    "{}: {} records on disk, manifest says {}",
+                    meta.file_name(),
+                    scan.records.len(),
+                    meta.events
+                )));
+            }
+            for r in scan.records {
+                out.push(bytes[r].to_vec());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Every event of the whole run, decoded, in stream order. Strict.
+    ///
+    /// # Errors
+    ///
+    /// As [`RunStore::payloads`], plus undecodable records.
+    pub fn events(&self) -> Result<Vec<ObsEvent>, StoreError> {
+        let mut out = Vec::with_capacity(self.manifest.total_events as usize);
+        for meta in &self.manifest.segments {
+            out.extend(self.segment_events(meta)?);
+        }
+        Ok(out)
+    }
+
+    /// Scans every segment tolerantly, cross-checking the manifest:
+    /// never fails on damage, reports it instead.
+    pub fn verify(&self) -> VerifyReport {
+        let mut segments = Vec::with_capacity(self.manifest.segments.len());
+        let mut fp = Fnv64::new();
+        let mut all_intact = true;
+        for meta in &self.manifest.segments {
+            let (events_read, damage) = match self.segment_bytes(meta.seq) {
+                Ok(bytes) => {
+                    let scan = wire::scan_segment(&bytes);
+                    let mut damage = scan.damage.map(|d| d.to_string());
+                    if damage.is_none() && scan.seq != Some(meta.seq) {
+                        damage = Some(format!(
+                            "header sequence {:?} != manifest {}",
+                            scan.seq, meta.seq
+                        ));
+                    }
+                    if damage.is_none() {
+                        for r in &scan.records {
+                            fp.update(&bytes[r.clone()]);
+                        }
+                    }
+                    (scan.records.len() as u64, damage)
+                }
+                Err(e) => (0, Some(e.to_string())),
+            };
+            let sv = SegmentVerify {
+                seq: meta.seq,
+                events_read,
+                events_expected: meta.events,
+                damage,
+            };
+            all_intact &= sv.ok();
+            segments.push(sv);
+        }
+        let fingerprint_ok = if all_intact {
+            Some(fp.finish() == self.manifest.stream_fingerprint)
+        } else {
+            None
+        };
+        // Merge consecutive intact segments into recoverable ranges.
+        let mut recoverable_ns = Vec::new();
+        let mut open: Option<(u64, u64)> = None;
+        for (sv, meta) in segments.iter().zip(&self.manifest.segments) {
+            if sv.ok() && meta.events > 0 {
+                open = Some(match open {
+                    Some((lo, _)) => (lo, meta.max_at_ns),
+                    None => (meta.min_at_ns, meta.max_at_ns),
+                });
+            } else if let Some(range) = open.take() {
+                recoverable_ns.push(range);
+            }
+        }
+        if let Some(range) = open {
+            recoverable_ns.push(range);
+        }
+        VerifyReport {
+            segments,
+            recoverable_ns,
+            sealed: self.manifest.sealed,
+            fingerprint_ok,
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Corruption robustness: a damaged store must never panic, must
+//! isolate the damage to the touched segment, and must report the
+//! sim-time ranges that remain recoverable. The `verify` CLI verb must
+//! exit 1 on any damage.
+//!
+//! The property test drives a deterministic LCG over two mutation
+//! families — truncation at an arbitrary byte and single-bit flips at
+//! an arbitrary offset — applied to an arbitrary segment file.
+
+use std::path::{Path, PathBuf};
+
+use fleetio_des::SimTime;
+use fleetio_obs::{ObsEvent, ObsSink};
+use fleetio_store::{segment_file_name, RunStore, StoreSink, MANIFEST_FILE};
+
+/// Deterministic pseudo-random stream (no external crates, no host
+/// entropy — failures reproduce exactly).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Builds a small synthetic store (no simulation needed: corruption
+/// handling is purely a format property) with several segments.
+fn build_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fleetio-store-cor-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut sink = StoreSink::create(&dir, vec![7, 7, 7], 0x51, 99, 1_000, 2_048).expect("create");
+    for i in 0..600u64 {
+        sink.record(ObsEvent::Throttle {
+            at: SimTime::from_nanos(i * 100),
+            channel: (i % 8) as u16,
+            until: SimTime::from_nanos(i * 100 + 40),
+        });
+    }
+    let manifest = sink.finish().expect("finish");
+    assert!(
+        manifest.segments.len() >= 3,
+        "need several segments to show isolation"
+    );
+    dir
+}
+
+fn seg_paths(dir: &Path) -> Vec<PathBuf> {
+    let store = RunStore::open(dir).expect("open clean store");
+    store
+        .manifest()
+        .segments
+        .iter()
+        .map(|s| dir.join(segment_file_name(s.seq)))
+        .collect()
+}
+
+#[test]
+fn damaged_segments_are_isolated_never_panic() {
+    let dir = build_store("prop");
+    let segs = seg_paths(&dir);
+    let originals: Vec<Vec<u8>> = segs
+        .iter()
+        .map(|p| std::fs::read(p).expect("read segment"))
+        .collect();
+    let clean = RunStore::open(&dir).expect("open").verify();
+    assert!(clean.clean(), "freshly written store must verify clean");
+    let total_range = (
+        clean.recoverable_ns.first().expect("range").0,
+        clean.recoverable_ns.last().expect("range").1,
+    );
+
+    let mut rng = Lcg(0xF1EE7);
+    for round in 0..120 {
+        let victim = rng.below(segs.len() as u64) as usize;
+        let bytes = &originals[victim];
+        let corrupted: Vec<u8> = if rng.below(2) == 0 {
+            // Truncate to an arbitrary prefix (possibly empty).
+            let cut = rng.below(bytes.len() as u64) as usize;
+            bytes[..cut].to_vec()
+        } else {
+            // Flip one bit anywhere in the file.
+            let mut b = bytes.clone();
+            let at = rng.below(b.len() as u64) as usize;
+            b[at] ^= 1 << rng.below(8);
+            b
+        };
+        std::fs::write(&segs[victim], &corrupted).expect("write corruption");
+
+        let store = RunStore::open(&dir).expect("manifest untouched");
+        let report = store.verify();
+        assert!(
+            !report.clean(),
+            "round {round}: corruption of segment {victim} went undetected"
+        );
+        // Damage is isolated: only the touched segment fails.
+        for (i, sv) in report.segments.iter().enumerate() {
+            if i != victim {
+                assert!(sv.ok(), "round {round}: intact segment {i} misreported");
+            }
+        }
+        assert!(
+            !report.segments[victim].ok(),
+            "round {round}: victim segment reported intact"
+        );
+        // With ≥3 segments and one victim, something stays recoverable,
+        // and reported ranges never exceed the clean run's span.
+        assert!(!report.recoverable_ns.is_empty());
+        for &(lo, hi) in &report.recoverable_ns {
+            assert!(lo <= hi);
+            assert!(lo >= total_range.0 && hi <= total_range.1);
+        }
+        // Strict readers refuse the damaged store; intact segments
+        // still decode individually.
+        assert!(store.events().is_err());
+        for (i, meta) in store.manifest().segments.iter().enumerate() {
+            if i != victim {
+                let events = store.segment_events(meta).expect("intact segment decodes");
+                assert_eq!(events.len() as u64, meta.events);
+            }
+        }
+
+        std::fs::write(&segs[victim], bytes).expect("restore segment");
+    }
+    let healed = RunStore::open(&dir).expect("open").verify();
+    assert!(healed.clean(), "restoration must verify clean again");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_manifest_is_a_graceful_error() {
+    let dir = build_store("manifest");
+    let path = dir.join(MANIFEST_FILE);
+    let bytes = std::fs::read(&path).expect("read manifest");
+    let mut rng = Lcg(0xBADC0DE);
+    for _ in 0..40 {
+        let corrupted: Vec<u8> = if rng.below(2) == 0 {
+            bytes[..rng.below(bytes.len() as u64) as usize].to_vec()
+        } else {
+            let mut b = bytes.clone();
+            let at = rng.below(b.len() as u64) as usize;
+            b[at] ^= 1 << rng.below(8);
+            b
+        };
+        std::fs::write(&path, &corrupted).expect("write corruption");
+        match RunStore::open(&dir) {
+            // Corruption rejected with an error: the common case.
+            Err(_) => {}
+            // A kind-byte flip can re-tag the container to another
+            // valid payload kind; the typed manifest reader still
+            // refuses it, so reaching Ok requires the payload intact.
+            Ok(store) => assert_eq!(store.manifest().seed, 99),
+        }
+    }
+    std::fs::write(&path, &bytes).expect("restore manifest");
+    assert!(RunStore::open(&dir).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_cli_exits_one_on_damage() {
+    let dir = build_store("cli");
+    let bin = env!("CARGO_BIN_EXE_fleetio-store");
+    let run = |args: &[&str]| {
+        std::process::Command::new(bin)
+            .args(args)
+            .output()
+            .expect("run fleetio-store")
+    };
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+
+    let ok = run(&["verify", dir_s]);
+    assert!(ok.status.success(), "clean store must verify with exit 0");
+
+    let victim = seg_paths(&dir).pop().expect("segment");
+    let mut bytes = std::fs::read(&victim).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&victim, &bytes).expect("corrupt");
+
+    let bad = run(&["verify", dir_s]);
+    assert_eq!(
+        bad.status.code(),
+        Some(1),
+        "damage must exit 1 (stdout: {})",
+        String::from_utf8_lossy(&bad.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("DAMAGED") || stdout.contains("SHORT"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -121,6 +121,12 @@ impl WorkloadKind {
         WorkloadKind::BatchAnalytics,
     ];
 
+    /// Looks a workload up by its stable [`WorkloadKind::name`]
+    /// (run-spec decoding, CLI arguments).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
     /// Stable lowercase name.
     pub fn name(self) -> &'static str {
         match self {
