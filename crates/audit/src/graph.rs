@@ -26,12 +26,13 @@ use crate::token::TokKind;
 
 /// Reachability roots: the DES dispatch path and the rollout workers.
 /// Every simulated decision flows through one of these.
-pub const TAINT_ROOTS: [&str; 5] = [
+pub const TAINT_ROOTS: [&str; 6] = [
     "Engine::dispatch_event",
     "Engine::run_until",
     "collect_frozen",
     "collect_parallel",
     "collect_parallel_envs",
+    "FleetRuntime::run_window",
 ];
 
 /// One nondeterminism source occurrence.

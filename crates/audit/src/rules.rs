@@ -62,6 +62,7 @@ pub(crate) fn in_sim(path: &str) -> bool {
         "crates/rl/src/",
         "crates/model/src/",
         "crates/fleetio/src/",
+        "crates/fleet/src/",
         "crates/obs/src/",
         "crates/store/src/",
     ]
@@ -96,6 +97,7 @@ fn in_quiet(path: &str) -> bool {
         "crates/ml/src/",
         "crates/rl/src/",
         "crates/model/src/",
+        "crates/fleet/src/",
         "crates/obs/src/",
         "crates/store/src/",
     ]

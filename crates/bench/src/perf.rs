@@ -62,6 +62,16 @@ pub struct PerfOptions {
     pub queue_ops: usize,
     /// Events streamed through the run-store ingest microbench.
     pub store_events: usize,
+    /// Fleet shards (one vSSD engine each).
+    pub fleet_shards: u32,
+    /// vSSD slots per fleet shard.
+    pub fleet_slots: u32,
+    /// Tenants placed across the fleet.
+    pub fleet_tenants: u32,
+    /// Fleet decision windows run.
+    pub fleet_windows: u32,
+    /// Worker threads advancing fleet shards.
+    pub fleet_workers: usize,
     /// Root random seed.
     pub seed: u64,
 }
@@ -78,6 +88,11 @@ impl PerfOptions {
             ppo_updates: 6,
             queue_ops: 2_000_000,
             store_events: 400_000,
+            fleet_shards: 16,
+            fleet_slots: 4,
+            fleet_tenants: 56,
+            fleet_windows: 6,
+            fleet_workers: 4,
             seed: 42,
         }
     }
@@ -94,6 +109,11 @@ impl PerfOptions {
             ppo_updates: 1,
             queue_ops: 20_000,
             store_events: 5_000,
+            fleet_shards: 2,
+            fleet_slots: 2,
+            fleet_tenants: 3,
+            fleet_windows: 2,
+            fleet_workers: 2,
             seed: 42,
         }
     }
@@ -563,10 +583,41 @@ fn ppo_scenario(opts: &PerfOptions, metrics: &mut BTreeMap<String, f64>) {
 
 fn run_scenarios(opts: &PerfOptions, metrics: &mut BTreeMap<String, f64>) {
     colocation_scenario(opts, metrics);
+    fleet_scenario(opts, metrics);
     rollout_scenario(opts, metrics);
     ppo_scenario(opts, metrics);
     queue_scenario(opts, metrics);
     store_scenario(opts, metrics);
+}
+
+/// Fleet scenario: many independent vSSD engines advanced as shards on
+/// a scoped worker pool, with batched policy inference and the
+/// hotspot-consolidation control plane at every window merge. Fills
+/// `fleet_windows_per_sec` and `fleet_events_per_sec` (fleet decision
+/// windows and summed engine events over the measured wall time; the
+/// build/warm-up phase is excluded).
+fn fleet_scenario(opts: &PerfOptions, metrics: &mut BTreeMap<String, f64>) {
+    use fleetio_fleet::{default_model, FleetRuntime, FleetSpec};
+    let _prof = prof::span("perf.fleet");
+    let mut spec = FleetSpec::sized(
+        opts.seed,
+        opts.fleet_shards,
+        opts.fleet_slots,
+        opts.fleet_tenants,
+    );
+    spec.windows = opts.fleet_windows;
+    let mut rt = FleetRuntime::new(&spec, default_model(opts.seed), opts.fleet_workers);
+    let t0 = Instant::now();
+    let report = rt.run();
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    metrics.insert(
+        "fleet_windows_per_sec".to_string(),
+        f64::from(spec.windows) / secs,
+    );
+    metrics.insert(
+        "fleet_events_per_sec".to_string(),
+        report.events_processed as f64 / secs,
+    );
 }
 
 /// Run-store ingest microbench: a representative event mix streamed
@@ -878,6 +929,8 @@ mod tests {
             "sim_events_per_sec",
             "nand_ops_per_sec",
             "windows_per_sec",
+            "fleet_windows_per_sec",
+            "fleet_events_per_sec",
             "rollout_steps_per_sec",
             "ppo_updates_per_sec",
             "queue_ops_per_sec",

@@ -1,0 +1,268 @@
+//! Hotspot detection and migration planning (the Serifos-style
+//! consolidation loop, run by the control plane at every window merge).
+//!
+//! Everything here is pure arithmetic over the merged per-shard window
+//! reports: no clocks, no engines, no randomness. Inputs arrive in
+//! shard-index order and every tie breaks toward the lowest index, so a
+//! plan is a deterministic function of the window's statistics.
+
+/// A fleet-wide slot address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SlotAddr {
+    /// Shard (SSD engine) index.
+    pub shard: u32,
+    /// Slot index within the shard.
+    pub slot: u32,
+}
+
+impl std::fmt::Display for SlotAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.shard, self.slot)
+    }
+}
+
+/// One planned tenant move, decided at a window merge and executed at
+/// the next window boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationDecision {
+    /// Window index whose statistics triggered the move.
+    pub window: u32,
+    /// The tenant being moved.
+    pub tenant: u32,
+    /// Source slot.
+    pub from: SlotAddr,
+    /// Destination slot.
+    pub to: SlotAddr,
+    /// Source-shard utilization when the move was planned.
+    pub src_util: f64,
+    /// Destination-shard utilization when the move was planned.
+    pub dst_util: f64,
+}
+
+/// Control-plane thresholds (copied out of the fleet spec).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlConfig {
+    /// Shard utilization above which it is hotspot-eligible.
+    pub hot_util: f64,
+    /// Hot shards must also exceed this multiple of the fleet mean.
+    pub spread_factor: f64,
+    /// Migration budget per window boundary.
+    pub max_migrations: u32,
+    /// Per-shard peak bandwidth in bytes/second (the utilization
+    /// denominator), used to project post-move utilizations.
+    pub shard_peak: f64,
+}
+
+/// One occupied slot as the planner sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotLoad {
+    /// The resident tenant.
+    pub tenant: u32,
+    /// The tenant's average bandwidth this window, bytes/second.
+    pub bytes_per_sec: f64,
+    /// Whether the tenant may move (migration cooldown expired).
+    pub movable: bool,
+}
+
+/// Plans this boundary's migrations.
+///
+/// A shard is **hot** when its utilization exceeds both
+/// `cfg.hot_util` and `cfg.spread_factor ×` the fleet mean. For each
+/// hot shard, hottest first, the heaviest movable tenant moves to the
+/// coolest shard that has a usable free slot — provided the destination
+/// ends cooler than the source began even after absorbing the tenant's
+/// bandwidth (the move must not create a worse hotspot than it cures).
+/// Projected utilizations are updated as moves are planned so one
+/// boundary's decisions compose.
+///
+/// `utils[s]` is shard `s`'s utilization; `loads[s][l]` describes slot
+/// `l` of shard `s` (`None` = empty); `usable[s][l]` marks slots that
+/// can accept a tenant (empty and not draining a detached tenant's
+/// in-flight requests).
+///
+/// # Panics
+///
+/// Panics if the per-shard vectors disagree in shape.
+pub fn plan_migrations(
+    cfg: &ControlConfig,
+    window: u32,
+    utils: &[f64],
+    loads: &[Vec<Option<SlotLoad>>],
+    usable: &[Vec<bool>],
+) -> Vec<MigrationDecision> {
+    assert_eq!(utils.len(), loads.len(), "utils/loads shard count");
+    assert_eq!(utils.len(), usable.len(), "utils/usable shard count");
+    let mean = utils.iter().sum::<f64>() / utils.len().max(1) as f64;
+    let mut projected = utils.to_vec();
+    let mut usable: Vec<Vec<bool>> = usable.to_vec();
+    let mut moved: Vec<u32> = Vec::new();
+    let mut exhausted: Vec<usize> = Vec::new();
+    let mut plan = Vec::new();
+
+    while (plan.len() as u32) < cfg.max_migrations {
+        // Hottest qualifying shard under the projected loads; ties
+        // toward the lower index. A shard that can't shed (no movable
+        // tenant, no acceptable destination) is set aside so another
+        // hot shard can use the remaining budget.
+        let src = (0..projected.len())
+            .filter(|s| !exhausted.contains(s))
+            .filter(|&s| projected[s] > cfg.hot_util && projected[s] > cfg.spread_factor * mean)
+            .max_by(|a, b| projected[*a].total_cmp(&projected[*b]).then(b.cmp(a)));
+        let Some(src) = src else {
+            break;
+        };
+        // Heaviest movable tenant on the hot shard; ties toward the
+        // lower slot index.
+        let victim = loads[src]
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, load)| (*load).filter(|l| l.movable).map(|l| (slot, l)))
+            .filter(|(_, l)| !moved.contains(&l.tenant))
+            .max_by(|(sa, a), (sb, b)| {
+                a.bytes_per_sec.total_cmp(&b.bytes_per_sec).then(sb.cmp(sa))
+            });
+        let Some((src_slot, load)) = victim else {
+            exhausted.push(src);
+            continue;
+        };
+        let delta = if cfg.shard_peak > 0.0 {
+            load.bytes_per_sec / cfg.shard_peak
+        } else {
+            0.0
+        };
+        // Coolest destination with a usable slot; ties toward the
+        // lower shard index.
+        let dst = (0..projected.len())
+            .filter(|&d| d != src && usable[d].iter().any(|u| *u))
+            .filter(|&d| projected[d] + delta < projected[src])
+            .min_by(|a, b| projected[*a].total_cmp(&projected[*b]).then(a.cmp(b)));
+        let Some(dst) = dst else {
+            exhausted.push(src);
+            continue;
+        };
+        let dst_slot = usable[dst]
+            .iter()
+            .position(|u| *u)
+            .expect("destination has a usable slot");
+        plan.push(MigrationDecision {
+            window,
+            tenant: load.tenant,
+            from: SlotAddr {
+                shard: src as u32,
+                slot: src_slot as u32,
+            },
+            to: SlotAddr {
+                shard: dst as u32,
+                slot: dst_slot as u32,
+            },
+            src_util: projected[src],
+            dst_util: projected[dst],
+        });
+        moved.push(load.tenant);
+        usable[dst][dst_slot] = false;
+        projected[src] -= delta;
+        projected[dst] += delta;
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ControlConfig {
+        ControlConfig {
+            hot_util: 0.5,
+            spread_factor: 1.5,
+            max_migrations: 2,
+            shard_peak: 1000.0,
+        }
+    }
+
+    fn load(tenant: u32, bw: f64) -> Option<SlotLoad> {
+        Some(SlotLoad {
+            tenant,
+            bytes_per_sec: bw,
+            movable: true,
+        })
+    }
+
+    #[test]
+    fn balanced_fleet_plans_nothing() {
+        let utils = [0.3, 0.3, 0.3];
+        let loads = vec![
+            vec![load(0, 300.0)],
+            vec![load(1, 300.0)],
+            vec![load(2, 300.0)],
+        ];
+        let usable = vec![vec![false], vec![false], vec![false]];
+        assert!(plan_migrations(&cfg(), 0, &utils, &loads, &usable).is_empty());
+    }
+
+    #[test]
+    fn hot_shard_sheds_heaviest_movable_tenant_to_coolest_slot() {
+        let utils = [0.9, 0.1, 0.05];
+        let loads = vec![
+            vec![load(0, 400.0), load(1, 500.0)],
+            vec![load(2, 100.0), None],
+            vec![None, None],
+        ];
+        let usable = vec![vec![false, false], vec![false, true], vec![true, true]];
+        let plan = plan_migrations(&cfg(), 4, &utils, &loads, &usable);
+        assert_eq!(plan.len(), 1, "one hot shard, one move: {plan:?}");
+        let m = plan[0];
+        assert_eq!(m.tenant, 1, "heaviest tenant moves");
+        assert_eq!(m.from, SlotAddr { shard: 0, slot: 1 });
+        // Coolest shard (index 2) wins over the merely-cool shard 1.
+        assert_eq!(m.to, SlotAddr { shard: 2, slot: 0 });
+        assert_eq!(m.window, 4);
+    }
+
+    #[test]
+    fn cooldown_and_budget_are_respected() {
+        let mut loads = vec![
+            vec![load(0, 400.0), load(1, 500.0)],
+            vec![None, None],
+            vec![None, None],
+        ];
+        let usable = vec![vec![false, false], vec![true, true], vec![true, true]];
+        let utils = [0.9, 0.0, 0.0];
+        // Nothing movable → nothing planned.
+        for slot in loads[0].iter_mut() {
+            slot.as_mut().expect("occupied").movable = false;
+        }
+        assert!(plan_migrations(&cfg(), 0, &utils, &loads, &usable).is_empty());
+        // Budget of one caps the plan even with two hot shards.
+        let tight = ControlConfig {
+            max_migrations: 1,
+            ..cfg()
+        };
+        let utils = [0.9, 0.9, 0.0];
+        let loads = vec![
+            vec![load(0, 450.0), load(1, 450.0)],
+            vec![load(2, 450.0), load(3, 450.0)],
+            vec![None, None],
+        ];
+        let usable = vec![vec![false, false], vec![false, false], vec![true, true]];
+        let plan = plan_migrations(&tight, 0, &utils, &loads, &usable);
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn no_ping_pong_when_destination_would_heat_past_source() {
+        // Absorbing the 800 B/s tenant would push the destination past
+        // the source's starting heat — the planner must decline rather
+        // than relocate the hotspot.
+        let utils = [0.8, 0.75];
+        let loads = vec![vec![load(0, 800.0)], vec![None]];
+        let usable = vec![vec![false], vec![true]];
+        assert!(plan_migrations(&cfg(), 0, &utils, &loads, &usable).is_empty());
+        // But a move that merely halves the imbalance is accepted even
+        // though the destination ends warmer than the drained source.
+        let utils = [0.9, 0.05];
+        let loads = vec![vec![load(0, 450.0), load(1, 450.0)], vec![None, None]];
+        let usable = vec![vec![false, false], vec![true, true]];
+        let plan = plan_migrations(&cfg(), 0, &utils, &loads, &usable);
+        assert_eq!(plan.len(), 1, "beneficial half-load move: {plan:?}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Fleet-level determinism acceptance tests:
+//!
+//! * a 64-vSSD fleet produces byte-identical per-shard observability
+//!   streams and identical migration logs for 1, 2 and 8 worker
+//!   threads (the CI determinism matrix);
+//! * two same-seed fleet runs recorded through per-shard `StoreSink`s
+//!   diff as `Identical` — the fleet layer composes with the run store
+//!   without disturbing its byte-exactness guarantee.
+
+use std::path::PathBuf;
+
+use fleetio_fleet::{default_model, FleetRuntime, FleetSpec};
+use fleetio_store::{diff_stores, DiffOutcome, RunStore, StoreSink};
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fleetio-fleet-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The CI fleet (16 shards × 4 slots = 64 vSSDs, 56 tenants) trimmed
+/// to two windows so the debug-build matrix stays fast.
+fn matrix_spec(seed: u64) -> FleetSpec {
+    let mut spec = FleetSpec::ci(seed);
+    spec.windows = 2;
+    spec
+}
+
+#[test]
+fn worker_thread_count_never_changes_a_64_vssd_fleet() {
+    let spec = matrix_spec(41);
+    assert_eq!(spec.total_slots(), 64);
+    let mut baseline = None;
+    for workers in [1usize, 2, 8] {
+        let mut rt = FleetRuntime::new(&spec, default_model(7), workers);
+        rt.install_fingerprint_sinks();
+        let report = rt.run();
+        let fingerprints = rt.take_fingerprints();
+        assert!(
+            fingerprints.iter().all(|&(_, events)| events > 0),
+            "every shard must emit events"
+        );
+        match &baseline {
+            None => baseline = Some((report, fingerprints)),
+            Some((r0, f0)) => {
+                assert_eq!(
+                    &report.migrations, &r0.migrations,
+                    "{workers} workers changed the migration log"
+                );
+                assert_eq!(
+                    &report, r0,
+                    "{workers} workers changed the merged window reports"
+                );
+                assert_eq!(
+                    &fingerprints, f0,
+                    "{workers} workers changed a per-shard obs stream"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_fleet_stores_diff_as_identical() {
+    let spec = FleetSpec::sized(23, 2, 2, 3);
+    let record = |tag: &str| -> Vec<PathBuf> {
+        let dirs: Vec<PathBuf> = (0..spec.shards)
+            .map(|s| tmp(&format!("{tag}-shard{s}")))
+            .collect();
+        let mut rt = FleetRuntime::new(&spec, default_model(7), 2);
+        for (s, dir) in dirs.iter().enumerate() {
+            let sink = StoreSink::create(
+                dir,
+                spec.encode(),
+                spec.fingerprint(),
+                spec.seed,
+                spec.window.as_nanos(),
+                32 * 1024,
+            )
+            .expect("create store");
+            rt.set_shard_sink(s, Box::new(sink));
+        }
+        rt.run();
+        for s in 0..spec.shards as usize {
+            let sink = rt
+                .take_shard_sink(s)
+                .into_any()
+                .downcast::<StoreSink>()
+                .expect("shard sink is a StoreSink");
+            let manifest = sink.finish().expect("seal store");
+            assert!(manifest.sealed);
+            assert!(manifest.total_events > 0);
+        }
+        dirs
+    };
+    let a = record("a");
+    let b = record("b");
+    for (da, db) in a.iter().zip(&b) {
+        let sa = RunStore::open(da).expect("open a");
+        let sb = RunStore::open(db).expect("open b");
+        match diff_stores(&sa, &sb).expect("diff") {
+            DiffOutcome::Identical { events } => {
+                assert_eq!(events, sa.manifest().total_events);
+            }
+            DiffOutcome::Diverged(d) => {
+                panic!("same-seed fleet stores diverged at event {}", d.index)
+            }
+        }
+    }
+    for dir in a.iter().chain(&b) {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

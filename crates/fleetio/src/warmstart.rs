@@ -124,6 +124,25 @@ pub fn agent_from_checkpoint(
     tag: &str,
     history_windows: usize,
 ) -> Result<(FleetIoAgent, bool), RegistryError> {
+    let (model, fell_back) = model_from_checkpoint(registry, tag)?;
+    Ok((FleetIoAgent::new(&model, history_windows), fell_back))
+}
+
+/// Loads the checkpoint for `tag` (with `last_good` fallback) as a
+/// frozen [`PretrainedModel`]. The second return is whether the
+/// fallback fired. This is [`agent_from_checkpoint`] without the
+/// per-vSSD history wrapper — the form fleet-level callers need when
+/// they batch many tenants' inferences through one matrix pass and
+/// keep per-tenant histories outside the agent.
+///
+/// # Errors
+///
+/// No usable checkpoint under `tag`, or a checkpoint whose components
+/// fail `PpoTrainer::from_state` cross-validation.
+pub fn model_from_checkpoint(
+    registry: &ModelRegistry,
+    tag: &str,
+) -> Result<(PretrainedModel, bool), RegistryError> {
     let (ckpt, fell_back) = registry.load_model_or_last_good(tag)?;
     let trainer = PpoTrainer::from_state(ckpt.trainer).map_err(|msg| RegistryError::Corrupt {
         path: registry.model_path(tag),
@@ -131,11 +150,13 @@ pub fn agent_from_checkpoint(
     })?;
     let mut normalizer = trainer.normalizer;
     normalizer.freeze();
-    let model = PretrainedModel {
-        policy: trainer.policy,
-        normalizer,
-    };
-    Ok((FleetIoAgent::new(&model, history_windows), fell_back))
+    Ok((
+        PretrainedModel {
+            policy: trainer.policy,
+            normalizer,
+        },
+        fell_back,
+    ))
 }
 
 /// The full vSSD-attach warm-start path: classify `features` via the
@@ -158,6 +179,24 @@ pub fn warm_start(
     };
     let (agent, fell_back) = agent_from_checkpoint(registry, &tag, history_windows)?;
     Ok(Some((tag, agent, fell_back)))
+}
+
+/// [`warm_start`] in model form: classify `features`, then load the
+/// matching checkpoint as frozen weights via [`model_from_checkpoint`].
+///
+/// # Errors
+///
+/// Missing/corrupt typing index, or a selected tag with no usable
+/// checkpoint.
+pub fn warm_start_model(
+    registry: &ModelRegistry,
+    features: &WindowFeatures,
+) -> Result<Option<(String, PretrainedModel, bool)>, RegistryError> {
+    let Some(tag) = classify_tag(registry, features)? else {
+        return Ok(None);
+    };
+    let (model, fell_back) = model_from_checkpoint(registry, &tag)?;
+    Ok(Some((tag, model, fell_back)))
 }
 
 #[cfg(test)]

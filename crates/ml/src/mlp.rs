@@ -100,6 +100,24 @@ impl Dense {
             out.push(self.act.apply(z));
         }
     }
+
+    /// Forward pass over `rows` row-major inputs at once. Each row's
+    /// accumulation is the exact expression [`Dense::forward`] uses, so
+    /// every output bit-matches the per-row pass; the batch form only
+    /// amortizes buffer management and keeps the weight matrix hot
+    /// across consecutive rows.
+    fn forward_batch(&self, xs: &[f32], rows: usize, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(rows * self.out_dim, 0.0);
+        for (r, x) in xs.chunks_exact(self.in_dim).enumerate() {
+            let y = &mut out[r * self.out_dim..(r + 1) * self.out_dim];
+            for (o, yo) in y.iter_mut().enumerate() {
+                let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+                let z: f32 = row.iter().zip(x).map(|(w, x)| w * x).sum::<f32>() + self.b[o];
+                *yo = self.act.apply(z);
+            }
+        }
+    }
 }
 
 /// A multi-layer perceptron.
@@ -268,6 +286,31 @@ impl Mlp {
         let mut next = Vec::new();
         for layer in &self.layers {
             layer.forward(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Runs one forward pass over a whole batch: `xs` holds `rows`
+    /// observations row-major (`rows × in_dim`), the result is row-major
+    /// `rows × out_dim`. Bit-identical per row to calling
+    /// [`Mlp::forward`] on each row — the batch form exists so N small
+    /// per-agent inferences collapse into one matrix-shaped pass (one
+    /// buffer round trip per *layer* instead of per *sample*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != rows * in_dim`.
+    pub fn forward_batch(&self, xs: &[f32], rows: usize) -> Vec<f32> {
+        assert_eq!(
+            xs.len(),
+            rows * self.in_dim(),
+            "batch input dimension mismatch"
+        );
+        let mut cur = xs.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.forward_batch(&cur, rows, &mut next);
             std::mem::swap(&mut cur, &mut next);
         }
         cur
@@ -635,5 +678,54 @@ mod tests {
     fn wrong_input_panics() {
         let net = Mlp::new(&[3, 2], Activation::Tanh, Activation::Linear, &mut rng());
         let _ = net.forward(&[1.0]);
+    }
+
+    /// Property: over seeded random shapes, activations and inputs, the
+    /// batched pass is bit-exact against the per-row pass — compared on
+    /// the raw bit patterns, not float equality, so a "harmless"
+    /// reassociation of the accumulation would fail here.
+    #[test]
+    fn forward_batch_is_bit_exact_per_row() {
+        let mut r = SmallRng::seed_from_u64(0xBA7C);
+        for case in 0..40u64 {
+            let n_layers = 2 + (r.next_u64() % 3) as usize;
+            let dims: Vec<usize> = (0..n_layers)
+                .map(|_| 1 + (r.next_u64() % 9) as usize)
+                .collect();
+            let acts = [Activation::Tanh, Activation::Relu, Activation::Linear];
+            let hidden = acts[(r.next_u64() % 3) as usize];
+            let out = acts[(r.next_u64() % 3) as usize];
+            let net = Mlp::new(&dims, hidden, out, &mut r);
+            let rows = (r.next_u64() % 17) as usize;
+            let xs: Vec<f32> = (0..rows * net.in_dim())
+                .map(|_| r.gen_range(-3.0f32..3.0))
+                .collect();
+            let batched = net.forward_batch(&xs, rows);
+            assert_eq!(batched.len(), rows * net.out_dim(), "case {case}");
+            for (row, x) in xs.chunks_exact(net.in_dim().max(1)).enumerate() {
+                let single = net.forward(x);
+                let b = &batched[row * net.out_dim()..(row + 1) * net.out_dim()];
+                for (i, (a, e)) in b.iter().zip(&single).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        e.to_bits(),
+                        "case {case} row {row} out {i}: batched {a} vs single {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_empty_batch_is_empty() {
+        let net = Mlp::new(&[3, 5, 2], Activation::Tanh, Activation::Linear, &mut rng());
+        assert!(net.forward_batch(&[], 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch input dimension mismatch")]
+    fn forward_batch_wrong_input_panics() {
+        let net = Mlp::new(&[3, 2], Activation::Tanh, Activation::Linear, &mut rng());
+        let _ = net.forward_batch(&[1.0, 2.0], 1);
     }
 }

@@ -111,6 +111,33 @@ impl ObsNormalizer {
             .collect()
     }
 
+    /// Standardizes `rows` observations held row-major in one flat
+    /// slice, appending the standardized rows to `out`. Each row goes
+    /// through the exact per-feature expression [`ObsNormalizer::normalize`]
+    /// uses (including the `count < 2` passthrough), so the batched form
+    /// is bit-identical to normalizing row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the feature count.
+    pub fn normalize_batch(&self, rows: &[f32], out: &mut Vec<f32>) {
+        let dim = self.mean.len();
+        assert_eq!(rows.len() % dim, 0, "batch is not whole rows");
+        if self.count < 2 {
+            out.extend_from_slice(rows);
+            return;
+        }
+        out.reserve(rows.len());
+        for row in rows.chunks_exact(dim) {
+            for (i, &x) in row.iter().enumerate() {
+                let var = self.m2[i] / self.count as f64;
+                let std = var.sqrt().max(1e-8);
+                let z = (f64::from(x) - self.mean[i]) / std;
+                out.push(z.clamp(-self.clip, self.clip) as f32);
+            }
+        }
+    }
+
     /// Convenience: update then normalize.
     pub fn observe(&mut self, obs: &[f32]) -> Vec<f32> {
         self.update(obs);
@@ -230,6 +257,37 @@ mod tests {
         let mut bad = n.export_state();
         bad.m2[0] = -1.0;
         assert!(ObsNormalizer::from_state(bad).is_err());
+    }
+
+    /// The batched apply must be bit-exact against the per-row apply,
+    /// both warmed and in the `count < 2` passthrough regime.
+    #[test]
+    fn normalize_batch_is_bit_exact_per_row() {
+        let mut n = ObsNormalizer::new(3, 5.0);
+        let probe: Vec<f32> = (0..12).map(|i| (i as f32) * 1.7 - 9.0).collect();
+        for warmed in [false, true] {
+            if warmed {
+                for i in 0..40 {
+                    n.update(&[i as f32, 0.25 * i as f32, -3.0 * i as f32]);
+                }
+            }
+            let mut batched = Vec::new();
+            n.normalize_batch(&probe, &mut batched);
+            assert_eq!(batched.len(), probe.len());
+            for (r, row) in probe.chunks_exact(3).enumerate() {
+                let single = n.normalize(row);
+                for (i, (a, e)) in batched[r * 3..(r + 1) * 3].iter().zip(&single).enumerate() {
+                    assert_eq!(a.to_bits(), e.to_bits(), "warmed {warmed} row {r} col {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch is not whole rows")]
+    fn normalize_batch_rejects_ragged_input() {
+        let n = ObsNormalizer::new(3, 5.0);
+        n.normalize_batch(&[1.0, 2.0], &mut Vec::new());
     }
 
     #[test]

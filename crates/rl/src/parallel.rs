@@ -13,8 +13,23 @@ use crate::env::MultiAgentEnv;
 use crate::normalize::ObsNormalizer;
 use crate::policy::PpoPolicy;
 
+/// Standardizes per-agent observation rows with one batched normalizer
+/// apply (bit-identical per row to `normalizer.normalize`).
+fn normalize_rows(normalizer: &ObsNormalizer, rows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let dim = normalizer.dim();
+    let flat: Vec<f32> = rows.concat();
+    let mut out = Vec::with_capacity(flat.len());
+    normalizer.normalize_batch(&flat, &mut out);
+    out.chunks_exact(dim).map(|c| c.to_vec()).collect()
+}
+
 /// Collects one rollout from `env` with a frozen normalizer. Used by the
 /// parallel workers and reusable for evaluation runs.
+///
+/// All per-agent policy inferences in a step run as one batched actor
+/// pass and one batched critic pass; RNG draws keep the per-agent order
+/// of the serial loop, so the collected rollout is byte-identical to
+/// per-agent inference while costing one matrix pass per network.
 pub fn collect_frozen<E: MultiAgentEnv>(
     env: &mut E,
     policy: &PpoPolicy,
@@ -26,32 +41,29 @@ pub fn collect_frozen<E: MultiAgentEnv>(
     let mut rng = SmallRng::seed_from_u64(seed);
     let n = env.n_agents();
     let mut per_agent: Vec<Vec<Transition>> = vec![Vec::new(); n];
-    let mut obs: Vec<Vec<f32>> = env
-        .reset()
-        .iter()
-        .map(|o| normalizer.normalize(o))
-        .collect();
+    let mut obs: Vec<Vec<f32>> = normalize_rows(normalizer, &env.reset());
     for step in 0..steps {
+        let flat: Vec<f32> = obs.concat();
+        let values = policy.value_batch(&flat, n);
         let mut actions = Vec::with_capacity(n);
         let mut logps = Vec::with_capacity(n);
-        let mut values = Vec::with_capacity(n);
-        for o in &obs {
-            let (a, lp) = policy.sample(o, &mut rng);
-            values.push(policy.value(o));
+        for (a, lp) in policy.sample_batch(&flat, n, &mut rng) {
             actions.push(a);
             logps.push(lp);
         }
         let result = env.step(&actions);
-        let next_obs: Vec<Vec<f32>> = result
-            .observations
-            .iter()
-            .map(|o| normalizer.normalize(o))
-            .collect();
+        let next_obs = normalize_rows(normalizer, &result.observations);
         let truncated = step + 1 == steps && !result.done;
+        let bootstrap = if truncated {
+            let next_flat: Vec<f32> = next_obs.concat();
+            policy.value_batch(&next_flat, n)
+        } else {
+            Vec::new()
+        };
         for i in 0..n {
             let mut reward = result.rewards[i];
             if truncated {
-                reward += gamma * policy.value(&next_obs[i]);
+                reward += gamma * bootstrap[i];
             }
             per_agent[i].push(Transition {
                 obs: std::mem::take(&mut obs[i]),
@@ -66,11 +78,7 @@ pub fn collect_frozen<E: MultiAgentEnv>(
         }
         obs = next_obs;
         if result.done {
-            obs = env
-                .reset()
-                .iter()
-                .map(|o| normalizer.normalize(o))
-                .collect();
+            obs = normalize_rows(normalizer, &env.reset());
         }
     }
     let mut buffer = RolloutBuffer::new();

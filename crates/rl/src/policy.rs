@@ -157,6 +157,44 @@ impl PpoPolicy {
         (action, logp)
     }
 
+    /// Samples actions for a whole row-major batch of observations with
+    /// one actor pass. RNG draws happen row by row, head by head — the
+    /// exact consumption order of calling [`PpoPolicy::sample`] on each
+    /// row in turn — and `Mlp::forward_batch` is bit-identical per row,
+    /// so batched collection reproduces serial collection byte for byte.
+    pub fn sample_batch<R: Rng>(
+        &self,
+        obs: &[f32],
+        rows: usize,
+        rng: &mut R,
+    ) -> Vec<(Vec<usize>, f64)> {
+        let logits = self.actor.forward_batch(obs, rows);
+        let width = self.actor.out_dim();
+        logits
+            .chunks_exact(width.max(1))
+            .map(|row_logits| {
+                let mut action = Vec::with_capacity(self.action_dims.len());
+                let mut logp = 0.0f64;
+                for head in self.split_heads(row_logits) {
+                    let probs = softmax(head);
+                    let mut u: f32 = rng.gen_range(0.0f32..1.0);
+                    let mut chosen = probs.len() - 1;
+                    for (i, p) in probs.iter().enumerate() {
+                        if u < *p {
+                            chosen = i;
+                            break;
+                        }
+                        u -= p;
+                    }
+                    let lp = log_softmax(head);
+                    logp += f64::from(lp[chosen]);
+                    action.push(chosen);
+                }
+                (action, logp)
+            })
+            .collect()
+    }
+
     /// Greedy (argmax) action, used at deployment time.
     pub fn act_greedy(&self, obs: &[f32]) -> Vec<usize> {
         let logits = self.actor.forward(obs);
@@ -168,6 +206,28 @@ impl PpoPolicy {
                     .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
                     .map(|(i, _)| i)
                     .expect("non-empty head")
+            })
+            .collect()
+    }
+
+    /// Greedy actions for a row-major batch with one actor pass;
+    /// per-row results match [`PpoPolicy::act_greedy`] exactly.
+    pub fn act_greedy_batch(&self, obs: &[f32], rows: usize) -> Vec<Vec<usize>> {
+        let logits = self.actor.forward_batch(obs, rows);
+        let width = self.actor.out_dim();
+        logits
+            .chunks_exact(width.max(1))
+            .map(|row_logits| {
+                self.split_heads(row_logits)
+                    .into_iter()
+                    .map(|head| {
+                        head.iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                            .map(|(i, _)| i)
+                            .expect("non-empty head")
+                    })
+                    .collect()
             })
             .collect()
     }
@@ -208,6 +268,16 @@ impl PpoPolicy {
     /// Critic value estimate for `obs`.
     pub fn value(&self, obs: &[f32]) -> f64 {
         f64::from(self.critic.forward(obs)[0])
+    }
+
+    /// Critic values for a row-major batch with one critic pass;
+    /// per-row results match [`PpoPolicy::value`] exactly.
+    pub fn value_batch(&self, obs: &[f32], rows: usize) -> Vec<f64> {
+        self.critic
+            .forward_batch(obs, rows)
+            .into_iter()
+            .map(f64::from)
+            .collect()
     }
 }
 
@@ -398,6 +468,36 @@ mod tests {
         let mut bad = p.export_state();
         bad.critic.layers.last_mut().expect("has layers").out_dim = 2;
         assert!(PpoPolicy::from_state(bad).is_err());
+    }
+
+    /// Batched sample/value/greedy must reproduce the serial calls
+    /// exactly: same actions from the same RNG stream, bit-equal logps
+    /// and values.
+    #[test]
+    fn batch_inference_matches_serial_calls() {
+        let (p, _) = policy();
+        let rows: Vec<Vec<f32>> = (0..7)
+            .map(|i| vec![0.3 * i as f32 - 1.0, 0.1 * i as f32, -0.5 + 0.2 * i as f32])
+            .collect();
+        let flat: Vec<f32> = rows.concat();
+
+        let mut rng_a = SmallRng::seed_from_u64(99);
+        let mut rng_b = SmallRng::seed_from_u64(99);
+        let batched = p.sample_batch(&flat, rows.len(), &mut rng_a);
+        for (row, (ba, blp)) in rows.iter().zip(&batched) {
+            let (sa, slp) = p.sample(row, &mut rng_b);
+            assert_eq!(*ba, sa);
+            assert_eq!(blp.to_bits(), slp.to_bits());
+        }
+        // Both paths drained the same number of rng draws.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+
+        let values = p.value_batch(&flat, rows.len());
+        let greedy = p.act_greedy_batch(&flat, rows.len());
+        for ((row, v), g) in rows.iter().zip(&values).zip(&greedy) {
+            assert_eq!(v.to_bits(), p.value(row).to_bits());
+            assert_eq!(*g, p.act_greedy(row));
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 pub use fleetio;
 pub use fleetio_des as des;
 pub use fleetio_flash as flash;
+pub use fleetio_fleet as fleet;
 pub use fleetio_ml as ml;
 pub use fleetio_model as model;
 pub use fleetio_obs as obs;
