@@ -27,7 +27,7 @@ const SUB_COUNT: usize = 1 << SUB_BITS;
 /// let p50 = h.percentile(50.0).unwrap().as_micros();
 /// assert!((480..=520).contains(&p50), "p50 was {p50}");
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     /// Flat `range * SUB_COUNT + sub` bucket counts: samples whose
     /// nanosecond value falls in that log range / linear sub-bucket.

@@ -6,6 +6,8 @@
 //! shard-index order and every tie breaks toward the lowest index, so a
 //! plan is a deterministic function of the window's statistics.
 
+use fleetio_obs::MigrationCause;
+
 /// A fleet-wide slot address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SlotAddr {
@@ -37,6 +39,15 @@ pub struct MigrationDecision {
     pub src_util: f64,
     /// Destination-shard utilization when the move was planned.
     pub dst_util: f64,
+    /// Which hotspot rule was the binding constraint (the one with the
+    /// smaller margin above its bound).
+    pub cause: MigrationCause,
+    /// Fleet-mean utilization when the move was planned.
+    pub mean_util: f64,
+    /// Projected source utilization after the move.
+    pub src_util_after: f64,
+    /// Projected destination utilization after the move.
+    pub dst_util_after: f64,
 }
 
 /// Control-plane thresholds (copied out of the fleet spec).
@@ -144,6 +155,15 @@ pub fn plan_migrations(
             .iter()
             .position(|u| *u)
             .expect("destination has a usable slot");
+        // Both hotspot rules held (the shard qualified); the cause names
+        // the binding one — the higher of the two bounds, which a
+        // cooling shard would drop below first. Ties go to the absolute
+        // threshold.
+        let cause = if cfg.hot_util >= cfg.spread_factor * mean {
+            MigrationCause::HotUtil
+        } else {
+            MigrationCause::SpreadFactor
+        };
         plan.push(MigrationDecision {
             window,
             tenant: load.tenant,
@@ -157,6 +177,10 @@ pub fn plan_migrations(
             },
             src_util: projected[src],
             dst_util: projected[dst],
+            cause,
+            mean_util: mean,
+            src_util_after: projected[src] - delta,
+            dst_util_after: projected[dst] + delta,
         });
         moved.push(load.tenant);
         usable[dst][dst_slot] = false;

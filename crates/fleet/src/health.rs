@@ -1,0 +1,341 @@
+//! Fleet-wide SLO accounting and the health-report surface.
+//!
+//! [`FleetObs`] is the measurement side of the control plane: it owns
+//! one [`SloTracker`] per SLO-carrying tenant, the fixed-capacity
+//! windowed time-series ([`fleetio_obs::SeriesSet`]), the fleet-wide
+//! merged latency histogram, and the annotated migration log. The
+//! runtime feeds it once per window from the **serial** merge — inputs
+//! arrive in shard-index order and every fold below preserves that
+//! order, so a same-seed run renders a byte-identical health report and
+//! series export for any worker count.
+//!
+//! Overhead envelope: one histogram clone per slot per window (done in
+//! the parallel shard phase), one `merge` + two percentile scans per
+//! slot at the serial merge, and one ring write per registered series.
+//! Nothing here allocates in the steady state except the verdict
+//! history, whose capacity is reserved up front for the spec's window
+//! count.
+
+use fleetio_des::{LatencyHistogram, SimDuration};
+use fleetio_obs::slo::BURN_WINDOWS;
+use fleetio_obs::{SeriesId, SeriesSet, SloTracker, WindowVerdict};
+
+use crate::control::MigrationDecision;
+use crate::shard::ShardWindowReport;
+use crate::spec::FleetSpec;
+
+/// One tenant's SLO outcome for one window, produced at the merge.
+/// `shard`/`slot` locate the tenant's residence (where its obs events
+/// are emitted); `burn` is the tracker's rolling violation fraction
+/// *after* this window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloOutcome {
+    /// The tenant.
+    pub tenant: u32,
+    /// Resident shard this window.
+    pub shard: u32,
+    /// Resident slot this window.
+    pub slot: u32,
+    /// The window's verdict.
+    pub verdict: WindowVerdict,
+    /// Rolling violation fraction after this window.
+    pub burn: f64,
+}
+
+/// Fleet observability state: per-tenant SLO trackers, windowed series,
+/// and the annotated migration history. See the module docs.
+#[derive(Debug)]
+pub struct FleetObs {
+    window_len: SimDuration,
+    /// One tracker per tenant; `None` = tenant has no SLO.
+    trackers: Vec<Option<SloTracker>>,
+    /// Per-tenant verdict history, window order (capacity reserved for
+    /// the spec's window count).
+    verdicts: Vec<Vec<WindowVerdict>>,
+    series: SeriesSet,
+    tenant_p95: Vec<SeriesId>,
+    tenant_p99: Vec<SeriesId>,
+    shard_util: Vec<SeriesId>,
+    shard_queue: Vec<SeriesId>,
+    fleet_p95: SeriesId,
+    fleet_p99: SeriesId,
+    fleet_gc_events: SeriesId,
+    fleet_harvested: SeriesId,
+    fleet_migrations: SeriesId,
+    /// Scratch for the cross-shard histogram merge (cleared per window).
+    fleet_hist: LatencyHistogram,
+    /// Executed migrations, execution order, with cause annotations.
+    migrations: Vec<MigrationDecision>,
+}
+
+impl FleetObs {
+    /// Builds the observability state for `spec`: registers every
+    /// series with capacity for the spec's window count and installs a
+    /// tracker for each tenant that carries an [`fleetio_obs::SloSpec`].
+    pub fn new(spec: &FleetSpec) -> Self {
+        let cap = spec.windows.max(1) as usize;
+        let mut series = SeriesSet::new();
+        let tenant_p95 = (0..spec.tenants.len())
+            .map(|t| series.register(&format!("tenant{t}.p95_ns"), cap))
+            .collect();
+        let tenant_p99 = (0..spec.tenants.len())
+            .map(|t| series.register(&format!("tenant{t}.p99_ns"), cap))
+            .collect();
+        let shard_util = (0..spec.shards)
+            .map(|s| series.register(&format!("shard{s}.util"), cap))
+            .collect();
+        let shard_queue = (0..spec.shards)
+            .map(|s| series.register(&format!("shard{s}.queue_depth"), cap))
+            .collect();
+        let fleet_p95 = series.register("fleet.p95_ns", cap);
+        let fleet_p99 = series.register("fleet.p99_ns", cap);
+        let fleet_gc_events = series.register("fleet.gc_events", cap);
+        let fleet_harvested = series.register("fleet.harvested_channels", cap);
+        let fleet_migrations = series.register("fleet.migrations", cap);
+        FleetObs {
+            window_len: spec.window,
+            trackers: spec
+                .tenants
+                .iter()
+                .map(|t| t.slo.map(SloTracker::new))
+                .collect(),
+            verdicts: (0..spec.tenants.len())
+                .map(|_| Vec::with_capacity(cap))
+                .collect(),
+            series,
+            tenant_p95,
+            tenant_p99,
+            shard_util,
+            shard_queue,
+            fleet_p95,
+            fleet_p99,
+            fleet_gc_events,
+            fleet_harvested,
+            fleet_migrations,
+            fleet_hist: LatencyHistogram::new(),
+            migrations: Vec::new(),
+        }
+    }
+
+    /// Folds one window's shard reports into trackers and series.
+    /// `reports` and `utils` arrive in shard-index order from the
+    /// serial merge; the returned outcomes follow (shard, slot) order.
+    pub fn record_window(
+        &mut self,
+        window: u32,
+        reports: &[ShardWindowReport],
+        utils: &[f64],
+        executed_migrations: usize,
+    ) -> Vec<SloOutcome> {
+        let mut outcomes = Vec::new();
+        let mut gc_events = 0u64;
+        let mut harvested = 0u64;
+        self.fleet_hist.clear();
+        for (s, report) in reports.iter().enumerate() {
+            self.series.push(self.shard_util[s], window, utils[s]);
+            self.series
+                .push(self.shard_queue[s], window, report.queue_depth as f64);
+            for (slot, hist) in report.latencies.iter().enumerate() {
+                // Per-shard partial histograms merge in shard-index
+                // (then slot) order — the fleet-wide percentile is a
+                // pure fold over the ordered reports.
+                self.fleet_hist.merge(hist);
+                let Some(tenant) = report.tenants[slot] else {
+                    continue;
+                };
+                let Some(tracker) = &mut self.trackers[tenant as usize] else {
+                    continue;
+                };
+                let bytes = report.summaries[slot].1.total_bytes;
+                let verdict = tracker.observe(window, hist, bytes, self.window_len);
+                self.verdicts[tenant as usize].push(verdict);
+                self.series.push(
+                    self.tenant_p95[tenant as usize],
+                    window,
+                    verdict.p95.as_nanos() as f64,
+                );
+                self.series.push(
+                    self.tenant_p99[tenant as usize],
+                    window,
+                    verdict.p99.as_nanos() as f64,
+                );
+                outcomes.push(SloOutcome {
+                    tenant,
+                    shard: report.shard,
+                    slot: slot as u32,
+                    verdict,
+                    burn: tracker.burn_rate(),
+                });
+            }
+            for (_, w) in &report.summaries {
+                gc_events += w.gc_events;
+            }
+            for snap in &report.snapshots {
+                harvested += snap.harvested_channels as u64;
+            }
+        }
+        let p95 = self
+            .fleet_hist
+            .percentile(95.0)
+            .unwrap_or(SimDuration::ZERO);
+        let p99 = self
+            .fleet_hist
+            .percentile(99.0)
+            .unwrap_or(SimDuration::ZERO);
+        self.series
+            .push(self.fleet_p95, window, p95.as_nanos() as f64);
+        self.series
+            .push(self.fleet_p99, window, p99.as_nanos() as f64);
+        self.series
+            .push(self.fleet_gc_events, window, gc_events as f64);
+        self.series
+            .push(self.fleet_harvested, window, harvested as f64);
+        self.series
+            .push(self.fleet_migrations, window, executed_migrations as f64);
+        outcomes
+    }
+
+    /// Appends executed migrations (execution order) to the annotated
+    /// timeline.
+    pub fn record_migrations(&mut self, executed: &[MigrationDecision]) {
+        self.migrations.extend_from_slice(executed);
+    }
+
+    /// The recorded time-series.
+    pub fn series(&self) -> &SeriesSet {
+        &self.series
+    }
+
+    /// The SLO tracker of `tenant`, if it carries an SLO.
+    pub fn tracker(&self, tenant: u32) -> Option<&SloTracker> {
+        self.trackers[tenant as usize].as_ref()
+    }
+
+    /// All window verdicts of `tenant` so far, window order.
+    pub fn verdicts(&self, tenant: u32) -> &[WindowVerdict] {
+        &self.verdicts[tenant as usize]
+    }
+
+    /// Renders the text fleet-health dashboard: header, per-tenant SLO
+    /// attainment table, worst-window drill-down, migration timeline
+    /// and series inventory. Pure function of recorded state —
+    /// byte-identical for same-seed runs.
+    pub fn render_report(&self, spec: &FleetSpec) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        let tracked: Vec<(u32, &SloTracker)> = self
+            .trackers
+            .iter()
+            .enumerate()
+            .filter_map(|(t, tr)| tr.as_ref().map(|tr| (t as u32, tr)))
+            .collect();
+        let observed: u32 = tracked.iter().map(|(_, tr)| tr.observed()).sum();
+        let violated: u32 = tracked.iter().map(|(_, tr)| tr.violations()).sum();
+        let fleet_att = if observed == 0 {
+            1.0
+        } else {
+            f64::from(observed - violated) / f64::from(observed)
+        };
+        let _ = writeln!(out, "FLEET HEALTH REPORT");
+        let _ = writeln!(out, "===================");
+        let _ = writeln!(
+            out,
+            "shards: {}  slots/shard: {}  tenants: {} ({} tracked)  window: {} ms",
+            spec.shards,
+            spec.slots_per_shard,
+            spec.tenants.len(),
+            tracked.len(),
+            spec.window.as_millis_f64()
+        );
+        let _ = writeln!(
+            out,
+            "tracked windows: {observed}  violations: {violated}  fleet attainment: {:.1}%  \
+             migrations: {}",
+            fleet_att * 100.0,
+            self.migrations.len()
+        );
+        let _ = writeln!(out);
+
+        let _ = writeln!(out, "PER-TENANT SLO ATTAINMENT");
+        let _ = writeln!(
+            out,
+            "{:<8}{:<16}{:>8}{:>8}{:>8}{:>9}{:>8}",
+            "tenant", "kind", "windows", "viol", "att%", "streak", "burn"
+        );
+        for (t, tr) in &tracked {
+            let _ = writeln!(
+                out,
+                "{:<8}{:<16}{:>8}{:>8}{:>7.1}%{:>9}{:>8.3}",
+                format!("t{t}"),
+                spec.tenants[*t as usize].kind.name(),
+                tr.observed(),
+                tr.violations(),
+                tr.attainment() * 100.0,
+                tr.longest_streak(),
+                tr.burn_rate()
+            );
+        }
+        let _ = writeln!(out);
+
+        let _ = writeln!(out, "WORST WINDOWS (top 5 by miss ratio)");
+        let mut worst: Vec<(u32, f64, &WindowVerdict)> = tracked
+            .iter()
+            .filter_map(|(t, tr)| {
+                tr.worst_severity()
+                    .zip(tr.worst_window())
+                    .map(|(s, v)| (*t, s, v))
+            })
+            .collect();
+        // Severity descending, tenant index ascending on exact ties.
+        worst.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        if worst.is_empty() {
+            let _ = writeln!(out, "(no violations)");
+        }
+        for (t, severity, v) in worst.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "t{t} w{}: p95 {:.3} ms, p99 {:.3} ms, {:.1} MB/s, {} ops, miss x{:.2} \
+                 [p95_ok={} p99_ok={} tp_ok={}]",
+                v.window,
+                v.p95.as_millis_f64(),
+                v.p99.as_millis_f64(),
+                v.throughput / 1e6,
+                v.ops,
+                severity,
+                v.p95_ok,
+                v.p99_ok,
+                v.throughput_ok
+            );
+        }
+        let _ = writeln!(out);
+
+        let _ = writeln!(out, "MIGRATION TIMELINE");
+        if self.migrations.is_empty() {
+            let _ = writeln!(out, "(none)");
+        }
+        for m in &self.migrations {
+            let _ = writeln!(
+                out,
+                "w{}: t{} {} -> {} cause={} mean={:.3} src {:.3}->{:.3} dst {:.3}->{:.3}",
+                m.window,
+                m.tenant,
+                m.from,
+                m.to,
+                m.cause.tag(),
+                m.mean_util,
+                m.src_util,
+                m.src_util_after,
+                m.dst_util,
+                m.dst_util_after
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "series: {} registered, {} points dropped (burn horizon: {BURN_WINDOWS} windows)",
+            self.series.n_series(),
+            self.series.total_dropped()
+        );
+        out
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod bank;
 pub mod control;
+pub mod health;
 pub mod runtime;
 pub mod shard;
 pub mod sink;
@@ -38,6 +39,7 @@ pub mod spec;
 
 pub use bank::{default_model, PolicyBank};
 pub use control::{plan_migrations, ControlConfig, MigrationDecision, SlotAddr, SlotLoad};
+pub use health::{FleetObs, SloOutcome};
 pub use runtime::{FleetReport, FleetRuntime, FleetWindowReport};
 pub use shard::{Shard, ShardWindowReport};
 pub use sink::FingerprintSink;

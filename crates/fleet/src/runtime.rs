@@ -21,7 +21,7 @@ use fleetio::warmstart::warm_start_model;
 use fleetio_des::rng::derive_seed_indexed;
 use fleetio_flash::addr::ChannelId;
 use fleetio_model::ModelRegistry;
-use fleetio_obs::ObsSink;
+use fleetio_obs::{ObsEvent, ObsSink, SeriesSet, SloTracker, WindowVerdict};
 use fleetio_vssd::engine::EngineConfig;
 use fleetio_vssd::vssd::{VssdConfig, VssdId};
 use fleetio_workloads::features::windowed_features;
@@ -29,6 +29,7 @@ use fleetio_workloads::{TraceRecord, WorkloadKind};
 
 use crate::bank::PolicyBank;
 use crate::control::{plan_migrations, ControlConfig, MigrationDecision, SlotAddr, SlotLoad};
+use crate::health::FleetObs;
 use crate::shard::{Shard, ShardWindowReport};
 use crate::sink::FingerprintSink;
 use crate::spec::FleetSpec;
@@ -42,6 +43,9 @@ struct TenantMeta {
     kind: WorkloadKind,
     seed: u64,
     location: SlotAddr,
+    /// Phase rotation applied at every attach (the tenant starts
+    /// mid-job; see [`crate::FleetTenantSpec::phase_rotation`]).
+    phase_rotation: u32,
     /// Attach count; generator streams derive from it so a tenant's
     /// traffic after its n-th move is independent of where it ran
     /// before.
@@ -109,6 +113,7 @@ pub struct FleetRuntime {
     /// requests before it may host again.
     slot_hold: Vec<Vec<u32>>,
     migration_log: Vec<MigrationDecision>,
+    obs: FleetObs,
 }
 
 impl FleetRuntime {
@@ -158,6 +163,7 @@ impl FleetRuntime {
                 kind: t.kind,
                 seed: t.seed,
                 location,
+                phase_rotation: t.phase_rotation,
                 epoch: 0,
                 cooldown: 0,
             })
@@ -169,6 +175,7 @@ impl FleetRuntime {
                 i as u32,
                 meta.kind,
                 seed,
+                meta.phase_rotation,
             );
         }
         let history = FleetIoConfig::default().history_windows;
@@ -183,6 +190,7 @@ impl FleetRuntime {
             pending_migrations: Vec::new(),
             slot_hold: vec![vec![0; spec.slots_per_shard as usize]; spec.shards as usize],
             migration_log: Vec::new(),
+            obs: FleetObs::new(spec),
             spec: spec.clone(),
         }
     }
@@ -208,6 +216,33 @@ impl FleetRuntime {
     /// Executed migrations so far, in execution order.
     pub fn migration_log(&self) -> &[MigrationDecision] {
         &self.migration_log
+    }
+
+    /// The fleet's SLO + time-series observability state.
+    pub fn obs(&self) -> &FleetObs {
+        &self.obs
+    }
+
+    /// Renders the text fleet-health dashboard for the run so far.
+    /// Byte-identical for same-seed runs at any worker count.
+    pub fn health_report(&self) -> String {
+        self.obs.render_report(&self.spec)
+    }
+
+    /// The recorded windowed time-series (util, queue depth, latency
+    /// percentiles, GC/harvest rates, migrations per window).
+    pub fn series(&self) -> &SeriesSet {
+        self.obs.series()
+    }
+
+    /// The SLO tracker of `tenant`, if it carries an SLO.
+    pub fn slo_tracker(&self, tenant: u32) -> Option<&SloTracker> {
+        self.obs.tracker(tenant)
+    }
+
+    /// All of `tenant`'s window verdicts so far, window order.
+    pub fn slo_verdicts(&self, tenant: u32) -> &[WindowVerdict] {
+        self.obs.verdicts(tenant)
     }
 
     /// The slot `tenant` currently occupies.
@@ -299,7 +334,7 @@ impl FleetRuntime {
             let (tenant, trace) = self.shards[m.from.shard as usize].detach(m.from.slot as usize);
             debug_assert_eq!(tenant, m.tenant, "planned tenant occupies the source slot");
             self.slot_hold[m.from.shard as usize][m.from.slot as usize] = 1;
-            let (kind, attach_seed) = {
+            let (kind, attach_seed, rotation) = {
                 let meta = &mut self.tenants[tenant as usize];
                 meta.epoch += 1;
                 meta.location = m.to;
@@ -307,10 +342,36 @@ impl FleetRuntime {
                 (
                     meta.kind,
                     derive_seed_indexed(meta.seed, "fleet-attach", u64::from(meta.epoch)),
+                    meta.phase_rotation,
                 )
             };
             self.warm_start_tenant(tenant, &trace, m.from);
-            self.shards[m.to.shard as usize].attach(m.to.slot as usize, tenant, kind, attach_seed);
+            self.shards[m.to.shard as usize].attach(
+                m.to.slot as usize,
+                tenant,
+                kind,
+                attach_seed,
+                rotation,
+            );
+            // Annotated migration event into the *source* shard's obs
+            // stream — this phase is serial, so the stream stays
+            // deterministic across worker counts.
+            let at = self.shards[m.from.shard as usize].now();
+            self.shards[m.from.shard as usize].emit_obs(ObsEvent::FleetMigration {
+                at,
+                window: m.window,
+                tenant: m.tenant,
+                from_shard: m.from.shard,
+                from_slot: m.from.slot,
+                to_shard: m.to.shard,
+                to_slot: m.to.slot,
+                cause: m.cause,
+                mean_util: m.mean_util,
+                src_util: m.src_util,
+                dst_util: m.dst_util,
+                src_util_after: m.src_util_after,
+                dst_util_after: m.dst_util_after,
+            });
             self.migration_log.push(m);
             executed.push(m);
         }
@@ -480,8 +541,39 @@ impl FleetRuntime {
             max_migrations: self.spec.max_migrations_per_window,
             shard_peak,
         };
-        let planned = plan_migrations(&control, self.window_idx, &utils, &loads, &usable);
+        // The control plane holds fire through the spec's burn-in
+        // windows; the start-up transient (cold caches, first RL
+        // actions) should not drive placement.
+        let planned = if self.window_idx < self.spec.migration_warmup {
+            Vec::new()
+        } else {
+            plan_migrations(&control, self.window_idx, &utils, &loads, &usable)
+        };
         self.pending_migrations = planned.clone();
+
+        // SLO accounting + time-series, then per-tenant verdict events
+        // into each tenant's resident shard. Still inside the serial
+        // merge: stream content is worker-count independent.
+        self.obs.record_migrations(&executed);
+        let outcomes = self
+            .obs
+            .record_window(self.window_idx, reports, &utils, executed.len());
+        for o in outcomes {
+            let at = self.shards[o.shard as usize].now();
+            self.shards[o.shard as usize].emit_obs(ObsEvent::SloWindow {
+                at,
+                tenant: o.tenant,
+                window: o.verdict.window,
+                ops: o.verdict.ops,
+                p95: o.verdict.p95,
+                p99: o.verdict.p99,
+                throughput: o.verdict.throughput,
+                p95_ok: o.verdict.p95_ok,
+                p99_ok: o.verdict.p99_ok,
+                throughput_ok: o.verdict.throughput_ok,
+                burn: o.burn,
+            });
+        }
 
         FleetWindowReport {
             window: self.window_idx,
@@ -510,14 +602,20 @@ mod tests {
             FleetTenantSpec {
                 kind: WorkloadKind::TeraSort,
                 seed: 101,
+                slo: Some(FleetSpec::default_tenant_slo()),
+                phase_rotation: 0,
             },
             FleetTenantSpec {
                 kind: WorkloadKind::MlPrep,
                 seed: 102,
+                slo: Some(FleetSpec::default_tenant_slo()),
+                phase_rotation: 0,
             },
             FleetTenantSpec {
                 kind: WorkloadKind::Ycsb,
                 seed: 103,
+                slo: Some(FleetSpec::default_tenant_slo()),
+                phase_rotation: 0,
             },
         ];
         spec.placement = Placement::Packed;

@@ -11,8 +11,8 @@
 //! shard's current simulated time.
 
 use fleetio_des::window::WindowSummary;
-use fleetio_des::SimDuration;
-use fleetio_obs::ObsSink;
+use fleetio_des::{LatencyHistogram, SimDuration};
+use fleetio_obs::{ObsEvent, ObsSink};
 use fleetio_vssd::engine::{Engine, EngineConfig, VssdSnapshot};
 use fleetio_vssd::request::{IoOp, IoRequest};
 use fleetio_vssd::vssd::{VssdConfig, VssdId};
@@ -56,6 +56,13 @@ pub struct ShardWindowReport {
     pub summaries: Vec<(VssdId, WindowSummary)>,
     /// Per-slot engine snapshots at window end, slot order.
     pub snapshots: Vec<VssdSnapshot>,
+    /// Per-slot exact-bucket request-latency histograms for the window,
+    /// slot order — the fleet's SLO substrate, captured just before the
+    /// window flush resets the accumulator.
+    pub latencies: Vec<LatencyHistogram>,
+    /// Queued page operations across all slots at window end (the
+    /// shard's backlog gauge).
+    pub queue_depth: u64,
     /// Cumulative engine events processed (monotone across windows).
     pub events_processed: u64,
 }
@@ -158,12 +165,21 @@ impl Shard {
 
     /// Attaches `tenant` running `kind` to `slot`, its generator seeded
     /// with `seed` and fast-forwarded to the shard's current time (the
-    /// open-loop clock starts *now*, not at zero).
+    /// open-loop clock starts *now*, not at zero). `phase_rotation`
+    /// rotates the kind's phase cycle left so the tenant starts mid-job
+    /// (see [`fleetio_workloads::WorkloadSpec::rotate_phases`]).
     ///
     /// # Panics
     ///
     /// Panics if the slot is occupied.
-    pub fn attach(&mut self, slot: usize, tenant: u32, kind: WorkloadKind, seed: u64) {
+    pub fn attach(
+        &mut self,
+        slot: usize,
+        tenant: u32,
+        kind: WorkloadKind,
+        seed: u64,
+        phase_rotation: u32,
+    ) {
         assert!(
             self.slots[slot].resident.is_none(),
             "slot {}/{slot} is occupied",
@@ -171,7 +187,8 @@ impl Shard {
         );
         let vssd = self.slots[slot].vssd;
         let capacity = self.engine.logical_capacity_bytes(vssd);
-        let spec = kind.spec();
+        let mut spec = kind.spec();
+        spec.rotate_phases(phase_rotation as usize);
         let source = if spec.is_closed_loop() {
             Source::Closed {
                 gen: ClosedLoopWorkload::new(spec, capacity, seed),
@@ -287,6 +304,18 @@ impl Shard {
                 }
             }
         }
+        // Latency histograms and queue depths are read before
+        // `finish_window` resets the per-window accumulators.
+        let latencies: Vec<LatencyHistogram> = self
+            .slots
+            .iter()
+            .map(|s| self.engine.window_latency(s.vssd).clone())
+            .collect();
+        let queue_depth = self
+            .slots
+            .iter()
+            .map(|s| self.engine.queued_ops(s.vssd) as u64)
+            .sum();
         let summaries: Vec<(VssdId, WindowSummary)> = self
             .slots
             .iter()
@@ -309,8 +338,17 @@ impl Shard {
                 .collect(),
             summaries,
             snapshots,
+            latencies,
+            queue_depth,
             events_processed: self.engine.events_processed(),
         }
+    }
+
+    /// Records a control-plane event (SLO verdict, migration) into the
+    /// shard's obs stream. Called only from the fleet's serial phases,
+    /// so per-shard streams stay deterministic across worker counts.
+    pub fn emit_obs(&mut self, ev: ObsEvent) {
+        self.engine.emit_obs(ev);
     }
 }
 
@@ -365,7 +403,7 @@ mod tests {
     #[test]
     fn attached_tenant_produces_traffic_and_trace() {
         let mut s = shard();
-        s.attach(1, 7, WorkloadKind::Ycsb, 99);
+        s.attach(1, 7, WorkloadKind::Ycsb, 99, 0);
         assert_eq!(s.tenant_at(1), Some(7));
         let report = s.run_window();
         assert!(report.summaries[1].1.total_ops > 0);
@@ -377,7 +415,7 @@ mod tests {
     #[test]
     fn detach_drains_and_slot_reattaches() {
         let mut s = shard();
-        s.attach(0, 3, WorkloadKind::TeraSort, 5);
+        s.attach(0, 3, WorkloadKind::TeraSort, 5, 0);
         s.run_window();
         let (tenant, trace) = s.detach(0);
         assert_eq!(tenant, 3);
@@ -387,7 +425,7 @@ mod tests {
         let quiet = s.run_window();
         assert_eq!(quiet.summaries[0].1.total_ops, 0, "slot fully drained");
         // The slot is reusable; the open-loop clock starts at now.
-        s.attach(0, 9, WorkloadKind::Ycsb, 6);
+        s.attach(0, 9, WorkloadKind::Ycsb, 6, 0);
         let busy = s.run_window();
         assert!(busy.summaries[0].1.total_ops > 0);
     }
@@ -396,16 +434,16 @@ mod tests {
     #[should_panic(expected = "is occupied")]
     fn double_attach_panics() {
         let mut s = shard();
-        s.attach(0, 1, WorkloadKind::Ycsb, 1);
-        s.attach(0, 2, WorkloadKind::Ycsb, 2);
+        s.attach(0, 1, WorkloadKind::Ycsb, 1, 0);
+        s.attach(0, 2, WorkloadKind::Ycsb, 2, 0);
     }
 
     #[test]
     fn same_seed_shards_report_identically() {
         let run = || {
             let mut s = shard();
-            s.attach(0, 0, WorkloadKind::Ycsb, 11);
-            s.attach(2, 1, WorkloadKind::TeraSort, 12);
+            s.attach(0, 0, WorkloadKind::Ycsb, 11, 0);
+            s.attach(2, 1, WorkloadKind::TeraSort, 12, 0);
             (0..3).map(|_| s.run_window()).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());

@@ -12,12 +12,13 @@ use fleetio::runspec::FlashPreset;
 use fleetio_des::rng::{derive_seed_indexed, stream, Rng};
 use fleetio_des::SimDuration;
 use fleetio_model::codec::{Dec, DecodeError, Enc};
+use fleetio_obs::SloSpec;
 use fleetio_workloads::WorkloadKind;
 
 use crate::control::SlotAddr;
 
 /// One fleet tenant: a workload stream that can move between slots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetTenantSpec {
     /// The workload to run.
     pub kind: WorkloadKind,
@@ -26,6 +27,16 @@ pub struct FleetTenantSpec {
     /// a migrated tenant's traffic stays deterministic without replaying
     /// the source shard's consumed stream.
     pub seed: u64,
+    /// The tenant's service-level objective, evaluated every decision
+    /// window at the fleet merge. `None` exempts the tenant from SLO
+    /// accounting (it still appears in the health report as untracked).
+    pub slo: Option<SloSpec>,
+    /// Phases to rotate the workload's cycle left at attach: the tenant
+    /// starts mid-job instead of at its first phase, so a fleet of
+    /// batch tenants need not all begin with the same scan. Taken
+    /// modulo the kind's phase count; `0` starts at the natural first
+    /// phase. Preserved across migrations.
+    pub phase_rotation: u32,
 }
 
 /// How tenants map to slots at fleet start.
@@ -95,6 +106,11 @@ pub struct FleetSpec {
     pub max_migrations_per_window: u32,
     /// Windows a migrated tenant stays put before it may move again.
     pub migration_cooldown: u32,
+    /// Decision windows the control plane observes before it plans its
+    /// first migration — a burn-in so placement reacts to steady-state
+    /// statistics rather than the start-up transient. `0` plans from
+    /// the first boundary.
+    pub migration_warmup: u32,
 }
 
 impl FleetSpec {
@@ -120,9 +136,14 @@ impl FleetSpec {
             WorkloadKind::TeraSort,
         ];
         let tenants = (0..n_tenants)
-            .map(|i| FleetTenantSpec {
-                kind: kinds[i as usize % kinds.len()],
-                seed: derive_seed_indexed(seed, "fleet-tenant", u64::from(i)),
+            .map(|i| {
+                let kind = kinds[i as usize % kinds.len()];
+                FleetTenantSpec {
+                    kind,
+                    seed: derive_seed_indexed(seed, "fleet-tenant", u64::from(i)),
+                    slo: Some(Self::slo_for(kind)),
+                    phase_rotation: 0,
+                }
             })
             .collect();
         FleetSpec {
@@ -140,6 +161,33 @@ impl FleetSpec {
             spread_factor: 1.5,
             max_migrations_per_window: 2,
             migration_cooldown: 2,
+            migration_warmup: 0,
+        }
+    }
+
+    /// The SLO the sized presets give latency-sensitive (open-loop)
+    /// tenants: p95/p99 window targets sized to the TrainingTest
+    /// preset's quiet-shard latency envelope — attained on a calm
+    /// shard, violated under a noisy neighbor.
+    pub fn default_tenant_slo() -> SloSpec {
+        SloSpec::latency(SimDuration::from_millis(25), SimDuration::from_millis(100))
+    }
+
+    /// The SLO the sized presets give bandwidth-intensive (closed-loop)
+    /// tenants: a throughput floor with latency targets loose enough
+    /// that a batch tenant is judged on bytes moved, not tail latency.
+    pub fn batch_tenant_slo() -> SloSpec {
+        SloSpec::latency(SimDuration::from_secs(10), SimDuration::from_secs(30))
+            .with_throughput_floor(1_000_000.0)
+    }
+
+    /// The preset SLO for `kind` (see [`FleetSpec::default_tenant_slo`]
+    /// and [`FleetSpec::batch_tenant_slo`]).
+    pub fn slo_for(kind: WorkloadKind) -> SloSpec {
+        if kind.spec().is_closed_loop() {
+            Self::batch_tenant_slo()
+        } else {
+            Self::default_tenant_slo()
         }
     }
 
@@ -150,29 +198,65 @@ impl FleetSpec {
     }
 
     /// The hotspot-consolidation demo: 64 vSSDs, packed placement with
-    /// the heavy closed-loop tenants listed first so they pile onto the
-    /// first shard — an engineered overload the control plane must
-    /// spread out.
+    /// three heavy closed-loop tenants listed first so they pile onto
+    /// the first shard alongside one latency-sensitive victim (tenant 3,
+    /// slot 0/3) — an engineered overload the control plane must spread
+    /// out, and the SLO story the health report tells: the victim
+    /// violates its latency SLO while the heavies crush the shard and
+    /// recovers once they migrate away.
+    ///
+    /// The heavies are rotated to start mid-job, in their write phases
+    /// (every batch kind opens with a read scan, so a pack that all
+    /// starts at phase zero would not pressure its neighbor until after
+    /// the control plane had already reacted to the read burst). The
+    /// rest of the fleet runs light interactive kinds only, so the
+    /// packed shard stays the hottest until it has shed every heavy.
     pub fn hotspot(seed: u64) -> Self {
         let mut spec = Self::sized(seed, 16, 4, 48);
+        // TeraSort rotated into its shuffle spill, MlPrep into its
+        // tensor write, PageRank into its shard rewrite: all three are
+        // writing from the first window.
         let heavy = [
-            WorkloadKind::TeraSort,
-            WorkloadKind::MlPrep,
-            WorkloadKind::BatchAnalytics,
-            WorkloadKind::TeraSort,
+            (WorkloadKind::TeraSort, 1),
+            (WorkloadKind::MlPrep, 2),
+            (WorkloadKind::PageRank, 2),
         ];
-        for (i, kind) in heavy.into_iter().enumerate() {
+        for (i, (kind, rot)) in heavy.into_iter().enumerate() {
             spec.tenants[i].kind = kind;
+            spec.tenants[i].phase_rotation = rot;
         }
-        // Everything after the hot pack stays latency-sensitive so the
-        // rest of the fleet is visibly cooler.
-        for t in spec.tenants.iter_mut().skip(heavy.len()) {
-            if t.kind == WorkloadKind::TeraSort {
-                t.kind = WorkloadKind::VdiWeb;
-            }
+        // The victim: a genuinely light interactive tenant in the last
+        // hot-shard slot (the sized catalogue would put bandwidth-heavy
+        // LiveMaps there, which would drown the interference signal in
+        // its own queueing).
+        spec.tenants[3].kind = WorkloadKind::VdiWeb;
+        // Everything after the hot pack is light and interactive, so
+        // the migration budget is never spent elsewhere.
+        for t in spec.tenants.iter_mut().skip(4) {
+            t.kind = match t.kind {
+                WorkloadKind::TeraSort | WorkloadKind::LiveMaps => WorkloadKind::VdiWeb,
+                WorkloadKind::SearchEngine => WorkloadKind::Tpce,
+                other => other,
+            };
+        }
+        // Kinds changed above; re-derive the preset SLOs to match.
+        for t in spec.tenants.iter_mut() {
+            t.slo = Some(Self::slo_for(t.kind));
         }
         spec.placement = Placement::Packed;
         spec.windows = 8;
+        // Observe four windows before migrating — long enough for the
+        // victim's violations to be on the books — then drain the hot
+        // shard over the following boundaries: even one resident heavy
+        // keeps harvesting the victim's channel, so the story needs all
+        // three gone. The packed shard stays above 0.35 utilization
+        // until then; the light shards never reach it.
+        spec.migration_warmup = 4;
+        spec.hot_util = 0.35;
+        // The interactive fleet idles near 0.4 mean utilization; the
+        // stock 1.5× spread guard would mask the packed shard once its
+        // first heavy left.
+        spec.spread_factor = 1.25;
         spec
     }
 
@@ -239,6 +323,11 @@ impl FleetSpec {
         if !(self.spread_factor >= 1.0 && self.spread_factor.is_finite()) {
             return Err(format!("spread_factor {}", self.spread_factor));
         }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if let Some(slo) = &t.slo {
+                slo.validate().map_err(|e| format!("tenant {i} SLO: {e}"))?;
+            }
+        }
         Ok(())
     }
 
@@ -276,10 +365,21 @@ impl FleetSpec {
         enc.f64(self.spread_factor);
         enc.u32(self.max_migrations_per_window);
         enc.u32(self.migration_cooldown);
+        enc.u32(self.migration_warmup);
         enc.usize(self.tenants.len());
         for t in &self.tenants {
             enc.str(t.kind.name());
             enc.u64(t.seed);
+            match &t.slo {
+                Some(slo) => {
+                    enc.bool(true);
+                    enc.u64(slo.p95_target.as_nanos());
+                    enc.u64(slo.p99_target.as_nanos());
+                    enc.f64(slo.throughput_floor);
+                }
+                None => enc.bool(false),
+            }
+            enc.u32(t.phase_rotation);
         }
         enc.into_bytes()
     }
@@ -309,6 +409,7 @@ impl FleetSpec {
         let spread_factor = dec.f64()?;
         let max_migrations_per_window = dec.u32()?;
         let migration_cooldown = dec.u32()?;
+        let migration_warmup = dec.u32()?;
         let n_tenants = dec.usize()?;
         if n_tenants > 65_536 {
             return Err(DecodeError::Malformed(format!(
@@ -321,7 +422,22 @@ impl FleetSpec {
             let kind = WorkloadKind::from_name(&kind_name)
                 .ok_or_else(|| DecodeError::Malformed(format!("unknown workload {kind_name}")))?;
             let t_seed = dec.u64()?;
-            tenants.push(FleetTenantSpec { kind, seed: t_seed });
+            let slo = if dec.bool()? {
+                Some(SloSpec {
+                    p95_target: SimDuration::from_nanos(dec.u64()?),
+                    p99_target: SimDuration::from_nanos(dec.u64()?),
+                    throughput_floor: dec.f64()?,
+                })
+            } else {
+                None
+            };
+            let phase_rotation = dec.u32()?;
+            tenants.push(FleetTenantSpec {
+                kind,
+                seed: t_seed,
+                slo,
+                phase_rotation,
+            });
         }
         dec.finish()?;
         let spec = FleetSpec {
@@ -339,6 +455,7 @@ impl FleetSpec {
             spread_factor,
             max_migrations_per_window,
             migration_cooldown,
+            migration_warmup,
         };
         spec.validate().map_err(DecodeError::Malformed)?;
         Ok(spec)
@@ -402,6 +519,12 @@ mod tests {
         assert_eq!(placement[0], SlotAddr { shard: 0, slot: 0 });
         assert_eq!(placement[3], SlotAddr { shard: 0, slot: 3 });
         assert!(spec.validate().is_ok());
+        // The hotspot preset exercises the fields the ci() preset leaves
+        // at zero: phase rotations on the heavies and a planner burn-in.
+        assert!(spec.tenants.iter().any(|t| t.phase_rotation > 0));
+        assert!(spec.migration_warmup > 0);
+        let back = FleetSpec::decode(&spec.encode()).expect("hotspot spec decodes");
+        assert_eq!(back, spec);
     }
 
     #[test]
@@ -429,6 +552,8 @@ mod tests {
             .map(|i| FleetTenantSpec {
                 kind: WorkloadKind::Ycsb,
                 seed: i,
+                slo: None,
+                phase_rotation: 0,
             })
             .collect();
         assert!(spec.validate().is_err(), "65 tenants into 64 slots");

@@ -30,19 +30,30 @@ fn matrix_spec(seed: u64) -> FleetSpec {
 fn worker_thread_count_never_changes_a_64_vssd_fleet() {
     let spec = matrix_spec(41);
     assert_eq!(spec.total_slots(), 64);
+    // 1, 2 and 8 workers, plus a same-seed rerun at 2 workers: every
+    // run must be byte-identical, including the SLO time-series and
+    // the rendered health report.
     let mut baseline = None;
-    for workers in [1usize, 2, 8] {
+    for workers in [1usize, 2, 8, 2] {
         let mut rt = FleetRuntime::new(&spec, default_model(7), workers);
         rt.install_fingerprint_sinks();
         let report = rt.run();
         let fingerprints = rt.take_fingerprints();
+        let health = rt.health_report();
+        let series_csv = rt.series().to_csv();
+        let series_jsonl = rt.series().to_jsonl();
         assert!(
             fingerprints.iter().all(|&(_, events)| events > 0),
             "every shard must emit events"
         );
+        assert!(
+            health.contains("FLEET HEALTH REPORT"),
+            "health report renders"
+        );
+        assert!(!series_csv.is_empty(), "series recorded");
         match &baseline {
-            None => baseline = Some((report, fingerprints)),
-            Some((r0, f0)) => {
+            None => baseline = Some((report, fingerprints, health, series_csv, series_jsonl)),
+            Some((r0, f0, h0, c0, j0)) => {
                 assert_eq!(
                     &report.migrations, &r0.migrations,
                     "{workers} workers changed the migration log"
@@ -54,6 +65,18 @@ fn worker_thread_count_never_changes_a_64_vssd_fleet() {
                 assert_eq!(
                     &fingerprints, f0,
                     "{workers} workers changed a per-shard obs stream"
+                );
+                assert_eq!(
+                    &health, h0,
+                    "{workers} workers changed the rendered health report"
+                );
+                assert_eq!(
+                    &series_csv, c0,
+                    "{workers} workers changed the SLO time-series (CSV)"
+                );
+                assert_eq!(
+                    &series_jsonl, j0,
+                    "{workers} workers changed the SLO time-series (JSONL)"
                 );
             }
         }

@@ -24,12 +24,29 @@ pub struct TenantSpec {
     pub kind: WorkloadKind,
     /// Seed for the workload's random stream.
     pub seed: u64,
+    /// The tenant's service-level objective (p95/p99 latency targets
+    /// plus an optional throughput floor), evaluated per decision
+    /// window by the fleet's SLO accounting. `None` exempts the tenant.
+    /// Distinct from `config.slo`, the engine's per-request scheduling
+    /// deadline.
+    pub slo_spec: Option<fleetio_obs::SloSpec>,
 }
 
 impl TenantSpec {
-    /// Convenience constructor.
+    /// Convenience constructor (no window-level SLO).
     pub fn new(config: VssdConfig, kind: WorkloadKind, seed: u64) -> Self {
-        TenantSpec { config, kind, seed }
+        TenantSpec {
+            config,
+            kind,
+            seed,
+            slo_spec: None,
+        }
+    }
+
+    /// Attaches a window-level SLO.
+    pub fn with_slo_spec(mut self, slo: fleetio_obs::SloSpec) -> Self {
+        self.slo_spec = Some(slo);
+        self
     }
 }
 

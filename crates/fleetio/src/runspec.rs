@@ -111,7 +111,16 @@ impl RunSpec {
                 if i < 2 {
                     vc.slo = Some(slo);
                 }
-                TenantSpec::new(vc, kind, seed.wrapping_add(i as u64 * 31))
+                let mut t = TenantSpec::new(vc, kind, seed.wrapping_add(i as u64 * 31));
+                if i < 2 {
+                    // Latency-sensitive tenants also carry a window-level
+                    // SLO (p95 at the scheduling deadline, p99 relaxed).
+                    t.slo_spec = Some(fleetio_obs::SloSpec::latency(
+                        slo,
+                        SimDuration::from_millis(5),
+                    ));
+                }
+                t
             })
             .collect();
         RunSpec {
@@ -163,6 +172,15 @@ impl RunSpec {
             }
             enc.u32(t.config.tickets);
             enc.f64(t.config.capacity_share);
+            match &t.slo_spec {
+                Some(s) => {
+                    enc.bool(true);
+                    enc.u64(s.p95_target.as_nanos());
+                    enc.u64(s.p99_target.as_nanos());
+                    enc.f64(s.throughput_floor);
+                }
+                None => enc.bool(false),
+            }
         }
         enc.into_bytes()
     }
@@ -233,7 +251,18 @@ impl RunSpec {
                     "capacity share {capacity_share}"
                 )));
             }
-            tenants.push(TenantSpec::new(
+            let slo_spec = if dec.bool()? {
+                let s = fleetio_obs::SloSpec {
+                    p95_target: SimDuration::from_nanos(dec.u64()?),
+                    p99_target: SimDuration::from_nanos(dec.u64()?),
+                    throughput_floor: dec.f64()?,
+                };
+                s.validate().map_err(DecodeError::Malformed)?;
+                Some(s)
+            } else {
+                None
+            };
+            let mut tenant = TenantSpec::new(
                 VssdConfig {
                     id,
                     channels,
@@ -245,7 +274,9 @@ impl RunSpec {
                 },
                 kind,
                 t_seed,
-            ));
+            );
+            tenant.slo_spec = slo_spec;
+            tenants.push(tenant);
         }
         dec.finish()?;
         Ok(RunSpec {

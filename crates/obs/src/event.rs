@@ -162,6 +162,48 @@ impl ModelKind {
     }
 }
 
+/// Which hotspot rule was the binding constraint when the control
+/// plane planned a migration. A shard qualifies as hot only when it
+/// exceeds **both** the absolute utilization threshold and the
+/// spread-factor multiple of the fleet mean; the cause names the rule
+/// with the smaller margin — the one that would have released the
+/// shard first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationCause {
+    /// The absolute `hot_util` threshold was the tighter bound.
+    HotUtil,
+    /// The `spread_factor × mean` bound was the tighter one.
+    SpreadFactor,
+}
+
+impl MigrationCause {
+    /// Stable lowercase tag used in exports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            MigrationCause::HotUtil => "hot_util",
+            MigrationCause::SpreadFactor => "spread_factor",
+        }
+    }
+
+    /// Stable one-byte tag used by the binary wire encoding
+    /// ([`crate::wire`]). Never renumber released values.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            MigrationCause::HotUtil => 0,
+            MigrationCause::SpreadFactor => 1,
+        }
+    }
+
+    /// Inverse of [`MigrationCause::wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(MigrationCause::HotUtil),
+            1 => Some(MigrationCause::SpreadFactor),
+            _ => None,
+        }
+    }
+}
+
 /// One structured observability record. All timestamps are simulated time.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ObsEvent {
@@ -335,11 +377,67 @@ pub enum ObsEvent {
         /// Trainer update counter at the time of the action.
         update: u64,
     },
+    /// A per-tenant SLO verdict for one decision window, emitted at the
+    /// fleet's serial window merge.
+    SloWindow {
+        /// Window end time on the tenant's resident shard.
+        at: SimTime,
+        /// Fleet-wide tenant index.
+        tenant: u32,
+        /// Window index (0-based).
+        window: u32,
+        /// Operations completed this window.
+        ops: u64,
+        /// Exact-bucket p95 latency (zero when idle).
+        p95: SimDuration,
+        /// Exact-bucket p99 latency (zero when idle).
+        p99: SimDuration,
+        /// Average throughput over the window, bytes/s.
+        throughput: f64,
+        /// p95 within target.
+        p95_ok: bool,
+        /// p99 within target.
+        p99_ok: bool,
+        /// Throughput at or above the floor.
+        throughput_ok: bool,
+        /// Rolling violation fraction after this window (burn rate).
+        burn: f64,
+    },
+    /// A tenant migration executed at a window boundary, with the
+    /// hotspot-rule cause and the utilizations the planner saw.
+    FleetMigration {
+        /// Execution time (the boundary entering the next window).
+        at: SimTime,
+        /// Window whose statistics planned the move.
+        window: u32,
+        /// The migrated tenant.
+        tenant: u32,
+        /// Source shard index.
+        from_shard: u32,
+        /// Source slot within the shard.
+        from_slot: u32,
+        /// Destination shard index.
+        to_shard: u32,
+        /// Destination slot within the shard.
+        to_slot: u32,
+        /// Which hotspot rule was the binding constraint.
+        cause: MigrationCause,
+        /// Fleet mean utilization when the move was planned.
+        mean_util: f64,
+        /// Source-shard utilization before the move.
+        src_util: f64,
+        /// Destination-shard utilization before the move.
+        dst_util: f64,
+        /// Projected source utilization after the move.
+        src_util_after: f64,
+        /// Projected destination utilization after the move.
+        dst_util_after: f64,
+    },
 }
 
 impl ObsEvent {
     /// Number of distinct event kinds ([`ObsEvent::kind_index`] range).
-    pub const KIND_COUNT: usize = 11;
+    pub const KIND_COUNT: usize = 13;
 
     /// Stable `type` tags indexed by [`ObsEvent::kind_index`].
     pub const KIND_TAGS: [&'static str; Self::KIND_COUNT] = [
@@ -354,6 +452,8 @@ impl ObsEvent {
         "throttle",
         "window_flush",
         "model",
+        "slo_window",
+        "fleet_migration",
     ];
 
     /// Stable dense index of the event's kind, `0..KIND_COUNT`. Doubles
@@ -373,6 +473,8 @@ impl ObsEvent {
             ObsEvent::Throttle { .. } => 8,
             ObsEvent::WindowFlush { .. } => 9,
             ObsEvent::ModelLifecycle { .. } => 10,
+            ObsEvent::SloWindow { .. } => 11,
+            ObsEvent::FleetMigration { .. } => 12,
         }
     }
 
@@ -398,6 +500,8 @@ impl ObsEvent {
             ObsEvent::Throttle { .. } => "throttle",
             ObsEvent::WindowFlush { .. } => "window_flush",
             ObsEvent::ModelLifecycle { .. } => "model",
+            ObsEvent::SloWindow { .. } => "slo_window",
+            ObsEvent::FleetMigration { .. } => "fleet_migration",
         }
     }
 
@@ -413,7 +517,9 @@ impl ObsEvent {
             | ObsEvent::GsbTransition { at, .. }
             | ObsEvent::Throttle { at, .. }
             | ObsEvent::WindowFlush { at, .. }
-            | ObsEvent::ModelLifecycle { at, .. } => at,
+            | ObsEvent::ModelLifecycle { at, .. }
+            | ObsEvent::SloWindow { at, .. }
+            | ObsEvent::FleetMigration { at, .. } => at,
             ObsEvent::NandOp { start, .. } => start,
         }
     }
@@ -589,6 +695,60 @@ impl ObsEvent {
                 field_str(out, "tag", tag);
                 field_u64(out, "update", update);
             }
+            ObsEvent::SloWindow {
+                at,
+                tenant,
+                window,
+                ops,
+                p95,
+                p99,
+                throughput,
+                p95_ok,
+                p99_ok,
+                throughput_ok,
+                burn,
+            } => {
+                field_u64(out, "at", at.as_nanos());
+                field_u64(out, "tenant", u64::from(tenant));
+                field_u64(out, "window", u64::from(window));
+                field_u64(out, "ops", ops);
+                field_u64(out, "p95", p95.as_nanos());
+                field_u64(out, "p99", p99.as_nanos());
+                field_f64(out, "throughput", throughput);
+                field_bool(out, "p95_ok", p95_ok);
+                field_bool(out, "p99_ok", p99_ok);
+                field_bool(out, "throughput_ok", throughput_ok);
+                field_f64(out, "burn", burn);
+            }
+            ObsEvent::FleetMigration {
+                at,
+                window,
+                tenant,
+                from_shard,
+                from_slot,
+                to_shard,
+                to_slot,
+                cause,
+                mean_util,
+                src_util,
+                dst_util,
+                src_util_after,
+                dst_util_after,
+            } => {
+                field_u64(out, "at", at.as_nanos());
+                field_u64(out, "window", u64::from(window));
+                field_u64(out, "tenant", u64::from(tenant));
+                field_u64(out, "from_shard", u64::from(from_shard));
+                field_u64(out, "from_slot", u64::from(from_slot));
+                field_u64(out, "to_shard", u64::from(to_shard));
+                field_u64(out, "to_slot", u64::from(to_slot));
+                field_str(out, "cause", cause.tag());
+                field_f64(out, "mean_util", mean_util);
+                field_f64(out, "src_util", src_util);
+                field_f64(out, "dst_util", dst_util);
+                field_f64(out, "src_util_after", src_util_after);
+                field_f64(out, "dst_util_after", dst_util_after);
+            }
         }
         out.push('}');
     }
@@ -726,6 +886,34 @@ mod tests {
                 kind: ModelKind::RolledBack,
                 tag: "lc1".to_string(),
                 update: 42,
+            },
+            ObsEvent::SloWindow {
+                at: SimTime::from_secs(4),
+                tenant: 17,
+                window: 3,
+                ops: 900,
+                p95: SimDuration::from_micros(850),
+                p99: SimDuration::from_millis(3),
+                throughput: 2.5e7,
+                p95_ok: true,
+                p99_ok: false,
+                throughput_ok: true,
+                burn: 0.25,
+            },
+            ObsEvent::FleetMigration {
+                at: SimTime::from_secs(5),
+                window: 4,
+                tenant: 17,
+                from_shard: 2,
+                from_slot: 1,
+                to_shard: 7,
+                to_slot: 0,
+                cause: MigrationCause::SpreadFactor,
+                mean_util: 0.22,
+                src_util: 0.81,
+                dst_util: 0.05,
+                src_util_after: 0.44,
+                dst_util_after: 0.42,
             },
         ];
         for ev in events {

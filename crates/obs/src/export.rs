@@ -286,6 +286,48 @@ where
                     .or_insert_with(|| "gsb".to_string());
                 instant(&mut out, &format!("model_{}", kind.tag()), PID_GC, 0, at);
             }
+            ObsEvent::SloWindow {
+                at,
+                tenant,
+                window,
+                p95_ok,
+                p99_ok,
+                throughput_ok,
+                ..
+            } => {
+                // Only violations are worth a mark in the timeline; the
+                // JSONL export retains every verdict.
+                if !(p95_ok && p99_ok && throughput_ok) {
+                    named
+                        .entry((PID_GC, 0))
+                        .or_insert_with(|| "gsb".to_string());
+                    instant(
+                        &mut out,
+                        &format!("slo_violation_t{tenant}_w{window}"),
+                        PID_GC,
+                        0,
+                        at,
+                    );
+                }
+            }
+            ObsEvent::FleetMigration {
+                at,
+                tenant,
+                from_shard,
+                to_shard,
+                ..
+            } => {
+                named
+                    .entry((PID_GC, 0))
+                    .or_insert_with(|| "gsb".to_string());
+                instant(
+                    &mut out,
+                    &format!("migrate_t{tenant}_s{from_shard}_to_s{to_shard}"),
+                    PID_GC,
+                    0,
+                    at,
+                );
+            }
             // Per-request bookkeeping events add noise in the timeline
             // view; the JSONL export retains them in full.
             ObsEvent::RequestSubmit { .. }

@@ -40,12 +40,16 @@ pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod prof;
+pub mod series;
 pub mod sink;
+pub mod slo;
 pub mod training;
 pub mod wire;
 
-pub use event::{GsbKind, ModelKind, NandKind, ObsEvent};
+pub use event::{GsbKind, MigrationCause, ModelKind, NandKind, ObsEvent};
 pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricsRegistry};
 pub use prof::{ProfReport, ProfSpan, SpanGuard, SpanStats};
+pub use series::{SeriesId, SeriesSet};
 pub use sink::{NullSink, ObsSink, RecordingSink};
+pub use slo::{SloSpec, SloTracker, WindowVerdict};
 pub use training::{TrainingRecord, TrainingSeries};

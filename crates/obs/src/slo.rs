@@ -1,0 +1,407 @@
+//! Per-tenant SLO accounting over decision windows.
+//!
+//! A tenant's service-level objective is three numbers — a p95 latency
+//! target, a p99 latency target, and a throughput floor — evaluated
+//! once per decision window against the window's **exact-bucket**
+//! latency histogram ([`fleetio_des::LatencyHistogram`]) and byte
+//! count. Everything here is pure arithmetic over simulated-time
+//! inputs: no clocks, no allocation after construction, so same-seed
+//! runs produce bit-identical verdicts regardless of worker count.
+//!
+//! The [`SloTracker`] keeps the running picture the fleet health
+//! report renders: attainment fraction, violation windows and streaks,
+//! the worst window seen so far, and a burn-rate-style rolling
+//! violation fraction over the last [`BURN_WINDOWS`] windows (a fixed
+//! ring — a run of any length costs constant memory).
+
+use fleetio_des::{LatencyHistogram, SimDuration};
+
+/// Rolling horizon (in windows) of the burn-rate ring.
+pub const BURN_WINDOWS: usize = 8;
+
+/// A tenant's service-level objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// The window's p95 latency must not exceed this.
+    pub p95_target: SimDuration,
+    /// The window's p99 latency must not exceed this.
+    pub p99_target: SimDuration,
+    /// The window's average throughput (bytes/second) must reach this;
+    /// zero disables the floor.
+    pub throughput_floor: f64,
+}
+
+impl SloSpec {
+    /// A latency-only objective (no throughput floor).
+    pub fn latency(p95_target: SimDuration, p99_target: SimDuration) -> Self {
+        SloSpec {
+            p95_target,
+            p99_target,
+            throughput_floor: 0.0,
+        }
+    }
+
+    /// Adds a throughput floor in bytes/second.
+    pub fn with_throughput_floor(mut self, floor: f64) -> Self {
+        self.throughput_floor = floor;
+        self
+    }
+
+    /// Rejects non-finite or negative targets.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.p95_target.is_zero() || self.p99_target.is_zero() {
+            return Err("SLO latency targets must be positive".into());
+        }
+        if self.p99_target < self.p95_target {
+            return Err("p99 target must be at least the p95 target".into());
+        }
+        if !self.throughput_floor.is_finite() || self.throughput_floor < 0.0 {
+            return Err("throughput floor must be finite and non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// One window's SLO evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowVerdict {
+    /// Window index (0-based).
+    pub window: u32,
+    /// Operations completed this window.
+    pub ops: u64,
+    /// Exact-bucket p95 latency (zero when the window was idle).
+    pub p95: SimDuration,
+    /// Exact-bucket p99 latency (zero when the window was idle).
+    pub p99: SimDuration,
+    /// Average throughput over the window, bytes/second.
+    pub throughput: f64,
+    /// p95 within target (idle windows attain trivially).
+    pub p95_ok: bool,
+    /// p99 within target (idle windows attain trivially).
+    pub p99_ok: bool,
+    /// Throughput at or above the floor.
+    pub throughput_ok: bool,
+}
+
+impl WindowVerdict {
+    /// All three objectives held.
+    pub fn attained(&self) -> bool {
+        self.p95_ok && self.p99_ok && self.throughput_ok
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    num as f64 / den as f64
+}
+
+/// Running SLO account for one tenant. Feed it one window at a time
+/// (in window order) via [`SloTracker::observe`].
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    spec: SloSpec,
+    observed: u32,
+    violated: u32,
+    current_streak: u32,
+    longest_streak: u32,
+    worst: Option<(f64, WindowVerdict)>,
+    ring: [bool; BURN_WINDOWS],
+    ring_len: usize,
+    ring_head: usize,
+}
+
+impl SloTracker {
+    /// A fresh tracker for `spec`.
+    pub fn new(spec: SloSpec) -> Self {
+        SloTracker {
+            spec,
+            observed: 0,
+            violated: 0,
+            current_streak: 0,
+            longest_streak: 0,
+            worst: None,
+            ring: [false; BURN_WINDOWS],
+            ring_len: 0,
+            ring_head: 0,
+        }
+    }
+
+    /// The objective being tracked.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// Evaluates one window: `hist` is the window's request-latency
+    /// histogram, `bytes` the bytes moved, `len` the window length.
+    /// Idle windows (no completed operations) attain trivially — a
+    /// tenant between job phases or mid-migration offered no load, so
+    /// neither the latency targets nor the throughput floor can say
+    /// anything about how it was served.
+    pub fn observe(
+        &mut self,
+        window: u32,
+        hist: &LatencyHistogram,
+        bytes: u64,
+        len: SimDuration,
+    ) -> WindowVerdict {
+        let p95 = hist.percentile(95.0).unwrap_or(SimDuration::ZERO);
+        let p99 = hist.percentile(99.0).unwrap_or(SimDuration::ZERO);
+        let secs = len.as_secs_f64();
+        let throughput = if secs > 0.0 { bytes as f64 / secs } else { 0.0 };
+        let idle = hist.count() == 0;
+        let verdict = WindowVerdict {
+            window,
+            ops: hist.count(),
+            p95,
+            p99,
+            throughput,
+            p95_ok: p95 <= self.spec.p95_target,
+            p99_ok: p99 <= self.spec.p99_target,
+            throughput_ok: idle
+                || self.spec.throughput_floor <= 0.0
+                || throughput >= self.spec.throughput_floor,
+        };
+        self.account(&verdict);
+        verdict
+    }
+
+    fn account(&mut self, v: &WindowVerdict) {
+        self.observed += 1;
+        let violated = !v.attained();
+        if violated {
+            self.violated += 1;
+            self.current_streak += 1;
+            self.longest_streak = self.longest_streak.max(self.current_streak);
+            let severity = self.severity_of(v);
+            let replace = match &self.worst {
+                // Strict `>` keeps the earliest window on exact ties.
+                Some((s, _)) => severity > *s,
+                None => true,
+            };
+            if replace {
+                self.worst = Some((severity, *v));
+            }
+        } else {
+            self.current_streak = 0;
+        }
+        self.ring[self.ring_head] = violated;
+        self.ring_head = (self.ring_head + 1) % BURN_WINDOWS;
+        self.ring_len = (self.ring_len + 1).min(BURN_WINDOWS);
+    }
+
+    /// Miss ratio of the worst objective in `v` (1.0 = exactly at
+    /// target, 2.0 = twice the latency target or half the floor).
+    fn severity_of(&self, v: &WindowVerdict) -> f64 {
+        let mut s = ratio(v.p95.as_nanos(), self.spec.p95_target.as_nanos().max(1));
+        s = s.max(ratio(
+            v.p99.as_nanos(),
+            self.spec.p99_target.as_nanos().max(1),
+        ));
+        if self.spec.throughput_floor > 0.0 {
+            let tp = v.throughput.max(f64::MIN_POSITIVE);
+            s = s.max(self.spec.throughput_floor / tp);
+        }
+        s
+    }
+
+    /// Windows evaluated so far.
+    pub fn observed(&self) -> u32 {
+        self.observed
+    }
+
+    /// Windows that violated the objective.
+    pub fn violations(&self) -> u32 {
+        self.violated
+    }
+
+    /// Fraction of observed windows that attained the objective
+    /// (1.0 before any window is observed).
+    pub fn attainment(&self) -> f64 {
+        if self.observed == 0 {
+            1.0
+        } else {
+            f64::from(self.observed - self.violated) / f64::from(self.observed)
+        }
+    }
+
+    /// Longest consecutive run of violating windows.
+    pub fn longest_streak(&self) -> u32 {
+        self.longest_streak
+    }
+
+    /// Violating fraction of the last [`BURN_WINDOWS`] windows — the
+    /// burn rate an operator would alert on (0.0 before any window).
+    pub fn burn_rate(&self) -> f64 {
+        if self.ring_len == 0 {
+            return 0.0;
+        }
+        let hot = self.ring[..self.ring_len].iter().filter(|v| **v).count();
+        hot as f64 / self.ring_len as f64
+    }
+
+    /// The most severely violating window so far, by
+    /// worst-objective miss ratio (earliest wins ties).
+    pub fn worst_window(&self) -> Option<&WindowVerdict> {
+        self.worst.as_ref().map(|(_, v)| v)
+    }
+
+    /// The worst window's miss ratio (see [`SloTracker::worst_window`]).
+    pub fn worst_severity(&self) -> Option<f64> {
+        self.worst.as_ref().map(|(s, _)| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SloSpec {
+        SloSpec::latency(SimDuration::from_millis(2), SimDuration::from_millis(5))
+            .with_throughput_floor(1000.0)
+    }
+
+    fn hist(lat: SimDuration, n: u64) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..n {
+            h.record(lat);
+        }
+        h
+    }
+
+    #[test]
+    fn attaining_window_counts_as_attained() {
+        let mut t = SloTracker::new(spec());
+        let v = t.observe(
+            0,
+            &hist(SimDuration::from_micros(500), 100),
+            1_000_000,
+            SimDuration::from_millis(500),
+        );
+        assert!(v.attained(), "{v:?}");
+        assert_eq!(t.violations(), 0);
+        assert_eq!(t.attainment(), 1.0);
+        assert_eq!(t.burn_rate(), 0.0);
+        assert!(t.worst_window().is_none());
+    }
+
+    #[test]
+    fn latency_violation_is_tracked_with_streaks_and_worst_window() {
+        let mut t = SloTracker::new(spec());
+        // Two violating windows (the second worse), then recovery.
+        t.observe(
+            0,
+            &hist(SimDuration::from_millis(10), 10),
+            1_000_000,
+            SimDuration::from_millis(500),
+        );
+        t.observe(
+            1,
+            &hist(SimDuration::from_millis(40), 10),
+            1_000_000,
+            SimDuration::from_millis(500),
+        );
+        let v = t.observe(
+            2,
+            &hist(SimDuration::from_micros(200), 10),
+            1_000_000,
+            SimDuration::from_millis(500),
+        );
+        assert!(v.attained());
+        assert_eq!(t.observed(), 3);
+        assert_eq!(t.violations(), 2);
+        assert_eq!(t.longest_streak(), 2);
+        assert!((t.attainment() - 1.0 / 3.0).abs() < 1e-12);
+        let worst = t.worst_window().expect("worst window recorded");
+        assert_eq!(worst.window, 1, "later, worse window wins");
+        assert!((t.burn_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_floor_violates_even_when_latency_is_fine() {
+        let mut t = SloTracker::new(spec());
+        let v = t.observe(
+            0,
+            &hist(SimDuration::from_micros(100), 4),
+            100, // 200 B/s over a 500 ms window — below the 1000 B/s floor
+            SimDuration::from_millis(500),
+        );
+        assert!(v.p95_ok && v.p99_ok && !v.throughput_ok);
+        assert!(!v.attained());
+    }
+
+    #[test]
+    fn idle_window_attains_trivially_even_with_a_floor() {
+        let empty = LatencyHistogram::new();
+        let mut with_floor = SloTracker::new(spec());
+        let v = with_floor.observe(0, &empty, 0, SimDuration::from_millis(500));
+        assert!(
+            v.attained(),
+            "no offered load says nothing about service: {v:?}"
+        );
+
+        // A non-idle window below the floor still violates.
+        let v = with_floor.observe(
+            1,
+            &hist(SimDuration::from_micros(100), 4),
+            100,
+            SimDuration::from_millis(500),
+        );
+        assert!(!v.throughput_ok && !v.attained());
+    }
+
+    #[test]
+    fn burn_rate_forgets_beyond_the_ring() {
+        let mut t = SloTracker::new(spec());
+        // One violation, then BURN_WINDOWS clean windows push it out.
+        t.observe(
+            0,
+            &hist(SimDuration::from_millis(50), 5),
+            1_000_000,
+            SimDuration::from_millis(500),
+        );
+        for w in 1..=(BURN_WINDOWS as u32) {
+            t.observe(
+                w,
+                &hist(SimDuration::from_micros(100), 5),
+                1_000_000,
+                SimDuration::from_millis(500),
+            );
+        }
+        assert_eq!(t.burn_rate(), 0.0, "violation aged out of the ring");
+        assert_eq!(t.violations(), 1, "lifetime count is unaffected");
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        assert!(spec().validate().is_ok());
+        let zero = SloSpec::latency(SimDuration::ZERO, SimDuration::from_millis(1));
+        assert!(zero.validate().is_err());
+        let inverted = SloSpec::latency(SimDuration::from_millis(5), SimDuration::from_millis(2));
+        assert!(inverted.validate().is_err());
+        let nan = spec().with_throughput_floor(f64::NAN);
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn same_inputs_produce_identical_trackers() {
+        let run = || {
+            let mut t = SloTracker::new(spec());
+            for w in 0..20u32 {
+                let lat = SimDuration::from_micros(u64::from(w) * 397 + 50);
+                t.observe(
+                    w,
+                    &hist(lat, 7),
+                    u64::from(w) * 100_000,
+                    SimDuration::from_millis(500),
+                );
+            }
+            (
+                t.attainment().to_bits(),
+                t.burn_rate().to_bits(),
+                t.violations(),
+                t.longest_streak(),
+                t.worst_window().copied(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

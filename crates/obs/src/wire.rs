@@ -33,7 +33,7 @@ use std::ops::Range;
 use fleetio_des::hash::crc32;
 use fleetio_des::{SimDuration, SimTime};
 
-use crate::event::{GsbKind, ModelKind, NandKind, ObsEvent};
+use crate::event::{GsbKind, MigrationCause, ModelKind, NandKind, ObsEvent};
 
 /// Magic bytes opening every segment file.
 pub const SEG_MAGIC: [u8; 4] = *b"FSG1";
@@ -281,6 +281,60 @@ pub fn encode_event(ev: &ObsEvent, out: &mut Vec<u8>) {
             out.extend_from_slice(tag.as_bytes());
             put_u64(out, update);
         }
+        ObsEvent::SloWindow {
+            at,
+            tenant,
+            window,
+            ops,
+            p95,
+            p99,
+            throughput,
+            p95_ok,
+            p99_ok,
+            throughput_ok,
+            burn,
+        } => {
+            put_u64(out, at.as_nanos());
+            put_u32(out, tenant);
+            put_u32(out, window);
+            put_u64(out, ops);
+            put_u64(out, p95.as_nanos());
+            put_u64(out, p99.as_nanos());
+            put_f64(out, throughput);
+            put_bool(out, p95_ok);
+            put_bool(out, p99_ok);
+            put_bool(out, throughput_ok);
+            put_f64(out, burn);
+        }
+        ObsEvent::FleetMigration {
+            at,
+            window,
+            tenant,
+            from_shard,
+            from_slot,
+            to_shard,
+            to_slot,
+            cause,
+            mean_util,
+            src_util,
+            dst_util,
+            src_util_after,
+            dst_util_after,
+        } => {
+            put_u64(out, at.as_nanos());
+            put_u32(out, window);
+            put_u32(out, tenant);
+            put_u32(out, from_shard);
+            put_u32(out, from_slot);
+            put_u32(out, to_shard);
+            put_u32(out, to_slot);
+            out.push(cause.wire_tag());
+            put_f64(out, mean_util);
+            put_f64(out, src_util);
+            put_f64(out, dst_util);
+            put_f64(out, src_util_after);
+            put_f64(out, dst_util_after);
+        }
     }
 }
 
@@ -472,6 +526,37 @@ pub fn decode_event(payload: &[u8]) -> Result<ObsEvent, WireError> {
             },
             tag: r.str(4096)?,
             update: r.u64()?,
+        },
+        11 => ObsEvent::SloWindow {
+            at: r.time()?,
+            tenant: r.u32()?,
+            window: r.u32()?,
+            ops: r.u64()?,
+            p95: r.dur()?,
+            p99: r.dur()?,
+            throughput: r.f64()?,
+            p95_ok: r.bool()?,
+            p99_ok: r.bool()?,
+            throughput_ok: r.bool()?,
+            burn: r.f64()?,
+        },
+        12 => ObsEvent::FleetMigration {
+            at: r.time()?,
+            window: r.u32()?,
+            tenant: r.u32()?,
+            from_shard: r.u32()?,
+            from_slot: r.u32()?,
+            to_shard: r.u32()?,
+            to_slot: r.u32()?,
+            cause: {
+                let t = r.u8()?;
+                MigrationCause::from_wire_tag(t).ok_or(WireError::BadTag(t))?
+            },
+            mean_util: r.f64()?,
+            src_util: r.f64()?,
+            dst_util: r.f64()?,
+            src_util_after: r.f64()?,
+            dst_util_after: r.f64()?,
         },
         t => return Err(WireError::BadTag(t)),
     };
@@ -737,6 +822,34 @@ mod tests {
                 kind: ModelKind::RolledBack,
                 tag: "lc1".to_string(),
                 update: 42,
+            },
+            ObsEvent::SloWindow {
+                at: SimTime::from_secs(4),
+                tenant: 17,
+                window: 3,
+                ops: 900,
+                p95: SimDuration::from_micros(850),
+                p99: SimDuration::from_millis(3),
+                throughput: 2.5e7,
+                p95_ok: true,
+                p99_ok: false,
+                throughput_ok: true,
+                burn: 0.25,
+            },
+            ObsEvent::FleetMigration {
+                at: SimTime::from_secs(5),
+                window: 4,
+                tenant: 17,
+                from_shard: 2,
+                from_slot: 1,
+                to_shard: 7,
+                to_slot: 0,
+                cause: MigrationCause::SpreadFactor,
+                mean_util: 0.22,
+                src_util: 0.81,
+                dst_util: 0.05,
+                src_util_after: 0.44,
+                dst_util_after: 0.42,
             },
         ]
     }

@@ -44,6 +44,9 @@ pub fn tenant_of(ev: &ObsEvent) -> Option<u32> {
         | ObsEvent::GcEnd { vssd, .. }
         | ObsEvent::WindowFlush { vssd, .. } => Some(vssd),
         ObsEvent::GsbTransition { home, .. } => Some(home),
+        ObsEvent::SloWindow { tenant, .. } | ObsEvent::FleetMigration { tenant, .. } => {
+            Some(tenant)
+        }
         ObsEvent::Throttle { .. } | ObsEvent::ModelLifecycle { .. } => None,
     }
 }

@@ -442,6 +442,29 @@ impl Engine {
         self.obs.as_ref()
     }
 
+    /// Records an externally-produced event (e.g. the fleet control
+    /// plane's SLO verdicts and migrations) into the installed sink, so
+    /// one per-engine stream carries both device and control-plane
+    /// facts. Like every sink interaction this only observes: it never
+    /// changes simulation behavior.
+    pub fn emit_obs(&mut self, ev: ObsEvent) {
+        if self.obs_on {
+            self.obs.record(ev);
+        }
+    }
+
+    /// The live request-latency histogram of `id`'s current statistics
+    /// window (exact buckets, completion-path attribution; reset by
+    /// [`Engine::finish_window`]). Callers that need the window's
+    /// percentiles must clone before finishing the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn window_latency(&self, id: VssdId) -> &fleetio_des::LatencyHistogram {
+        self.vssds[self.idx(id)].window.latency()
+    }
+
     pub(crate) fn idx(&self, id: VssdId) -> usize {
         match self.id_to_idx.binary_search_by_key(&id, |(k, _)| *k) {
             Ok(pos) => self.id_to_idx[pos].1,

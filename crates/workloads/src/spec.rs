@@ -110,6 +110,18 @@ pub struct WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// Rotates the phase cycle left by `k` phases, so the workload
+    /// starts mid-job: `k = 1` begins at what was the second phase.
+    /// The cycle itself is unchanged — only the position at time zero
+    /// moves. `k` is taken modulo the phase count, so any value is
+    /// safe.
+    pub fn rotate_phases(&mut self, k: usize) {
+        if !self.phases.is_empty() {
+            let k = k % self.phases.len();
+            self.phases.rotate_left(k);
+        }
+    }
+
     /// Mean offered load across one full cycle, bytes/second.
     pub fn mean_offered_bytes_per_sec(&self) -> f64 {
         let total_time: f64 = self.phases.iter().map(|p| p.duration.as_secs_f64()).sum();
@@ -211,6 +223,27 @@ mod tests {
         };
         // 1 MB/s for half the cycle.
         assert_eq!(spec.mean_offered_bytes_per_sec(), 500_000.0);
+    }
+
+    #[test]
+    fn phase_rotation_moves_the_start_not_the_cycle() {
+        let mut spec = WorkloadSpec {
+            name: "t",
+            phases: vec![phase(100.0, 1), phase(200.0, 2), phase(300.0, 3)],
+            footprint: 0.5,
+            regions: 1,
+        };
+        let mean = spec.mean_offered_bytes_per_sec();
+        spec.rotate_phases(1);
+        assert_eq!(spec.phases[0].arrival_rate, 200.0);
+        assert_eq!(spec.phases[2].arrival_rate, 100.0);
+        // The cycle is unchanged, so so is its mean offered load.
+        assert_eq!(spec.mean_offered_bytes_per_sec(), mean);
+        // Modulo the phase count: a full-cycle rotation is the identity.
+        spec.rotate_phases(3);
+        assert_eq!(spec.phases[0].arrival_rate, 200.0);
+        spec.rotate_phases(5);
+        assert_eq!(spec.phases[0].arrival_rate, 100.0);
     }
 
     #[test]

@@ -11,5 +11,6 @@ pub use fleetio_ml as ml;
 pub use fleetio_model as model;
 pub use fleetio_obs as obs;
 pub use fleetio_rl as rl;
+pub use fleetio_store as store;
 pub use fleetio_vssd as vssd;
 pub use fleetio_workloads as workloads;
